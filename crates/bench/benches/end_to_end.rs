@@ -1,0 +1,35 @@
+//! End-to-end CANONICALMERGESORT on the simulated cluster (smoke
+//! scale), including the worst-case/randomization matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use demsort_bench::{run_canonical, worst_case, ExpScale};
+use demsort_types::AlgoConfig;
+use demsort_workloads::InputSpec;
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let scale = ExpScale::smoke();
+    let p = 4;
+    let bytes = (scale.data_bytes_per_pe * p) as u64;
+    let mut g = c.benchmark_group("canonical_sort");
+    g.throughput(Throughput::Bytes(bytes));
+    g.sample_size(10);
+
+    let cases: Vec<(&str, InputSpec, bool)> = vec![
+        ("random", InputSpec::Uniform, true),
+        ("worst_rand", worst_case(&scale), true),
+        ("worst_nonrand", worst_case(&scale), false),
+    ];
+    for (name, spec, randomize) in cases {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, &spec| {
+            b.iter(|| {
+                let algo = AlgoConfig { randomize, ..AlgoConfig::default() };
+                black_box(run_canonical(&scale, p, spec, algo))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Loser-tree k-way merge throughput across fan-ins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use demsort_core::merge::merge_k;
+use demsort_types::Element16;
+use demsort_workloads::splitmix64;
+use std::hint::black_box;
+
+fn sorted_runs(k: usize, total: usize) -> Vec<Vec<Element16>> {
+    (0..k)
+        .map(|r| {
+            let n = total / k;
+            let mut v: Vec<Element16> = (0..n)
+                .map(|i| Element16::new(splitmix64((r * n + i) as u64), i as u64))
+                .collect();
+            v.sort_unstable();
+            v
+        })
+        .collect()
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let total = 1 << 18;
+    let mut g = c.benchmark_group("merge_k");
+    g.throughput(Throughput::Elements(total as u64));
+    for k in [2usize, 4, 8, 16, 64] {
+        let runs = sorted_runs(k, total);
+        let views: Vec<&[Element16]> = runs.iter().map(|r| r.as_slice()).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &views, |b, views| {
+            b.iter(|| black_box(merge_k(views)));
+        });
+    }
+    // Baseline: sorting the concatenation from scratch.
+    let runs = sorted_runs(8, total);
+    let concat: Vec<Element16> = runs.concat();
+    g.bench_function("resort_baseline", |b| {
+        b.iter(|| {
+            let mut v = concat.clone();
+            v.sort_unstable();
+            black_box(v)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Multiway selection: cold start vs sample warm start (Section IV-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use demsort_core::selection::{multiway_select, multiway_select_from};
+use demsort_workloads::splitmix64;
+use std::hint::black_box;
+
+fn sorted_seqs(r: usize, n: usize) -> Vec<Vec<u64>> {
+    (0..r)
+        .map(|s| {
+            let mut v: Vec<u64> = (0..n).map(|i| splitmix64((s * n + i) as u64)).collect();
+            v.sort_unstable();
+            v
+        })
+        .collect()
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multiway_select");
+    for r in [4usize, 8, 32] {
+        let seqs = sorted_seqs(r, 1 << 16);
+        let total: u64 = seqs.iter().map(|s| s.len() as u64).sum();
+        let rank = total / 2;
+        g.bench_with_input(BenchmarkId::new("cold", r), &seqs, |b, seqs| {
+            b.iter(|| {
+                let mut views: Vec<&[u64]> = seqs.iter().map(|s| s.as_slice()).collect();
+                black_box(multiway_select(&mut views, rank))
+            });
+        });
+        // Warm start: positions within K = 64 of the target (what the
+        // run-formation sample provides).
+        let reference = {
+            let mut views: Vec<&[u64]> = seqs.iter().map(|s| s.as_slice()).collect();
+            multiway_select(&mut views, rank)
+        };
+        let init: Vec<usize> = reference.positions.iter().map(|&p| p - p % 64).collect();
+        g.bench_with_input(BenchmarkId::new("sample_warm", r), &seqs, |b, seqs| {
+            b.iter(|| {
+                let mut views: Vec<&[u64]> = seqs.iter().map(|s| s.as_slice()).collect();
+                black_box(multiway_select_from(&mut views, rank, init.clone(), 64))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

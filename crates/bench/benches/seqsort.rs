@@ -1,0 +1,29 @@
+//! In-node parallel sort scaling over core counts (the MCSTL stand-in).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use demsort_core::seqsort::sort_in_node;
+use demsort_types::Element16;
+use demsort_workloads::splitmix64;
+use std::hint::black_box;
+
+fn bench_seqsort(c: &mut Criterion) {
+    let n = 1 << 20;
+    let data: Vec<Element16> =
+        (0..n).map(|i| Element16::new(splitmix64(i as u64), i as u64)).collect();
+    let mut g = c.benchmark_group("sort_in_node");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    for cores in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, &cores| {
+            b.iter(|| {
+                let mut v = data.clone();
+                sort_in_node(&mut v, cores);
+                black_box(v)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_seqsort);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! `gensort` — generate a file of SortBenchmark records (100 bytes,
+//! 10-byte key), our stand-in for the official tool.
+//!
+//! ```text
+//! gensort [-s SEED] [-b START] COUNT FILE
+//! ```
+
+use demsort_types::Record as _;
+use demsort_types::Record100;
+use demsort_workloads::gensort_records;
+use std::io::Write;
+
+fn main() {
+    let mut seed = 0u64;
+    let mut start = 0u64;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-s" => seed = args.next().expect("-s SEED").parse().expect("seed"),
+            "-b" => start = args.next().expect("-b START").parse().expect("start"),
+            "--help" | "-h" => {
+                println!("gensort [-s SEED] [-b START] COUNT FILE");
+                return;
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [count, file] = positional.as_slice() else {
+        eprintln!("usage: gensort [-s SEED] [-b START] COUNT FILE");
+        std::process::exit(2);
+    };
+    let count: usize = count.parse().expect("COUNT must be an integer");
+
+    let out = std::fs::File::create(file).expect("create output file");
+    let mut out = std::io::BufWriter::new(out);
+    let mut buf = vec![0u8; Record100::BYTES];
+    const CHUNK: usize = 1 << 16;
+    let mut written = 0usize;
+    while written < count {
+        let n = CHUNK.min(count - written);
+        for rec in gensort_records(seed, start + written as u64, n) {
+            rec.encode(&mut buf);
+            out.write_all(&buf).expect("write record");
+        }
+        written += n;
+    }
+    out.flush().expect("flush");
+    eprintln!("wrote {count} records ({} bytes) to {file}", count * Record100::BYTES);
+}

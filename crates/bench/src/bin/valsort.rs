@@ -1,0 +1,53 @@
+//! `valsort` — validate a file of SortBenchmark records: sortedness,
+//! record count, and an order-independent fingerprint (compare the
+//! fingerprints of input and output to prove the sort is a
+//! permutation).
+//!
+//! ```text
+//! valsort FILE
+//! ```
+//!
+//! Exit status 0 iff the file is sorted. The fingerprint is printed
+//! either way.
+
+use demsort_core::validate::{hash_record, Fingerprint};
+use demsort_types::{Key10, Record as _, Record100};
+use std::io::Read;
+
+fn main() {
+    let Some(file) = std::env::args().nth(1) else {
+        eprintln!("usage: valsort FILE");
+        std::process::exit(2);
+    };
+    let f = std::fs::File::open(&file).expect("open input");
+    let mut r = std::io::BufReader::new(f);
+    let mut buf = vec![0u8; Record100::BYTES];
+    let mut fp = Fingerprint::default();
+    let mut violations = 0u64;
+    let mut last: Option<Key10> = None;
+    loop {
+        match r.read_exact(&mut buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => panic!("read {file}: {e}"),
+        }
+        let rec = Record100::decode(&buf);
+        if let Some(prev) = &last {
+            if *prev > rec.key {
+                violations += 1;
+            }
+        }
+        last = Some(rec.key);
+        fp.count += 1;
+        fp.sum = fp.sum.wrapping_add(hash_record(&rec));
+    }
+    println!("records:      {}", fp.count);
+    println!("violations:   {violations}");
+    println!("fingerprint:  {:016x}:{:016x}", fp.count, fp.sum);
+    if violations == 0 {
+        println!("SUCCESS - the file is sorted");
+    } else {
+        println!("FAILURE - {violations} out-of-order record pairs");
+        std::process::exit(1);
+    }
+}

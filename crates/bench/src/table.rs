@@ -1,0 +1,120 @@
+//! Plain-text table and CSV output for experiment results.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned table with a title, printed to stdout and
+/// optionally dumped as CSV into `results/`.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given title and column names.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render the aligned table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "{c:>w$}  ", w = w);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Write as CSV to `dir/name.csv`.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut s = String::new();
+        let _ = writeln!(s, "{}", self.header.join(","));
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", row.join(","));
+        }
+        std::fs::write(dir.join(format!("{name}.csv")), s)
+    }
+}
+
+/// Format seconds with 1 decimal.
+pub fn secs(s: f64) -> String {
+    format!("{s:.1}")
+}
+
+/// Format a ratio with 4 decimals (Figure 5 spans 0.001..10, so use
+/// scientific notation below 0.01).
+pub fn ratio(r: f64) -> String {
+    if r != 0.0 && r.abs() < 0.01 {
+        format!("{r:.2e}")
+    } else {
+        format!("{r:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_and_csv() {
+        let mut t = Table::new("demo", &["P", "time"]);
+        t.row(vec!["1".into(), "10.0".into()]);
+        t.row(vec!["64".into(), "9.5".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains(" P"));
+        let dir = std::env::temp_dir().join(format!("demsort-table-{}", std::process::id()));
+        t.write_csv(&dir, "demo").expect("csv");
+        let csv = std::fs::read_to_string(dir.join("demo.csv")).expect("read");
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("P,time"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(0.5), "0.5000");
+        assert_eq!(ratio(0.001), "1.00e-3");
+        assert_eq!(ratio(0.0), "0.0000");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

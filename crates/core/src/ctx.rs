@@ -1,0 +1,206 @@
+//! Per-PE execution context: storage for every PE, phase accounting.
+//!
+//! A PE owns its communicator endpoint and *operates on* its own
+//! storage; peers' storage is reachable read-only for the remote probes
+//! of external multiway selection (Section IV-A: "they have to request
+//! data from remote disks"). In a real deployment those probes are
+//! one-block RDMA gets / MPI request-reply pairs; here a probe reads
+//! the peer's storage engine directly, so the I/O lands on the owning
+//! PE's disks (exactly where the paper's bottleneck analysis puts it)
+//! and the transferred bytes are charged to the prober as communication.
+
+use demsort_storage::{Backend, DiskModel, MemBackend, PeStorage};
+use demsort_types::{
+    CommCounters, CpuCounters, IoCounters, MachineConfig, Phase, PhaseStats, SortConfig,
+    SortReport,
+};
+use std::sync::Arc;
+
+/// The storage of every PE in the cluster, shared between PE threads.
+pub struct ClusterStorage {
+    pes: Vec<PeStorage>,
+}
+
+impl ClusterStorage {
+    /// In-memory storage for `cfg.pes` PEs (the experiment default).
+    pub fn new_mem(cfg: &MachineConfig) -> Arc<Self> {
+        Self::with_backends(cfg, |c| Arc::new(MemBackend::new(c.disks_per_pe)))
+    }
+
+    /// Storage with a custom backend per PE (files, fault injection).
+    pub fn with_backends(
+        cfg: &MachineConfig,
+        mut make: impl FnMut(&MachineConfig) -> Arc<dyn Backend>,
+    ) -> Arc<Self> {
+        let pes = (0..cfg.pes)
+            .map(|_| {
+                PeStorage::with_backend(
+                    cfg.disks_per_pe,
+                    cfg.block_bytes,
+                    DiskModel::paper(),
+                    make(cfg),
+                )
+            })
+            .collect();
+        Arc::new(Self { pes })
+    }
+
+    /// Storage of PE `rank`.
+    pub fn pe(&self, rank: usize) -> &PeStorage {
+        &self.pes[rank]
+    }
+
+    /// Number of PEs.
+    pub fn len(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// `true` if the cluster has no PEs (never in practice).
+    pub fn is_empty(&self) -> bool {
+        self.pes.is_empty()
+    }
+}
+
+/// Phase-by-phase counter recorder for one PE.
+///
+/// Phases are delimited by [`PhaseRecorder::finish_phase`], which
+/// snapshots the cumulative I/O and communication counters and
+/// attributes the delta (plus explicitly accumulated CPU work and any
+/// extra communication such as remote selection probes) to the phase.
+pub struct PhaseRecorder {
+    rank: usize,
+    stats: Vec<(Phase, PhaseStats)>,
+    last_io: IoCounters,
+    last_comm: CommCounters,
+    pending_cpu: CpuCounters,
+    pending_comm_extra: CommCounters,
+    phase_started: std::time::Instant,
+}
+
+impl PhaseRecorder {
+    /// Start recording for PE `rank` from the given counter baselines.
+    pub fn new(rank: usize, io_now: IoCounters, comm_now: CommCounters) -> Self {
+        Self {
+            rank,
+            stats: Vec::new(),
+            last_io: io_now,
+            last_comm: comm_now,
+            pending_cpu: CpuCounters::default(),
+            pending_comm_extra: CommCounters::default(),
+            phase_started: std::time::Instant::now(),
+        }
+    }
+
+    /// Accumulate CPU work into the current phase.
+    pub fn add_cpu(&mut self, cpu: CpuCounters) {
+        self.pending_cpu = self.pending_cpu.merge(&cpu);
+    }
+
+    /// Accumulate out-of-band communication (remote storage probes).
+    pub fn add_comm(&mut self, comm: CommCounters) {
+        self.pending_comm_extra = self.pending_comm_extra.merge(&comm);
+    }
+
+    /// Close the current phase, attributing counter deltas to `phase`.
+    pub fn finish_phase(&mut self, phase: Phase, io_now: IoCounters, comm_now: CommCounters) {
+        let mut cpu = std::mem::take(&mut self.pending_cpu);
+        cpu.host_wall_ns += self.phase_started.elapsed().as_nanos() as u64;
+        let stats = PhaseStats {
+            io: io_now.delta_since(&self.last_io),
+            comm: comm_now
+                .delta_since(&self.last_comm)
+                .merge(&std::mem::take(&mut self.pending_comm_extra)),
+            cpu,
+        };
+        self.last_io = io_now;
+        self.last_comm = comm_now;
+        self.phase_started = std::time::Instant::now();
+        self.stats.push((phase, stats));
+    }
+
+    /// This PE's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The recorded per-phase stats.
+    pub fn into_stats(self) -> Vec<(Phase, PhaseStats)> {
+        self.stats
+    }
+}
+
+/// Assemble per-PE recorder outputs into a [`SortReport`].
+pub fn assemble_report(
+    cfg: &SortConfig,
+    elements: u64,
+    element_bytes: usize,
+    runs: usize,
+    per_pe: Vec<Vec<(Phase, PhaseStats)>>,
+) -> SortReport {
+    let mut report = SortReport::new(cfg.machine.pes, elements, element_bytes, runs);
+    for (pe, phases) in per_pe.into_iter().enumerate() {
+        for (phase, stats) in phases {
+            report.record(pe, phase, stats);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demsort_types::AlgoConfig;
+
+    #[test]
+    fn cluster_storage_shapes_from_config() {
+        let cfg = MachineConfig::tiny(3);
+        let cs = ClusterStorage::new_mem(&cfg);
+        assert_eq!(cs.len(), 3);
+        assert!(!cs.is_empty());
+        assert_eq!(cs.pe(1).disks(), cfg.disks_per_pe);
+        assert_eq!(cs.pe(2).block_bytes(), cfg.block_bytes);
+    }
+
+    #[test]
+    fn recorder_attributes_deltas_per_phase() {
+        let io0 = IoCounters::default();
+        let comm0 = CommCounters::default();
+        let mut rec = PhaseRecorder::new(0, io0, comm0);
+
+        rec.add_cpu(CpuCounters { elements_sorted: 10, ..Default::default() });
+        let io1 = IoCounters { bytes_read: 100, ..Default::default() };
+        rec.finish_phase(Phase::RunFormation, io1, comm0);
+
+        rec.add_comm(CommCounters { bytes_recv: 55, ..Default::default() });
+        let io2 = IoCounters { bytes_read: 150, ..Default::default() };
+        rec.finish_phase(Phase::MultiwaySelection, io2, comm0);
+
+        let stats = rec.into_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].0, Phase::RunFormation);
+        assert_eq!(stats[0].1.io.bytes_read, 100);
+        assert_eq!(stats[0].1.cpu.elements_sorted, 10);
+        assert_eq!(stats[1].1.io.bytes_read, 50, "second phase gets only its delta");
+        assert_eq!(stats[1].1.comm.bytes_recv, 55, "probe traffic counted");
+    }
+
+    #[test]
+    fn report_assembly_round_trips() {
+        let cfg = SortConfig::new(MachineConfig::tiny(2), AlgoConfig::default()).expect("valid");
+        let per_pe = vec![
+            vec![(
+                Phase::FinalMerge,
+                PhaseStats {
+                    io: IoCounters { bytes_written: 64, ..Default::default() },
+                    ..Default::default()
+                },
+            )],
+            vec![],
+        ];
+        let report = assemble_report(&cfg, 1000, 16, 2, per_pe);
+        assert_eq!(report.pes, 2);
+        assert_eq!(report.runs, 2);
+        assert_eq!(report.get(0, Phase::FinalMerge).io.bytes_written, 64);
+        assert_eq!(report.get(1, Phase::FinalMerge).io.bytes_written, 0);
+    }
+}

@@ -1,0 +1,464 @@
+//! Phase 2a: external multiway selection across runs (Section IV-A,
+//! Appendix B).
+//!
+//! PE `i` selects, for each run, the position of the first element it
+//! must own in the final output — i.e. the partition of global rank
+//! `r = ⌊i·N/P⌋` over the `R` runs. The runs live on disk, distributed
+//! over all PEs, so a probe of run element `x` may hit a *remote* disk:
+//! "although these selections can run in parallel, they have to request
+//! data from remote disks and thus the worst case number of I/O steps
+//! is `O(RP log M)` when a constant fraction of requests is directed to
+//! a single disk."
+//!
+//! The paper's three mitigations, all implemented and ablatable:
+//!
+//! 1. **randomization** during run formation spreads the probes;
+//! 2. **sampling** — every `K`-th element of each run (collected while
+//!    the runs were written, kept in memory) warm-starts the splitter
+//!    positions so the step size starts at `~K` instead of `M`;
+//! 3. **caching** — an LRU cache of recently probed blocks absorbs the
+//!    last `R·log B` probes of the halving search.
+//!
+//! A probe reads the block through the *owning* PE's storage engine
+//! (its disk pays the I/O, as in the paper's bottleneck analysis) and
+//! charges the transferred bytes to the prober as communication.
+
+use crate::ctx::ClusterStorage;
+use crate::recio::records_per_block;
+use crate::rundir::{RunDirectory, RunMeta};
+use crate::selection::{multiway_select_from, KeyedSlice, SortedSeq};
+use demsort_types::{AlgoConfig, CommCounters, Record};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Probe-cost accounting for one external selection.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SelectionStats {
+    /// Element probes made by the splitter search.
+    pub probes: u64,
+    /// Blocks served by the probe cache.
+    pub cache_hits: u64,
+    /// Blocks fetched from this PE's own disks.
+    pub blocks_local: u64,
+    /// Blocks fetched from other PEs' disks.
+    pub blocks_remote: u64,
+    /// Bytes moved over the (simulated) network for remote probes.
+    pub remote_bytes: u64,
+}
+
+impl SelectionStats {
+    /// The communication this selection caused (attributed to the
+    /// probing PE: remote gets are one request + one block reply).
+    pub fn comm(&self) -> CommCounters {
+        CommCounters {
+            bytes_sent: 16 * self.blocks_remote, // request descriptors
+            bytes_recv: self.remote_bytes,
+            messages: 2 * self.blocks_remote,
+        }
+    }
+}
+
+/// LRU cache of decoded probe blocks, shared by the `R` run probes of
+/// one selection (capacity 0 disables caching).
+/// Cache key: (owning PE, disk, slot). Value: (LRU stamp, block).
+type CacheKey = (usize, u32, u32);
+type CacheEntry = (u64, Arc<[u8]>);
+
+struct BlockCache {
+    cap: usize,
+    clock: u64,
+    map: HashMap<CacheKey, CacheEntry>,
+}
+
+impl BlockCache {
+    fn new(cap: usize) -> Self {
+        Self { cap, clock: 0, map: HashMap::with_capacity(cap) }
+    }
+
+    fn get(&mut self, key: CacheKey) -> Option<Arc<[u8]>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(&key).map(|(stamp, data)| {
+            *stamp = clock;
+            Arc::clone(data)
+        })
+    }
+
+    fn put(&mut self, key: CacheKey, data: Arc<[u8]>) {
+        if self.cap == 0 {
+            return;
+        }
+        self.clock += 1;
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            // Evict the least recently used entry (capacities are small
+            // — tens of blocks — so a scan beats bookkeeping).
+            if let Some(&old) = self.map.iter().min_by_key(|(_, (s, _))| *s).map(|(k, _)| k) {
+                self.map.remove(&old);
+            }
+        }
+        self.map.insert(key, (self.clock, data));
+    }
+}
+
+/// Random access to one distributed on-disk run, as a [`SortedSeq`].
+struct RunProbe<'a, R: Record> {
+    storage: &'a ClusterStorage,
+    my_rank: usize,
+    meta: &'a RunMeta<R>,
+    rpb: usize,
+    cache: Rc<RefCell<BlockCache>>,
+    stats: Rc<RefCell<SelectionStats>>,
+}
+
+impl<R: Record> SortedSeq for RunProbe<'_, R> {
+    type Key = R::Key;
+
+    fn len(&self) -> usize {
+        self.meta.elems() as usize
+    }
+
+    fn key_at(&mut self, idx: usize) -> R::Key {
+        let (pe, local) = self.meta.locate(idx as u64);
+        let block_idx = (local / self.rpb as u64) as usize;
+        let offset = (local % self.rpb as u64) as usize;
+        let id = self.meta.slices[pe].blocks[block_idx];
+
+        let mut stats = self.stats.borrow_mut();
+        stats.probes += 1;
+        let key = (pe, id.disk, id.slot);
+        let cached = self.cache.borrow_mut().get(key);
+        let data = if let Some(d) = cached {
+            stats.cache_hits += 1;
+            d
+        } else {
+            // Probe through the owner's engine: its disk pays the I/O.
+            let block = self
+                .storage
+                .pe(pe)
+                .engine()
+                .read_sync(id)
+                .expect("selection probe I/O failed");
+            if pe == self.my_rank {
+                stats.blocks_local += 1;
+            } else {
+                stats.blocks_remote += 1;
+                stats.remote_bytes += block.len() as u64;
+            }
+            let arc: Arc<[u8]> = Arc::from(block);
+            self.cache.borrow_mut().put(key, Arc::clone(&arc));
+            arc
+        };
+        R::decode(&data[offset * R::BYTES..(offset + 1) * R::BYTES]).key()
+    }
+}
+
+/// The splitter positions of one global rank over all runs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunSplitters {
+    /// `positions[j]` = first run-global element of run `j` belonging to
+    /// the right side.
+    pub positions: Vec<u64>,
+}
+
+/// Select the partition of global rank `r` over all runs of `dir`.
+pub fn select_rank_external<R: Record + Ord>(
+    storage: &ClusterStorage,
+    my_rank: usize,
+    dir: &RunDirectory<R>,
+    r: u64,
+    algo: &AlgoConfig,
+) -> (RunSplitters, SelectionStats) {
+    let block_bytes = storage.pe(my_rank).block_bytes();
+    let rpb = records_per_block::<R>(block_bytes);
+    let cache = Rc::new(RefCell::new(BlockCache::new(algo.selection_cache_blocks)));
+    let stats = Rc::new(RefCell::new(SelectionStats::default()));
+
+    let mut probes: Vec<RunProbe<'_, R>> = dir
+        .runs
+        .iter()
+        .map(|meta| RunProbe {
+            storage,
+            my_rank,
+            meta,
+            rpb,
+            cache: Rc::clone(&cache),
+            stats: Rc::clone(&stats),
+        })
+        .collect();
+
+    // Sample warm start (Appendix B): an in-memory multiway selection
+    // over the samples pins each splitter within ~K of its final
+    // position; the external search then starts at step ~K.
+    let (init, step) = sample_warm_start(dir, r, algo.sample_every);
+
+    let result = multiway_select_from(&mut probes, r, init, step);
+    let stats = *stats.borrow();
+    (RunSplitters { positions: result.positions.iter().map(|&p| p as u64).collect() }, stats)
+}
+
+/// Select the partitions of *several* ranks over the runs of `dir`,
+/// sharing one block cache across all searches.
+///
+/// Appendix B points out that the sample-based initialization "can be
+/// done for all `P` desired ranks using a parallel sorting step and a
+/// single parallel scan of the sorted sample" — the searches then
+/// touch overlapping blocks, so a shared cache cuts the total fetch
+/// count well below `ranks × (per-rank fetches)`. Useful when one node
+/// computes several boundaries (e.g. recovering for a failed peer, or
+/// the `P = 1` debugging path).
+pub fn select_ranks_external<R: Record + Ord>(
+    storage: &ClusterStorage,
+    my_rank: usize,
+    dir: &RunDirectory<R>,
+    ranks: &[u64],
+    algo: &AlgoConfig,
+) -> (Vec<RunSplitters>, SelectionStats) {
+    let block_bytes = storage.pe(my_rank).block_bytes();
+    let rpb = records_per_block::<R>(block_bytes);
+    let cache = Rc::new(RefCell::new(BlockCache::new(algo.selection_cache_blocks)));
+    let stats = Rc::new(RefCell::new(SelectionStats::default()));
+
+    let mut out = Vec::with_capacity(ranks.len());
+    for &r in ranks {
+        let mut probes: Vec<RunProbe<'_, R>> = dir
+            .runs
+            .iter()
+            .map(|meta| RunProbe {
+                storage,
+                my_rank,
+                meta,
+                rpb,
+                cache: Rc::clone(&cache),
+                stats: Rc::clone(&stats),
+            })
+            .collect();
+        let (init, step) = sample_warm_start(dir, r, algo.sample_every);
+        let result = multiway_select_from(&mut probes, r, init, step);
+        out.push(RunSplitters {
+            positions: result.positions.iter().map(|&p| p as u64).collect(),
+        });
+    }
+    let final_stats = *stats.borrow();
+    (out, final_stats)
+}
+
+/// Initial positions and step size derived from the in-memory samples.
+fn sample_warm_start<R: Record + Ord>(
+    dir: &RunDirectory<R>,
+    r: u64,
+    sample_every: usize,
+) -> (Vec<usize>, usize) {
+    let max_len = dir.runs.iter().map(|m| m.elems() as usize).max().unwrap_or(0);
+    let cold = (vec![0usize; dir.num_runs()], max_len.next_power_of_two().max(1));
+    if sample_every == 0 {
+        return cold;
+    }
+    let total_samples: u64 = dir.runs.iter().map(|m| m.samples.len() as u64).sum();
+    if total_samples == 0 {
+        return cold;
+    }
+    // Rank-r elements contain roughly r/K samples; select that prefix
+    // of the combined sample (exactly, in memory), then map each run's
+    // sample splitter back to an element position. Positions derived
+    // this way sit at most ~2K elements below the true splitter (slice
+    // boundaries can stretch a sample gap to < 2K).
+    let t = (r / sample_every as u64).min(total_samples);
+    let mut sample_views: Vec<KeyedSlice<'_, _, _, _>> = dir
+        .runs
+        .iter()
+        .map(|m| KeyedSlice::new(m.samples.as_slice(), |s: &crate::recio::Sample<R>| s.rec.key()))
+        .collect();
+    let sel = crate::selection::multiway_select(&mut sample_views, t);
+    let init: Vec<usize> = dir
+        .runs
+        .iter()
+        .zip(&sel.positions)
+        .map(|(m, &sp)| if sp == 0 { 0 } else { m.samples[sp - 1].pos as usize })
+        .collect();
+    (init, (2 * sample_every).next_power_of_two())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::ClusterStorage;
+    use crate::recio::read_records;
+    use crate::runform::{form_runs, ingest_input};
+    use demsort_net::run_cluster;
+    use demsort_types::{AlgoConfig, Element16, MachineConfig, SortConfig};
+    use demsort_workloads::{generate_pe_input, InputSpec};
+
+    /// Build a cluster, form runs, and return (storage, per-PE dirs,
+    /// decoded runs for reference checks).
+    fn setup(
+        p: usize,
+        local_n: usize,
+        algo: AlgoConfig,
+    ) -> (Arc<ClusterStorage>, Vec<RunDirectory<Element16>>, Vec<Vec<Element16>>) {
+        let cfg = SortConfig::new(MachineConfig::tiny(p), algo).expect("valid");
+        let storage = ClusterStorage::new_mem(&cfg.machine);
+        let st_ref = &storage;
+        let cfg2 = cfg.clone();
+        let dirs = run_cluster(p, move |c| {
+            let st = st_ref.pe(c.rank());
+            let recs = generate_pe_input(InputSpec::Uniform, 11, c.rank(), p, local_n);
+            let input = ingest_input(st, &recs).expect("ingest");
+            let out = form_runs::<Element16>(&c, st, &cfg2, input, 1).expect("form");
+            crate::rundir::build_directory(&c, out.local)
+        });
+        // Decode every run (globally) for reference.
+        let dir0 = &dirs[0];
+        let mut runs_decoded = Vec::new();
+        for j in 0..dir0.num_runs() {
+            let mut run: Vec<Element16> = Vec::new();
+            for (pe, d) in dirs.iter().enumerate() {
+                let fr = &d.local[j];
+                run.extend(
+                    read_records::<Element16>(st_ref.pe(pe), &fr.run, fr.elems).expect("read"),
+                );
+            }
+            assert!(run.windows(2).all(|w| w[0] <= w[1]), "run {j} sorted");
+            runs_decoded.push(run);
+        }
+        (storage, dirs, runs_decoded)
+    }
+
+    /// Reference positions from an in-memory selection over the decoded
+    /// runs.
+    fn reference_positions(runs: &[Vec<Element16>], r: u64) -> Vec<u64> {
+        let mut views: Vec<KeyedSlice<'_, _, _, _>> =
+            runs.iter().map(|s| KeyedSlice::new(s.as_slice(), |e: &Element16| e.key)).collect();
+        crate::selection::multiway_select(&mut views, r)
+            .positions
+            .iter()
+            .map(|&p| p as u64)
+            .collect()
+    }
+
+    #[test]
+    fn external_matches_in_memory_selection() {
+        let (storage, dirs, runs) = setup(3, 700, AlgoConfig::default());
+        let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
+        for r in [0, 1, total / 3, total / 2, total - 1, total] {
+            let (split, _) = select_rank_external(&storage, 0, &dirs[0], r, &AlgoConfig::default());
+            // Both are exact partitions of rank r; with distinct keys
+            // (uniform 64-bit) the positions are unique.
+            assert_eq!(split.positions, reference_positions(&runs, r), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn every_pe_gets_consistent_boundaries() {
+        let p = 4;
+        let (storage, dirs, runs) = setup(p, 400, AlgoConfig::default());
+        let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
+        let mut prev: Option<Vec<u64>> = None;
+        for (pe, dir) in dirs.iter().enumerate() {
+            let r = demsort_types::ranks::owned_range(pe, p, total).start;
+            let (split, _) = select_rank_external(&storage, pe, dir, r, &AlgoConfig::default());
+            assert_eq!(split.positions.iter().sum::<u64>(), r);
+            if let Some(prev) = &prev {
+                for (a, b) in prev.iter().zip(&split.positions) {
+                    assert!(a <= b, "splitters must be monotone across PEs");
+                }
+            }
+            prev = Some(split.positions);
+        }
+    }
+
+    #[test]
+    fn sampling_cuts_probes() {
+        let algo_sampled = AlgoConfig { sample_every: 16, ..AlgoConfig::default() };
+        let algo_cold =
+            AlgoConfig { sample_every: 0, selection_cache_blocks: 0, ..AlgoConfig::default() };
+        let (storage, dirs, runs) = setup(2, 1000, algo_sampled.clone());
+        let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
+        let r = total / 2;
+        let (s1, warm) = select_rank_external(&storage, 0, &dirs[0], r, &algo_sampled);
+        let (s2, cold) = select_rank_external(&storage, 0, &dirs[0], r, &algo_cold);
+        assert_eq!(s1.positions, s2.positions, "same exact result");
+        assert!(
+            warm.probes < cold.probes / 2,
+            "sampling must cut probes: warm {} vs cold {}",
+            warm.probes,
+            cold.probes
+        );
+    }
+
+    #[test]
+    fn cache_absorbs_repeat_block_fetches() {
+        let algo_cached = AlgoConfig { selection_cache_blocks: 64, ..AlgoConfig::default() };
+        let algo_uncached = AlgoConfig { selection_cache_blocks: 0, ..AlgoConfig::default() };
+        let (storage, dirs, runs) = setup(2, 1000, algo_cached.clone());
+        let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
+        let r = total / 2;
+        let (_, cached) = select_rank_external(&storage, 0, &dirs[0], r, &algo_cached);
+        let (_, uncached) = select_rank_external(&storage, 0, &dirs[0], r, &algo_uncached);
+        assert_eq!(uncached.cache_hits, 0);
+        assert!(cached.cache_hits > 0, "cache must serve repeat probes");
+        let fetched_cached = cached.blocks_local + cached.blocks_remote;
+        let fetched_uncached = uncached.blocks_local + uncached.blocks_remote;
+        assert!(
+            fetched_cached < fetched_uncached,
+            "cache must reduce block fetches: {fetched_cached} vs {fetched_uncached}"
+        );
+    }
+
+    #[test]
+    fn remote_probe_traffic_is_attributed() {
+        let (storage, dirs, runs) = setup(3, 600, AlgoConfig::default());
+        let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
+        // PE 2's boundary rank probes mostly land on other PEs' slices.
+        let (_, stats) = select_rank_external(&storage, 2, &dirs[2], total / 3, &AlgoConfig::default());
+        assert!(stats.blocks_remote > 0, "cross-PE probes expected");
+        assert_eq!(stats.remote_bytes, stats.blocks_remote * 256);
+        let comm = stats.comm();
+        assert_eq!(comm.bytes_recv, stats.remote_bytes);
+        assert_eq!(comm.messages, 2 * stats.blocks_remote);
+    }
+
+    #[test]
+    fn batched_selection_matches_and_shares_the_cache() {
+        let algo = AlgoConfig { selection_cache_blocks: 64, ..AlgoConfig::default() };
+        let (storage, dirs, runs) = setup(2, 1000, algo.clone());
+        let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
+        let ranks: Vec<u64> = (0..4).map(|i| i * total / 4).collect();
+
+        let (batched, batched_stats) =
+            select_ranks_external(&storage, 0, &dirs[0], &ranks, &algo);
+        let mut individual_fetches = 0u64;
+        for (i, &r) in ranks.iter().enumerate() {
+            let (single, s) = select_rank_external(&storage, 0, &dirs[0], r, &algo);
+            assert_eq!(single.positions, batched[i].positions, "rank {r}");
+            individual_fetches += s.blocks_local + s.blocks_remote;
+        }
+        let batched_fetches = batched_stats.blocks_local + batched_stats.blocks_remote;
+        assert!(
+            batched_fetches < individual_fetches,
+            "shared cache must cut fetches: {batched_fetches} vs {individual_fetches}"
+        );
+    }
+
+    #[test]
+    fn lru_cache_evicts_least_recent() {
+        let mut c = BlockCache::new(2);
+        let data: Arc<[u8]> = Arc::from(vec![0u8; 4].into_boxed_slice());
+        c.put((0, 0, 0), Arc::clone(&data));
+        c.put((0, 0, 1), Arc::clone(&data));
+        assert!(c.get((0, 0, 0)).is_some()); // refresh 0
+        c.put((0, 0, 2), Arc::clone(&data)); // evicts (0,0,1)
+        assert!(c.get((0, 0, 1)).is_none());
+        assert!(c.get((0, 0, 0)).is_some());
+        assert!(c.get((0, 0, 2)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_cache_is_disabled() {
+        let mut c = BlockCache::new(0);
+        let data: Arc<[u8]> = Arc::from(vec![0u8; 4].into_boxed_slice());
+        c.put((0, 0, 0), data);
+        assert!(c.get((0, 0, 0)).is_none());
+    }
+}

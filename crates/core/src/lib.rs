@@ -1,0 +1,49 @@
+//! # demsort-core
+//!
+//! The algorithms of *"Scalable Distributed-Memory External Sorting"*
+//! (Rahn, Sanders, Singler; ICDE 2010): CANONICALMERGESORT (Section IV,
+//! the DEMSort record-setter) and the globally striped mergesort
+//! (Section III), together with every algorithmic building block the
+//! paper describes:
+//!
+//! * [`merge`] — k-way merging with a loser tree;
+//! * [`seqsort`] — in-node (multi-core) sorting;
+//! * [`selection`] — exact multiway selection (Section IV-A);
+//! * [`psort`] — distributed internal parallel mergesort (Section IV-B);
+//! * [`runform`] — randomized, overlapped run formation (Section IV-E);
+//! * [`extselect`] — external multiway selection with sampling and
+//!   block caching (Section IV-A, Appendix B);
+//! * [`alltoall`] — the memory-bounded external all-to-all
+//!   (Section IV-C);
+//! * [`localmerge`] — the phase-3 local multiway merge;
+//! * [`canonical`] — the CANONICALMERGESORT driver (Figure 1);
+//! * [`striped`] — mergesort with global striping (Section III);
+//! * [`baselines`] — comparison algorithms (NOW-Sort-style);
+//! * [`validate`] — distributed output validation.
+
+pub mod alltoall;
+pub mod baselines;
+pub mod canonical;
+pub mod ctx;
+pub mod distselect;
+pub mod extselect;
+pub mod localmerge;
+pub mod merge;
+pub mod pipeline;
+pub mod psort;
+pub mod recio;
+pub mod replacement;
+pub mod rundir;
+pub mod runform;
+pub mod selection;
+pub mod seqsort;
+pub mod striped;
+pub mod validate;
+
+pub use canonical::{canonical_mergesort, sort_cluster, ClusterOutcome, PeOutcome};
+pub use ctx::ClusterStorage;
+pub use distselect::{dist_select_rank, dist_split};
+pub use merge::{merge_k, LoserTree};
+pub use psort::parallel_sort;
+pub use selection::{multiway_select, SelectionResult};
+pub use seqsort::sort_in_node;

@@ -1,0 +1,195 @@
+//! Phase 3: the final local multiway merge.
+//!
+//! "In the third phase, the data is merged locally. Each element is
+//! read and written once, no communication is involved in this phase.
+//! The internal computation amounts to `O(N/P · log R)`."
+//!
+//! Each run contributes one sorted stream (the concatenation of its
+//! redistribution fragments, [`crate::alltoall::MergeInput`]); an
+//! `R`-way loser tree merges the streams into the PE's final output
+//! run. Input blocks are recycled the moment their last record has
+//! been read ("blocks that are read to internal buffers are
+//! deallocated from disk immediately, so there are always blocks
+//! available for writing the output") — peak extra space is the
+//! read-ahead plus write-behind windows.
+
+use crate::alltoall::{MergeFragment, MergeInput};
+use crate::merge::{merge_work, LoserTree};
+use crate::recio::{ChainedReader, FinishedRun, RecordRunReader, RecordRunWriter};
+use demsort_storage::PeStorage;
+use demsort_types::{CpuCounters, Record, Result};
+
+/// Merge the per-run fragment chains into the final output run.
+///
+/// Returns the output run (with prediction keys, no samples) and the
+/// CPU counters of the merge.
+pub fn final_merge<R: Record + Ord>(
+    st: &PeStorage,
+    inputs: Vec<MergeInput>,
+) -> Result<(FinishedRun<R>, CpuCounters)> {
+    let mut writer = RecordRunWriter::<R>::new(st, 0);
+    let (total, cpu) = merge_into::<R>(st, inputs, |rec| writer.push(rec))?;
+    let out = writer.finish()?;
+    debug_assert_eq!(out.elems, total, "merge must preserve the element count");
+    Ok((out, cpu))
+}
+
+/// Merge the fragment chains, delivering each record in sorted order to
+/// `deliver` instead of writing a run — the pipelined-sorting hook
+/// (Section VII: "the output is not written to disk but fed into a
+/// postprocessor that requires its input in sorted order").
+pub fn merge_into<R: Record + Ord>(
+    st: &PeStorage,
+    inputs: Vec<MergeInput>,
+    mut deliver: impl FnMut(R) -> Result<()>,
+) -> Result<(u64, CpuCounters)> {
+    let total: u64 = inputs.iter().map(MergeInput::elems).sum();
+    let k = inputs.len();
+
+    // One chained reader per run; fragments are consumed in order and
+    // recycled as they drain.
+    let mut chains: Vec<ChainedReader<'_, R>> = inputs
+        .iter()
+        .map(|mi| {
+            let parts = mi
+                .fragments
+                .iter()
+                .map(|f| match f {
+                    MergeFragment::Received { run, elems } => RecordRunReader::<R>::with_range(
+                        st,
+                        run.clone(),
+                        *elems,
+                        0,
+                        *elems,
+                        true,
+                    ),
+                    MergeFragment::Retained { run, slice_elems, start, end } => {
+                        RecordRunReader::<R>::with_range(
+                            st,
+                            run.clone(),
+                            *slice_elems,
+                            *start,
+                            *end,
+                            true,
+                        )
+                    }
+                })
+                .collect();
+            ChainedReader::new(parts)
+        })
+        .collect();
+
+    let mut heads = Vec::with_capacity(k);
+    for c in chains.iter_mut() {
+        heads.push(c.next_rec()?);
+    }
+    let mut tree = LoserTree::new(heads);
+    while let Some(w) = tree.winner() {
+        let next = chains[w].next_rec()?;
+        deliver(tree.replace_winner(next))?;
+    }
+
+    let cpu = CpuCounters {
+        elements_merged: total,
+        merge_work: merge_work(total, k),
+        ..Default::default()
+    };
+    Ok((total, cpu))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recio::write_records;
+    use demsort_storage::{DiskModel, MemBackend, PeStorage};
+    use demsort_types::Element16;
+    use std::sync::Arc;
+
+    fn storage(block: usize) -> PeStorage {
+        PeStorage::with_backend(2, block, DiskModel::paper(), Arc::new(MemBackend::new(2)))
+    }
+
+    fn elems(range: std::ops::Range<u64>, stride: u64) -> Vec<Element16> {
+        range.map(|i| Element16::new(i * stride, i)).collect()
+    }
+
+    #[test]
+    fn merges_fragmented_runs() {
+        let st = storage(64);
+        // Run 0: two received fragments + a retained middle range.
+        let f0a = write_records(&st, &elems(0..10, 3)).expect("write");
+        let retained_store = write_records(&st, &elems(10..30, 3)).expect("write");
+        let f0c = write_records(&st, &elems(30..40, 3)).expect("write");
+        // Run 1: a single received fragment interleaving with run 0.
+        let f1 = write_records(
+            &st,
+            &(0..40).map(|i| Element16::new(i * 3 + 1, 100 + i)).collect::<Vec<_>>(),
+        )
+        .expect("write");
+
+        let inputs = vec![
+            MergeInput {
+                fragments: vec![
+                    MergeFragment::Received { run: f0a.run, elems: f0a.elems },
+                    MergeFragment::Retained {
+                        run: retained_store.run,
+                        slice_elems: retained_store.elems,
+                        start: 0,
+                        end: retained_store.elems,
+                    },
+                    MergeFragment::Received { run: f0c.run, elems: f0c.elems },
+                ],
+            },
+            MergeInput { fragments: vec![MergeFragment::Received { run: f1.run, elems: f1.elems }] },
+        ];
+        let (out, cpu) = final_merge::<Element16>(&st, inputs).expect("merge");
+        assert_eq!(out.elems, 80);
+        assert_eq!(cpu.elements_merged, 80);
+        assert_eq!(cpu.merge_work, 80, "2-way merge: 1 comparison per element");
+        let got = crate::recio::read_records::<Element16>(&st, &out.run, out.elems).expect("read");
+        assert!(got.windows(2).all(|w| w[0] <= w[1]), "output sorted");
+        let keys: Vec<u64> = got.iter().map(|e| e.key).collect();
+        let mut expect: Vec<u64> =
+            (0..40).map(|i| i * 3).chain((0..40).map(|i| i * 3 + 1)).collect();
+        expect.sort_unstable();
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn recycles_input_blocks_in_place() {
+        let st = storage(64);
+        let a = write_records(&st, &elems(0..64, 2)).expect("write");
+        let b = write_records(&st, &elems(0..64, 3)).expect("write");
+        let before = st.alloc().in_use();
+        let inputs = vec![
+            MergeInput { fragments: vec![MergeFragment::Received { run: a.run, elems: a.elems }] },
+            MergeInput { fragments: vec![MergeFragment::Received { run: b.run, elems: b.elems }] },
+        ];
+        let (out, _) = final_merge::<Element16>(&st, inputs).expect("merge");
+        // Inputs freed, output allocated: net usage unchanged.
+        assert_eq!(st.alloc().in_use(), before, "inputs recycled into output");
+        // Peak stays within input + windows (not input + full output).
+        assert!(
+            st.alloc().high_water() < before + before / 2 + 8,
+            "high water {} vs inputs {}",
+            st.alloc().high_water(),
+            before
+        );
+        assert_eq!(out.elems, 128);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let st = storage(64);
+        let (out, _) = final_merge::<Element16>(&st, Vec::new()).expect("merge");
+        assert_eq!(out.elems, 0);
+
+        let a = write_records(&st, &elems(0..5, 1)).expect("write");
+        let inputs =
+            vec![MergeInput { fragments: vec![MergeFragment::Received { run: a.run, elems: 5 }] }];
+        let (out, _) = final_merge::<Element16>(&st, inputs).expect("merge");
+        assert_eq!(out.elems, 5);
+        let got = crate::recio::read_records::<Element16>(&st, &out.run, 5).expect("read");
+        assert_eq!(got, elems(0..5, 1));
+    }
+}

@@ -1,0 +1,367 @@
+//! K-way merging with a loser tree.
+//!
+//! The loser tree (tournament tree of losers, Knuth 5.4.1) finds the
+//! next-smallest of `k` sorted sources with `⌈log2 k⌉` comparisons per
+//! element, independent of which source won last. It is the workhorse
+//! of every merge in this suite: batch merging during run formation,
+//! the final local merge of CANONICALMERGESORT, and the striped
+//! algorithm's global merge.
+//!
+//! Ties are broken by source index, making every merge deterministic
+//! and *stable across sources* (equal keys come out in source order).
+
+/// A tournament tree of losers over `k` sources.
+///
+/// The caller owns the sources; the tree holds only the *current head*
+/// of each source. After reading the winner, the caller replaces it via
+/// [`LoserTree::replace_winner`] with the source's next item (or `None`
+/// when the source is exhausted), which re-plays one leaf-to-root path.
+pub struct LoserTree<T> {
+    /// Number of leaves (next power of two ≥ number of sources).
+    k: usize,
+    /// `tree[1..k]`: internal nodes, each holding the *loser* source
+    /// index of the match played there; `tree[0]` holds the winner.
+    tree: Vec<u32>,
+    /// Current head item per source; `None` = exhausted (acts as +∞).
+    heads: Vec<Option<T>>,
+}
+
+impl<T: Ord> LoserTree<T> {
+    /// Build a tree from the initial head of every source.
+    ///
+    /// `heads[i] = None` marks source `i` as exhausted from the start.
+    pub fn new(heads: Vec<Option<T>>) -> Self {
+        let sources = heads.len().max(1);
+        let k = sources.next_power_of_two();
+        let mut heads = heads;
+        heads.resize_with(k, || None); // pad with exhausted sources
+        let mut lt = Self { k, tree: vec![0; k], heads };
+        lt.rebuild();
+        lt
+    }
+
+    /// `source a` beats `source b` if its head is smaller (exhausted
+    /// sources always lose; ties go to the lower index for stability).
+    #[inline]
+    fn beats(&self, a: usize, b: usize) -> bool {
+        match (&self.heads[a], &self.heads[b]) {
+            (Some(x), Some(y)) => match x.cmp(y) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => a < b,
+            },
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => a < b,
+        }
+    }
+
+    /// Play all matches bottom-up (used at construction).
+    fn rebuild(&mut self) {
+        // winners[j] for internal node j; leaves are sources.
+        let mut winners = vec![0u32; 2 * self.k];
+        for i in 0..self.k {
+            winners[self.k + i] = i as u32;
+        }
+        for j in (1..self.k).rev() {
+            let (a, b) = (winners[2 * j] as usize, winners[2 * j + 1] as usize);
+            let (w, l) = if self.beats(a, b) { (a, b) } else { (b, a) };
+            winners[j] = w as u32;
+            self.tree[j] = l as u32;
+        }
+        self.tree[0] = winners[1];
+    }
+
+    /// Source index of the overall winner (smallest head), or `None` if
+    /// every source is exhausted.
+    #[inline]
+    pub fn winner(&self) -> Option<usize> {
+        let w = self.tree[0] as usize;
+        self.heads[w].as_ref().map(|_| w)
+    }
+
+    /// The smallest head item, if any source still has one.
+    #[inline]
+    pub fn peek(&self) -> Option<&T> {
+        self.heads[self.tree[0] as usize].as_ref()
+    }
+
+    /// Pop the winner's item and replace it with `next` (the winning
+    /// source's next item, or `None` if it is exhausted), re-playing the
+    /// leaf-to-root path in `⌈log2 k⌉` comparisons.
+    ///
+    /// # Panics
+    /// Panics if all sources are exhausted (check [`LoserTree::winner`]).
+    pub fn replace_winner(&mut self, next: Option<T>) -> T {
+        let w = self.tree[0] as usize;
+        let item = self.heads[w].take().expect("replace_winner on exhausted tree");
+        self.heads[w] = next;
+        // Re-play matches from leaf w to the root.
+        let mut winner = w;
+        let mut node = (self.k + w) >> 1;
+        while node >= 1 {
+            let loser = self.tree[node] as usize;
+            if self.beats(loser, winner) {
+                self.tree[node] = winner as u32;
+                winner = loser;
+            }
+            node >>= 1;
+        }
+        self.tree[0] = winner as u32;
+        item
+    }
+
+    /// Number of leaf slots (≥ number of sources, power of two).
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+}
+
+/// Merge `k` sorted slices into one sorted `Vec`.
+///
+/// Comparison cost is `n ⌈log2 k⌉`; the returned vector has length
+/// `Σ |seqs[i]|`. Equal keys come out in slice order (stable).
+pub fn merge_k<T: Ord + Copy>(seqs: &[&[T]]) -> Vec<T> {
+    let total: usize = seqs.iter().map(|s| s.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    merge_k_into(seqs, &mut out);
+    out
+}
+
+/// Merge `k` sorted slices, appending to `out` (reuses its capacity).
+pub fn merge_k_into<T: Ord + Copy>(seqs: &[&[T]], out: &mut Vec<T>) {
+    match seqs.len() {
+        0 => return,
+        1 => {
+            out.extend_from_slice(seqs[0]);
+            return;
+        }
+        2 => return merge_2_into(seqs[0], seqs[1], out),
+        _ => {}
+    }
+    let mut pos = vec![0usize; seqs.len()];
+    let heads: Vec<Option<T>> = seqs.iter().map(|s| s.first().copied()).collect();
+    let mut lt = LoserTree::new(heads);
+    while let Some(w) = lt.winner() {
+        pos[w] += 1;
+        let next = seqs[w].get(pos[w]).copied();
+        out.push(lt.replace_winner(next));
+    }
+}
+
+/// Two-way merge fast path (no tree overhead).
+fn merge_2_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        // `<=` keeps source order on ties (source 0 first), matching
+        // the loser tree's tie-break.
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+/// An iterator that merges `k` sorted iterators (streaming — used when
+/// sources are decoded lazily from disk blocks).
+pub struct MergeIter<T, I> {
+    sources: Vec<I>,
+    tree: LoserTree<T>,
+}
+
+impl<T: Ord, I: Iterator<Item = T>> MergeIter<T, I> {
+    /// Build from sorted sources.
+    pub fn new(mut sources: Vec<I>) -> Self {
+        let heads: Vec<Option<T>> = sources.iter_mut().map(|s| s.next()).collect();
+        Self { sources, tree: LoserTree::new(heads) }
+    }
+}
+
+impl<T: Ord, I: Iterator<Item = T>> Iterator for MergeIter<T, I> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        let w = self.tree.winner()?;
+        let next = self.sources[w].next();
+        Some(self.tree.replace_winner(next))
+    }
+}
+
+/// Comparison-work proxy for merging `elements` items `k` ways
+/// (`elements · ⌈log2 k⌉`, with `k < 2` costing nothing).
+pub fn merge_work(elements: u64, k: usize) -> u64 {
+    if k < 2 {
+        0
+    } else {
+        elements * (usize::BITS - (k - 1).leading_zeros()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn merges_simple_case() {
+        let a = [1u32, 4, 7];
+        let b = [2u32, 5, 8];
+        let c = [3u32, 6, 9];
+        assert_eq!(merge_k(&[&a, &b, &c]), (1..=9).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_inputs() {
+        assert_eq!(merge_k::<u32>(&[]), Vec::<u32>::new());
+        assert_eq!(merge_k::<u32>(&[&[]]), Vec::<u32>::new());
+        assert_eq!(merge_k(&[&[5u32][..]]), vec![5]);
+        assert_eq!(merge_k(&[&[][..], &[1u32, 2][..], &[][..]]), vec![1, 2]);
+    }
+
+    #[test]
+    fn two_way_fast_path_matches() {
+        let a = [1u32, 3, 5, 7];
+        let b = [2u32, 3, 6];
+        assert_eq!(merge_k(&[&a, &b]), vec![1, 2, 3, 3, 5, 6, 7]);
+    }
+
+    #[test]
+    fn ties_come_out_in_source_order() {
+        // Elements are (key, source) pairs ordered by key only — detect
+        // source order on equal keys.
+        #[derive(Copy, Clone, Debug, PartialEq, Eq)]
+        struct E(u32, u32);
+        impl PartialOrd for E {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        impl Ord for E {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                self.0.cmp(&o.0)
+            }
+        }
+        let a = [E(1, 0), E(2, 0)];
+        let b = [E(1, 1), E(2, 1)];
+        let c = [E(1, 2)];
+        let m = merge_k(&[&a, &b, &c]);
+        assert_eq!(m, vec![E(1, 0), E(1, 1), E(1, 2), E(2, 0), E(2, 1)]);
+    }
+
+    #[test]
+    fn merge_iter_streams() {
+        let sources = vec![vec![1u32, 5, 9].into_iter(), vec![2, 6].into_iter(), vec![3].into_iter()];
+        let merged: Vec<u32> = MergeIter::new(sources).collect();
+        assert_eq!(merged, vec![1, 2, 3, 5, 6, 9]);
+    }
+
+    #[test]
+    fn loser_tree_single_source() {
+        let mut lt = LoserTree::new(vec![Some(3u32)]);
+        assert_eq!(lt.peek(), Some(&3));
+        assert_eq!(lt.replace_winner(Some(7)), 3);
+        assert_eq!(lt.replace_winner(None), 7);
+        assert!(lt.winner().is_none());
+    }
+
+    #[test]
+    fn loser_tree_all_exhausted_from_start() {
+        let lt = LoserTree::<u32>::new(vec![None, None, None]);
+        assert!(lt.winner().is_none());
+        assert!(lt.peek().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn replace_winner_on_empty_panics() {
+        let mut lt = LoserTree::<u32>::new(vec![None]);
+        lt.replace_winner(None);
+    }
+
+    #[test]
+    fn merge_work_formula() {
+        assert_eq!(merge_work(100, 0), 0);
+        assert_eq!(merge_work(100, 1), 0);
+        assert_eq!(merge_work(100, 2), 100);
+        assert_eq!(merge_work(100, 3), 200);
+        assert_eq!(merge_work(100, 4), 200);
+        assert_eq!(merge_work(100, 5), 300);
+    }
+
+    #[test]
+    fn many_sources_large_merge() {
+        let k = 37;
+        let seqs: Vec<Vec<u32>> =
+            (0..k).map(|i| (0..50).map(|j| (j * k + i) as u32).collect()).collect();
+        let refs: Vec<&[u32]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let merged = merge_k(&refs);
+        assert_eq!(merged, (0..(50 * k) as u32).collect::<Vec<u32>>());
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_sort(seqs in prop::collection::vec(
+            prop::collection::vec(0u32..1000, 0..50), 0..12)) {
+            let sorted_seqs: Vec<Vec<u32>> = seqs.iter().cloned().map(sorted).collect();
+            let refs: Vec<&[u32]> = sorted_seqs.iter().map(|s| s.as_slice()).collect();
+            let merged = merge_k(&refs);
+            let expected = sorted(seqs.concat());
+            prop_assert_eq!(merged, expected);
+        }
+
+        #[test]
+        fn merge_iter_equals_merge_k(seqs in prop::collection::vec(
+            prop::collection::vec(0u32..100, 0..30), 1..8)) {
+            let sorted_seqs: Vec<Vec<u32>> = seqs.iter().cloned().map(sorted).collect();
+            let refs: Vec<&[u32]> = sorted_seqs.iter().map(|s| s.as_slice()).collect();
+            let a = merge_k(&refs);
+            let b: Vec<u32> =
+                MergeIter::new(sorted_seqs.into_iter().map(|s| s.into_iter()).collect()).collect();
+            prop_assert_eq!(a, b);
+        }
+
+        /// The loser tree agrees with a binary heap under arbitrary
+        /// interleavings of pops and refills (not just sorted streams).
+        #[test]
+        fn loser_tree_matches_heap_reference(
+            initial in prop::collection::vec(prop::option::of(0u32..1000), 1..12),
+            refills in prop::collection::vec(prop::option::of(0u32..1000), 0..40),
+        ) {
+            use std::collections::BinaryHeap;
+            use std::cmp::Reverse;
+
+            let mut tree = LoserTree::new(initial.clone());
+            // Reference: min-heap of (value, source); tie-break by the
+            // lowest source index like the tree.
+            let mut heap: BinaryHeap<Reverse<(u32, usize)>> = initial
+                .iter()
+                .enumerate()
+                .filter_map(|(i, v)| v.map(|v| Reverse((v, i))))
+                .collect();
+
+            for refill in refills {
+                match (tree.winner(), heap.pop()) {
+                    (Some(w), Some(Reverse((hv, hi)))) => {
+                        let got = tree.replace_winner(refill);
+                        prop_assert_eq!((got, w), (hv, hi), "winner mismatch");
+                        if let Some(r) = refill {
+                            heap.push(Reverse((r, w)));
+                        }
+                    }
+                    (None, None) => break,
+                    (t, h) => prop_assert!(false, "emptiness disagrees: {:?} vs {:?}", t, h),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Pipelined sorting (Section VII's future-work sketch): "This
+//! algorithm could also be useful for pipelined sorting where the run
+//! formation does not fetch the data but obtains it from some data
+//! generator (no randomization possible for CANONICALMERGESORT) and
+//! where the output is not written to disk but fed into a
+//! postprocessor that requires its input in sorted order (e.g.,
+//! variants of Kruskal's algorithm)."
+//!
+//! [`pipelined_sort`] runs the canonical pipeline with both ends
+//! replaced:
+//!
+//! * **source** — each PE pulls up to `m` records per round from a
+//!   local generator; rounds continue until every PE's source is dry
+//!   (run counts stay aligned by an allreduce per round). Input is
+//!   never written to disk, and — as the paper notes — block
+//!   randomization is impossible: the stream dictates run composition,
+//!   so adversarial streams behave like Figure 6.
+//! * **sink** — the final merge calls a consumer per record (in global
+//!   rank order per PE) instead of writing the output run.
+//!
+//! I/O drops from the batch sort's `4N` to `2N` (runs only).
+
+use crate::alltoall::{exchange_splitters, external_alltoall};
+use crate::ctx::ClusterStorage;
+use crate::extselect::select_rank_external;
+use crate::localmerge::merge_into;
+use crate::psort::parallel_sort;
+use crate::recio::RecordRunWriter;
+use crate::rundir::build_directory;
+use demsort_net::Communicator;
+use demsort_types::{ranks, Record, Result, SortConfig};
+
+/// Result of a pipelined sort on one PE.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PipelineOutcome {
+    /// Records this PE pulled from its source.
+    pub produced: u64,
+    /// Records delivered to this PE's sink (its canonical slice).
+    pub delivered: u64,
+    /// Number of runs formed.
+    pub runs: usize,
+}
+
+/// Sort a distributed stream: pull records from `source` until it is
+/// exhausted (on every PE), deliver each PE's canonical slice of the
+/// global sorted order to `sink`. Collective.
+pub fn pipelined_sort<R, Src, Snk>(
+    comm: &Communicator,
+    storage: &ClusterStorage,
+    cfg: &SortConfig,
+    mut source: Src,
+    mut sink: Snk,
+    cores: usize,
+) -> Result<PipelineOutcome>
+where
+    R: Record + Ord,
+    Src: FnMut() -> Option<R>,
+    Snk: FnMut(R) -> Result<()>,
+{
+    let me = comm.rank();
+    let st = storage.pe(me);
+    let mem_elems = (cfg.machine.mem_bytes_per_pe / R::BYTES).max(1);
+
+    // ---- Phase 1: run formation from the generator ----
+    let mut produced = 0u64;
+    let mut local_runs = Vec::new();
+    loop {
+        let mut chunk = Vec::with_capacity(mem_elems);
+        while chunk.len() < mem_elems {
+            match source() {
+                Some(r) => chunk.push(r),
+                None => break,
+            }
+        }
+        produced += chunk.len() as u64;
+        // Everyone must agree whether another run happens.
+        if comm.allreduce_sum(chunk.len() as u64) == 0 {
+            break;
+        }
+        let (sorted, _cpu) = parallel_sort(comm, chunk, cores);
+        let mut w = RecordRunWriter::new(st, cfg.algo.sample_every);
+        w.push_all(&sorted)?;
+        local_runs.push(w.finish()?);
+    }
+    let dir = build_directory(comm, local_runs);
+    let runs = dir.num_runs();
+    let n = dir.total_elems();
+
+    // ---- Single-run shortcut: stream the slice straight out ----
+    if runs <= 1 {
+        let mut delivered = 0u64;
+        if let Some(fr) = dir.local.into_iter().next() {
+            let mut reader =
+                crate::recio::RecordRunReader::<R>::with_range(st, fr.run, fr.elems, 0, fr.elems, true);
+            while let Some(rec) = reader.next_rec()? {
+                sink(rec)?;
+                delivered += 1;
+            }
+        }
+        return Ok(PipelineOutcome { produced, delivered, runs });
+    }
+
+    // ---- Phases 2–3: selection, redistribution, merge into the sink ----
+    let boundary = ranks::owned_range(me, comm.size(), n).start;
+    let (splitters, _sel) = select_rank_external(storage, me, &dir, boundary, &cfg.algo);
+    let all_splitters = exchange_splitters(comm, &splitters);
+    let outcome = external_alltoall::<R>(comm, st, cfg, &dir, &all_splitters)?;
+    let mut delivered = 0u64;
+    let (_, _cpu) = merge_into::<R>(st, outcome.merge_inputs, |rec| {
+        delivered += 1;
+        sink(rec)
+    })?;
+    for b in outcome.stragglers {
+        st.free_block(b);
+    }
+    Ok(PipelineOutcome { produced, delivered, runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demsort_net::run_cluster;
+    use demsort_types::{AlgoConfig, Element16, MachineConfig};
+    use demsort_workloads::splitmix64;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn cfg(p: usize) -> SortConfig {
+        SortConfig::new(MachineConfig::tiny(p), AlgoConfig::default()).expect("valid")
+    }
+
+    /// Pipe `per_pe` generated records per PE through the pipeline and
+    /// return each PE's delivered records.
+    fn pipe(p: usize, per_pe: usize, seed: u64) -> Vec<Vec<Element16>> {
+        let cfg = cfg(p);
+        let storage = ClusterStorage::new_mem(&cfg.machine);
+        let storage_ref = &storage;
+        let cfg2 = cfg.clone();
+        run_cluster(p, move |c| {
+            let mut i = 0u64;
+            let pe = c.rank() as u64;
+            let source = move || {
+                (i < per_pe as u64).then(|| {
+                    let gid = pe * per_pe as u64 + i;
+                    i += 1;
+                    Element16::new(splitmix64(seed ^ gid), gid)
+                })
+            };
+            let mut got = Vec::new();
+            let out = pipelined_sort::<Element16, _, _>(
+                &c,
+                storage_ref,
+                &cfg2,
+                source,
+                |r| {
+                    got.push(r);
+                    Ok(())
+                },
+                1,
+            )
+            .expect("pipeline");
+            assert_eq!(out.produced, per_pe as u64);
+            assert_eq!(out.delivered, got.len() as u64);
+            got
+        })
+    }
+
+    fn check(p: usize, per_pe: usize, seed: u64) {
+        let outputs = pipe(p, per_pe, seed);
+        let n = (p * per_pe) as u64;
+        let mut reference: Vec<u64> = (0..n).map(|gid| splitmix64(seed ^ gid)).collect();
+        reference.sort_unstable();
+        let concat: Vec<u64> =
+            outputs.iter().flat_map(|o| o.iter().map(|e| e.key)).collect();
+        assert_eq!(concat, reference, "pipelined output is the sorted stream");
+        for (pe, o) in outputs.iter().enumerate() {
+            assert_eq!(o.len() as u64, ranks::owned_len(pe, p, n), "canonical sizes");
+        }
+    }
+
+    #[test]
+    fn pipelines_external_volumes() {
+        check(3, 700, 5); // several runs
+    }
+
+    #[test]
+    fn pipelines_internal_volume() {
+        check(3, 100, 6); // single run (shortcut path)
+    }
+
+    #[test]
+    fn unbalanced_sources() {
+        let p = 3;
+        let cfgv = cfg(p);
+        let storage = ClusterStorage::new_mem(&cfgv.machine);
+        let storage_ref = &storage;
+        let cfg2 = cfgv.clone();
+        let outputs = run_cluster(p, move |c| {
+            // PE i produces i * 400 records: PE 0 produces nothing.
+            let per_pe = c.rank() * 400;
+            let mut i = 0u64;
+            let pe = c.rank() as u64;
+            let source = move || {
+                (i < per_pe as u64).then(|| {
+                    let gid = pe * 1000 + i;
+                    i += 1;
+                    Element16::new(splitmix64(gid), gid)
+                })
+            };
+            let mut got = Vec::new();
+            pipelined_sort::<Element16, _, _>(
+                &c, storage_ref, &cfg2, source,
+                |r| { got.push(r); Ok(()) }, 1,
+            )
+            .expect("pipeline");
+            got
+        });
+        let total: usize = outputs.iter().map(Vec::len).sum();
+        assert_eq!(total, 400 + 800);
+        let keys: Vec<u64> = outputs.iter().flat_map(|o| o.iter().map(|e| e.key)).collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]), "globally sorted");
+    }
+
+    #[test]
+    fn pipeline_io_is_two_passes_not_four() {
+        // Input comes from the generator and output goes to the sink,
+        // so only the runs themselves touch disk: 2N instead of 4N.
+        let p = 2;
+        let per_pe = 700usize;
+        let cfgv = cfg(p);
+        let storage = ClusterStorage::new_mem(&cfgv.machine);
+        let storage_ref = &storage;
+        let cfg2 = cfgv.clone();
+        let counted = AtomicU64::new(0);
+        let counted_ref = &counted;
+        run_cluster(p, move |c| {
+            let mut i = 0u64;
+            let pe = c.rank() as u64;
+            let source = move || {
+                (i < per_pe as u64).then(|| {
+                    let gid = pe * per_pe as u64 + i;
+                    i += 1;
+                    Element16::new(splitmix64(gid), gid)
+                })
+            };
+            pipelined_sort::<Element16, _, _>(
+                &c, storage_ref, &cfg2, source,
+                |_r| { counted_ref.fetch_add(1, Ordering::Relaxed); Ok(()) }, 1,
+            )
+            .expect("pipeline");
+        });
+        assert_eq!(counted.load(Ordering::Relaxed), (p * per_pe) as u64);
+        let io: u64 = (0..p)
+            .map(|pe| storage.pe(pe).counters().bytes_total())
+            .sum();
+        let n_bytes = (p * per_pe * 16) as u64;
+        let ratio = io as f64 / n_bytes as f64;
+        assert!(
+            (1.9..=3.5).contains(&ratio),
+            "pipelined sort must do ~2 N of I/O (runs only): {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn sink_errors_propagate() {
+        let p = 1;
+        let cfgv = cfg(p);
+        let storage = ClusterStorage::new_mem(&cfgv.machine);
+        let storage_ref = &storage;
+        let cfg2 = cfgv.clone();
+        let results = run_cluster(p, move |c| {
+            let mut i = 0u64;
+            let source = move || {
+                (i < 100).then(|| {
+                    i += 1;
+                    Element16::new(i, i)
+                })
+            };
+            pipelined_sort::<Element16, _, _>(
+                &c, storage_ref, &cfg2, source,
+                |_r| Err(demsort_types::Error::validation("sink rejected")), 1,
+            )
+        });
+        assert!(results[0].is_err(), "sink errors must surface");
+    }
+}

@@ -1,0 +1,257 @@
+//! Replacement-selection run formation (Knuth 5.4.1) — the paper's
+//! future-work item: "Run formation could perhaps be improved to allow
+//! longer runs [14, Section 5.4.1]. The main effect is that by
+//! decreasing the number of runs, we can further increase the block
+//! size."
+//!
+//! Classic replacement selection keeps a tournament of `m` records.
+//! Each step emits the winner and replaces its leaf with the next
+//! input record, tagged for the *next* run if it is smaller than what
+//! was just emitted (it can no longer join the current run). Ordering
+//! leaves by `(run, key)` makes the tournament emit whole runs in
+//! sequence — `O(log m)` per record.
+//!
+//! On random input the expected run length is `2m` (twice the memory),
+//! halving `R`; ascending input becomes a single run; descending input
+//! degrades to runs of exactly `m`. All three behaviours are tested.
+//!
+//! This module provides the streaming core ([`ReplacementRuns`]) and a
+//! local external-sort pipeline ([`form_runs_replacement`]) that
+//! writes the longer runs to disk, for the `ablate-runlength`
+//! experiment. (Plugging it into the *distributed* run formation would
+//! make run sizes data-dependent, which conflicts with the fixed-`M`
+//! analysis of CANONICALMERGESORT — the paper leaves that open, and so
+//! do we.)
+
+use crate::merge::LoserTree;
+use crate::recio::{FinishedRun, RecordRunWriter};
+use demsort_storage::PeStorage;
+use demsort_types::{Record, Result};
+
+/// One emission: a record and the run it extends.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Emitted<R> {
+    /// Run index (consecutive, starting at 0).
+    pub run: u64,
+    /// The record.
+    pub rec: R,
+}
+
+/// Streaming replacement selection over an input iterator, with a
+/// memory budget of `capacity` records. Yields records in run order;
+/// within each run, keys are non-decreasing.
+pub struct ReplacementRuns<R: Record + Ord, I: Iterator<Item = R>> {
+    tree: LoserTree<(u64, R)>,
+    input: I,
+}
+
+impl<R: Record + Ord, I: Iterator<Item = R>> ReplacementRuns<R, I> {
+    /// Fill the tournament with up to `capacity` records of `input`.
+    pub fn new(mut input: I, capacity: usize) -> Self {
+        assert!(capacity > 0, "replacement selection needs memory");
+        let heads: Vec<Option<(u64, R)>> =
+            (0..capacity).map(|_| input.next().map(|r| (0, r))).collect();
+        Self { tree: LoserTree::new(heads), input }
+    }
+}
+
+impl<R: Record + Ord, I: Iterator<Item = R>> Iterator for ReplacementRuns<R, I> {
+    type Item = Emitted<R>;
+
+    fn next(&mut self) -> Option<Emitted<R>> {
+        self.tree.winner()?;
+        // Peek the winner to tag the replacement, then swap in place.
+        let &(run, rec) = self.tree.peek().expect("winner exists");
+        let replacement = self.input.next().map(|x| {
+            // A record smaller than the one leaving can only join the
+            // *next* run.
+            if x.key() < rec.key() {
+                (run + 1, x)
+            } else {
+                (run, x)
+            }
+        });
+        let (run, rec) = self.tree.replace_winner(replacement);
+        Some(Emitted { run, rec })
+    }
+}
+
+/// Group an in-memory input into replacement-selection runs (for tests
+/// and the ablation bench).
+pub fn runs_by_replacement<R: Record + Ord>(input: &[R], capacity: usize) -> Vec<Vec<R>> {
+    let mut out: Vec<Vec<R>> = Vec::new();
+    for e in ReplacementRuns::new(input.iter().copied(), capacity) {
+        if out.len() <= e.run as usize {
+            out.resize_with(e.run as usize + 1, Vec::new);
+        }
+        out[e.run as usize].push(e.rec);
+    }
+    out
+}
+
+/// Local external run formation via replacement selection: stream
+/// `input` through a `capacity`-record selector, writing each run to
+/// `st`. Returns the finished runs (each sorted, jointly a permutation
+/// of the input).
+pub fn form_runs_replacement<R: Record + Ord>(
+    st: &PeStorage,
+    input: &[R],
+    capacity: usize,
+    sample_every: usize,
+) -> Result<Vec<FinishedRun<R>>> {
+    let mut writers: Vec<FinishedRun<R>> = Vec::new();
+    let mut current: Option<(u64, RecordRunWriter<'_, R>)> = None;
+    for e in ReplacementRuns::new(input.iter().copied(), capacity) {
+        let need_new = current.as_ref().is_none_or(|(run, _)| *run != e.run);
+        if need_new {
+            if let Some((_, w)) = current.take() {
+                writers.push(w.finish()?);
+            }
+            current = Some((e.run, RecordRunWriter::new(st, sample_every)));
+        }
+        current.as_mut().expect("writer open").1.push(e.rec)?;
+    }
+    if let Some((_, w)) = current.take() {
+        writers.push(w.finish()?);
+    }
+    Ok(writers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recio::read_records;
+    use demsort_storage::{DiskModel, MemBackend, PeStorage};
+    use demsort_types::Element16;
+    use demsort_workloads::splitmix64;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn random_input(n: usize, seed: u64) -> Vec<Element16> {
+        (0..n as u64).map(|i| Element16::new(splitmix64(seed ^ i), i)).collect()
+    }
+
+    fn check_runs(runs: &[Vec<Element16>], input: &[Element16]) {
+        for (i, run) in runs.iter().enumerate() {
+            assert!(run.windows(2).all(|w| w[0].key <= w[1].key), "run {i} sorted");
+            assert!(!run.is_empty(), "run {i} must not be empty");
+        }
+        let mut all: Vec<Element16> = runs.concat();
+        let mut expect = input.to_vec();
+        all.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(all, expect, "runs are a permutation of the input");
+    }
+
+    #[test]
+    fn random_input_doubles_run_length() {
+        let m = 64;
+        let input = random_input(64 * 40, 7);
+        let runs = runs_by_replacement(&input, m);
+        check_runs(&runs, &input);
+        let avg = input.len() as f64 / runs.len() as f64;
+        // Knuth: expected run length 2m on random input. Allow slack.
+        assert!(
+            avg > 1.6 * m as f64,
+            "average run length {avg:.0} should approach 2m = {}",
+            2 * m
+        );
+    }
+
+    #[test]
+    fn sorted_input_gives_one_run() {
+        let input: Vec<Element16> = (0..500).map(|i| Element16::new(i, i)).collect();
+        let runs = runs_by_replacement(&input, 16);
+        assert_eq!(runs.len(), 1, "ascending input never freezes anything");
+        check_runs(&runs, &input);
+    }
+
+    #[test]
+    fn reverse_sorted_degrades_to_m_sized_runs() {
+        let n = 320u64;
+        let m = 16u64;
+        let input: Vec<Element16> = (0..n).map(|i| Element16::new(n - i, i)).collect();
+        let runs = runs_by_replacement(&input, m as usize);
+        check_runs(&runs, &input);
+        assert_eq!(runs.len(), (n / m) as usize, "worst case: every replacement freezes");
+        assert!(runs.iter().all(|r| r.len() == m as usize));
+    }
+
+    #[test]
+    fn duplicates_and_tiny_capacity() {
+        let input: Vec<Element16> = (0..100).map(|i| Element16::new(i % 3, i)).collect();
+        let runs = runs_by_replacement(&input, 1);
+        check_runs(&runs, &input);
+        let input2: Vec<Element16> = (0..50).map(|i| Element16::new(7, i)).collect();
+        let runs2 = runs_by_replacement(&input2, 4);
+        assert_eq!(runs2.len(), 1, "all-equal keys form one run");
+    }
+
+    #[test]
+    fn empty_input_and_capacity_exceeding_input() {
+        assert!(runs_by_replacement::<Element16>(&[], 8).is_empty());
+        let input = random_input(10, 1);
+        let runs = runs_by_replacement(&input, 100);
+        assert_eq!(runs.len(), 1, "everything fits in memory → one run");
+        check_runs(&runs, &input);
+    }
+
+    #[test]
+    fn on_disk_runs_round_trip() {
+        let st = PeStorage::with_backend(
+            2,
+            256,
+            DiskModel::paper(),
+            Arc::new(MemBackend::new(2)),
+        );
+        let input = random_input(1000, 3);
+        let finished = form_runs_replacement(&st, &input, 64, 16).expect("form");
+        let in_memory = runs_by_replacement(&input, 64);
+        assert_eq!(finished.len(), in_memory.len(), "same run structure");
+        for (fr, expect) in finished.iter().zip(&in_memory) {
+            let recs = read_records::<Element16>(&st, &fr.run, fr.elems).expect("read");
+            assert_eq!(&recs, expect);
+            if !fr.samples.is_empty() {
+                assert_eq!(fr.samples[0].pos, 0, "sampling starts at the run head");
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_runs_than_load_sort_store() {
+        // The paper's motivation: replacement selection forms fewer
+        // runs than the load-sort-store baseline (which yields ⌈n/m⌉).
+        let m = 64;
+        let input = random_input(m * 32, 11);
+        let runs = runs_by_replacement(&input, m);
+        let baseline = input.len().div_ceil(m);
+        assert!(
+            runs.len() * 3 < baseline * 2,
+            "replacement {} runs vs load-sort-store {baseline}",
+            runs.len()
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn always_sorted_runs_and_permutation(
+            n in 0usize..400,
+            m in 1usize..64,
+            key_range in 1u64..500,
+            seed in 0u64..1000,
+        ) {
+            let input: Vec<Element16> = (0..n as u64)
+                .map(|i| Element16::new(splitmix64(seed ^ i) % key_range, i))
+                .collect();
+            let runs = runs_by_replacement(&input, m);
+            for run in &runs {
+                prop_assert!(run.windows(2).all(|w| w[0].key <= w[1].key));
+            }
+            let mut all: Vec<Element16> = runs.concat();
+            let mut expect = input.clone();
+            all.sort_unstable();
+            expect.sort_unstable();
+            prop_assert_eq!(all, expect);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The run directory: global metadata about formed runs.
+//!
+//! After run formation, run `j` is a globally sorted sequence of up to
+//! `M` elements whose canonical slice `i` sits on PE `i`'s local disks.
+//! Phase 2 (multiway selection + all-to-all) needs to address *run
+//! element `x` of run `j`* wherever it lives, so after phase 1 every PE
+//! learns, for every run:
+//!
+//! * each PE's slice length (prefix offsets map run-global element
+//!   indexes to `(pe, local index)`),
+//! * each slice's on-disk block list (to probe a remote element), and
+//! * the merged **sample** (every `K`-th element, Section IV-A /
+//!   Appendix B) that warm-starts the selection.
+//!
+//! All of this is `o(N)`: per run, `P` lengths + `N/(M/B)` block ids +
+//! `M/K` samples.
+
+use crate::recio::{FinishedRun, Sample};
+use demsort_net::Communicator;
+use demsort_storage::{BlockId, Run};
+use demsort_types::Record;
+
+/// Per-PE slice metadata of one run, as seen by every PE.
+#[derive(Clone, Debug, Default)]
+pub struct SliceMeta {
+    /// Number of elements in the slice.
+    pub elems: u64,
+    /// The slice's on-disk blocks (block ids are local to the owner).
+    pub blocks: Vec<BlockId>,
+}
+
+/// Global metadata of one run.
+#[derive(Clone, Debug, Default)]
+pub struct RunMeta<R: Record> {
+    /// Slice metadata, indexed by PE.
+    pub slices: Vec<SliceMeta>,
+    /// Prefix offsets: slice `i` covers run elements
+    /// `offsets[i]..offsets[i+1]` (length `P + 1`).
+    pub offsets: Vec<u64>,
+    /// Merged sample with run-global positions, ascending.
+    pub samples: Vec<Sample<R>>,
+}
+
+impl<R: Record> RunMeta<R> {
+    /// Total elements in the run.
+    pub fn elems(&self) -> u64 {
+        *self.offsets.last().expect("offsets nonempty")
+    }
+
+    /// Which PE owns run-global element `x`, and its local index.
+    pub fn locate(&self, x: u64) -> (usize, u64) {
+        debug_assert!(x < self.elems());
+        // offsets is sorted; find the slice containing x.
+        let pe = self.offsets.partition_point(|&o| o <= x) - 1;
+        (pe, x - self.offsets[pe])
+    }
+}
+
+/// Everything a PE knows about all runs after phase 1.
+#[derive(Clone, Debug, Default)]
+pub struct RunDirectory<R: Record> {
+    /// Global metadata per run.
+    pub runs: Vec<RunMeta<R>>,
+    /// This PE's local slice (blocks + prediction keys) per run.
+    pub local: Vec<FinishedRun<R>>,
+}
+
+impl<R: Record> RunDirectory<R> {
+    /// Number of runs.
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total elements across all runs.
+    pub fn total_elems(&self) -> u64 {
+        self.runs.iter().map(|r| r.elems()).sum()
+    }
+}
+
+/// Exchange local slice metadata into the global [`RunDirectory`].
+///
+/// Collective: every PE contributes its local [`FinishedRun`] per run
+/// (one entry per run, possibly empty slices).
+pub fn build_directory<R: Record + Ord>(
+    comm: &Communicator,
+    local: Vec<FinishedRun<R>>,
+) -> RunDirectory<R> {
+    let p = comm.size();
+    let nruns = local.len();
+    let mut runs = Vec::with_capacity(nruns);
+    for (j, fr) in local.iter().enumerate() {
+        let gathered = comm.allgather(encode_slice_meta(fr));
+        let mut slices = Vec::with_capacity(p);
+        let mut per_pe_samples = Vec::with_capacity(p);
+        for buf in &gathered {
+            let (meta, samples) = decode_slice_meta::<R>(buf);
+            slices.push(meta);
+            per_pe_samples.push(samples);
+        }
+        let mut offsets = Vec::with_capacity(p + 1);
+        offsets.push(0u64);
+        for s in &slices {
+            offsets.push(offsets.last().expect("nonempty") + s.elems);
+        }
+        // Merge samples: shift local positions to run-global ones.
+        let mut samples = Vec::new();
+        for (pe, ss) in per_pe_samples.into_iter().enumerate() {
+            let base = offsets[pe];
+            samples.extend(ss.into_iter().map(|s| Sample { pos: base + s.pos, rec: s.rec }));
+        }
+        debug_assert!(samples.windows(2).all(|w| w[0].pos < w[1].pos), "run {j} samples ordered");
+        runs.push(RunMeta { slices, offsets, samples });
+    }
+    RunDirectory { runs, local }
+}
+
+fn encode_slice_meta<R: Record>(fr: &FinishedRun<R>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + fr.run.blocks.len() * 8 + fr.samples.len() * (8 + R::BYTES));
+    out.extend_from_slice(&fr.elems.to_le_bytes());
+    out.extend_from_slice(&(fr.run.blocks.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(fr.samples.len() as u32).to_le_bytes());
+    for b in &fr.run.blocks {
+        out.extend_from_slice(&b.disk.to_le_bytes());
+        out.extend_from_slice(&b.slot.to_le_bytes());
+    }
+    let mut rec_buf = vec![0u8; R::BYTES];
+    for s in &fr.samples {
+        out.extend_from_slice(&s.pos.to_le_bytes());
+        s.rec.encode(&mut rec_buf);
+        out.extend_from_slice(&rec_buf);
+    }
+    out
+}
+
+fn decode_slice_meta<R: Record>(buf: &[u8]) -> (SliceMeta, Vec<Sample<R>>) {
+    let elems = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+    let nblocks = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")) as usize;
+    let nsamples = u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")) as usize;
+    let mut pos = 16;
+    let mut blocks = Vec::with_capacity(nblocks);
+    for _ in 0..nblocks {
+        let disk = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes"));
+        let slot = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        blocks.push(BlockId::new(disk, slot));
+        pos += 8;
+    }
+    let mut samples = Vec::with_capacity(nsamples);
+    for _ in 0..nsamples {
+        let spos = u64::from_le_bytes(buf[pos..pos + 8].try_into().expect("8 bytes"));
+        let rec = R::decode(&buf[pos + 8..pos + 8 + R::BYTES]);
+        samples.push(Sample { pos: spos, rec });
+        pos += 8 + R::BYTES;
+    }
+    (SliceMeta { elems, blocks }, samples)
+}
+
+/// The run a [`SliceMeta`] describes (for constructing readers over a
+/// remote or local slice).
+pub fn slice_run(meta: &SliceMeta, block_bytes: usize) -> Run {
+    Run { blocks: meta.blocks.clone(), bytes: meta.blocks.len() as u64 * block_bytes as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demsort_net::run_cluster;
+    use demsort_types::Element16;
+
+    fn finished(pe: usize, elems: u64) -> FinishedRun<Element16> {
+        FinishedRun {
+            run: Run {
+                blocks: (0..elems.div_ceil(4)).map(|i| BlockId::new(pe as u32, i as u32)).collect(),
+                bytes: elems.div_ceil(4) * 64,
+            },
+            elems,
+            samples: (0..elems)
+                .step_by(4)
+                .map(|p| Sample { pos: p, rec: Element16::new(p * 10 + pe as u64, p) })
+                .collect(),
+            block_first_keys: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn meta_encode_decode_roundtrip() {
+        let fr = finished(1, 11);
+        let buf = encode_slice_meta(&fr);
+        let (meta, samples) = decode_slice_meta::<Element16>(&buf);
+        assert_eq!(meta.elems, 11);
+        assert_eq!(meta.blocks, fr.run.blocks);
+        assert_eq!(samples, fr.samples);
+    }
+
+    #[test]
+    fn directory_offsets_and_locate() {
+        let p = 3;
+        let dirs = run_cluster(p, move |c| {
+            // PE i's slice has 10·(i+1) elements.
+            let fr = finished(c.rank(), 10 * (c.rank() as u64 + 1));
+            build_directory(&c, vec![fr])
+        });
+        for d in &dirs {
+            let run = &d.runs[0];
+            assert_eq!(run.offsets, vec![0, 10, 30, 60]);
+            assert_eq!(run.elems(), 60);
+            assert_eq!(run.locate(0), (0, 0));
+            assert_eq!(run.locate(9), (0, 9));
+            assert_eq!(run.locate(10), (1, 0));
+            assert_eq!(run.locate(29), (1, 19));
+            assert_eq!(run.locate(59), (2, 29));
+        }
+    }
+
+    #[test]
+    fn samples_get_global_positions() {
+        let p = 2;
+        let dirs = run_cluster(p, move |c| {
+            let fr = finished(c.rank(), 8);
+            build_directory(&c, vec![fr])
+        });
+        let samples = &dirs[0].runs[0].samples;
+        let positions: Vec<u64> = samples.iter().map(|s| s.pos).collect();
+        assert_eq!(positions, vec![0, 4, 8, 12], "PE1's local 0,4 shifted by 8");
+    }
+
+    #[test]
+    fn empty_slices_are_representable() {
+        let p = 2;
+        let dirs = run_cluster(p, move |c| {
+            let fr = if c.rank() == 0 { finished(0, 5) } else { FinishedRun::empty() };
+            build_directory(&c, vec![fr])
+        });
+        assert_eq!(dirs[0].runs[0].offsets, vec![0, 5, 5]);
+        assert_eq!(dirs[0].runs[0].locate(4), (0, 4));
+    }
+
+    #[test]
+    fn multiple_runs_kept_separate() {
+        let dirs = run_cluster(2, move |c| {
+            let a = finished(c.rank(), 4);
+            let b = finished(c.rank(), 6);
+            build_directory(&c, vec![a, b])
+        });
+        assert_eq!(dirs[0].num_runs(), 2);
+        assert_eq!(dirs[0].runs[0].elems(), 8);
+        assert_eq!(dirs[0].runs[1].elems(), 12);
+        assert_eq!(dirs[0].total_elems(), 20);
+    }
+}

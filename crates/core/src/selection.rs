@@ -1,0 +1,406 @@
+//! Exact multiway selection (Section IV-A).
+//!
+//! A *multiway selection* finds, among `R` sorted sequences, the element
+//! `e` of global rank `r`, and returns `R` splitter positions that
+//! partition the sequences with respect to `e`: exactly `r` elements lie
+//! left of the splitters, and every element left of a splitter is ≤
+//! every element right of any splitter (under a total order that breaks
+//! key ties by sequence index, making the partition unique).
+//!
+//! The algorithm is the paper's: approximate splitter positions move in
+//! halving steps. Starting from step size `s = 2^⌈log2 M⌉`:
+//!
+//! 1. while fewer than `r` elements are left of the splitters, advance
+//!    the splitter whose *head* (next element right of it) is smallest;
+//! 2. while more than `r` elements are left, retreat the splitter whose
+//!    *tail* (last element left of it) is largest;
+//! 3. halve `s` and repeat until `s = 1`, then run steps 1–2 once more.
+//!
+//! After the `s = 1` round the count is exactly `r`; a final exchange
+//! pass repairs any residual misordering between left and right sets
+//! (possible when a coarse round happened to land on count `r` and the
+//! while-loops never fired). Each exchange strictly shrinks the set of
+//! cross-pairs, so termination is immediate in practice and guaranteed
+//! in theory.
+//!
+//! Total work: `O(R · log M)` sequence probes, `O(R log R log M)` time
+//! with the priority queues replaced by linear scans over `R` (our `R`
+//! is small; the asymptotically better variant is what Appendix B's
+//! sampling already buys).
+
+/// Result of a multiway selection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SelectionResult {
+    /// `positions[i]` = number of elements of sequence `i` lying strictly
+    /// left of the partition (the splitter position).
+    pub positions: Vec<usize>,
+    /// Total probes into the sequences (for the ablation benchmarks).
+    pub probes: u64,
+}
+
+impl SelectionResult {
+    /// Sum of splitter positions (must equal the requested rank).
+    pub fn rank(&self) -> u64 {
+        self.positions.iter().map(|&p| p as u64).sum()
+    }
+}
+
+/// Random access into one sorted sequence, abstracting in-memory slices
+/// (internal selection) and on-disk runs with caching (external
+/// selection, [`crate::extselect`]).
+pub trait SortedSeq {
+    /// The key type.
+    type Key: Ord + Copy;
+
+    /// Sequence length in elements.
+    fn len(&self) -> usize;
+
+    /// `true` if the sequence is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Key of the element at `idx` (`idx < len`).
+    fn key_at(&mut self, idx: usize) -> Self::Key;
+}
+
+impl<K: Ord + Copy> SortedSeq for &[K] {
+    type Key = K;
+
+    fn len(&self) -> usize {
+        <[K]>::len(self)
+    }
+
+    fn key_at(&mut self, idx: usize) -> K {
+        self[idx]
+    }
+}
+
+/// A slice paired with a key extractor (for record types).
+pub struct KeyedSlice<'a, T, K, F: Fn(&T) -> K> {
+    slice: &'a [T],
+    keyfn: F,
+}
+
+impl<'a, T, K, F: Fn(&T) -> K> KeyedSlice<'a, T, K, F> {
+    /// Wrap `slice` with key extractor `keyfn`.
+    pub fn new(slice: &'a [T], keyfn: F) -> Self {
+        Self { slice, keyfn }
+    }
+}
+
+impl<T, K: Ord + Copy, F: Fn(&T) -> K> SortedSeq for KeyedSlice<'_, T, K, F> {
+    type Key = K;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn key_at(&mut self, idx: usize) -> K {
+        (self.keyfn)(&self.slice[idx])
+    }
+}
+
+/// Select the partition of global rank `r` over `seqs`.
+///
+/// Equal keys across sequences are ordered by sequence index (the
+/// paper's conceptual "fill up with ∞" padding plus a deterministic
+/// tie-break), so the result is unique and exact.
+///
+/// # Panics
+/// Panics if `r` exceeds the total number of elements.
+pub fn multiway_select<S: SortedSeq>(seqs: &mut [S], r: u64) -> SelectionResult {
+    let total: u64 = seqs.iter().map(|s| s.len() as u64).sum();
+    assert!(r <= total, "rank {r} > total {total}");
+    let max_len = seqs.iter().map(|s| s.len()).max().unwrap_or(0);
+    let init = vec![0usize; seqs.len()];
+    multiway_select_from(seqs, r, init, max_len.next_power_of_two().max(1))
+}
+
+/// Selection with explicit initial positions and step size — the entry
+/// point used by sample-initialized external selection (Appendix B):
+/// the sample pins each splitter within `K` of its final position, so
+/// the search starts at step `K` instead of `2^⌈log2 M⌉`.
+pub fn multiway_select_from<S: SortedSeq>(
+    seqs: &mut [S],
+    r: u64,
+    mut pos: Vec<usize>,
+    init_step: usize,
+) -> SelectionResult {
+    assert_eq!(pos.len(), seqs.len());
+    for (p, s) in pos.iter().zip(seqs.iter()) {
+        assert!(*p <= s.len(), "initial position out of range");
+    }
+    let mut probes = 0u64;
+    let mut count: u64 = pos.iter().map(|&p| p as u64).sum();
+    let mut step = init_step.next_power_of_two().max(1);
+
+    loop {
+        // Advance the splitter with the smallest head until count > r
+        // (paper: "increased by s until the number of elements to the
+        // left of the splitters becomes larger than r").
+        while count < r {
+            let mut best: Option<(S::Key, usize)> = None;
+            for (i, s) in seqs.iter_mut().enumerate() {
+                if pos[i] < s.len() {
+                    probes += 1;
+                    let k = s.key_at(pos[i]);
+                    // Strict `<` keeps the lowest sequence index on ties.
+                    if best.is_none_or(|(bk, _)| k < bk) {
+                        best = Some((k, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            // Advance by a full step (may overshoot past r; the down
+            // phase repairs it at finer granularity, and the s = 1
+            // round lands exactly).
+            let adv = step.min(seqs[i].len() - pos[i]);
+            pos[i] += adv;
+            count += adv as u64;
+        }
+        // Retreat the splitter with the largest tail while count > r.
+        while count > r {
+            let mut best: Option<(S::Key, usize)> = None;
+            for (i, s) in seqs.iter_mut().enumerate() {
+                if pos[i] > 0 {
+                    probes += 1;
+                    let k = s.key_at(pos[i] - 1);
+                    // `>=` keeps the highest sequence index on ties
+                    // (mirror of the up-phase tie-break).
+                    if best.is_none_or(|(bk, _)| k >= bk) {
+                        best = Some((k, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            // Retreat a full step (at step 1 this lands exactly on r,
+            // since each retreat moves the count by one).
+            let ret = step.min(pos[i]);
+            pos[i] -= ret;
+            count -= ret as u64;
+        }
+        if step == 1 {
+            break;
+        }
+        step /= 2;
+    }
+    debug_assert_eq!(count, r, "halving rounds must land on the exact rank");
+
+    // Exactness repair: if a coarse round landed on count == r with a
+    // misordered partition (largest-left > smallest-right under the
+    // (key, seq) total order), exchange one element at a time.
+    loop {
+        let mut max_left: Option<(S::Key, usize)> = None;
+        let mut min_right: Option<(S::Key, usize)> = None;
+        for (i, s) in seqs.iter_mut().enumerate() {
+            if pos[i] > 0 {
+                probes += 1;
+                let k = s.key_at(pos[i] - 1);
+                if max_left.is_none_or(|(bk, bi)| (k, i) > (bk, bi)) {
+                    max_left = Some((k, i));
+                }
+            }
+            if pos[i] < s.len() {
+                probes += 1;
+                let k = s.key_at(pos[i]);
+                if min_right.is_none_or(|(bk, bi)| (k, i) < (bk, bi)) {
+                    min_right = Some((k, i));
+                }
+            }
+        }
+        match (max_left, min_right) {
+            (Some((lk, li)), Some((rk, ri))) if (lk, li) > (rk, ri) => {
+                pos[li] -= 1;
+                pos[ri] += 1;
+            }
+            _ => break,
+        }
+    }
+
+    SelectionResult { positions: pos, probes }
+}
+
+/// Split `seqs` into `parts` pieces of (near-)equal global size:
+/// `parts + 1` position vectors, where piece `p` of sequence `i` is
+/// `result[p][i]..result[p+1][i]`. Used by the in-node parallel merge
+/// and the distributed internal sort.
+pub fn multiway_split<S: SortedSeq>(seqs: &mut [S], parts: usize) -> Vec<Vec<usize>> {
+    assert!(parts > 0);
+    let total: u64 = seqs.iter().map(|s| s.len() as u64).sum();
+    let mut cuts = Vec::with_capacity(parts + 1);
+    cuts.push(vec![0; seqs.len()]);
+    for p in 1..parts {
+        let r = (p as u128 * total as u128 / parts as u128) as u64;
+        cuts.push(multiway_select(seqs, r).positions);
+    }
+    cuts.push(seqs.iter().map(|s| s.len()).collect());
+    cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference check: positions sum to `r` and the partition respects
+    /// the (key, seq) total order.
+    fn assert_exact(seqs: &[Vec<u64>], r: u64, res: &SelectionResult) {
+        assert_eq!(res.rank(), r, "positions must sum to the rank");
+        let max_left = seqs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| res.positions[*i] > 0)
+            .map(|(i, s)| (s[res.positions[i] - 1], i))
+            .max();
+        let min_right = seqs
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| res.positions[*i] < s.len())
+            .map(|(i, s)| (s[res.positions[i]], i))
+            .min();
+        if let (Some(l), Some(rr)) = (max_left, min_right) {
+            // Equal (key, seq) pairs can only come from equal keys at
+            // adjacent positions of the same sequence — a valid split.
+            assert!(l <= rr, "partition misordered: left {l:?} right {rr:?}");
+        }
+    }
+
+    fn select_and_check(seqs: &[Vec<u64>], r: u64) -> SelectionResult {
+        let mut views: Vec<&[u64]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let res = multiway_select(&mut views, r);
+        assert_exact(seqs, r, &res);
+        res
+    }
+
+    #[test]
+    fn selects_simple_median() {
+        let seqs = vec![vec![1, 3, 5], vec![2, 4, 6]];
+        let res = select_and_check(&seqs, 3);
+        assert_eq!(res.positions, vec![2, 1]); // {1,3} ∪ {2}
+    }
+
+    #[test]
+    fn rank_zero_and_full() {
+        let seqs = vec![vec![5, 6], vec![1, 2, 3]];
+        assert_eq!(select_and_check(&seqs, 0).positions, vec![0, 0]);
+        assert_eq!(select_and_check(&seqs, 5).positions, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_sequences_are_fine() {
+        let seqs = vec![vec![], vec![1, 2], vec![]];
+        let res = select_and_check(&seqs, 1);
+        assert_eq!(res.positions, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn all_sequences_empty() {
+        let seqs: Vec<Vec<u64>> = vec![vec![], vec![]];
+        assert_eq!(select_and_check(&seqs, 0).positions, vec![0, 0]);
+    }
+
+    #[test]
+    fn duplicate_keys_split_deterministically() {
+        // 12 equal keys over 3 sequences; rank 5 must take all of the
+        // earliest sequences first (tie-break by sequence index).
+        let seqs = vec![vec![7u64; 4], vec![7; 4], vec![7; 4]];
+        let res = select_and_check(&seqs, 5);
+        assert_eq!(res.positions, vec![4, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn rank_beyond_total_panics() {
+        let seqs: Vec<Vec<u64>> = vec![vec![1, 2]];
+        select_and_check(&seqs, 3);
+    }
+
+    #[test]
+    fn wildly_different_lengths() {
+        let seqs = vec![
+            (0..1000u64).map(|i| 2 * i).collect::<Vec<_>>(),
+            vec![1],
+            (0..10u64).map(|i| 200 * i).collect(),
+        ];
+        for r in [0u64, 1, 10, 500, 1011] {
+            select_and_check(&seqs, r);
+        }
+    }
+
+    #[test]
+    fn sample_initialized_selection_matches() {
+        // Start from sample-derived positions (multiples of K below the
+        // target) and a small step — must converge to the same result.
+        let seqs: Vec<Vec<u64>> = (0..4)
+            .map(|i| (0..256u64).map(|j| j * 4 + i).collect())
+            .collect();
+        let r = 300;
+        let reference = select_and_check(&seqs, r);
+        let k = 16usize;
+        // Sample-derived warm start: true position rounded down to K.
+        let init: Vec<usize> = reference.positions.iter().map(|&p| p - p % k).collect();
+        let mut views: Vec<&[u64]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let warm = multiway_select_from(&mut views, r, init, k);
+        assert_eq!(warm.positions, reference.positions);
+        assert!(
+            warm.probes < reference.probes,
+            "warm start {} must probe less than cold {}",
+            warm.probes,
+            reference.probes
+        );
+    }
+
+    #[test]
+    fn split_covers_and_balances() {
+        let seqs: Vec<Vec<u64>> = (0..5).map(|i| (0..100).map(|j| j * 5 + i).collect()).collect();
+        let mut views: Vec<&[u64]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let cuts = multiway_split(&mut views, 4);
+        assert_eq!(cuts.len(), 5);
+        assert_eq!(cuts[0], vec![0; 5]);
+        assert_eq!(cuts[4], vec![100; 5]);
+        for w in cuts.windows(2) {
+            let size: u64 =
+                w[1].iter().zip(&w[0]).map(|(b, a)| (b - a) as u64).sum();
+            assert_eq!(size, 125, "equal parts");
+            for (a, b) in w[0].iter().zip(&w[1]) {
+                assert!(a <= b, "cuts monotone per sequence");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn selection_is_exact_on_arbitrary_inputs(
+            raw in prop::collection::vec(prop::collection::vec(0u64..64, 0..80), 1..10),
+            frac in 0.0f64..=1.0,
+        ) {
+            let seqs: Vec<Vec<u64>> = raw.into_iter().map(|mut s| { s.sort_unstable(); s }).collect();
+            let total: u64 = seqs.iter().map(|s| s.len() as u64).sum();
+            let r = (total as f64 * frac) as u64;
+            select_and_check(&seqs, r.min(total));
+        }
+
+        #[test]
+        fn selection_left_set_is_the_r_smallest(
+            raw in prop::collection::vec(prop::collection::vec(0u64..32, 0..40), 1..6),
+            frac in 0.0f64..=1.0,
+        ) {
+            let seqs: Vec<Vec<u64>> = raw.into_iter().map(|mut s| { s.sort_unstable(); s }).collect();
+            let total: u64 = seqs.iter().map(|s| s.len() as u64).sum();
+            let r = ((total as f64 * frac) as u64).min(total);
+            let res = select_and_check(&seqs, r);
+            // The multiset of left elements equals the r smallest of the
+            // union (with (key, seq) tie-break this is unique).
+            let mut left: Vec<u64> = seqs
+                .iter()
+                .enumerate()
+                .flat_map(|(i, s)| s[..res.positions[i]].iter().copied())
+                .collect();
+            left.sort_unstable();
+            let mut all: Vec<u64> = seqs.concat();
+            all.sort_unstable();
+            prop_assert_eq!(left.as_slice(), &all[..r as usize]);
+        }
+    }
+}

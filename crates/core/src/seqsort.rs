@@ -1,0 +1,187 @@
+//! In-node (shared-memory) parallel sorting.
+//!
+//! The paper's implementation used the GCC parallel mode / MCSTL \[26\]
+//! for intra-node sorting and merging across the 8 cores of each node.
+//! This module plays that role: *parallel multiway mergesort* —
+//!
+//! 1. split the input into `cores` chunks and sort them in parallel
+//!    (one thread per chunk);
+//! 2. split the merged output into `cores` equal ranges with **exact
+//!    multiway selection** ([`crate::selection`], the same machinery
+//!    \[12\] uses);
+//! 3. merge each output range in parallel with a loser tree.
+//!
+//! For `cores = 1` both steps collapse to a plain sort, so PEs without
+//! intra-node parallelism pay nothing.
+
+use crate::merge::{merge_k_into, merge_work};
+use crate::selection::{multiway_split, KeyedSlice};
+use demsort_types::CpuCounters;
+
+/// Sort `data` in place using up to `cores` threads; returns the CPU
+/// work counters (elements sorted, merge comparisons) for the cost
+/// model.
+///
+/// The sort is by `Ord`, i.e. by key with whatever tie-break the record
+/// type defines — identical to what a sequential `sort_unstable` would
+/// produce (tests assert this).
+pub fn sort_in_node<T: Ord + Copy + Send + Sync>(data: &mut [T], cores: usize) -> CpuCounters {
+    let started = std::time::Instant::now();
+    let n = data.len() as u64;
+    let cores = cores.max(1).min(data.len().max(1));
+    let log_n = 64 - (n.max(2) - 1).leading_zeros() as u64; // ⌈log2 n⌉
+    let mut counters =
+        CpuCounters { elements_sorted: n, sort_work: n * log_n, ..Default::default() };
+
+    if cores == 1 || data.len() < 2 * cores {
+        data.sort_unstable();
+        counters.host_wall_ns = started.elapsed().as_nanos() as u64;
+        return counters;
+    }
+
+    // Phase 1: sort `cores` chunks in parallel.
+    let chunk = data.len().div_ceil(cores);
+    {
+        let mut rest = &mut *data;
+        std::thread::scope(|s| {
+            while !rest.is_empty() {
+                let take = chunk.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                s.spawn(|| head.sort_unstable());
+            }
+        });
+    }
+
+    // Phase 2: exact splitters over the sorted chunks.
+    let chunks: Vec<&[T]> = data.chunks(chunk).collect();
+    let mut views: Vec<KeyedSlice<'_, T, T, _>> =
+        chunks.iter().map(|c| KeyedSlice::new(c, |t: &T| *t)).collect();
+    let cuts = multiway_split(&mut views, cores);
+
+    // Phase 3: merge each output range in parallel into a scratch
+    // buffer, then copy back. Part `p` covers a contiguous range of the
+    // output whose size is the sum of its per-chunk cut widths.
+    let mut out: Vec<T> = Vec::with_capacity(data.len());
+    {
+        let spare = out.spare_capacity_mut();
+        std::thread::scope(|s| {
+            let mut spare_rest = spare;
+            for w in cuts.windows(2) {
+                let size: usize = w[1].iter().zip(&w[0]).map(|(b, a)| b - a).sum();
+                let (slot, tail) = spare_rest.split_at_mut(size);
+                spare_rest = tail;
+                let pieces: Vec<&[T]> = chunks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| &c[w[0][i]..w[1][i]])
+                    .collect();
+                s.spawn(move || {
+                    let mut local = Vec::with_capacity(size);
+                    merge_k_into(&pieces, &mut local);
+                    debug_assert_eq!(local.len(), size);
+                    for (dst, src) in slot.iter_mut().zip(local) {
+                        dst.write(src);
+                    }
+                });
+            }
+        });
+        // SAFETY: every slot of the spare capacity was initialized by
+        // exactly one merge task (the ranges partition 0..len).
+        unsafe { out.set_len(data.len()) };
+    }
+    data.copy_from_slice(&out);
+
+    counters.elements_merged = n;
+    counters.merge_work = merge_work(n, cores);
+    counters.host_wall_ns = started.elapsed().as_nanos() as u64;
+    counters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demsort_types::Element16;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_elements(n: usize, seed: u64) -> Vec<Element16> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n as u64).map(|i| Element16::new(rng.gen(), i)).collect()
+    }
+
+    #[test]
+    fn sorts_like_std_for_all_core_counts() {
+        for cores in [1, 2, 3, 4, 8] {
+            let mut data = random_elements(10_000, 42);
+            let mut expected = data.clone();
+            expected.sort_unstable();
+            let c = sort_in_node(&mut data, cores);
+            assert_eq!(data, expected, "cores = {cores}");
+            assert_eq!(c.elements_sorted, 10_000);
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        for n in 0..8 {
+            let mut data = random_elements(n, n as u64);
+            let mut expected = data.clone();
+            expected.sort_unstable();
+            sort_in_node(&mut data, 4);
+            assert_eq!(data, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn already_sorted_and_reverse() {
+        let mut asc: Vec<u64> = (0..5000).collect();
+        let mut desc: Vec<u64> = (0..5000).rev().collect();
+        sort_in_node(&mut asc, 4);
+        sort_in_node(&mut desc, 4);
+        assert!(asc.windows(2).all(|w| w[0] <= w[1]));
+        assert!(desc.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn heavy_duplicates() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut data: Vec<u64> = (0..8000).map(|_| rng.gen_range(0..10)).collect();
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        sort_in_node(&mut data, 8);
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn sort_work_counter_is_n_log_n() {
+        let mut data = random_elements(1 << 12, 9);
+        let c = sort_in_node(&mut data, 2);
+        assert_eq!(c.sort_work, (1 << 12) * 12, "n · ⌈log2 n⌉");
+        let mut tiny: Vec<u64> = vec![3, 1];
+        let c2 = sort_in_node(&mut tiny, 1);
+        assert_eq!(c2.sort_work, 2, "n = 2 → 2 · log2(2)");
+    }
+
+    #[test]
+    fn counters_report_merge_work_only_when_parallel() {
+        let mut a = random_elements(4000, 1);
+        let c1 = sort_in_node(&mut a, 1);
+        assert_eq!(c1.merge_work, 0, "single core merges nothing");
+        let mut b = random_elements(4000, 1);
+        let c4 = sort_in_node(&mut b, 4);
+        assert_eq!(c4.merge_work, 4000 * 2, "4-way merge = 2 comparisons/element");
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn equals_std_sort(mut data in prop::collection::vec(0u32..5000, 0..2000),
+                           cores in 1usize..9) {
+            let mut expected = data.clone();
+            expected.sort_unstable();
+            sort_in_node(&mut data, cores);
+            prop_assert_eq!(data, expected);
+        }
+    }
+}

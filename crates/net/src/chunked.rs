@@ -1,0 +1,110 @@
+//! Chunked all-to-all: the paper's `MPI_Alltoallv` re-implementation.
+//!
+//! "Unfortunately, in MPI, data volumes are specified using 32-bit
+//! signed integers. This means that no data volume greater than 2 GiB
+//! can be passed to MPI routines. We have re-implemented
+//! `MPI_Alltoallv` to break this barrier." (Section V)
+//!
+//! [`chunked_alltoallv`] splits every pairwise message into chunks of
+//! at most `limit` bytes, runs one plain alltoallv per chunk round, and
+//! reassembles on the receiver. The default limit is the real MPI
+//! `i32` barrier; tests use tiny limits to exercise multi-round
+//! reassembly.
+
+use crate::comm::Communicator;
+
+/// The 2 GiB (`i32::MAX`) volume limit of classic MPI interfaces.
+pub const MPI_VOLUME_LIMIT: usize = i32::MAX as usize;
+
+/// All-to-all of arbitrarily large messages by splitting into rounds of
+/// at most `limit` bytes per pairwise message.
+pub fn chunked_alltoallv(
+    comm: &Communicator,
+    msgs: Vec<Vec<u8>>,
+    limit: usize,
+) -> Vec<Vec<u8>> {
+    assert!(limit > 0, "chunk limit must be positive");
+    let p = comm.size();
+    assert_eq!(msgs.len(), p);
+
+    // Everyone must agree on the number of rounds: the global maximum
+    // pairwise message decides.
+    let local_max = msgs.iter().map(Vec::len).max().unwrap_or(0) as u64;
+    let global_max = comm.allreduce_max(local_max) as usize;
+    let rounds = global_max.div_ceil(limit).max(1);
+
+    let mut out: Vec<Vec<u8>> = vec![Vec::new(); p];
+    let mut offsets = vec![0usize; p];
+    for _ in 0..rounds {
+        let round_msgs: Vec<Vec<u8>> = msgs
+            .iter()
+            .enumerate()
+            .map(|(j, m)| {
+                let start = offsets[j].min(m.len());
+                let end = (start + limit).min(m.len());
+                m[start..end].to_vec()
+            })
+            .collect();
+        for (j, m) in round_msgs.iter().enumerate() {
+            offsets[j] += m.len();
+        }
+        let received = comm.alltoallv(round_msgs);
+        for (src, part) in received.into_iter().enumerate() {
+            out[src].extend_from_slice(&part);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::run_cluster;
+
+    fn payload(src: usize, dst: usize, len: usize) -> Vec<u8> {
+        (0..len).map(|i| (src * 31 + dst * 7 + i) as u8).collect()
+    }
+
+    #[test]
+    fn reassembles_across_many_rounds() {
+        let p = 4;
+        for limit in [1usize, 3, 16, 1000] {
+            let results = run_cluster(p, move |c| {
+                let msgs: Vec<Vec<u8>> =
+                    (0..p).map(|j| payload(c.rank(), j, 10 + 13 * j)).collect();
+                chunked_alltoallv(&c, msgs, limit)
+            });
+            for (me, r) in results.into_iter().enumerate() {
+                for (src, m) in r.into_iter().enumerate() {
+                    assert_eq!(m, payload(src, me, 10 + 13 * me), "limit {limit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_skewed_messages() {
+        let p = 3;
+        let results = run_cluster(p, move |c| {
+            // only rank 0 sends anything, and only to rank 2
+            let mut msgs = vec![Vec::new(); p];
+            if c.rank() == 0 {
+                msgs[2] = vec![5u8; 100];
+            }
+            chunked_alltoallv(&c, msgs, 7)
+        });
+        assert!(results[0].iter().all(|m| m.is_empty()));
+        assert!(results[1].iter().all(|m| m.is_empty()));
+        assert_eq!(results[2][0], vec![5u8; 100]);
+        assert!(results[2][1].is_empty());
+        assert!(results[2][2].is_empty());
+    }
+
+    #[test]
+    fn all_empty_still_one_round() {
+        let results = run_cluster(2, |c| chunked_alltoallv(&c, vec![Vec::new(); 2], 8));
+        for r in results {
+            assert!(r.iter().all(|m| m.is_empty()));
+        }
+    }
+}

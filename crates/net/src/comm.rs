@@ -1,0 +1,358 @@
+//! MPI-style communicator over in-process channels.
+//!
+//! Each pair of PEs owns a dedicated FIFO channel, so `recv(from)` has
+//! MPI's per-source ordering semantics. All collectives (barrier,
+//! broadcast, gather, allgather, reductions, alltoallv) are built from
+//! point-to-point sends exactly as an MPI implementation would, and all
+//! remote traffic is metered into [`CommCounters`] — the communication
+//! volumes reported in the paper's analysis (Section IV-D) are read off
+//! these counters.
+//!
+//! Self-messages short-circuit (a real MPI does a memcpy); they are not
+//! counted as network traffic.
+
+use crossbeam::channel::{Receiver, Sender};
+use demsort_types::CommCounters;
+use std::cell::Cell;
+
+/// One PE's endpoint of the cluster interconnect.
+///
+/// Not `Sync`: a communicator belongs to its PE thread, like an MPI
+/// rank.
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    /// `out[j]` sends into PE `j`'s inbox slot for us.
+    out: Vec<Sender<Vec<u8>>>,
+    /// `inbox[i]` receives what PE `i` sent us.
+    inbox: Vec<Receiver<Vec<u8>>>,
+    bytes_sent: Cell<u64>,
+    bytes_recv: Cell<u64>,
+    messages: Cell<u64>,
+}
+
+impl Communicator {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        out: Vec<Sender<Vec<u8>>>,
+        inbox: Vec<Receiver<Vec<u8>>>,
+    ) -> Self {
+        assert_eq!(out.len(), size);
+        assert_eq!(inbox.len(), size);
+        Self {
+            rank,
+            size,
+            out,
+            inbox,
+            bytes_sent: Cell::new(0),
+            bytes_recv: Cell::new(0),
+            messages: Cell::new(0),
+        }
+    }
+
+    /// This PE's rank (`0..size`).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of PEs.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Traffic counters so far.
+    pub fn counters(&self) -> CommCounters {
+        CommCounters {
+            bytes_sent: self.bytes_sent.get(),
+            bytes_recv: self.bytes_recv.get(),
+            messages: self.messages.get(),
+        }
+    }
+
+    /// Send `msg` to PE `to` (non-blocking; channels are unbounded).
+    pub fn send(&self, to: usize, msg: Vec<u8>) {
+        if to != self.rank {
+            self.bytes_sent.set(self.bytes_sent.get() + msg.len() as u64);
+            self.messages.set(self.messages.get() + 1);
+        }
+        self.out[to].send(msg).expect("peer hung up");
+    }
+
+    /// Receive the next message from PE `from` (blocking, FIFO per
+    /// source).
+    pub fn recv(&self, from: usize) -> Vec<u8> {
+        let msg = self.inbox[from].recv().expect("peer hung up");
+        if from != self.rank {
+            self.bytes_recv.set(self.bytes_recv.get() + msg.len() as u64);
+        }
+        msg
+    }
+
+    // ---------------------------------------------------------------
+    // Collectives
+    // ---------------------------------------------------------------
+
+    /// Dissemination barrier: `⌈log2 P⌉` rounds.
+    pub fn barrier(&self) {
+        let mut dist = 1;
+        while dist < self.size {
+            let to = (self.rank + dist) % self.size;
+            let from = (self.rank + self.size - dist) % self.size;
+            self.send(to, Vec::new());
+            let _ = self.recv(from);
+            dist <<= 1;
+        }
+    }
+
+    /// Broadcast `msg` from `root` to everyone (binomial tree,
+    /// `⌈log2 P⌉` depth).
+    ///
+    /// In the rotated rank space (root = 0) the parent of `v > 0` is
+    /// `v` with its lowest set bit cleared, and the children of `v` are
+    /// `v + 2^k` for all `2^k` below that bit (all powers of two for
+    /// the root).
+    pub fn broadcast(&self, root: usize, msg: Vec<u8>) -> Vec<u8> {
+        let vrank = (self.rank + self.size - root) % self.size;
+        let data = if vrank == 0 {
+            msg
+        } else {
+            let parent_v = vrank & (vrank - 1);
+            self.recv((parent_v + root) % self.size)
+        };
+        let child_bit_limit =
+            if vrank == 0 { self.size } else { vrank & vrank.wrapping_neg() };
+        let mut b = 1;
+        while b < child_bit_limit {
+            let child_v = vrank + b;
+            if child_v < self.size {
+                self.send((child_v + root) % self.size, data.clone());
+            }
+            b <<= 1;
+        }
+        data
+    }
+
+    /// Gather everyone's `msg` at `root`; non-roots get an empty vec.
+    #[allow(clippy::needless_range_loop)] // rank loop skips self by index
+    pub fn gather(&self, root: usize, msg: Vec<u8>) -> Vec<Vec<u8>> {
+        if self.rank == root {
+            let mut out = vec![Vec::new(); self.size];
+            out[root] = msg;
+            for i in 0..self.size {
+                if i != root {
+                    out[i] = self.recv(i);
+                }
+            }
+            out
+        } else {
+            self.send(root, msg);
+            Vec::new()
+        }
+    }
+
+    /// Allgather: everyone receives everyone's message, indexed by rank.
+    pub fn allgather(&self, msg: Vec<u8>) -> Vec<Vec<u8>> {
+        // Simple ring: P-1 rounds, each forwarding one original.
+        let mut out = vec![Vec::new(); self.size];
+        out[self.rank] = msg;
+        for round in 1..self.size {
+            let to = (self.rank + 1) % self.size;
+            let from = (self.rank + self.size - 1) % self.size;
+            // forward the message that originated `round-1` hops back
+            let orig = (self.rank + self.size - (round - 1)) % self.size;
+            self.send(to, out[orig].clone());
+            let recv_orig = (self.rank + self.size - round) % self.size;
+            out[recv_orig] = self.recv(from);
+        }
+        out
+    }
+
+    /// Allgather of one `u64` per PE.
+    pub fn allgather_u64(&self, x: u64) -> Vec<u64> {
+        self.allgather(x.to_le_bytes().to_vec())
+            .into_iter()
+            .map(|v| u64::from_le_bytes(v.try_into().expect("8 bytes")))
+            .collect()
+    }
+
+    /// Allreduce of a `u64` with an associative, commutative `op`.
+    pub fn allreduce_u64(&self, x: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
+        self.allgather_u64(x).into_iter().reduce(&op).expect("size >= 1")
+    }
+
+    /// Sum-allreduce convenience.
+    pub fn allreduce_sum(&self, x: u64) -> u64 {
+        self.allreduce_u64(x, |a, b| a.wrapping_add(b))
+    }
+
+    /// Max-allreduce convenience.
+    pub fn allreduce_max(&self, x: u64) -> u64 {
+        self.allreduce_u64(x, |a, b| a.max(b))
+    }
+
+    /// Logical-and allreduce (for "are we all done?" loops).
+    pub fn allreduce_and(&self, x: bool) -> bool {
+        self.allreduce_u64(x as u64, |a, b| a & b) == 1
+    }
+
+    /// Exclusive prefix sum of `x` over ranks (`rank 0 gets 0`).
+    pub fn exscan_sum(&self, x: u64) -> u64 {
+        self.allgather_u64(x).iter().take(self.rank).sum()
+    }
+
+    /// Personalized all-to-all: `msgs[j]` goes to PE `j`; returns what
+    /// each PE sent us, indexed by source rank.
+    ///
+    /// Sends happen before receives; unbounded channels make this
+    /// deadlock-free without MPI's internal buffering concerns.
+    #[allow(clippy::needless_range_loop)] // rank loop skips self by index
+    pub fn alltoallv(&self, msgs: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        assert_eq!(msgs.len(), self.size, "need exactly one message per PE");
+        let mut out = vec![Vec::new(); self.size];
+        for (j, m) in msgs.into_iter().enumerate() {
+            if j == self.rank {
+                out[j] = m; // self-delivery without the channel round-trip
+            } else {
+                self.send(j, m);
+            }
+        }
+        for i in 0..self.size {
+            if i != self.rank {
+                out[i] = self.recv(i);
+            }
+        }
+        out
+    }
+}
+
+/// Encode a `u64` slice little-endian.
+pub fn encode_u64s(xs: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(xs.len() * 8);
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a little-endian `u64` buffer.
+pub fn decode_u64s(buf: &[u8]) -> Vec<u64> {
+    assert_eq!(buf.len() % 8, 0, "u64 buffer length must be a multiple of 8");
+    buf.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::run_cluster;
+
+    #[test]
+    fn u64_codec_roundtrip() {
+        let xs = vec![0u64, 1, u64::MAX, 0xDEAD_BEEF];
+        assert_eq!(decode_u64s(&encode_u64s(&xs)), xs);
+    }
+
+    #[test]
+    fn p2p_send_recv() {
+        let results = run_cluster(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, vec![1, 2, 3]);
+                c.recv(1)
+            } else {
+                let got = c.recv(0);
+                c.send(0, vec![9]);
+                got
+            }
+        });
+        assert_eq!(results[0], vec![9]);
+        assert_eq!(results[1], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn barrier_all_sizes() {
+        for p in 1..=9 {
+            run_cluster(p, |c| {
+                for _ in 0..3 {
+                    c.barrier();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for p in 1..=8 {
+            for root in 0..p {
+                let results = run_cluster(p, move |c| {
+                    let msg = if c.rank() == root { vec![42, root as u8] } else { Vec::new() };
+                    c.broadcast(root, msg)
+                });
+                for r in results {
+                    assert_eq!(r, vec![42, root as u8]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        for p in 1..=8 {
+            let results = run_cluster(p, |c| c.allgather(vec![c.rank() as u8; c.rank() + 1]));
+            for r in results {
+                for (i, m) in r.iter().enumerate() {
+                    assert_eq!(m, &vec![i as u8; i + 1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_and_scan() {
+        let results = run_cluster(5, |c| {
+            let sum = c.allreduce_sum(c.rank() as u64 + 1);
+            let max = c.allreduce_max(c.rank() as u64);
+            let and_all = c.allreduce_and(true);
+            let and_one = c.allreduce_and(c.rank() != 2);
+            let ex = c.exscan_sum(c.rank() as u64 + 1);
+            (sum, max, and_all, and_one, ex)
+        });
+        for (rank, (sum, max, and_all, and_one, ex)) in results.into_iter().enumerate() {
+            assert_eq!(sum, 15);
+            assert_eq!(max, 4);
+            assert!(and_all);
+            assert!(!and_one);
+            assert_eq!(ex, (1..=rank as u64).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn alltoallv_permutes() {
+        let p = 6;
+        let results = run_cluster(p, move |c| {
+            let msgs: Vec<Vec<u8>> =
+                (0..p).map(|j| vec![c.rank() as u8, j as u8, 7]).collect();
+            c.alltoallv(msgs)
+        });
+        for (me, r) in results.into_iter().enumerate() {
+            for (src, m) in r.into_iter().enumerate() {
+                assert_eq!(m, vec![src as u8, me as u8, 7]);
+            }
+        }
+    }
+
+    #[test]
+    fn counters_meter_remote_traffic_only() {
+        let results = run_cluster(2, |c| {
+            c.send(c.rank(), vec![0; 100]); // self: free
+            let _ = c.recv(c.rank());
+            c.send(1 - c.rank(), vec![0; 50]);
+            let _ = c.recv(1 - c.rank());
+            c.counters()
+        });
+        for c in results {
+            assert_eq!(c.bytes_sent, 50);
+            assert_eq!(c.bytes_recv, 50);
+            assert_eq!(c.messages, 1);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # demsort-net
+//!
+//! The cluster substrate of the demsort suite: an in-process,
+//! MPI-flavoured message-passing layer. The paper ran on a 200-node
+//! InfiniBand cluster with MVAPICH; here each PE is an OS thread and
+//! each PE pair has a dedicated FIFO channel, so algorithms are written
+//! exactly as SPMD MPI programs (rank/size, point-to-point, barriers,
+//! reductions, allgather, alltoallv) and all remote traffic is metered
+//! for the cost model.
+//!
+//! * [`Communicator`] — one PE's endpoint with collectives.
+//! * [`run_cluster`] — spawn P PE threads and run an SPMD closure.
+//! * [`chunked_alltoallv`] — the paper's reimplementation of
+//!   `MPI_Alltoallv` lifting the 2 GiB (`i32`) volume limit.
+
+pub mod chunked;
+pub mod cluster;
+pub mod comm;
+
+pub use chunked::{chunked_alltoallv, MPI_VOLUME_LIMIT};
+pub use cluster::{build_mesh, run_cluster};
+pub use comm::{decode_u64s, encode_u64s, Communicator};

@@ -1,0 +1,15 @@
+//! # demsort-simcost
+//!
+//! Hardware cost model: converts the measured per-PE, per-phase
+//! counters of a [`demsort_types::SortReport`] into cluster phase times
+//! under a hardware profile (the paper's 200-node Xeon/InfiniBand
+//! cluster by default). The *measured volumes* are exact — only the
+//! conversion to seconds is modeled, so the figure shapes (who wins,
+//! phase ratios, crossovers) come from the measurements, not from the
+//! constants.
+
+pub mod model;
+pub mod profile;
+
+pub use model::{CostModel, PhaseTime};
+pub use profile::HardwareProfile;

@@ -1,0 +1,249 @@
+//! The cost model: measured volumes × hardware profile → phase times.
+//!
+//! Experiments execute the algorithms *fully* at laptop scale (real
+//! data through real block engines and channels) and collect exact
+//! per-PE, per-phase counters. This module converts those volumes to
+//! the paper's cluster with two ingredients:
+//!
+//! * a **volume scale** `s`: the simulated run keeps every structural
+//!   ratio of the paper's machine (`m/B` blocks of memory per PE, `R`
+//!   runs, block-op counts) but moves `s×` fewer bytes. Byte volumes
+//!   scale by `s`, block-op counts are already paper-equal, and sort
+//!   work scales as `s·(W + n·log2 s)` (sorting `s·n` elements).
+//! * the **hardware profile** (disk/network/core rates).
+//!
+//! Phase wall time per PE is `max(io, cpu + comm)` when overlap is on
+//! (Section IV-E) and the plain sum otherwise; cluster phase time is
+//! the maximum over PEs (bulk-synchronous phases).
+
+use crate::profile::HardwareProfile;
+use demsort_types::{Phase, PhaseStats, SortReport};
+use std::collections::BTreeMap;
+
+/// Time breakdown of one phase (seconds).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct PhaseTime {
+    /// Disk time (busiest local disk).
+    pub io_s: f64,
+    /// Compute time (sort + merge work over the PE's cores).
+    pub cpu_s: f64,
+    /// Network time (bytes / effective bandwidth + message latency).
+    pub comm_s: f64,
+    /// Modeled wall time.
+    pub wall_s: f64,
+}
+
+impl PhaseTime {
+    fn max(self, other: Self) -> Self {
+        Self {
+            io_s: self.io_s.max(other.io_s),
+            cpu_s: self.cpu_s.max(other.cpu_s),
+            comm_s: self.comm_s.max(other.comm_s),
+            wall_s: self.wall_s.max(other.wall_s),
+        }
+    }
+}
+
+/// Converts measured [`SortReport`]s into modeled cluster times.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Hardware constants.
+    pub profile: HardwareProfile,
+    /// Volume scale: simulated bytes × `scale` = modeled bytes.
+    pub scale: f64,
+    /// Whether I/O overlaps computation+communication (Section IV-E).
+    pub overlap: bool,
+}
+
+impl CostModel {
+    /// Model at 1:1 scale with the paper's cluster.
+    pub fn paper() -> Self {
+        Self { profile: HardwareProfile::paper_cluster(), scale: 1.0, overlap: true }
+    }
+
+    /// Model where each simulated byte stands for `scale` bytes on the
+    /// paper's cluster (e.g. 32 MiB/PE simulating 100 GiB/PE →
+    /// `scale = 3200`).
+    pub fn paper_scaled(scale: f64) -> Self {
+        Self { profile: HardwareProfile::paper_cluster(), scale, overlap: true }
+    }
+
+    /// Time breakdown for one PE's stats in one phase, for a cluster of
+    /// `pes` PEs.
+    pub fn phase_time(&self, stats: &PhaseStats, pes: usize) -> PhaseTime {
+        let p = &self.profile;
+        let d = p.disks_per_pe.max(1) as f64;
+
+        // Disk: ops pay positioning, bytes pay transfer; local disks
+        // work in parallel (striping keeps them balanced).
+        let ops = (stats.io.blocks_read + stats.io.blocks_written) as f64;
+        let bytes = stats.io.bytes_total() as f64 * self.scale;
+        let io_s = (ops / d) * (p.disk_seek_ns as f64 / 1e9)
+            + bytes / d / p.disk_bytes_per_sec;
+
+        // CPU: comparison-count proxies over the PE's cores. Sorting
+        // s·n elements costs s·(W + n·log2 s) comparisons.
+        let log_s = if self.scale > 1.0 { self.scale.log2() } else { 0.0 };
+        let sort_ops = self.scale
+            * (stats.cpu.sort_work as f64 + stats.cpu.elements_sorted as f64 * log_s);
+        let merge_ops = self.scale * stats.cpu.merge_work as f64;
+        let cores = p.cores_per_pe.max(1) as f64;
+        let cpu_s =
+            (sort_ops * p.sort_ns_per_op + merge_ops * p.merge_ns_per_op) / 1e9 / cores;
+
+        // Network: the larger direction bounds the PE's time on a
+        // full-duplex fabric; latency per message.
+        let wire = stats.comm.bytes_sent.max(stats.comm.bytes_recv) as f64 * self.scale;
+        let comm_s = wire / p.net_bytes_per_sec(pes)
+            + stats.comm.messages as f64 * p.net_latency_ns as f64 / 1e9;
+
+        let wall_s =
+            if self.overlap { io_s.max(cpu_s + comm_s) } else { io_s + cpu_s + comm_s };
+        PhaseTime { io_s, cpu_s, comm_s, wall_s }
+    }
+
+    /// Per-phase cluster times: the slowest PE bounds each phase
+    /// (phases are bulk-synchronous).
+    pub fn cluster_phases(&self, report: &SortReport) -> BTreeMap<Phase, PhaseTime> {
+        let mut out = BTreeMap::new();
+        for phase in Phase::ALL {
+            let mut worst = PhaseTime::default();
+            let mut seen = false;
+            for pe in 0..report.pes {
+                if let Some(stats) = report.stats[pe].get(&phase) {
+                    worst = worst.max(self.phase_time(stats, report.pes));
+                    seen = true;
+                }
+            }
+            if seen {
+                out.insert(phase, worst);
+            }
+        }
+        out
+    }
+
+    /// Per-PE wall times of one phase (Figure 3's bars).
+    pub fn per_pe_times(&self, report: &SortReport, phase: Phase) -> Vec<PhaseTime> {
+        (0..report.pes)
+            .map(|pe| {
+                report.stats[pe]
+                    .get(&phase)
+                    .map(|s| self.phase_time(s, report.pes))
+                    .unwrap_or_default()
+            })
+            .collect()
+    }
+
+    /// Total modeled wall time (sum of bulk-synchronous phases).
+    pub fn total_wall_s(&self, report: &SortReport) -> f64 {
+        self.cluster_phases(report).values().map(|t| t.wall_s).sum()
+    }
+
+    /// Modeled sort throughput in bytes/second over the whole cluster
+    /// (SortBenchmark's metric, using decimal GB).
+    pub fn throughput_bytes_per_sec(&self, report: &SortReport) -> f64 {
+        let wall = self.total_wall_s(report);
+        if wall == 0.0 {
+            return 0.0;
+        }
+        report.total_bytes() as f64 * self.scale / wall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demsort_types::{CommCounters, CpuCounters, IoCounters};
+
+    fn stats(bytes_io: u64, blocks: u64, sort_work: u64, bytes_net: u64) -> PhaseStats {
+        PhaseStats {
+            io: IoCounters {
+                bytes_read: bytes_io / 2,
+                bytes_written: bytes_io / 2,
+                blocks_read: blocks / 2,
+                blocks_written: blocks / 2,
+                max_disk_busy_ns: 0,
+            },
+            comm: CommCounters { bytes_sent: bytes_net, bytes_recv: bytes_net, messages: 10 },
+            cpu: CpuCounters {
+                elements_sorted: sort_work / 30,
+                sort_work,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn io_time_matches_hand_computation() {
+        let m = CostModel::paper();
+        // 8 GiB through 4 disks at the sustained 52 MiB/s + 1024 block
+        // ops at 6 ms positioning each.
+        let s = stats(8 << 30, 1024, 0, 0);
+        let t = m.phase_time(&s, 4);
+        let expect = (1024.0 / 4.0) * 0.006
+            + (8u64 << 30) as f64 / 4.0 / (52.0 * 1024.0 * 1024.0);
+        assert!((t.io_s - expect).abs() < 1e-9, "{} vs {}", t.io_s, expect);
+    }
+
+    #[test]
+    fn overlap_takes_max_sum_otherwise() {
+        let mut m = CostModel::paper();
+        let s = stats(1 << 30, 128, 2_000_000_000, 1 << 28);
+        let with = m.phase_time(&s, 8);
+        assert!((with.wall_s - with.io_s.max(with.cpu_s + with.comm_s)).abs() < 1e-12);
+        m.overlap = false;
+        let without = m.phase_time(&s, 8);
+        assert!((without.wall_s - (without.io_s + without.cpu_s + without.comm_s)).abs() < 1e-12);
+        assert!(without.wall_s >= with.wall_s);
+    }
+
+    #[test]
+    fn scaling_preserves_block_ops_and_scales_bytes() {
+        let base = CostModel::paper();
+        let scaled = CostModel::paper_scaled(1000.0);
+        let s = stats(1 << 20, 256, 0, 0);
+        let t1 = base.phase_time(&s, 4);
+        let t1000 = scaled.phase_time(&s, 4);
+        // Seek part identical, transfer part ×1000.
+        let seek = (256.0 / 4.0) * 0.006;
+        assert!(t1000.io_s - seek > 990.0 * (t1.io_s - seek));
+    }
+
+    #[test]
+    fn congestion_slows_large_clusters() {
+        let m = CostModel::paper();
+        let s = stats(0, 0, 0, 1 << 30);
+        let t2 = m.phase_time(&s, 2);
+        let t200 = m.phase_time(&s, 200);
+        assert!(t200.comm_s > 2.5 * t2.comm_s, "fabric congestion: {t2:?} vs {t200:?}");
+    }
+
+    #[test]
+    fn sort_work_scale_correction() {
+        // Sorting s·n elements costs s·(n log n) + s·n·log s.
+        let m = CostModel::paper_scaled(1024.0);
+        let n = 1u64 << 20;
+        let w = n * 20; // n log2 n
+        let s = stats(0, 0, w, 0);
+        let t = m.phase_time(&s, 1);
+        let elements = w / 30; // stats() helper derives n this way
+        let expect_ops = 1024.0 * (w as f64 + elements as f64 * 10.0);
+        let expect_s = expect_ops * 6.0 / 1e9 / 8.0;
+        assert!((t.cpu_s - expect_s).abs() < 1e-9, "{} vs {}", t.cpu_s, expect_s);
+    }
+
+    #[test]
+    fn cluster_phase_is_slowest_pe() {
+        let m = CostModel::paper();
+        let mut report = SortReport::new(2, 1000, 16, 2);
+        report.record(0, Phase::FinalMerge, stats(1 << 30, 128, 0, 0));
+        report.record(1, Phase::FinalMerge, stats(4 << 30, 512, 0, 0));
+        let phases = m.cluster_phases(&report);
+        let t = phases[&Phase::FinalMerge];
+        let t1 = m.phase_time(&report.get(1, Phase::FinalMerge), 2);
+        assert_eq!(t.wall_s, t1.wall_s, "PE 1 is slower and bounds the phase");
+        assert_eq!(m.per_pe_times(&report, Phase::FinalMerge).len(), 2);
+        assert!(m.total_wall_s(&report) > 0.0);
+        assert!(m.throughput_bytes_per_sec(&report) > 0.0);
+    }
+}

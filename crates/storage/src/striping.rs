@@ -1,0 +1,406 @@
+//! Per-PE storage facade and striped sequential runs.
+//!
+//! [`PeStorage`] bundles the async engine, the block allocator, and the
+//! backend for one PE. [`RunWriter`]/[`RunReader`] stream byte
+//! sequences ("runs") as blocks striped round-robin over the PE's local
+//! disks, with configurable write-behind and read-ahead windows — the
+//! overlap machinery of Section IV-E.
+
+use crate::alloc::BlockAllocator;
+use crate::backend::{Backend, MemBackend};
+use crate::block::BlockId;
+use crate::disk::DiskModel;
+use crate::engine::{IoEngine, IoHandle};
+use demsort_types::{Error, IoCounters, MachineConfig, Result};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Default number of outstanding writes for [`RunWriter`] (one per disk
+/// keeps all spindles busy, paper: "We maintain D buffer blocks").
+pub const DEFAULT_WRITE_BEHIND: usize = 4;
+/// Default read-ahead depth for [`RunReader`].
+pub const DEFAULT_READAHEAD: usize = 4;
+
+/// All storage state owned by one PE.
+pub struct PeStorage {
+    engine: IoEngine,
+    alloc: BlockAllocator,
+    backend: Arc<dyn Backend>,
+}
+
+impl PeStorage {
+    /// In-memory storage shaped by `cfg` (the default for experiments).
+    pub fn new_mem(cfg: &MachineConfig) -> Self {
+        let backend: Arc<dyn Backend> = Arc::new(MemBackend::new(cfg.disks_per_pe));
+        Self::with_backend(cfg.disks_per_pe, cfg.block_bytes, DiskModel::paper(), backend)
+    }
+
+    /// Storage over an arbitrary backend (files, fault injection, ...).
+    pub fn with_backend(
+        disks: usize,
+        block_bytes: usize,
+        model: DiskModel,
+        backend: Arc<dyn Backend>,
+    ) -> Self {
+        Self {
+            engine: IoEngine::new(disks, block_bytes, model, Arc::clone(&backend)),
+            alloc: BlockAllocator::new(disks),
+            backend,
+        }
+    }
+
+    /// The async I/O engine.
+    pub fn engine(&self) -> &IoEngine {
+        &self.engine
+    }
+
+    /// The block allocator.
+    pub fn alloc(&self) -> &BlockAllocator {
+        &self.alloc
+    }
+
+    /// Block size in bytes.
+    pub fn block_bytes(&self) -> usize {
+        self.engine.block_bytes()
+    }
+
+    /// Number of local disks.
+    pub fn disks(&self) -> usize {
+        self.engine.disks()
+    }
+
+    /// Free a block: return the slot to the allocator and drop backing
+    /// bytes (in-place recycling).
+    pub fn free_block(&self, id: BlockId) {
+        self.backend.discard(id.disk as usize, id.slot as u64);
+        self.alloc.free(id);
+    }
+
+    /// Current I/O counters (cumulative).
+    pub fn counters(&self) -> IoCounters {
+        self.engine.counters()
+    }
+}
+
+/// A sequence of blocks holding `bytes` logical bytes (the final block
+/// may be partially filled; the tail is zero-padded on disk).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Run {
+    /// Blocks in logical order.
+    pub blocks: Vec<BlockId>,
+    /// Logical byte length.
+    pub bytes: u64,
+}
+
+impl Run {
+    /// `true` if the run holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+
+    /// Bytes of valid data in block `i` given block size `b`.
+    pub fn valid_bytes_in(&self, i: usize, b: usize) -> usize {
+        let start = (i * b) as u64;
+        debug_assert!(start < self.bytes || (self.bytes == 0 && i == 0));
+        ((self.bytes - start).min(b as u64)) as usize
+    }
+}
+
+/// Streaming run writer: buffers into one block at a time, issues async
+/// writes striped over the local disks, keeps at most `write_behind`
+/// writes in flight.
+pub struct RunWriter<'a> {
+    st: &'a PeStorage,
+    buf: Vec<u8>,
+    pending: VecDeque<IoHandle>,
+    write_behind: usize,
+    blocks: Vec<BlockId>,
+    bytes: u64,
+}
+
+impl<'a> RunWriter<'a> {
+    /// Start a new run on `st`.
+    pub fn new(st: &'a PeStorage) -> Self {
+        Self::with_window(st, DEFAULT_WRITE_BEHIND.max(st.disks()))
+    }
+
+    /// Start a new run with an explicit write-behind window.
+    pub fn with_window(st: &'a PeStorage, write_behind: usize) -> Self {
+        Self {
+            st,
+            buf: Vec::with_capacity(st.block_bytes()),
+            pending: VecDeque::new(),
+            write_behind: write_behind.max(1),
+            blocks: Vec::new(),
+            bytes: 0,
+        }
+    }
+
+    fn retire_until(&mut self, max_pending: usize) -> Result<()> {
+        while self.pending.len() > max_pending {
+            let h = self.pending.pop_front().expect("nonempty");
+            h.wait()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> Result<()> {
+        debug_assert!(!self.buf.is_empty());
+        let b = self.st.block_bytes();
+        self.buf.resize(b, 0); // zero-pad a partial tail block
+        let data = std::mem::replace(&mut self.buf, Vec::with_capacity(b)).into_boxed_slice();
+        let id = self.st.alloc.alloc_striped();
+        self.blocks.push(id);
+        self.pending.push_back(self.st.engine.write(id, data));
+        self.retire_until(self.write_behind.saturating_sub(1))
+    }
+
+    /// Append bytes to the run.
+    pub fn push(&mut self, mut data: &[u8]) -> Result<()> {
+        let b = self.st.block_bytes();
+        self.bytes += data.len() as u64;
+        while !data.is_empty() {
+            let room = b - self.buf.len();
+            let take = room.min(data.len());
+            self.buf.extend_from_slice(&data[..take]);
+            data = &data[take..];
+            if self.buf.len() == b {
+                self.flush_block()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Append a whole pre-assembled block-sized buffer (avoids a copy
+    /// when the caller already works block-wise and the writer is
+    /// aligned).
+    pub fn push_block(&mut self, data: Box<[u8]>) -> Result<()> {
+        let b = self.st.block_bytes();
+        assert_eq!(data.len(), b, "push_block requires exactly one block");
+        if self.buf.is_empty() {
+            self.bytes += b as u64;
+            let id = self.st.alloc.alloc_striped();
+            self.blocks.push(id);
+            self.pending.push_back(self.st.engine.write(id, data));
+            self.retire_until(self.write_behind.saturating_sub(1))
+        } else {
+            self.push(&data)
+        }
+    }
+
+    /// Bytes appended so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Flush outstanding data and return the completed [`Run`].
+    pub fn finish(mut self) -> Result<Run> {
+        if !self.buf.is_empty() {
+            self.flush_block()?;
+        }
+        self.retire_until(0)?;
+        Ok(Run { blocks: std::mem::take(&mut self.blocks), bytes: self.bytes })
+    }
+}
+
+/// Streaming run reader with read-ahead; optionally frees blocks as
+/// they are consumed (in-place mode).
+pub struct RunReader<'a> {
+    st: &'a PeStorage,
+    run: Run,
+    next_issue: usize,
+    next_take: usize,
+    pending: VecDeque<IoHandle>,
+    readahead: usize,
+    free_after_read: bool,
+}
+
+impl<'a> RunReader<'a> {
+    /// Read `run` sequentially from `st`.
+    pub fn new(st: &'a PeStorage, run: Run) -> Self {
+        Self::with_options(st, run, DEFAULT_READAHEAD.max(st.disks()), false)
+    }
+
+    /// Full-control constructor: `readahead` outstanding reads,
+    /// `free_after_read` recycles each block once consumed.
+    pub fn with_options(st: &'a PeStorage, run: Run, readahead: usize, free_after_read: bool) -> Self {
+        Self {
+            st,
+            run,
+            next_issue: 0,
+            next_take: 0,
+            pending: VecDeque::new(),
+            readahead: readahead.max(1),
+            free_after_read,
+        }
+    }
+
+    fn top_up(&mut self) {
+        while self.pending.len() < self.readahead && self.next_issue < self.run.blocks.len() {
+            let id = self.run.blocks[self.next_issue];
+            self.pending.push_back(self.st.engine.read(id));
+            self.next_issue += 1;
+        }
+    }
+
+    /// Next block and the count of valid bytes in it, or `None` at end.
+    pub fn next_block(&mut self) -> Result<Option<(Box<[u8]>, usize)>> {
+        self.top_up();
+        let Some(h) = self.pending.pop_front() else {
+            return Ok(None);
+        };
+        let data = h.wait()?;
+        let idx = self.next_take;
+        self.next_take += 1;
+        let valid = self.run.valid_bytes_in(idx, self.st.block_bytes());
+        if self.free_after_read {
+            self.st.free_block(self.run.blocks[idx]);
+        }
+        self.top_up();
+        Ok(Some((data, valid)))
+    }
+
+    /// Read the whole remaining run into one buffer (valid bytes only).
+    pub fn read_to_end(&mut self) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.run.bytes as usize);
+        while let Some((block, valid)) = self.next_block()? {
+            out.extend_from_slice(&block[..valid]);
+        }
+        Ok(out)
+    }
+}
+
+/// Read an arbitrary run fully (convenience for tests and small data).
+pub fn read_run(st: &PeStorage, run: &Run) -> Result<Vec<u8>> {
+    RunReader::new(st, run.clone()).read_to_end()
+}
+
+/// Write `data` as a new run (convenience).
+pub fn write_run(st: &PeStorage, data: &[u8]) -> Result<Run> {
+    let mut w = RunWriter::new(st);
+    w.push(data)?;
+    w.finish()
+}
+
+/// Free all blocks of a run.
+pub fn free_run(st: &PeStorage, run: &Run) {
+    for &b in &run.blocks {
+        st.free_block(b);
+    }
+}
+
+/// Validate that `run`'s metadata is consistent with the block size.
+pub fn check_run(run: &Run, block_bytes: usize) -> Result<()> {
+    let needed = (run.bytes as usize).div_ceil(block_bytes);
+    if needed != run.blocks.len() {
+        return Err(Error::io(format!(
+            "run claims {} bytes over {} blocks (block size {}, expected {} blocks)",
+            run.bytes,
+            run.blocks.len(),
+            block_bytes,
+            needed
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn storage(disks: usize, block: usize) -> PeStorage {
+        PeStorage::with_backend(
+            disks,
+            block,
+            DiskModel::paper(),
+            Arc::new(MemBackend::new(disks)),
+        )
+    }
+
+    #[test]
+    fn write_read_roundtrip_partial_tail() {
+        let st = storage(3, 64);
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let run = write_run(&st, &data).expect("write");
+        assert_eq!(run.bytes, 1000);
+        assert_eq!(run.blocks.len(), 1000usize.div_ceil(64));
+        check_run(&run, 64).expect("consistent");
+        assert_eq!(read_run(&st, &run).expect("read"), data);
+    }
+
+    #[test]
+    fn empty_run() {
+        let st = storage(2, 64);
+        let run = write_run(&st, &[]).expect("write");
+        assert!(run.is_empty());
+        assert!(run.blocks.is_empty());
+        assert_eq!(read_run(&st, &run).expect("read"), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn blocks_stripe_over_disks() {
+        let st = storage(4, 32);
+        let run = write_run(&st, &vec![1u8; 32 * 8]).expect("write");
+        let disks: Vec<u32> = run.blocks.iter().map(|b| b.disk).collect();
+        assert_eq!(disks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn push_block_fast_path_equals_push() {
+        let st = storage(2, 16);
+        let mut w = RunWriter::new(&st);
+        w.push_block(vec![5u8; 16].into_boxed_slice()).expect("block");
+        w.push(&[1, 2, 3]).expect("partial");
+        w.push_block(vec![9u8; 16].into_boxed_slice()).expect("unaligned block");
+        let run = w.finish().expect("finish");
+        assert_eq!(run.bytes, 16 + 3 + 16);
+        let mut expect = vec![5u8; 16];
+        expect.extend_from_slice(&[1, 2, 3]);
+        expect.extend_from_slice(&[9u8; 16]);
+        assert_eq!(read_run(&st, &run).expect("read"), expect);
+    }
+
+    #[test]
+    fn free_after_read_recycles_blocks() {
+        let st = storage(2, 32);
+        let run = write_run(&st, &[3u8; 32 * 6]).expect("write");
+        assert_eq!(st.alloc().in_use(), 6);
+        let mut r = RunReader::with_options(&st, run, 2, true);
+        let mut total = 0;
+        while let Some((_, valid)) = r.next_block().expect("read") {
+            total += valid;
+        }
+        assert_eq!(total, 32 * 6);
+        assert_eq!(st.alloc().in_use(), 0, "all blocks recycled");
+    }
+
+    #[test]
+    fn streaming_many_blocks_with_small_windows() {
+        let st = storage(2, 16);
+        let data: Vec<u8> = (0..16 * 100).map(|i| (i % 89) as u8).collect();
+        let mut w = RunWriter::with_window(&st, 1);
+        w.push(&data).expect("write");
+        let run = w.finish().expect("finish");
+        let mut r = RunReader::with_options(&st, run, 1, false);
+        assert_eq!(r.read_to_end().expect("read"), data);
+    }
+
+    #[test]
+    fn check_run_detects_mismatch() {
+        let mut run = Run { blocks: vec![BlockId::new(0, 0)], bytes: 100 };
+        assert!(check_run(&run, 64).is_err());
+        run.blocks.push(BlockId::new(0, 1));
+        assert!(check_run(&run, 64).is_ok());
+    }
+
+    #[test]
+    fn counters_reflect_run_io() {
+        let st = storage(2, 64);
+        let run = write_run(&st, &vec![1u8; 64 * 4]).expect("write");
+        let after_write = st.counters();
+        assert_eq!(after_write.bytes_written, 64 * 4);
+        read_run(&st, &run).expect("read");
+        let after_read = st.counters();
+        assert_eq!(after_read.bytes_read, 64 * 4);
+    }
+}

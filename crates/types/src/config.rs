@@ -1,0 +1,247 @@
+//! Machine and algorithm configuration.
+//!
+//! Mirrors Table I of the paper:
+//!
+//! | Resource | Symbol | Here |
+//! |---|---|---|
+//! | #PEs | `P` | [`MachineConfig::pes`] |
+//! | internal memory (elements) | `M` | `P ·` [`MachineConfig::mem_bytes_per_pe`] |
+//! | #disks | `D` | `P ·` [`MachineConfig::disks_per_pe`] |
+//! | block size | `B` | [`MachineConfig::block_bytes`] |
+//! | #elements | `N` | per experiment |
+//! | #runs | `R` | `⌈N/M⌉` |
+//!
+//! Sizes here are in **bytes** (the paper uses element counts; the
+//! conversion is `bytes / Record::BYTES`).
+
+use crate::error::{Error, Result};
+
+/// Static description of the (simulated) cluster a sort runs on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Number of processing elements `P` (one PE = one node = one
+    /// communicator rank; the paper: "One cluster node corresponds to
+    /// one PE").
+    pub pes: usize,
+    /// Disks per PE (`D = pes * disks_per_pe`); the paper's nodes have 4.
+    pub disks_per_pe: usize,
+    /// External-memory block size `B` in bytes (paper default: 8 MiB).
+    pub block_bytes: usize,
+    /// Local internal memory `m` in bytes available for run formation
+    /// (paper: 16 GiB per node, i.e. `M = P·m`).
+    pub mem_bytes_per_pe: usize,
+    /// Cores per PE used by in-node parallel sorting (paper: 8).
+    pub cores_per_pe: usize,
+}
+
+impl MachineConfig {
+    /// A small laptop-scale configuration preserving the paper's ratios
+    /// (`m/B = 2048` blocks of local memory).
+    pub fn small(pes: usize) -> Self {
+        Self {
+            pes,
+            disks_per_pe: 4,
+            block_bytes: 4 << 10,
+            mem_bytes_per_pe: (4 << 10) * 2048,
+            cores_per_pe: 1,
+        }
+    }
+
+    /// A tiny configuration for unit tests (few, small blocks).
+    pub fn tiny(pes: usize) -> Self {
+        Self {
+            pes,
+            disks_per_pe: 2,
+            block_bytes: 256,
+            mem_bytes_per_pe: 256 * 16,
+            cores_per_pe: 1,
+        }
+    }
+
+    /// The paper's cluster: 4 disks/node, B = 8 MiB, m = 16 GiB
+    /// (2^34 bytes), 8 cores. Used by the cost model at paper scale.
+    pub fn paper(pes: usize) -> Self {
+        Self {
+            pes,
+            disks_per_pe: 4,
+            block_bytes: 8 << 20,
+            mem_bytes_per_pe: 16 << 30,
+            cores_per_pe: 8,
+        }
+    }
+
+    /// Global memory `M` in bytes (`P · m`) — the size of one run.
+    pub fn global_mem_bytes(&self) -> u64 {
+        self.pes as u64 * self.mem_bytes_per_pe as u64
+    }
+
+    /// Total number of disks `D`.
+    pub fn total_disks(&self) -> usize {
+        self.pes * self.disks_per_pe
+    }
+
+    /// Local memory measured in blocks (`m/B`).
+    pub fn mem_blocks_per_pe(&self) -> usize {
+        self.mem_bytes_per_pe / self.block_bytes
+    }
+
+    /// Check the configuration is internally consistent.
+    pub fn validate(&self) -> Result<()> {
+        if self.pes == 0 {
+            return Err(Error::config("pes must be > 0"));
+        }
+        if self.disks_per_pe == 0 {
+            return Err(Error::config("disks_per_pe must be > 0"));
+        }
+        if self.block_bytes == 0 {
+            return Err(Error::config("block_bytes must be > 0"));
+        }
+        if self.cores_per_pe == 0 {
+            return Err(Error::config("cores_per_pe must be > 0"));
+        }
+        if self.mem_bytes_per_pe < 4 * self.block_bytes {
+            return Err(Error::config(format!(
+                "mem_bytes_per_pe ({}) must be at least 4 blocks ({})",
+                self.mem_bytes_per_pe,
+                4 * self.block_bytes
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Algorithmic switches of CANONICALMERGESORT and the striped variant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlgoConfig {
+    /// Randomize the assignment of local input blocks to runs
+    /// ("each PE chooses its participating blocks for the run randomly",
+    /// Section IV). Turning this off reproduces Figure 6.
+    pub randomize: bool,
+    /// Store every `K`-th element of each sorted run as a sample for
+    /// initializing multiway selection (Section IV-A / Appendix B).
+    /// `0` disables sampling (ablation).
+    pub sample_every: usize,
+    /// Number of most-recently-used blocks cached during external
+    /// multiway selection ("we cache the most recently accessed disk
+    /// blocks", Section IV-A). `0` disables the cache (ablation).
+    pub selection_cache_blocks: usize,
+    /// Overlap I/O with computation during run formation
+    /// (Section IV-E "Overlapping"). Off = strictly sequential phases
+    /// within run formation (ablation).
+    pub overlap: bool,
+    /// Seed for all pseudo-randomness (block shuffling, tie breaking);
+    /// experiments are reproducible given the seed.
+    pub seed: u64,
+    /// Fraction of local memory the external all-to-all may use for its
+    /// in-memory sub-operations (Section IV-C picks `k` accordingly).
+    pub alltoall_mem_fraction: f64,
+}
+
+impl Default for AlgoConfig {
+    fn default() -> Self {
+        Self {
+            randomize: true,
+            sample_every: 64,
+            selection_cache_blocks: 16,
+            overlap: true,
+            seed: 0x5EED_CAFE,
+            alltoall_mem_fraction: 0.5,
+        }
+    }
+}
+
+impl AlgoConfig {
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.alltoall_mem_fraction > 0.0 && self.alltoall_mem_fraction <= 1.0) {
+            return Err(Error::config("alltoall_mem_fraction must be in (0, 1]"));
+        }
+        Ok(())
+    }
+}
+
+/// Complete configuration for one sorting job.
+#[derive(Clone, Debug)]
+pub struct SortConfig {
+    /// The machine.
+    pub machine: MachineConfig,
+    /// The algorithm switches.
+    pub algo: AlgoConfig,
+}
+
+impl SortConfig {
+    /// Bundle machine and algorithm configs, validating both.
+    pub fn new(machine: MachineConfig, algo: AlgoConfig) -> Result<Self> {
+        machine.validate()?;
+        algo.validate()?;
+        Ok(Self { machine, algo })
+    }
+
+    /// Number of runs `R = ⌈total_bytes / M⌉` for an input of
+    /// `total_bytes`.
+    pub fn num_runs(&self, total_bytes: u64) -> usize {
+        let m = self.machine.global_mem_bytes();
+        total_bytes.div_ceil(m) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ratios() {
+        let c = MachineConfig::paper(200);
+        assert_eq!(c.mem_blocks_per_pe(), 2048);
+        assert_eq!(c.total_disks(), 800);
+        assert_eq!(c.global_mem_bytes(), 200 * (16u64 << 30));
+    }
+
+    #[test]
+    fn small_preserves_mem_block_ratio() {
+        let c = MachineConfig::small(8);
+        assert_eq!(c.mem_blocks_per_pe(), MachineConfig::paper(8).mem_blocks_per_pe());
+        c.validate().expect("valid");
+    }
+
+    #[test]
+    fn validation_catches_zero_fields() {
+        for f in [
+            |c: &mut MachineConfig| c.pes = 0,
+            |c: &mut MachineConfig| c.disks_per_pe = 0,
+            |c: &mut MachineConfig| c.block_bytes = 0,
+            |c: &mut MachineConfig| c.cores_per_pe = 0,
+        ] {
+            let mut c = MachineConfig::tiny(2);
+            f(&mut c);
+            assert!(c.validate().is_err(), "expected config error");
+        }
+    }
+
+    #[test]
+    fn validation_requires_four_blocks_of_memory() {
+        let mut c = MachineConfig::tiny(2);
+        c.mem_bytes_per_pe = 3 * c.block_bytes;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn run_count_rounds_up() {
+        let cfg =
+            SortConfig::new(MachineConfig::tiny(2), AlgoConfig::default()).expect("valid config");
+        let m = cfg.machine.global_mem_bytes();
+        assert_eq!(cfg.num_runs(m), 1);
+        assert_eq!(cfg.num_runs(m + 1), 2);
+        assert_eq!(cfg.num_runs(3 * m), 3);
+    }
+
+    #[test]
+    fn alltoall_fraction_validated() {
+        let mut a = AlgoConfig { alltoall_mem_fraction: 0.0, ..AlgoConfig::default() };
+        assert!(a.validate().is_err());
+        a.alltoall_mem_fraction = 1.5;
+        assert!(a.validate().is_err());
+        a.alltoall_mem_fraction = 1.0;
+        assert!(a.validate().is_ok());
+    }
+}

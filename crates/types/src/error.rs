@@ -1,0 +1,79 @@
+//! Error type shared across the suite.
+
+/// Result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the demsort crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Invalid configuration (bad parameter combination).
+    Config(String),
+    /// Storage-layer failure (bad block id, backend I/O error,
+    /// out-of-space).
+    Io(String),
+    /// Communication failure (peer disappeared, protocol violation).
+    Comm(String),
+    /// Output validation failed (not sorted / not a permutation).
+    Validation(String),
+}
+
+impl Error {
+    /// Construct a [`Error::Config`].
+    pub fn config(msg: impl Into<String>) -> Self {
+        Error::Config(msg.into())
+    }
+
+    /// Construct a [`Error::Io`].
+    pub fn io(msg: impl Into<String>) -> Self {
+        Error::Io(msg.into())
+    }
+
+    /// Construct a [`Error::Comm`].
+    pub fn comm(msg: impl Into<String>) -> Self {
+        Error::Comm(msg.into())
+    }
+
+    /// Construct a [`Error::Validation`].
+    pub fn validation(msg: impl Into<String>) -> Self {
+        Error::Validation(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Config(m) => write!(f, "configuration error: {m}"),
+            Error::Io(m) => write!(f, "storage error: {m}"),
+            Error::Comm(m) => write!(f, "communication error: {m}"),
+            Error::Validation(m) => write!(f, "validation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        assert_eq!(Error::config("bad P").to_string(), "configuration error: bad P");
+        assert_eq!(Error::io("disk 3").to_string(), "storage error: disk 3");
+        assert_eq!(Error::comm("peer 1").to_string(), "communication error: peer 1");
+        assert_eq!(Error::validation("rank 5").to_string(), "validation error: rank 5");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let ioe = std::io::Error::other("boom");
+        let e: Error = ioe.into();
+        assert!(matches!(e, Error::Io(m) if m.contains("boom")));
+    }
+}

@@ -1,0 +1,73 @@
+//! Human-readable byte-size formatting for reports and logs.
+
+/// Format a byte count with binary units (KiB/MiB/GiB/TiB).
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    if bytes == 0 {
+        return "0 B".to_string();
+    }
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else if value >= 100.0 {
+        format!("{value:.0} {}", UNITS[unit])
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+/// Format a throughput (bytes per second) with decimal units, like the
+/// SortBenchmark tables (GB/min uses 10^9).
+pub fn fmt_throughput(bytes_per_sec: f64) -> String {
+    let gb_per_min = bytes_per_sec * 60.0 / 1e9;
+    if gb_per_min >= 1.0 {
+        format!("{gb_per_min:.1} GB/min")
+    } else {
+        format!("{:.1} MB/min", bytes_per_sec * 60.0 / 1e6)
+    }
+}
+
+/// Format nanoseconds as seconds with sensible precision.
+pub fn fmt_secs(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    if s >= 100.0 {
+        format!("{s:.0} s")
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.2} ms", s * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_units() {
+        assert_eq!(fmt_bytes(0), "0 B");
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(8 << 20), "8.00 MiB");
+        assert_eq!(fmt_bytes(100 << 30), "100 GiB");
+        assert_eq!(fmt_bytes(1 << 40), "1.00 TiB");
+    }
+
+    #[test]
+    fn throughput_gb_min() {
+        // 564 GB/min ≈ 9.4 GB/s — the paper's GraySort rate.
+        let s = fmt_throughput(9.4e9);
+        assert!(s.contains("GB/min"), "{s}");
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_secs(1_500_000), "1.50 ms");
+        assert_eq!(fmt_secs(2_500_000_000), "2.50 s");
+        assert_eq!(fmt_secs(150_000_000_000), "150 s");
+    }
+}

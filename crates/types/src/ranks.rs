@@ -1,0 +1,112 @@
+//! Rank arithmetic for the canonical output format.
+//!
+//! CANONICALMERGESORT delivers to PE `i` the elements of global ranks
+//! `(i-1)N/P+1 .. iN/P` (1-based in the paper; 0-based here:
+//! `⌊i·N/P⌋ .. ⌊(i+1)·N/P⌋`). The same convention splits runs into `P`
+//! pieces during the distributed internal sort, so it lives here where
+//! every crate can reach it.
+
+use std::ops::Range;
+
+/// The half-open range of global ranks owned by PE `pe` out of `p` PEs
+/// for a total of `n` elements.
+///
+/// The split uses `⌊i·n/p⌋` boundaries, so ranges differ in size by at
+/// most one and exactly cover `0..n`.
+pub fn owned_range(pe: usize, p: usize, n: u64) -> Range<u64> {
+    assert!(pe < p, "pe {pe} out of range for {p} PEs");
+    let lo = (pe as u128 * n as u128 / p as u128) as u64;
+    let hi = ((pe as u128 + 1) * n as u128 / p as u128) as u64;
+    lo..hi
+}
+
+/// Number of elements PE `pe` owns (`owned_range` length).
+pub fn owned_len(pe: usize, p: usize, n: u64) -> u64 {
+    let r = owned_range(pe, p, n);
+    r.end - r.start
+}
+
+/// Which PE owns global rank `rank` (inverse of [`owned_range`]).
+pub fn owner_of(rank: u64, p: usize, n: u64) -> usize {
+    assert!(rank < n, "rank {rank} out of range for {n} elements");
+    // owner = the unique pe with floor(pe*n/p) <= rank < floor((pe+1)*n/p).
+    // Start from the proportional guess and fix up (at most one step).
+    let mut pe = ((rank as u128 * p as u128) / n as u128) as usize;
+    if pe >= p {
+        pe = p - 1;
+    }
+    while owned_range(pe, p, n).start > rank {
+        pe -= 1;
+    }
+    while owned_range(pe, p, n).end <= rank {
+        pe += 1;
+    }
+    pe
+}
+
+/// Split `n` items into `p` nearly equal contiguous chunks; returns the
+/// `p + 1` boundaries (`boundaries[i]..boundaries[i+1]` is chunk `i`).
+pub fn boundaries(p: usize, n: u64) -> Vec<u64> {
+    (0..=p).map(|i| (i as u128 * n as u128 / p as u128) as u64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ranges_cover_exactly() {
+        for p in 1..10 {
+            for n in [0u64, 1, 7, 100, 101] {
+                let mut total = 0;
+                let mut prev_end = 0;
+                for pe in 0..p {
+                    let r = owned_range(pe, p, n);
+                    assert_eq!(r.start, prev_end, "ranges must be contiguous");
+                    prev_end = r.end;
+                    total += r.end - r.start;
+                }
+                assert_eq!(prev_end, n);
+                assert_eq!(total, n);
+            }
+        }
+    }
+
+    #[test]
+    fn range_sizes_differ_by_at_most_one() {
+        for p in 1..16 {
+            for n in [1u64, 13, 64, 1000] {
+                let sizes: Vec<u64> = (0..p).map(|pe| owned_len(pe, p, n)).collect();
+                let min = *sizes.iter().min().expect("nonempty");
+                let max = *sizes.iter().max().expect("nonempty");
+                assert!(max - min <= 1, "p={p} n={n} sizes={sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundaries_match_ranges() {
+        let b = boundaries(4, 10);
+        assert_eq!(b, vec![0, 2, 5, 7, 10]);
+        for pe in 0..4 {
+            assert_eq!(owned_range(pe, 4, 10), b[pe]..b[pe + 1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn owner_of_rejects_out_of_range() {
+        owner_of(10, 2, 10);
+    }
+
+    proptest! {
+        #[test]
+        fn owner_inverts_range(p in 1usize..32, n in 1u64..10_000, frac in 0.0f64..1.0) {
+            let rank = ((n - 1) as f64 * frac) as u64;
+            let pe = owner_of(rank, p, n);
+            let r = owned_range(pe, p, n);
+            prop_assert!(r.contains(&rank), "rank {} not in {:?} (pe {})", rank, r, pe);
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Fixed-size sortable records.
+//!
+//! The storage layer moves raw bytes (like a real disk); algorithms work
+//! on typed records. [`Record`] bridges the two with cheap bulk
+//! encode/decode. Two concrete record types cover the paper's
+//! experiments:
+//!
+//! * [`Element16`] — 16-byte element with a 64-bit key, used in the
+//!   scalability experiments (Figures 2–6): "The element size is (only)
+//!   16 bytes with 64-bit keys."
+//! * [`Record100`] — the SortBenchmark record: 100 bytes, 10-byte key,
+//!   used for the GraySort/MinuteSort runs (Section VI).
+
+/// A totally ordered, fixed-size sort key.
+///
+/// `MIN_KEY`/`MAX_KEY` act as sentinels for loser trees and for the
+/// conceptual "fill up with ∞" padding in multiway selection
+/// (Section IV-A of the paper).
+pub trait Key: Copy + Ord + Send + Sync + std::fmt::Debug + 'static {
+    /// Smallest possible key (−∞ sentinel).
+    const MIN_KEY: Self;
+    /// Largest possible key (+∞ sentinel).
+    const MAX_KEY: Self;
+
+    /// A monotone 64-bit summary of the key: `a <= b` implies
+    /// `a.prefix64() <= b.prefix64()`. Used for histograms, band
+    /// generation, and diagnostics — never for ordering decisions.
+    fn prefix64(&self) -> u64;
+}
+
+impl Key for u64 {
+    const MIN_KEY: Self = 0;
+    const MAX_KEY: Self = u64::MAX;
+
+    #[inline]
+    fn prefix64(&self) -> u64 {
+        *self
+    }
+}
+
+impl Key for u32 {
+    const MIN_KEY: Self = 0;
+    const MAX_KEY: Self = u32::MAX;
+
+    #[inline]
+    fn prefix64(&self) -> u64 {
+        (*self as u64) << 32
+    }
+}
+
+/// The SortBenchmark 10-byte key, ordered lexicographically.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key10(pub [u8; 10]);
+
+impl Key for Key10 {
+    const MIN_KEY: Self = Key10([0u8; 10]);
+    const MAX_KEY: Self = Key10([0xFF; 10]);
+
+    #[inline]
+    fn prefix64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("8-byte prefix"))
+    }
+}
+
+impl std::fmt::Debug for Key10 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Key10(")?;
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A fixed-size record that can be sorted by its [`Key`] and moved
+/// through the byte-oriented storage and network layers.
+///
+/// Implementations must guarantee `encode` writes exactly
+/// [`Record::BYTES`] bytes and `decode(encode(r)) == r`.
+pub trait Record: Copy + Send + Sync + 'static {
+    /// The sort key type.
+    type Key: Key;
+
+    /// Serialized size in bytes.
+    const BYTES: usize;
+
+    /// Extract the sort key.
+    fn key(&self) -> Self::Key;
+
+    /// Serialize into `out` (`out.len() == Self::BYTES`).
+    fn encode(&self, out: &mut [u8]);
+
+    /// Deserialize from `buf` (`buf.len() == Self::BYTES`).
+    fn decode(buf: &[u8]) -> Self;
+
+    /// A record carrying the given key (payload unspecified but
+    /// deterministic). Used by tests and splitter exchange.
+    fn with_key(key: Self::Key) -> Self;
+
+    /// Bulk-serialize `recs` into `out`
+    /// (`out.len() >= recs.len() * Self::BYTES`).
+    fn encode_slice(recs: &[Self], out: &mut [u8]) {
+        assert!(out.len() >= recs.len() * Self::BYTES, "output buffer too small");
+        for (r, chunk) in recs.iter().zip(out.chunks_exact_mut(Self::BYTES)) {
+            r.encode(chunk);
+        }
+    }
+
+    /// Bulk-deserialize `buf` (a whole number of records), appending to
+    /// `out`.
+    fn decode_slice(buf: &[u8], out: &mut Vec<Self>) {
+        debug_assert_eq!(buf.len() % Self::BYTES, 0, "partial record in buffer");
+        out.reserve(buf.len() / Self::BYTES);
+        for chunk in buf.chunks_exact(Self::BYTES) {
+            out.push(Self::decode(chunk));
+        }
+    }
+}
+
+/// The paper's 16-byte element: 64-bit key plus 64-bit payload.
+///
+/// "The element size is (only) 16 bytes with 64-bit keys. This makes
+/// internal computation efficiency as important as high I/O throughput."
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Element16 {
+    /// 64-bit sort key.
+    pub key: u64,
+    /// Opaque payload; carries provenance in tests (e.g. original index)
+    /// so permutation checks can detect duplication or loss.
+    pub payload: u64,
+}
+
+impl Element16 {
+    /// Construct from key and payload.
+    #[inline]
+    pub const fn new(key: u64, payload: u64) -> Self {
+        Self { key, payload }
+    }
+}
+
+impl PartialOrd for Element16 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Total order by key, tie-broken by payload so tests can demand a
+/// unique sorted sequence.
+impl Ord for Element16 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.key, self.payload).cmp(&(other.key, other.payload))
+    }
+}
+
+impl Record for Element16 {
+    type Key = u64;
+    const BYTES: usize = 16;
+
+    #[inline]
+    fn key(&self) -> u64 {
+        self.key
+    }
+
+    #[inline]
+    fn encode(&self, out: &mut [u8]) {
+        out[..8].copy_from_slice(&self.key.to_le_bytes());
+        out[8..16].copy_from_slice(&self.payload.to_le_bytes());
+    }
+
+    #[inline]
+    fn decode(buf: &[u8]) -> Self {
+        Self {
+            key: u64::from_le_bytes(buf[..8].try_into().expect("8 bytes")),
+            payload: u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")),
+        }
+    }
+
+    #[inline]
+    fn with_key(key: u64) -> Self {
+        Self { key, payload: 0 }
+    }
+}
+
+/// SortBenchmark record: 10-byte key, 90-byte payload, 100 bytes total
+/// ("This setting considers 100-byte elements with a 10-byte key").
+#[derive(Copy, Clone)]
+pub struct Record100 {
+    /// The 10-byte lexicographic key.
+    pub key: Key10,
+    /// The remaining 90 bytes of the record.
+    pub payload: [u8; 90],
+}
+
+impl Record100 {
+    /// Construct from key and payload.
+    #[inline]
+    pub const fn new(key: Key10, payload: [u8; 90]) -> Self {
+        Self { key, payload }
+    }
+}
+
+impl std::fmt::Debug for Record100 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Record100").field("key", &self.key).finish_non_exhaustive()
+    }
+}
+
+impl PartialEq for Record100 {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.payload[..] == other.payload[..]
+    }
+}
+
+impl Eq for Record100 {}
+
+impl PartialOrd for Record100 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Ordered by key, then payload (total order for stable validation).
+impl Ord for Record100 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key).then_with(|| self.payload.cmp(&other.payload))
+    }
+}
+
+impl Record for Record100 {
+    type Key = Key10;
+    const BYTES: usize = 100;
+
+    #[inline]
+    fn key(&self) -> Key10 {
+        self.key
+    }
+
+    #[inline]
+    fn encode(&self, out: &mut [u8]) {
+        out[..10].copy_from_slice(&self.key.0);
+        out[10..100].copy_from_slice(&self.payload);
+    }
+
+    #[inline]
+    fn decode(buf: &[u8]) -> Self {
+        let mut key = [0u8; 10];
+        key.copy_from_slice(&buf[..10]);
+        let mut payload = [0u8; 90];
+        payload.copy_from_slice(&buf[10..100]);
+        Self { key: Key10(key), payload }
+    }
+
+    #[inline]
+    fn with_key(key: Key10) -> Self {
+        Self { key, payload: [0u8; 90] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element16_roundtrip() {
+        let e = Element16::new(0xDEAD_BEEF_1234_5678, 42);
+        let mut buf = [0u8; 16];
+        e.encode(&mut buf);
+        assert_eq!(Element16::decode(&buf), e);
+    }
+
+    #[test]
+    fn element16_order_is_by_key_then_payload() {
+        let a = Element16::new(1, 9);
+        let b = Element16::new(2, 0);
+        let c = Element16::new(2, 1);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn record100_roundtrip() {
+        let mut payload = [0u8; 90];
+        for (i, b) in payload.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let r = Record100::new(Key10(*b"ABCDEFGHIJ"), payload);
+        let mut buf = [0u8; 100];
+        r.encode(&mut buf);
+        assert_eq!(Record100::decode(&buf), r);
+    }
+
+    #[test]
+    fn key10_lexicographic_order() {
+        let a = Key10(*b"AAAAAAAAA\x00");
+        let b = Key10(*b"AAAAAAAAA\x01");
+        let c = Key10(*b"B\x00\x00\x00\x00\x00\x00\x00\x00\x00");
+        assert!(a < b && b < c);
+        assert!(Key10::MIN_KEY <= a && c <= Key10::MAX_KEY);
+    }
+
+    #[test]
+    fn key_prefix_is_monotone_on_samples() {
+        let keys = [0u64, 1, 255, 1 << 20, u64::MAX / 2, u64::MAX];
+        for w in keys.windows(2) {
+            assert!(w[0].prefix64() <= w[1].prefix64());
+        }
+        let k10s = [Key10([0; 10]), Key10(*b"ABCDEFGHIJ"), Key10([0xFF; 10])];
+        for w in k10s.windows(2) {
+            assert!(w[0].prefix64() <= w[1].prefix64());
+        }
+    }
+
+    #[test]
+    fn bulk_encode_decode_roundtrip() {
+        let recs: Vec<Element16> = (0..100).map(|i| Element16::new(i * 3, i)).collect();
+        let mut buf = vec![0u8; recs.len() * Element16::BYTES];
+        Element16::encode_slice(&recs, &mut buf);
+        let mut out = Vec::new();
+        Element16::decode_slice(&buf, &mut out);
+        assert_eq!(recs, out);
+    }
+
+    #[test]
+    fn with_key_carries_key() {
+        assert_eq!(Element16::with_key(7).key(), 7);
+        assert_eq!(Record100::with_key(Key10([3; 10])).key(), Key10([3; 10]));
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer too small")]
+    fn bulk_encode_checks_capacity() {
+        let recs = [Element16::new(1, 2); 4];
+        let mut buf = vec![0u8; 3 * Element16::BYTES];
+        Element16::encode_slice(&recs, &mut buf);
+    }
+}

@@ -1,0 +1,203 @@
+//! Input generators for the paper's experiment classes.
+//!
+//! Every generator is deterministic in `(spec, seed, pe, p, local_n)`
+//! and tags each element's payload with its unique global index, so
+//! validators can verify the output is a *permutation* of the input,
+//! not merely sorted.
+
+use crate::splitmix64;
+use demsort_types::Element16;
+
+/// The input classes used across the evaluation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum InputSpec {
+    /// Uniform random 64-bit keys — Figures 2 and 3 ("random input").
+    Uniform,
+    /// The redistribution worst case (Figures 4/5/6): each PE's local
+    /// data is laid out in *bands* — block `b` of every PE carries keys
+    /// from the narrow key band `b`. Without randomization, run `r` is
+    /// then formed from same-band blocks on every PE, so the run covers
+    /// a narrow key range and nearly all its data must move in the
+    /// all-to-all. `block_elems` is the number of elements per band
+    /// block (use the machine's `B / Record::BYTES`).
+    Banded {
+        /// Elements per input block (band granularity).
+        block_elems: usize,
+    },
+    /// Every key falls in the output range of a single PE (PE 0) —
+    /// degenerates NOW-Sort-style partitioning to sequential
+    /// (Section II).
+    SkewedToOne,
+    /// Globally sorted ascending (PE 0 holds the smallest keys):
+    /// best case for redistribution.
+    Sorted,
+    /// Globally sorted descending.
+    ReverseSorted,
+    /// All keys identical — duplicate-handling stress for exact
+    /// splitting.
+    Constant,
+    /// Power-law (Zipf-flavoured) skew: key = `⌊u^alpha · 2^62⌋` for
+    /// uniform `u`, concentrating mass near small keys. `alpha_x10` is
+    /// the exponent × 10 (e.g. `25` → α = 2.5). Stresses exact
+    /// splitting under heavy low-key load without fully degenerating
+    /// like [`InputSpec::SkewedToOne`].
+    PowerLaw {
+        /// Skew exponent × 10 (10 = uniform, larger = more skew).
+        alpha_x10: u8,
+    },
+}
+
+impl InputSpec {
+    /// Short label for report rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InputSpec::Uniform => "uniform",
+            InputSpec::Banded { .. } => "banded-worst-case",
+            InputSpec::SkewedToOne => "skewed-to-one",
+            InputSpec::Sorted => "sorted",
+            InputSpec::ReverseSorted => "reverse-sorted",
+            InputSpec::Constant => "constant",
+            InputSpec::PowerLaw { .. } => "power-law",
+        }
+    }
+}
+
+/// Generate PE `pe`'s local input of `local_n` elements (out of `p`
+/// PEs, each with `local_n`, so `N = p · local_n`).
+pub fn generate_pe_input(
+    spec: InputSpec,
+    seed: u64,
+    pe: usize,
+    p: usize,
+    local_n: usize,
+) -> Vec<Element16> {
+    assert!(pe < p, "pe out of range");
+    let n_total = (p as u64) * (local_n as u64);
+    let base = (pe as u64) * (local_n as u64);
+    (0..local_n as u64)
+        .map(|i| {
+            let gid = base + i;
+            let h = splitmix64(seed ^ splitmix64(gid));
+            let key = match spec {
+                InputSpec::Uniform => h,
+                InputSpec::Banded { block_elems } => {
+                    // Band index from the element's position within the
+                    // PE's local block sequence; identical across PEs.
+                    let band = i / block_elems as u64;
+                    // 24 bits of band, 40 bits of in-band randomness:
+                    // bands are disjoint, globally ordered key ranges.
+                    (band << 40) | (h & ((1 << 40) - 1))
+                }
+                InputSpec::SkewedToOne => {
+                    // Keys in the lowest 1/(4p) fraction of key space —
+                    // all inside PE 0's output range.
+                    h / (4 * p as u64).max(1)
+                }
+                InputSpec::Sorted => gid,
+                InputSpec::ReverseSorted => n_total - 1 - gid,
+                InputSpec::Constant => 42,
+                InputSpec::PowerLaw { alpha_x10 } => {
+                    let u = (h >> 11) as f64 / (1u64 << 53) as f64; // uniform in [0, 1)
+                    let alpha = alpha_x10 as f64 / 10.0;
+                    (u.powf(alpha) * (1u64 << 62) as f64) as u64
+                }
+            };
+            Element16::new(key, gid)
+        })
+        .collect()
+}
+
+/// Flatten all PEs' inputs in PE order (for sequential reference sorts
+/// in tests).
+pub fn generate_all(spec: InputSpec, seed: u64, p: usize, local_n: usize) -> Vec<Element16> {
+    (0..p).flat_map(|pe| generate_pe_input(spec, seed, pe, p, local_n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_and_distinct_payloads() {
+        let a = generate_pe_input(InputSpec::Uniform, 7, 1, 4, 100);
+        let b = generate_pe_input(InputSpec::Uniform, 7, 1, 4, 100);
+        assert_eq!(a, b);
+        let all = generate_all(InputSpec::Uniform, 7, 4, 100);
+        let payloads: HashSet<u64> = all.iter().map(|e| e.payload).collect();
+        assert_eq!(payloads.len(), 400, "payloads are unique global ids");
+    }
+
+    #[test]
+    fn seed_changes_keys() {
+        let a = generate_pe_input(InputSpec::Uniform, 1, 0, 2, 50);
+        let b = generate_pe_input(InputSpec::Uniform, 2, 0, 2, 50);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn banded_blocks_are_narrow_and_ordered() {
+        let block = 32;
+        let input = generate_pe_input(InputSpec::Banded { block_elems: block }, 3, 0, 2, 4 * block);
+        for (b, chunk) in input.chunks(block).enumerate() {
+            for e in chunk {
+                assert_eq!((e.key >> 40) as usize, b, "key in band {b}");
+            }
+        }
+        // Bands are identical across PEs: same band index layout.
+        let other = generate_pe_input(InputSpec::Banded { block_elems: block }, 3, 1, 2, 4 * block);
+        for (b, chunk) in other.chunks(block).enumerate() {
+            for e in chunk {
+                assert_eq!((e.key >> 40) as usize, b);
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_keys_fit_in_first_pe_range() {
+        let p = 8;
+        let input = generate_all(InputSpec::SkewedToOne, 11, p, 200);
+        let limit = u64::MAX / (4 * p as u64);
+        assert!(input.iter().all(|e| e.key <= limit));
+    }
+
+    #[test]
+    fn sorted_and_reverse_are_monotone() {
+        let s = generate_all(InputSpec::Sorted, 0, 3, 40);
+        assert!(s.windows(2).all(|w| w[0].key < w[1].key));
+        let r = generate_all(InputSpec::ReverseSorted, 0, 3, 40);
+        assert!(r.windows(2).all(|w| w[0].key > w[1].key));
+    }
+
+    #[test]
+    fn constant_keys_all_equal() {
+        let c = generate_all(InputSpec::Constant, 5, 2, 30);
+        assert!(c.iter().all(|e| e.key == 42));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(InputSpec::Uniform.label(), "uniform");
+        assert_eq!(InputSpec::Banded { block_elems: 4 }.label(), "banded-worst-case");
+        assert_eq!(InputSpec::PowerLaw { alpha_x10: 25 }.label(), "power-law");
+    }
+
+    #[test]
+    fn power_law_concentrates_low_keys() {
+        let alpha10 = generate_all(InputSpec::PowerLaw { alpha_x10: 10 }, 3, 2, 4000);
+        let alpha40 = generate_all(InputSpec::PowerLaw { alpha_x10: 40 }, 3, 2, 4000);
+        let below_median = |v: &[Element16]| {
+            v.iter().filter(|e| e.key < (1u64 << 61)).count() as f64 / v.len() as f64
+        };
+        let flat = below_median(&alpha10);
+        let skewed = below_median(&alpha40);
+        assert!((0.45..0.55).contains(&flat), "α=1.0 is uniform-ish: {flat}");
+        // P(u^4 < 1/2) = (1/2)^(1/4) ≈ 0.841.
+        assert!(
+            (0.80..0.88).contains(&skewed),
+            "α=4.0 concentrates below the median: {skewed}"
+        );
+        // Keys stay in range.
+        assert!(alpha40.iter().all(|e| e.key < (1 << 62)));
+    }
+}

@@ -1,0 +1,75 @@
+//! SortBenchmark-style run (Section VI): 100-byte records with 10-byte
+//! keys, generated gensort-style, sorted with CANONICALMERGESORT and
+//! validated valsort-style; reports the modeled GraySort rate on the
+//! paper's cluster.
+//!
+//! ```sh
+//! cargo run --release --example sortbenchmark [PES] [MIB_PER_PE]
+//! ```
+
+use demsort::prelude::*;
+use demsort::types::fmtsize::fmt_bytes;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let pes: usize = args.next().map(|a| a.parse().expect("PES")).unwrap_or(8);
+    let mib_per_pe: usize = args.next().map(|a| a.parse().expect("MIB_PER_PE")).unwrap_or(8);
+
+    // Machine shaped like the paper's nodes at 1/8192 volume: 1 KiB
+    // blocks standing for 8 MiB, 2 MiB memory standing for 16 GiB.
+    let machine = MachineConfig {
+        pes,
+        disks_per_pe: 4,
+        block_bytes: 1 << 10,
+        mem_bytes_per_pe: (1 << 10) * 2048,
+        cores_per_pe: 1,
+    };
+    let scale = (8u64 << 20) as f64 / machine.block_bytes as f64;
+    let cfg = SortConfig::new(machine, AlgoConfig::default()).expect("valid config");
+
+    let local_n = mib_per_pe << 20;
+    let local_records = local_n / Record100::BYTES;
+    println!(
+        "GraySort-style run: {} of 100-byte records on {pes} simulated nodes",
+        fmt_bytes((pes * local_records * Record100::BYTES) as u64),
+    );
+
+    let seed = 0xC0FF_EE00;
+    let outcome = demsort::core::canonical::sort_cluster::<Record100, _>(&cfg, move |pe, _| {
+        demsort::workloads::gensort_records(seed, (pe * local_records) as u64, local_records)
+    })
+    .expect("sort");
+
+    // valsort: stream-validate the output and compare fingerprints.
+    let input_fp = {
+        let mut f = Fingerprint::default();
+        for pe in 0..pes {
+            for r in
+                demsort::workloads::gensort_records(seed, (pe * local_records) as u64, local_records)
+            {
+                f.add(&r);
+            }
+        }
+        f
+    };
+    let storage = &outcome.storage;
+    let outputs: Vec<_> = outcome.per_pe.iter().map(|o| o.output.clone()).collect();
+    let outputs = &outputs;
+    let reports = demsort::net::run_cluster(pes, move |c| {
+        validate_output::<Record100>(&c, storage.pe(c.rank()), &outputs[c.rank()])
+            .expect("validation")
+    });
+    assert!(reports[0].is_valid_sort_of(input_fp), "valsort failed");
+    println!("valsort: OK ({} records, {} runs)", reports[0].elements, outcome.per_pe[0].runs);
+
+    // Modeled rate on the paper's hardware at paper volume.
+    let model = CostModel::paper_scaled(scale);
+    let wall = model.total_wall_s(&outcome.report);
+    let gb_min = model.throughput_bytes_per_sec(&outcome.report) * 60.0 / 1e9;
+    println!(
+        "modeled at paper scale (x{scale:.0}): {:.0} s wall, {gb_min:.0} GB/min on {pes} nodes \
+         ({:.2} GB/min/node; the 2009 record was 564 GB/min on 195 nodes = 2.89 GB/min/node)",
+        wall,
+        gb_min / pes as f64,
+    );
+}

@@ -1,0 +1,238 @@
+//! Integration tests spanning all crates: full distributed external
+//! sorts across cluster sizes, input classes, record types, and
+//! storage backends, validated with the collective validator.
+
+use demsort::prelude::*;
+use demsort::core::canonical::sort_cluster;
+use demsort::core::recio::read_records;
+use demsort::core::validate::{validate_output, Fingerprint};
+use demsort::net::run_cluster;
+use demsort::workloads::{generate_all, generate_pe_input, gensort_records};
+
+fn tiny_cfg(pes: usize) -> SortConfig {
+    SortConfig::new(MachineConfig::tiny(pes), AlgoConfig::default()).expect("valid")
+}
+
+/// Sort, then validate collectively (sorted + boundaries + permutation).
+fn sort_and_validate(cfg: &SortConfig, spec: InputSpec, local_n: usize) {
+    let p = cfg.machine.pes;
+    let outcome = sort_cluster::<Element16, _>(cfg, move |pe, p| {
+        generate_pe_input(spec, 0xABCD, pe, p, local_n)
+    })
+    .expect("sort");
+    let input_fp = {
+        let mut f = Fingerprint::default();
+        for r in generate_all(spec, 0xABCD, p, local_n) {
+            f.add(&r);
+        }
+        f
+    };
+    let storage = &outcome.storage;
+    let outputs: Vec<_> = outcome.per_pe.iter().map(|o| o.output.clone()).collect();
+    let outputs = &outputs;
+    let reports = run_cluster(p, move |c| {
+        validate_output::<Element16>(&c, storage.pe(c.rank()), &outputs[c.rank()]).expect("validate")
+    });
+    assert!(
+        reports[0].is_valid_sort_of(input_fp),
+        "invalid sort: {spec:?} P={p} n={local_n}: {:?}",
+        reports[0]
+    );
+}
+
+#[test]
+fn cluster_size_sweep_uniform() {
+    for p in [1, 2, 3, 4, 6, 8] {
+        sort_and_validate(&tiny_cfg(p), InputSpec::Uniform, 500);
+    }
+}
+
+#[test]
+fn input_class_matrix() {
+    let cfg = tiny_cfg(4);
+    for spec in [
+        InputSpec::Uniform,
+        InputSpec::Sorted,
+        InputSpec::ReverseSorted,
+        InputSpec::SkewedToOne,
+        InputSpec::Constant,
+        InputSpec::Banded { block_elems: 16 },
+    ] {
+        for n in [0usize, 1, 100, 777] {
+            sort_and_validate(&cfg, spec, n);
+        }
+    }
+}
+
+#[test]
+fn algorithm_switch_matrix() {
+    for randomize in [false, true] {
+        for overlap in [false, true] {
+            for sample_every in [0usize, 16] {
+                for cache in [0usize, 8] {
+                    let algo = AlgoConfig {
+                        randomize,
+                        overlap,
+                        sample_every,
+                        selection_cache_blocks: cache,
+                        ..AlgoConfig::default()
+                    };
+                    let cfg = SortConfig::new(MachineConfig::tiny(3), algo).expect("valid");
+                    sort_and_validate(&cfg, InputSpec::Banded { block_elems: 16 }, 400);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sortbenchmark_records_end_to_end() {
+    // Record100 needs blocks ≥ 100 bytes; tiny's 256-byte blocks hold 2.
+    let cfg = tiny_cfg(3);
+    let local_n = 600usize;
+    let outcome = sort_cluster::<Record100, _>(&cfg, move |pe, _| {
+        gensort_records(99, (pe * local_n) as u64, local_n)
+    })
+    .expect("sort");
+    let mut all: Vec<Record100> = Vec::new();
+    for (pe, o) in outcome.per_pe.iter().enumerate() {
+        all.extend(
+            read_records::<Record100>(outcome.storage.pe(pe), &o.output.run, o.output.elems)
+                .expect("read"),
+        );
+    }
+    assert_eq!(all.len(), 3 * local_n);
+    assert!(all.windows(2).all(|w| w[0].key <= w[1].key), "globally sorted by 10-byte key");
+    // Permutation via recovered gensort indices.
+    let mut indices: Vec<u64> =
+        all.iter().map(demsort::workloads::record_index).collect();
+    indices.sort_unstable();
+    let expect: Vec<u64> = (0..(3 * local_n) as u64).collect();
+    assert_eq!(indices, expect, "every generated record survives exactly once");
+}
+
+#[test]
+fn file_backed_storage_end_to_end() {
+    // Real files instead of RAM: the same sort must work through the
+    // FileBackend (true external memory).
+    use demsort::core::canonical::canonical_mergesort;
+    use demsort::core::ctx::ClusterStorage;
+    use demsort::core::runform::ingest_input;
+    use demsort::storage::{Backend, FileBackend};
+    use std::sync::Arc;
+
+    let p = 2;
+    let machine = MachineConfig::tiny(p);
+    let dir = std::env::temp_dir().join(format!("demsort-e2e-{}", std::process::id()));
+    let mut pe_idx = 0;
+    let storage = ClusterStorage::with_backends(&machine, |m| {
+        let b: Arc<dyn Backend> = Arc::new(
+            FileBackend::create(&dir.join(format!("pe{pe_idx}")), m.disks_per_pe, m.block_bytes)
+                .expect("create files"),
+        );
+        pe_idx += 1;
+        b
+    });
+    let cfg = SortConfig::new(machine, AlgoConfig::default()).expect("valid");
+    let storage_ref = &storage;
+    let cfg2 = cfg.clone();
+    let outcomes = run_cluster(p, move |c| {
+        let st = storage_ref.pe(c.rank());
+        let recs = generate_pe_input(InputSpec::Uniform, 5, c.rank(), p, 600);
+        let input = ingest_input(st, &recs).expect("ingest");
+        canonical_mergesort::<Element16>(&c, storage_ref, &cfg2, input, 1).expect("sort")
+    });
+    let mut all = Vec::new();
+    for (pe, o) in outcomes.iter().enumerate() {
+        all.extend(
+            read_records::<Element16>(storage.pe(pe), &o.output.run, o.output.elems)
+                .expect("read"),
+        );
+    }
+    let mut reference = generate_all(InputSpec::Uniform, 5, p, 600);
+    reference.sort_unstable();
+    assert_eq!(all, reference, "file-backed sort matches");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hierarchical_parallelism_cores_within_pes() {
+    // Section IV-E "Hierarchical Parallelism": multiple cores per PE
+    // must not change the result, only the work distribution.
+    let mut machine = MachineConfig::tiny(3);
+    machine.cores_per_pe = 4;
+    let cfg = SortConfig::new(machine, AlgoConfig::default()).expect("valid");
+    sort_and_validate(&cfg, InputSpec::Uniform, 900);
+    sort_and_validate(&cfg, InputSpec::Banded { block_elems: 16 }, 640);
+}
+
+#[test]
+fn power_law_skew_sorts_with_exact_balance() {
+    // Power-law key skew stresses exact splitting: heavy duplication
+    // near zero keys, yet output sizes stay canonical by construction.
+    let cfg = tiny_cfg(4);
+    for alpha in [20u8, 40] {
+        sort_and_validate(&cfg, InputSpec::PowerLaw { alpha_x10: alpha }, 800);
+    }
+}
+
+#[test]
+fn determinism_same_seed_same_output() {
+    let cfg = tiny_cfg(3);
+    let run = || {
+        let outcome = sort_cluster::<Element16, _>(&cfg, |pe, p| {
+            generate_pe_input(InputSpec::Uniform, 11, pe, p, 500)
+        })
+        .expect("sort");
+        let mut all = Vec::new();
+        for (pe, o) in outcome.per_pe.iter().enumerate() {
+            all.extend(
+                read_records::<Element16>(outcome.storage.pe(pe), &o.output.run, o.output.elems)
+                    .expect("read"),
+            );
+        }
+        (all, outcome.report.io_volume_over_n())
+    };
+    let (a, io_a) = run();
+    let (b, io_b) = run();
+    assert_eq!(a, b, "same seed, same output");
+    assert_eq!(io_a, io_b, "same seed, same traffic");
+}
+
+#[test]
+fn striped_and_canonical_agree() {
+    use demsort::core::ctx::ClusterStorage;
+    use demsort::core::runform::ingest_input;
+    use demsort::core::striped::{read_striped, striped_mergesort};
+
+    let p = 3;
+    let local_n = 700usize;
+    let cfg = tiny_cfg(p);
+
+    let canonical = sort_cluster::<Element16, _>(&cfg, move |pe, p| {
+        generate_pe_input(InputSpec::Uniform, 21, pe, p, local_n)
+    })
+    .expect("canonical");
+    let mut canonical_all = Vec::new();
+    for (pe, o) in canonical.per_pe.iter().enumerate() {
+        canonical_all.extend(
+            read_records::<Element16>(canonical.storage.pe(pe), &o.output.run, o.output.elems)
+                .expect("read"),
+        );
+    }
+
+    let storage = ClusterStorage::new_mem(&cfg.machine);
+    let storage_ref = &storage;
+    let cfg2 = cfg.clone();
+    let outcomes = run_cluster(p, move |c| {
+        let st = storage_ref.pe(c.rank());
+        let recs = generate_pe_input(InputSpec::Uniform, 21, c.rank(), p, local_n);
+        let input = ingest_input(st, &recs).expect("ingest");
+        striped_mergesort::<Element16>(&c, st, &cfg2, input, 1, None).expect("striped")
+    });
+    let striped_all = read_striped::<Element16>(&storage, &outcomes[0].output).expect("read");
+
+    let keys_c: Vec<u64> = canonical_all.iter().map(|e| e.key).collect();
+    let keys_s: Vec<u64> = striped_all.iter().map(|e| e.key).collect();
+    assert_eq!(keys_c, keys_s, "both algorithms produce the same sorted keys");
+}

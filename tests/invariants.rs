@@ -1,0 +1,134 @@
+//! Property-based integration tests: the paper's invariants hold for
+//! arbitrary cluster shapes, input sizes, and key distributions.
+
+use demsort::prelude::*;
+use demsort::core::canonical::sort_cluster;
+use demsort::core::recio::read_records;
+use demsort::types::ranks;
+use demsort::workloads::splitmix64;
+use proptest::prelude::*;
+
+/// Generate an arbitrary per-PE input from a (seed, distribution
+/// exponent) pair: keys are `splitmix64(gid) % key_range`, so small
+/// ranges force heavy duplication.
+fn arbitrary_input(seed: u64, key_range: u64, pe: usize, _p: usize, n: usize) -> Vec<Element16> {
+    (0..n as u64)
+        .map(|i| {
+            let gid = pe as u64 * n as u64 + i;
+            Element16::new(splitmix64(seed ^ gid) % key_range.max(1), gid)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The canonical sort equals a reference sort for any shape —
+    /// key-wise — and the output sizes match ⌊i·N/P⌋ boundaries.
+    #[test]
+    fn canonical_sort_equals_reference(
+        p in 1usize..5,
+        local_n in 0usize..600,
+        key_range in 1u64..10_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let cfg = SortConfig::new(MachineConfig::tiny(p), AlgoConfig::default()).unwrap();
+        let outcome = sort_cluster::<Element16, _>(&cfg, move |pe, p| {
+            arbitrary_input(seed, key_range, pe, p, local_n)
+        }).expect("sort");
+
+        let mut reference: Vec<u64> = (0..p)
+            .flat_map(|pe| arbitrary_input(seed, key_range, pe, p, local_n))
+            .map(|e| e.key)
+            .collect();
+        reference.sort_unstable();
+
+        let n = reference.len() as u64;
+        let mut got: Vec<u64> = Vec::with_capacity(reference.len());
+        for (pe, o) in outcome.per_pe.iter().enumerate() {
+            prop_assert_eq!(o.output.elems, ranks::owned_len(pe, p, n));
+            let recs = read_records::<Element16>(
+                outcome.storage.pe(pe), &o.output.run, o.output.elems).expect("read");
+            got.extend(recs.iter().map(|e| e.key));
+        }
+        prop_assert_eq!(got, reference);
+    }
+
+    /// Randomization never hurts: all-to-all I/O with randomization is
+    /// at most that without, plus slack for sampling noise, on banded
+    /// worst-case inputs.
+    #[test]
+    fn randomization_never_hurts_much(
+        p in 2usize..5,
+        blocks_per_pe in 8usize..40,
+        seed in 0u64..1000,
+    ) {
+        let machine = MachineConfig::tiny(p);
+        let band = machine.block_bytes / 16;
+        let local_n = blocks_per_pe * band;
+        let volume = |randomize: bool| {
+            let algo = AlgoConfig { randomize, seed, ..AlgoConfig::default() };
+            let cfg = SortConfig::new(machine.clone(), algo).unwrap();
+            let outcome = sort_cluster::<Element16, _>(&cfg, move |pe, p| {
+                demsort::workloads::generate_pe_input(
+                    InputSpec::Banded { block_elems: band }, 5, pe, p, local_n)
+            }).expect("sort");
+            outcome.report.phase_total(Phase::AllToAll, |s| s.io.bytes_total())
+        };
+        let with = volume(true);
+        let without = volume(false);
+        // Slack: one block per (run, PE) pair of fragmentation noise.
+        let slack = (machine.block_bytes * p * 8) as u64;
+        prop_assert!(
+            with <= without + slack,
+            "randomized {} vs deterministic {} (+slack {})", with, without, slack
+        );
+    }
+
+    /// The external I/O bound: any input sorts in at most ~3 passes of
+    /// traffic (4N for two passes + redistribution ≤ 2N more), and the
+    /// internal case in exactly one pass. Inputs must span several
+    /// blocks — below that, block padding dominates the ratio (one
+    /// 16-byte element still moves a 256-byte block each way).
+    #[test]
+    fn io_volume_bounds(
+        p in 1usize..4,
+        local_n in 64usize..900,
+        seed in 0u64..1000,
+    ) {
+        let cfg = SortConfig::new(MachineConfig::tiny(p), AlgoConfig::default()).unwrap();
+        let outcome = sort_cluster::<Element16, _>(&cfg, move |pe, p| {
+            arbitrary_input(seed, u64::MAX, pe, p, local_n)
+        }).expect("sort");
+        let io = outcome.report.io_volume_over_n();
+        if outcome.per_pe[0].runs == 1 {
+            prop_assert!((1.9..=2.6).contains(&io), "internal: {}", io);
+        } else {
+            // 4N + redistribution (≤ 2N) + fragmentation slack.
+            prop_assert!((3.9..=7.5).contains(&io), "external: {}", io);
+        }
+    }
+}
+
+/// The in-place claim: peak disk usage during the sort stays within a
+/// small factor of the input size (the algorithm recycles aggressively).
+#[test]
+fn in_place_peak_usage_bound() {
+    let p = 4;
+    let local_n = 2000usize;
+    let cfg = SortConfig::new(MachineConfig::tiny(p), AlgoConfig::default()).unwrap();
+    let outcome = sort_cluster::<Element16, _>(&cfg, move |pe, p| {
+        demsort::workloads::generate_pe_input(InputSpec::Uniform, 9, pe, p, local_n)
+    })
+    .expect("sort");
+    for pe in 0..p {
+        let alloc = outcome.storage.pe(pe).alloc();
+        let input_blocks = (local_n * 16).div_ceil(256);
+        assert!(
+            alloc.high_water() <= input_blocks * 2,
+            "PE {pe}: peak {} blocks vs input {} — not in-place",
+            alloc.high_water(),
+            input_blocks
+        );
+    }
+}
