@@ -10,9 +10,8 @@ fn sorted_runs(k: usize, total: usize) -> Vec<Vec<Element16>> {
     (0..k)
         .map(|r| {
             let n = total / k;
-            let mut v: Vec<Element16> = (0..n)
-                .map(|i| Element16::new(splitmix64((r * n + i) as u64), i as u64))
-                .collect();
+            let mut v: Vec<Element16> =
+                (0..n).map(|i| Element16::new(splitmix64((r * n + i) as u64), i as u64)).collect();
             v.sort_unstable();
             v
         })

@@ -38,11 +38,7 @@ fn main() {
 
     let meta = std::fs::metadata(input).expect("stat input");
     let total_records = (meta.len() / Record100::BYTES as u64) as usize;
-    assert_eq!(
-        meta.len() % Record100::BYTES as u64,
-        0,
-        "input must be whole 100-byte records"
-    );
+    assert_eq!(meta.len() % Record100::BYTES as u64, 0, "input must be whole 100-byte records");
     eprintln!("sorting {total_records} records on {pes} simulated PEs ({mem_mib} MiB memory each)");
 
     let machine = MachineConfig {
@@ -50,7 +46,9 @@ fn main() {
         disks_per_pe: 4,
         block_bytes: 64 << 10,
         mem_bytes_per_pe: mem_mib << 20,
-        cores_per_pe: std::thread::available_parallelism().map_or(1, |c| c.get() / pes.max(1)).max(1),
+        cores_per_pe: std::thread::available_parallelism()
+            .map_or(1, |c| c.get() / pes.max(1))
+            .max(1),
     };
     let cfg = SortConfig::new(machine, AlgoConfig::default()).expect("valid config");
 

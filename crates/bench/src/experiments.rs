@@ -4,16 +4,14 @@
 
 use crate::table::{ratio, secs, Table};
 use crate::{run_canonical, worst_case, ExpScale};
+use demsort_core::baselines::nowsort;
 use demsort_core::canonical::{sort_cluster, ClusterOutcome};
 use demsort_core::ctx::ClusterStorage;
 use demsort_core::runform::ingest_input;
 use demsort_core::striped::striped_mergesort;
-use demsort_core::baselines::nowsort;
 use demsort_net::run_cluster;
-use demsort_types::{
-    AlgoConfig, Element16, Phase, Record, Record100, SortConfig, SortReport,
-};
-use demsort_workloads::{gensort_records, generate_pe_input, InputSpec};
+use demsort_types::{AlgoConfig, Element16, Phase, Record, Record100, SortConfig, SortReport};
+use demsort_workloads::{generate_pe_input, gensort_records, InputSpec};
 
 /// Default cluster sizes of the scalability figures (`P = 1..64`).
 pub const PAPER_PES: &[usize] = &[1, 2, 4, 8, 16, 32, 64];
@@ -125,8 +123,7 @@ pub fn fig3(scale: &ExpScale, pes: usize) -> Table {
 pub fn fig5(scale: &ExpScale, pes_list: &[usize]) -> Table {
     let small = ExpScale { block_bytes: scale.block_bytes / 4, ..scale.clone() };
     fn a2a_over_n(s: &ExpScale, p: usize, spec: InputSpec, randomize: bool) -> f64 {
-        let outcome =
-            run_canonical(s, p, spec, AlgoConfig { randomize, ..AlgoConfig::default() });
+        let outcome = run_canonical(s, p, spec, AlgoConfig { randomize, ..AlgoConfig::default() });
         outcome.report.phase_total(Phase::AllToAll, |st| st.io.bytes_total()) as f64
             / outcome.report.total_bytes() as f64
     }
@@ -150,7 +147,11 @@ pub fn fig5(scale: &ExpScale, pes_list: &[usize]) -> Table {
 
 /// Run the canonical sort on SortBenchmark records (100 bytes, 10-byte
 /// key).
-pub fn run_canonical_r100(scale: &ExpScale, pes: usize, data_bytes_per_pe: usize) -> ClusterOutcome<Record100> {
+pub fn run_canonical_r100(
+    scale: &ExpScale,
+    pes: usize,
+    data_bytes_per_pe: usize,
+) -> ClusterOutcome<Record100> {
     let cfg = SortConfig::new(scale.machine(pes), AlgoConfig::default()).expect("valid");
     let local_n = data_bytes_per_pe / Record100::BYTES;
     sort_cluster::<Record100, _>(&cfg, move |pe, p| {
@@ -243,14 +244,11 @@ pub fn sortbench(scale: &ExpScale, pes: usize) -> Table {
 pub fn ablate_selection(scale: &ExpScale, pes: usize) -> Table {
     let mut t = Table::new(
         "Ablation — multiway selection: sampling / caching (sums over PEs)",
-        &["sampling", "cache", "probes", "blocks_fetched", "cache_hits", "remote_MiB"],
+        &["sampling", "cache", "sample_hits", "blocks_fetched", "cache_hits", "remote_MiB"],
     );
     for (sample_every, cache) in [(64usize, 32usize), (64, 0), (0, 32), (0, 0)] {
-        let algo = AlgoConfig {
-            sample_every,
-            selection_cache_blocks: cache,
-            ..AlgoConfig::default()
-        };
+        let algo =
+            AlgoConfig { sample_every, selection_cache_blocks: cache, ..AlgoConfig::default() };
         let outcome = run_canonical(scale, pes, InputSpec::Uniform, algo);
         let sum = |f: &dyn Fn(&demsort_core::extselect::SelectionStats) -> u64| -> u64 {
             outcome.per_pe.iter().map(|o| f(&o.selection)).sum()
@@ -258,7 +256,7 @@ pub fn ablate_selection(scale: &ExpScale, pes: usize) -> Table {
         t.row(vec![
             if sample_every > 0 { format!("every {sample_every}") } else { "off".into() },
             if cache > 0 { format!("{cache} blocks") } else { "off".into() },
-            sum(&|s| s.probes).to_string(),
+            sum(&|s| s.sample_hits).to_string(),
             sum(&|s| s.blocks_local + s.blocks_remote).to_string(),
             sum(&|s| s.cache_hits).to_string(),
             format!("{:.2}", sum(&|s| s.remote_bytes) as f64 / (1 << 20) as f64),
@@ -320,8 +318,7 @@ pub fn striped_vs_canonical(scale: &ExpScale, pes_list: &[usize]) -> Table {
 
 /// Run the striped sort and collect a single-phase report (totals).
 pub fn run_striped_report(scale: &ExpScale, pes: usize) -> SortReport {
-    let cfg =
-        SortConfig::new(scale.machine(pes), AlgoConfig::default()).expect("valid config");
+    let cfg = SortConfig::new(scale.machine(pes), AlgoConfig::default()).expect("valid config");
     let storage = ClusterStorage::new_mem(&cfg.machine);
     let storage_ref = &storage;
     let local_n = scale.elems_per_pe();
@@ -333,8 +330,7 @@ pub fn run_striped_report(scale: &ExpScale, pes: usize) -> SortReport {
         let input = ingest_input(st, &recs).expect("ingest");
         let io0 = st.counters();
         let comm0 = c.counters();
-        let out =
-            striped_mergesort::<Element16>(&c, st, &cfg2, input, 1, None).expect("striped");
+        let out = striped_mergesort::<Element16>(&c, st, &cfg2, input, 1, None).expect("striped");
         let mut stats = demsort_types::PhaseStats {
             io: st.counters().delta_since(&io0),
             comm: c.counters().delta_since(&comm0),
@@ -387,16 +383,14 @@ pub fn baseline_skew(scale: &ExpScale, pes: usize) -> Table {
 
 /// Run the NOW-Sort baseline and return (report, imbalance).
 pub fn run_nowsort_report(scale: &ExpScale, pes: usize, spec: InputSpec) -> (SortReport, f64) {
-    let cfg =
-        SortConfig::new(scale.machine(pes), AlgoConfig::default()).expect("valid config");
+    let cfg = SortConfig::new(scale.machine(pes), AlgoConfig::default()).expect("valid config");
     let storage = ClusterStorage::new_mem(&cfg.machine);
     let storage_ref = &storage;
     let local_n = scale.elems_per_pe();
     let cfg2 = cfg.clone();
     let outcomes = run_cluster(pes, move |c| {
         let st = storage_ref.pe(c.rank());
-        let recs =
-            generate_pe_input(spec, 0xDE77_5047 ^ pes as u64, c.rank(), pes, local_n);
+        let recs = generate_pe_input(spec, 0xDE77_5047 ^ pes as u64, c.rank(), pes, local_n);
         let input = ingest_input(st, &recs).expect("ingest");
         let out = nowsort::<Element16>(&c, st, &cfg2, input, 1).expect("nowsort");
         (out.phases, out.imbalance)
@@ -464,11 +458,13 @@ pub fn ablate_prefetch(scale: &ExpScale) -> Table {
         };
         match layout {
             "striped" => (0..blocks).map(|i| alloc(i as u32 % disks)).collect(),
-            "random" => (0..blocks)
-                .map(|i| alloc((splitmix64(i as u64) % disks as u64) as u32))
-                .collect(),
+            "random" => {
+                (0..blocks).map(|i| alloc((splitmix64(i as u64) % disks as u64) as u32)).collect()
+            }
             // Adversarial: long stretches on one disk.
-            _ => (0..blocks).map(|i| alloc((i / (blocks / disks as usize)) as u32 % disks)).collect(),
+            _ => {
+                (0..blocks).map(|i| alloc((i / (blocks / disks as usize)) as u32 % disks)).collect()
+            }
         }
     };
     let mut t = Table::new(
@@ -528,8 +524,7 @@ mod tests {
         let t = fig5(&smoke(), &[4]);
         let s = t.render();
         let row = s.lines().nth(3).expect("data row");
-        let cells: Vec<f64> =
-            row.split_whitespace().skip(1).map(|c| c.parse().unwrap()).collect();
+        let cells: Vec<f64> = row.split_whitespace().skip(1).map(|c| c.parse().unwrap()).collect();
         let (nonrand, rand_b8, rand_b2, random) = (cells[0], cells[1], cells[2], cells[3]);
         assert!(nonrand > rand_b8, "randomization cuts volume: {cells:?}");
         assert!(rand_b2 <= rand_b8 * 1.1, "smaller blocks help (or tie): {cells:?}");
@@ -542,15 +537,7 @@ mod tests {
         let with = fig4(&s, &[4]);
         let without = fig6(&s, &[4]);
         let total = |t: &Table| -> f64 {
-            t.render()
-                .lines()
-                .nth(3)
-                .unwrap()
-                .split_whitespace()
-                .last()
-                .unwrap()
-                .parse()
-                .unwrap()
+            t.render().lines().nth(3).unwrap().split_whitespace().last().unwrap().parse().unwrap()
         };
         assert!(
             total(&without) > total(&with),

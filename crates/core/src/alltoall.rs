@@ -29,9 +29,9 @@
 //! element they hold has been shipped (monotone per-run cursors), so
 //! received fragments reuse them.
 
+use crate::extselect::RunSplitters;
 use crate::recio::records_per_block;
 use crate::rundir::{slice_run, RunDirectory};
-use crate::extselect::RunSplitters;
 use demsort_net::{chunked_alltoallv, decode_u64s, encode_u64s, Communicator, MPI_VOLUME_LIMIT};
 use demsort_storage::{BlockId, PeStorage, Run, RunWriter};
 use demsort_types::{Record, Result, SortConfig};
@@ -154,8 +154,7 @@ pub fn external_alltoall<R: Record + Ord>(
         let clamp = |g: u64| g.clamp(my_off, my_off + my_len) - my_off;
         for q in 0..p {
             let g_lo = all_splitters[q].positions[j];
-            let g_hi =
-                if q + 1 < p { all_splitters[q + 1].positions[j] } else { meta.elems() };
+            let g_hi = if q + 1 < p { all_splitters[q + 1].positions[j] } else { meta.elems() };
             let (lo, hi) = (clamp(g_lo), clamp(g_hi));
             if q == me {
                 retained.push((lo, hi));
@@ -166,7 +165,8 @@ pub fn external_alltoall<R: Record + Ord>(
     }
 
     // Choose k so one suboperation's send volume fits the memory budget.
-    let send_elems: u64 = segments.iter().map(|s| s.iter().map(Segment::remaining).sum::<u64>()).sum();
+    let send_elems: u64 =
+        segments.iter().map(|s| s.iter().map(Segment::remaining).sum::<u64>()).sum();
     let budget = ((cfg.machine.mem_bytes_per_pe as f64 * cfg.algo.alltoall_mem_fraction)
         / R::BYTES as f64)
         .max(1.0) as u64;
@@ -465,10 +465,7 @@ mod tests {
     }
 
     /// Decode a merge input's fragments back into records.
-    fn decode_input(
-        st: &demsort_storage::PeStorage,
-        mi: &MergeInput,
-    ) -> Vec<Element16> {
+    fn decode_input(st: &demsort_storage::PeStorage, mi: &MergeInput) -> Vec<Element16> {
         let mut out = Vec::new();
         for f in &mi.fragments {
             match f {
@@ -500,11 +497,7 @@ mod tests {
             assert_eq!(o.merge_inputs.len(), expect.len(), "one input per run");
             for (j, (mi, want)) in o.merge_inputs.iter().zip(expect).enumerate() {
                 let got = decode_input(storage.pe(pe), mi);
-                assert_eq!(
-                    got.len(),
-                    want.len(),
-                    "PE {pe} run {j} piece size ({spec:?})"
-                );
+                assert_eq!(got.len(), want.len(), "PE {pe} run {j} piece size ({spec:?})");
                 assert_eq!(&got, want, "PE {pe} run {j} piece content");
                 assert!(
                     got.windows(2).all(|w| w[0].key <= w[1].key),
@@ -549,12 +542,8 @@ mod tests {
     fn randomization_shrinks_sources_seen() {
         let worst = InputSpec::Banded { block_elems: 16 };
         let sources = |randomize: bool| {
-            let (_, outcomes, _) = exchange(
-                4,
-                1024,
-                worst,
-                AlgoConfig { randomize, ..AlgoConfig::default() },
-            );
+            let (_, outcomes, _) =
+                exchange(4, 1024, worst, AlgoConfig { randomize, ..AlgoConfig::default() });
             outcomes.iter().map(|o| o.sources_seen).max().unwrap_or(0)
         };
         // Without randomization, the banded worst case makes everyone

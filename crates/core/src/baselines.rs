@@ -117,8 +117,7 @@ pub fn nowsort<R: Record + Ord>(
 
     let n = comm.allreduce_sum(received_total);
     let max_local = comm.allreduce_max(received_total);
-    let imbalance =
-        if n == 0 { 1.0 } else { max_local as f64 / (n as f64 / p as f64) };
+    let imbalance = if n == 0 { 1.0 } else { max_local as f64 / (n as f64 / p as f64) };
 
     Ok(NowSortOutcome { output, local_elems: received_total, imbalance, phases: rec.into_stats() })
 }
@@ -138,8 +137,7 @@ mod tests {
         local_n: usize,
         spec: InputSpec,
     ) -> (Vec<Element16>, Vec<NowSortOutcome<Element16>>) {
-        let cfg =
-            SortConfig::new(MachineConfig::tiny(p), AlgoConfig::default()).expect("valid");
+        let cfg = SortConfig::new(MachineConfig::tiny(p), AlgoConfig::default()).expect("valid");
         let storage = ClusterStorage::new_mem(&cfg.machine);
         let storage_ref = &storage;
         let cfg2 = cfg.clone();

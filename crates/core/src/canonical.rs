@@ -176,10 +176,9 @@ mod tests {
     /// the input (sizes, order, permutation).
     fn check_sort(cfg: &SortConfig, spec: InputSpec, local_n: usize) -> ClusterOutcome<Element16> {
         let p = cfg.machine.pes;
-        let outcome = sort_cluster::<Element16, _>(cfg, |pe, p| {
-            generate_pe_input(spec, 77, pe, p, local_n)
-        })
-        .expect("sort");
+        let outcome =
+            sort_cluster::<Element16, _>(cfg, |pe, p| generate_pe_input(spec, 77, pe, p, local_n))
+                .expect("sort");
 
         let mut reference = generate_all(spec, 77, p, local_n);
         let checksum_in = checksum_elements(&reference);
@@ -193,12 +192,9 @@ mod tests {
                 ranks::owned_len(pe, p, n),
                 "canonical size on PE {pe} ({spec:?})"
             );
-            let recs = read_records::<Element16>(
-                outcome.storage.pe(pe),
-                &o.output.run,
-                o.output.elems,
-            )
-            .expect("read output");
+            let recs =
+                read_records::<Element16>(outcome.storage.pe(pe), &o.output.run, o.output.elems)
+                    .expect("read output");
             concat.extend(recs);
         }
         // Key sequence must match the reference exactly (equal keys may
@@ -268,9 +264,7 @@ mod tests {
         // All-to-all volume (Figure 5's metric): bytes through the
         // all-to-all phase relative to input bytes.
         let n_bytes = outcome.report.total_bytes() as f64;
-        let a2a_io = outcome
-            .report
-            .phase_total(Phase::AllToAll, |s| s.io.bytes_total()) as f64;
+        let a2a_io = outcome.report.phase_total(Phase::AllToAll, |s| s.io.bytes_total()) as f64;
         assert!(
             a2a_io / n_bytes < 0.1,
             "presorted input must not move data: ratio {}",
@@ -322,10 +316,7 @@ mod tests {
         let comm_over_n = outcome.report.comm_volume_over_n();
         // (P-1)/P = 0.75 of the data moves in run formation's internal
         // sort; everything else must be small.
-        assert!(
-            comm_over_n < 1.1,
-            "communication must stay near one pass: {comm_over_n:.2}"
-        );
+        assert!(comm_over_n < 1.1, "communication must stay near one pass: {comm_over_n:.2}");
     }
 
     #[test]

@@ -11,8 +11,7 @@
 
 use demsort_storage::{Backend, DiskModel, MemBackend, PeStorage};
 use demsort_types::{
-    CommCounters, CpuCounters, IoCounters, MachineConfig, Phase, PhaseStats, SortConfig,
-    SortReport,
+    CommCounters, CpuCounters, IoCounters, MachineConfig, Phase, PhaseStats, SortConfig, SortReport,
 };
 use std::sync::Arc;
 

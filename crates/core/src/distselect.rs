@@ -92,11 +92,7 @@ pub fn dist_select_rank<R: Record + Ord>(comm: &Communicator, local: &[R], r: u6
 /// Split the distributed sequence into `parts` equal pieces: returns the
 /// `parts + 1` local cut positions for this PE (monotone, covering
 /// `0..local.len()`).
-pub fn dist_split<R: Record + Ord>(
-    comm: &Communicator,
-    local: &[R],
-    parts: usize,
-) -> Vec<usize> {
+pub fn dist_split<R: Record + Ord>(comm: &Communicator, local: &[R], parts: usize) -> Vec<usize> {
     assert!(parts > 0);
     let total = comm.allreduce_sum(local.len() as u64);
     let mut cuts = Vec::with_capacity(parts + 1);
@@ -235,9 +231,7 @@ mod tests {
         let locals: Vec<Vec<Element16>> =
             (0..p).map(|pe| vec![Element16::new(42, pe as u64); 10]).collect();
         let locals_ref = &locals;
-        let positions = run_cluster(p, move |c| {
-            dist_select_rank(&c, &locals_ref[c.rank()], 15)
-        });
+        let positions = run_cluster(p, move |c| dist_select_rank(&c, &locals_ref[c.rank()], 15));
         // Canonical: PE 0's 10 elements, then 5 from PE 1.
         assert_eq!(positions, vec![10, 5, 0]);
     }
@@ -246,13 +240,10 @@ mod tests {
     fn dist_split_produces_equal_parts() {
         let locals = sorted_locals(5, 200, 23);
         let locals_ref = &locals;
-        let all_cuts = run_cluster(5, move |c| {
-            dist_split(&c, &locals_ref[c.rank()], 5)
-        });
+        let all_cuts = run_cluster(5, move |c| dist_split(&c, &locals_ref[c.rank()], 5));
         // Every part has global size 200.
         for part in 0..5 {
-            let size: usize =
-                all_cuts.iter().map(|cuts| cuts[part + 1] - cuts[part]).sum();
+            let size: usize = all_cuts.iter().map(|cuts| cuts[part + 1] - cuts[part]).sum();
             assert_eq!(size, 200, "part {part}");
         }
     }

@@ -55,14 +55,9 @@ pub fn merge_into<R: Record + Ord>(
                 .fragments
                 .iter()
                 .map(|f| match f {
-                    MergeFragment::Received { run, elems } => RecordRunReader::<R>::with_range(
-                        st,
-                        run.clone(),
-                        *elems,
-                        0,
-                        *elems,
-                        true,
-                    ),
+                    MergeFragment::Received { run, elems } => {
+                        RecordRunReader::<R>::with_range(st, run.clone(), *elems, 0, *elems, true)
+                    }
                     MergeFragment::Retained { run, slice_elems, start, end } => {
                         RecordRunReader::<R>::with_range(
                             st,
@@ -140,7 +135,9 @@ mod tests {
                     MergeFragment::Received { run: f0c.run, elems: f0c.elems },
                 ],
             },
-            MergeInput { fragments: vec![MergeFragment::Received { run: f1.run, elems: f1.elems }] },
+            MergeInput {
+                fragments: vec![MergeFragment::Received { run: f1.run, elems: f1.elems }],
+            },
         ];
         let (out, cpu) = final_merge::<Element16>(&st, inputs).expect("merge");
         assert_eq!(out.elems, 80);

@@ -260,7 +260,8 @@ mod tests {
 
     #[test]
     fn merge_iter_streams() {
-        let sources = vec![vec![1u32, 5, 9].into_iter(), vec![2, 6].into_iter(), vec![3].into_iter()];
+        let sources =
+            vec![vec![1u32, 5, 9].into_iter(), vec![2, 6].into_iter(), vec![3].into_iter()];
         let merged: Vec<u32> = MergeIter::new(sources).collect();
         assert_eq!(merged, vec![1, 2, 3, 5, 6, 9]);
     }
@@ -363,5 +364,87 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn loser_tree_zero_sources() {
+        let lt = LoserTree::<u32>::new(Vec::new());
+        assert!(lt.winner().is_none());
+        assert!(lt.peek().is_none());
+        assert_eq!(lt.capacity(), 1, "padded to one exhausted leaf");
+    }
+
+    #[test]
+    fn merge_single_long_run_is_identity() {
+        let run: Vec<u32> = (0..1000).map(|i| i * 3).collect();
+        assert_eq!(merge_k(&[run.as_slice()]), run);
+        let streamed: Vec<u32> = MergeIter::new(vec![run.clone().into_iter()]).collect();
+        assert_eq!(streamed, run);
+    }
+
+    #[test]
+    fn empty_runs_interleaved_with_nonempty() {
+        // Leading, trailing, and consecutive empty runs around real
+        // ones, at a non-power-of-two fan-in that exercises leaf
+        // padding next to genuinely empty sources.
+        let a = [1u32, 4, 9];
+        let b = [2u32, 4];
+        let c = [4u32, 5, 6];
+        let seqs: Vec<&[u32]> = vec![&[], &a, &[], &[], &b, &c, &[]];
+        assert_eq!(merge_k(&seqs), vec![1, 2, 4, 4, 4, 5, 6, 9]);
+
+        let streamed: Vec<u32> =
+            MergeIter::new(seqs.iter().map(|s| s.iter().copied()).collect()).collect();
+        assert_eq!(streamed, merge_k(&seqs));
+    }
+
+    #[test]
+    fn merge_iter_zero_and_all_empty_sources() {
+        assert_eq!(MergeIter::<u32, std::vec::IntoIter<u32>>::new(Vec::new()).count(), 0);
+        let empties: Vec<std::vec::IntoIter<u32>> =
+            (0..5).map(|_| Vec::new().into_iter()).collect();
+        assert_eq!(MergeIter::new(empties).count(), 0);
+    }
+
+    #[test]
+    fn all_duplicate_keys_stable_against_reference_sort() {
+        // (key, source) pairs ordered by key only: the merge must equal
+        // a *stable* sort of the concatenation, i.e. equal keys stay in
+        // source order even when every key collides.
+        #[derive(Copy, Clone, Debug, PartialEq, Eq)]
+        struct E(u32, usize);
+        impl PartialOrd for E {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        impl Ord for E {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                self.0.cmp(&o.0)
+            }
+        }
+        let k = 6;
+        let runs: Vec<Vec<E>> = (0..k).map(|s| vec![E(7, s); 5 + s]).collect();
+        let refs: Vec<&[E]> = runs.iter().map(|r| r.as_slice()).collect();
+        let merged = merge_k(&refs);
+
+        let mut reference: Vec<E> = runs.concat();
+        reference.sort_by_key(|e| e.0); // stable: preserves source order
+        assert_eq!(merged, reference);
+        // Explicit shape: all of source 0, then all of source 1, ...
+        let mut expect_sources = Vec::new();
+        for (s, run) in runs.iter().enumerate() {
+            expect_sources.extend(std::iter::repeat_n(s, run.len()));
+        }
+        assert_eq!(merged.iter().map(|e| e.1).collect::<Vec<_>>(), expect_sources);
+    }
+
+    #[test]
+    fn duplicates_across_some_sources_keep_distinct_keys_sorted() {
+        let seqs: Vec<&[u32]> = vec![&[1, 1, 3, 3], &[1, 2, 3], &[], &[1, 3, 3]];
+        let merged = merge_k(&seqs);
+        let mut reference = seqs.concat();
+        reference.sort_unstable();
+        assert_eq!(merged, reference);
     }
 }

@@ -90,8 +90,9 @@ where
     if runs <= 1 {
         let mut delivered = 0u64;
         if let Some(fr) = dir.local.into_iter().next() {
-            let mut reader =
-                crate::recio::RecordRunReader::<R>::with_range(st, fr.run, fr.elems, 0, fr.elems, true);
+            let mut reader = crate::recio::RecordRunReader::<R>::with_range(
+                st, fr.run, fr.elems, 0, fr.elems, true,
+            );
             while let Some(rec) = reader.next_rec()? {
                 sink(rec)?;
                 delivered += 1;
@@ -169,8 +170,7 @@ mod tests {
         let n = (p * per_pe) as u64;
         let mut reference: Vec<u64> = (0..n).map(|gid| splitmix64(seed ^ gid)).collect();
         reference.sort_unstable();
-        let concat: Vec<u64> =
-            outputs.iter().flat_map(|o| o.iter().map(|e| e.key)).collect();
+        let concat: Vec<u64> = outputs.iter().flat_map(|o| o.iter().map(|e| e.key)).collect();
         assert_eq!(concat, reference, "pipelined output is the sorted stream");
         for (pe, o) in outputs.iter().enumerate() {
             assert_eq!(o.len() as u64, ranks::owned_len(pe, p, n), "canonical sizes");
@@ -208,8 +208,15 @@ mod tests {
             };
             let mut got = Vec::new();
             pipelined_sort::<Element16, _, _>(
-                &c, storage_ref, &cfg2, source,
-                |r| { got.push(r); Ok(()) }, 1,
+                &c,
+                storage_ref,
+                &cfg2,
+                source,
+                |r| {
+                    got.push(r);
+                    Ok(())
+                },
+                1,
             )
             .expect("pipeline");
             got
@@ -243,15 +250,20 @@ mod tests {
                 })
             };
             pipelined_sort::<Element16, _, _>(
-                &c, storage_ref, &cfg2, source,
-                |_r| { counted_ref.fetch_add(1, Ordering::Relaxed); Ok(()) }, 1,
+                &c,
+                storage_ref,
+                &cfg2,
+                source,
+                |_r| {
+                    counted_ref.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                },
+                1,
             )
             .expect("pipeline");
         });
         assert_eq!(counted.load(Ordering::Relaxed), (p * per_pe) as u64);
-        let io: u64 = (0..p)
-            .map(|pe| storage.pe(pe).counters().bytes_total())
-            .sum();
+        let io: u64 = (0..p).map(|pe| storage.pe(pe).counters().bytes_total()).sum();
         let n_bytes = (p * per_pe * 16) as u64;
         let ratio = io as f64 / n_bytes as f64;
         assert!(
@@ -276,8 +288,12 @@ mod tests {
                 })
             };
             pipelined_sort::<Element16, _, _>(
-                &c, storage_ref, &cfg2, source,
-                |_r| Err(demsort_types::Error::validation("sink rejected")), 1,
+                &c,
+                storage_ref,
+                &cfg2,
+                source,
+                |_r| Err(demsort_types::Error::validation("sink rejected")),
+                1,
             )
         });
         assert!(results[0].is_err(), "sink errors must surface");

@@ -238,8 +238,8 @@ impl<'a, R: Record> RecordRunReader<'a, R> {
             self.current.clear();
             // Valid records in this block, clipped to the range.
             let block_start = block_idx as u64 * self.rpb as u64;
-            let in_block =
-                (self.end_elem.min((block_idx as u64 + 1) * self.rpb as u64) - block_start) as usize;
+            let in_block = (self.end_elem.min((block_idx as u64 + 1) * self.rpb as u64)
+                - block_start) as usize;
             R::decode_slice(&data[..in_block * R::BYTES], &mut self.current);
             self.current_pos = (self.next_elem - block_start) as usize;
             if self.free_after_read {
@@ -369,7 +369,12 @@ mod tests {
         let fr = write_records(&st, &recs).expect("write");
         for (start, end) in [(0u64, 20u64), (3, 17), (4, 8), (7, 7), (19, 20), (0, 1)] {
             let got = RecordRunReader::<Element16>::with_range(
-                &st, fr.run.clone(), fr.elems, start, end, false,
+                &st,
+                fr.run.clone(),
+                fr.elems,
+                start,
+                end,
+                false,
             )
             .read_to_vec()
             .expect("read");

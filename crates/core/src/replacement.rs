@@ -151,11 +151,7 @@ mod tests {
         check_runs(&runs, &input);
         let avg = input.len() as f64 / runs.len() as f64;
         // Knuth: expected run length 2m on random input. Allow slack.
-        assert!(
-            avg > 1.6 * m as f64,
-            "average run length {avg:.0} should approach 2m = {}",
-            2 * m
-        );
+        assert!(avg > 1.6 * m as f64, "average run length {avg:.0} should approach 2m = {}", 2 * m);
     }
 
     #[test]
@@ -198,12 +194,7 @@ mod tests {
 
     #[test]
     fn on_disk_runs_round_trip() {
-        let st = PeStorage::with_backend(
-            2,
-            256,
-            DiskModel::paper(),
-            Arc::new(MemBackend::new(2)),
-        );
+        let st = PeStorage::with_backend(2, 256, DiskModel::paper(), Arc::new(MemBackend::new(2)));
         let input = random_input(1000, 3);
         let finished = form_runs_replacement(&st, &input, 64, 16).expect("form");
         let in_memory = runs_by_replacement(&input, 64);

@@ -115,7 +115,8 @@ pub fn build_directory<R: Record + Ord>(
 }
 
 fn encode_slice_meta<R: Record>(fr: &FinishedRun<R>) -> Vec<u8> {
-    let mut out = Vec::with_capacity(16 + fr.run.blocks.len() * 8 + fr.samples.len() * (8 + R::BYTES));
+    let mut out =
+        Vec::with_capacity(16 + fr.run.blocks.len() * 8 + fr.samples.len() * (8 + R::BYTES));
     out.extend_from_slice(&fr.elems.to_le_bytes());
     out.extend_from_slice(&(fr.run.blocks.len() as u32).to_le_bytes());
     out.extend_from_slice(&(fr.samples.len() as u32).to_le_bytes());

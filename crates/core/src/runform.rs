@@ -28,7 +28,7 @@
 //!   writes reuse them.
 
 use crate::merge::{merge_k_into, merge_work};
-use crate::psort::{parallel_sort_presorted, parallel_sort};
+use crate::psort::{parallel_sort, parallel_sort_presorted};
 use crate::recio::{records_per_block, FinishedRun, RecordRunWriter};
 use crate::seqsort::sort_in_node;
 use demsort_net::Communicator;
@@ -75,7 +75,8 @@ pub fn form_runs<R: Record + Ord>(
     // Randomized (or identity) assignment of local blocks to runs.
     let mut order: Vec<usize> = (0..full_blocks).collect();
     if cfg.algo.randomize {
-        let mut rng = StdRng::seed_from_u64(cfg.algo.seed ^ (comm.rank() as u64).wrapping_mul(0x9E37_79B9));
+        let mut rng =
+            StdRng::seed_from_u64(cfg.algo.seed ^ (comm.rank() as u64).wrapping_mul(0x9E37_79B9));
         order.shuffle(&mut rng);
     }
 
@@ -252,8 +253,7 @@ mod tests {
             let st = storage.pe(c.rank());
             let recs = generate_pe_input(spec, 7, c.rank(), p, local_n);
             let input = ingest_input(st, &recs).expect("ingest");
-            let out =
-                form_runs::<Element16>(&c, st, &cfg2, input, 1).expect("form runs");
+            let out = form_runs::<Element16>(&c, st, &cfg2, input, 1).expect("form runs");
             out.local
                 .into_iter()
                 .map(|fr| {
@@ -266,11 +266,7 @@ mod tests {
 
     /// Each run must be globally sorted (slice i < slice i+1, each slice
     /// sorted) and the union of all runs a permutation of the input.
-    fn check_runs(
-        spec: InputSpec,
-        cfg: &SortConfig,
-        local_n: usize,
-    ) {
+    fn check_runs(spec: InputSpec, cfg: &SortConfig, local_n: usize) {
         let p = cfg.machine.pes;
         let per_pe = run_form(spec, cfg, local_n);
         let num_runs = per_pe[0].len();
@@ -390,10 +386,8 @@ mod tests {
             let num_runs = per_pe[0].len();
             (0..num_runs)
                 .map(|j| {
-                    let mut bands: Vec<u64> = per_pe
-                        .iter()
-                        .flat_map(|s| s[j].0.iter().map(|e| e.key >> 40))
-                        .collect();
+                    let mut bands: Vec<u64> =
+                        per_pe.iter().flat_map(|s| s[j].0.iter().map(|e| e.key >> 40)).collect();
                     bands.sort_unstable();
                     bands.dedup();
                     bands.len()

@@ -135,6 +135,31 @@ pub fn multiway_select_from<S: SortedSeq>(
     let mut count: u64 = pos.iter().map(|&p| p as u64).sum();
     let mut step = init_step.next_power_of_two().max(1);
 
+    // Memoized boundary keys: heads[i] / tails[i] cache the key right
+    // of / left of splitter i (`None` once known to be absent). Only
+    // the splitter that moved is re-probed, so the probe count — which
+    // external selection pays for in (possibly remote) block fetches —
+    // is `O(R + moves)` instead of `O(R · moves)`. This is the linear-
+    // scan stand-in for the paper's priority queues, with the queues'
+    // probe economy.
+    let mut heads: Vec<Option<Option<S::Key>>> = vec![None; seqs.len()];
+    let mut tails: Vec<Option<Option<S::Key>>> = vec![None; seqs.len()];
+
+    fn boundary_key<S: SortedSeq>(
+        seq: &mut S,
+        at: Option<usize>,
+        cache: &mut Option<Option<S::Key>>,
+        probes: &mut u64,
+    ) -> Option<S::Key> {
+        if cache.is_none() {
+            *cache = Some(at.map(|idx| {
+                *probes += 1;
+                seq.key_at(idx)
+            }));
+        }
+        cache.expect("cache filled above")
+    }
+
     loop {
         // Advance the splitter with the smallest head until count > r
         // (paper: "increased by s until the number of elements to the
@@ -142,9 +167,8 @@ pub fn multiway_select_from<S: SortedSeq>(
         while count < r {
             let mut best: Option<(S::Key, usize)> = None;
             for (i, s) in seqs.iter_mut().enumerate() {
-                if pos[i] < s.len() {
-                    probes += 1;
-                    let k = s.key_at(pos[i]);
+                let at = (pos[i] < s.len()).then_some(pos[i]);
+                if let Some(k) = boundary_key(s, at, &mut heads[i], &mut probes) {
                     // Strict `<` keeps the lowest sequence index on ties.
                     if best.is_none_or(|(bk, _)| k < bk) {
                         best = Some((k, i));
@@ -158,14 +182,15 @@ pub fn multiway_select_from<S: SortedSeq>(
             let adv = step.min(seqs[i].len() - pos[i]);
             pos[i] += adv;
             count += adv as u64;
+            heads[i] = None;
+            tails[i] = None;
         }
         // Retreat the splitter with the largest tail while count > r.
         while count > r {
             let mut best: Option<(S::Key, usize)> = None;
             for (i, s) in seqs.iter_mut().enumerate() {
-                if pos[i] > 0 {
-                    probes += 1;
-                    let k = s.key_at(pos[i] - 1);
+                let at = (pos[i] > 0).then(|| pos[i] - 1);
+                if let Some(k) = boundary_key(s, at, &mut tails[i], &mut probes) {
                     // `>=` keeps the highest sequence index on ties
                     // (mirror of the up-phase tie-break).
                     if best.is_none_or(|(bk, _)| k >= bk) {
@@ -179,6 +204,8 @@ pub fn multiway_select_from<S: SortedSeq>(
             let ret = step.min(pos[i]);
             pos[i] -= ret;
             count -= ret as u64;
+            heads[i] = None;
+            tails[i] = None;
         }
         if step == 1 {
             break;
@@ -194,16 +221,14 @@ pub fn multiway_select_from<S: SortedSeq>(
         let mut max_left: Option<(S::Key, usize)> = None;
         let mut min_right: Option<(S::Key, usize)> = None;
         for (i, s) in seqs.iter_mut().enumerate() {
-            if pos[i] > 0 {
-                probes += 1;
-                let k = s.key_at(pos[i] - 1);
+            let tail_at = (pos[i] > 0).then(|| pos[i] - 1);
+            if let Some(k) = boundary_key(s, tail_at, &mut tails[i], &mut probes) {
                 if max_left.is_none_or(|(bk, bi)| (k, i) > (bk, bi)) {
                     max_left = Some((k, i));
                 }
             }
-            if pos[i] < s.len() {
-                probes += 1;
-                let k = s.key_at(pos[i]);
+            let head_at = (pos[i] < s.len()).then_some(pos[i]);
+            if let Some(k) = boundary_key(s, head_at, &mut heads[i], &mut probes) {
                 if min_right.is_none_or(|(bk, bi)| (k, i) < (bk, bi)) {
                     min_right = Some((k, i));
                 }
@@ -213,6 +238,10 @@ pub fn multiway_select_from<S: SortedSeq>(
             (Some((lk, li)), Some((rk, ri))) if (lk, li) > (rk, ri) => {
                 pos[li] -= 1;
                 pos[ri] += 1;
+                heads[li] = None;
+                tails[li] = None;
+                heads[ri] = None;
+                tails[ri] = None;
             }
             _ => break,
         }
@@ -332,9 +361,8 @@ mod tests {
     fn sample_initialized_selection_matches() {
         // Start from sample-derived positions (multiples of K below the
         // target) and a small step — must converge to the same result.
-        let seqs: Vec<Vec<u64>> = (0..4)
-            .map(|i| (0..256u64).map(|j| j * 4 + i).collect())
-            .collect();
+        let seqs: Vec<Vec<u64>> =
+            (0..4).map(|i| (0..256u64).map(|j| j * 4 + i).collect()).collect();
         let r = 300;
         let reference = select_and_check(&seqs, r);
         let k = 16usize;
@@ -360,8 +388,7 @@ mod tests {
         assert_eq!(cuts[0], vec![0; 5]);
         assert_eq!(cuts[4], vec![100; 5]);
         for w in cuts.windows(2) {
-            let size: u64 =
-                w[1].iter().zip(&w[0]).map(|(b, a)| (b - a) as u64).sum();
+            let size: u64 = w[1].iter().zip(&w[0]).map(|(b, a)| (b - a) as u64).sum();
             assert_eq!(size, 125, "equal parts");
             for (a, b) in w[0].iter().zip(&w[1]) {
                 assert!(a <= b, "cuts monotone per sequence");

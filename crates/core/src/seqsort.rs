@@ -71,11 +71,8 @@ pub fn sort_in_node<T: Ord + Copy + Send + Sync>(data: &mut [T], cores: usize) -
                 let size: usize = w[1].iter().zip(&w[0]).map(|(b, a)| b - a).sum();
                 let (slot, tail) = spare_rest.split_at_mut(size);
                 spare_rest = tail;
-                let pieces: Vec<&[T]> = chunks
-                    .iter()
-                    .enumerate()
-                    .map(|(i, c)| &c[w[0][i]..w[1][i]])
-                    .collect();
+                let pieces: Vec<&[T]> =
+                    chunks.iter().enumerate().map(|(i, c)| &c[w[0][i]..w[1][i]]).collect();
                 s.spawn(move || {
                     let mut local = Vec::with_capacity(size);
                     merge_k_into(&pieces, &mut local);

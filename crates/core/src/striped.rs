@@ -89,9 +89,7 @@ pub fn striped_mergesort<R: Record + Ord>(
 ) -> Result<StripedOutcome<R>> {
     let rpb = records_per_block::<R>(st.block_bytes());
     let bpr = cfg.machine.mem_blocks_per_pe().max(1);
-    let k_max = k_max
-        .unwrap_or(cfg.machine.mem_blocks_per_pe() * cfg.machine.pes)
-        .max(2);
+    let k_max = k_max.unwrap_or(cfg.machine.mem_blocks_per_pe() * cfg.machine.pes).max(2);
     let mut cpu = CpuCounters::default();
 
     // ---- Run formation with striped writes ----
@@ -185,7 +183,8 @@ fn write_striped<R: Record>(
     let received = chunked_alltoallv(comm, msgs, MPI_VOLUME_LIMIT);
 
     // Assemble my blocks (pieces of one block can come from two PEs).
-    let mut mine: std::collections::BTreeMap<u64, (Vec<u8>, usize)> = std::collections::BTreeMap::new();
+    let mut mine: std::collections::BTreeMap<u64, (Vec<u8>, usize)> =
+        std::collections::BTreeMap::new();
     let block_bytes = st.block_bytes();
     for buf in &received {
         let mut at = 0usize;
@@ -196,8 +195,7 @@ fn write_striped<R: Record>(
             let count =
                 u32::from_le_bytes(buf[at + 12..at + 16].try_into().expect("4 bytes")) as usize;
             let bytes = count * R::BYTES;
-            let entry =
-                mine.entry(g).or_insert_with(|| (vec![0u8; block_bytes], 0));
+            let entry = mine.entry(g).or_insert_with(|| (vec![0u8; block_bytes], 0));
             entry.0[within * R::BYTES..within * R::BYTES + bytes]
                 .copy_from_slice(&buf[at + 16..at + 16 + bytes]);
             entry.1 += count;
@@ -257,10 +255,8 @@ fn write_striped<R: Record>(
             at += 20 + R::BYTES;
         }
     }
-    run.first_keys = keys
-        .into_iter()
-        .map(|k| k.expect("every global block written by someone"))
-        .collect();
+    run.first_keys =
+        keys.into_iter().map(|k| k.expect("every global block written by someone")).collect();
     let _ = me;
     Ok(run)
 }
@@ -275,7 +271,7 @@ fn merge_striped_group<R: Record + Ord>(
 ) -> Result<(StripedRun<R::Key>, CpuCounters)> {
     let me = comm.rank();
     let p = comm.size();
-    
+
     let mut cpu = CpuCounters::default();
 
     // Global consumption order: all blocks of the group sorted by
@@ -393,8 +389,7 @@ mod tests {
         spec: InputSpec,
         k_max: Option<usize>,
     ) -> (Vec<Element16>, Vec<StripedOutcome<Element16>>, std::sync::Arc<ClusterStorage>) {
-        let cfg =
-            SortConfig::new(MachineConfig::tiny(p), AlgoConfig::default()).expect("valid");
+        let cfg = SortConfig::new(MachineConfig::tiny(p), AlgoConfig::default()).expect("valid");
         let storage = ClusterStorage::new_mem(&cfg.machine);
         let storage_ref = &storage;
         let cfg2 = cfg.clone();

@@ -83,9 +83,7 @@ impl ValidationReport {
     /// `true` iff the output is a correct canonical sort of an input
     /// with fingerprint `input`.
     pub fn is_valid_sort_of(&self, input: Fingerprint) -> bool {
-        self.locally_sorted
-            && self.boundaries_ordered
-            && self.fingerprint == input
+        self.locally_sorted && self.boundaries_ordered && self.fingerprint == input
     }
 }
 
@@ -175,8 +173,7 @@ mod tests {
     #[test]
     fn validates_a_correct_sort() {
         let p = 3;
-        let cfg =
-            SortConfig::new(MachineConfig::tiny(p), AlgoConfig::default()).expect("valid");
+        let cfg = SortConfig::new(MachineConfig::tiny(p), AlgoConfig::default()).expect("valid");
         let outcome = sort_cluster::<Element16, _>(&cfg, |pe, p| {
             generate_pe_input(InputSpec::Uniform, 5, pe, p, 500)
         })

@@ -18,11 +18,7 @@ pub const MPI_VOLUME_LIMIT: usize = i32::MAX as usize;
 
 /// All-to-all of arbitrarily large messages by splitting into rounds of
 /// at most `limit` bytes per pairwise message.
-pub fn chunked_alltoallv(
-    comm: &Communicator,
-    msgs: Vec<Vec<u8>>,
-    limit: usize,
-) -> Vec<Vec<u8>> {
+pub fn chunked_alltoallv(comm: &Communicator, msgs: Vec<Vec<u8>>, limit: usize) -> Vec<Vec<u8>> {
     assert!(limit > 0, "chunk limit must be positive");
     let p = comm.size();
     assert_eq!(msgs.len(), p);

@@ -120,8 +120,7 @@ impl Communicator {
             let parent_v = vrank & (vrank - 1);
             self.recv((parent_v + root) % self.size)
         };
-        let child_bit_limit =
-            if vrank == 0 { self.size } else { vrank & vrank.wrapping_neg() };
+        let child_bit_limit = if vrank == 0 { self.size } else { vrank & vrank.wrapping_neg() };
         let mut b = 1;
         while b < child_bit_limit {
             let child_v = vrank + b;
@@ -329,8 +328,7 @@ mod tests {
     fn alltoallv_permutes() {
         let p = 6;
         let results = run_cluster(p, move |c| {
-            let msgs: Vec<Vec<u8>> =
-                (0..p).map(|j| vec![c.rank() as u8, j as u8, 7]).collect();
+            let msgs: Vec<Vec<u8>> = (0..p).map(|j| vec![c.rank() as u8, j as u8, 7]).collect();
             c.alltoallv(msgs)
         });
         for (me, r) in results.into_iter().enumerate() {

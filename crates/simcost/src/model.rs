@@ -78,18 +78,16 @@ impl CostModel {
         // work in parallel (striping keeps them balanced).
         let ops = (stats.io.blocks_read + stats.io.blocks_written) as f64;
         let bytes = stats.io.bytes_total() as f64 * self.scale;
-        let io_s = (ops / d) * (p.disk_seek_ns as f64 / 1e9)
-            + bytes / d / p.disk_bytes_per_sec;
+        let io_s = (ops / d) * (p.disk_seek_ns as f64 / 1e9) + bytes / d / p.disk_bytes_per_sec;
 
         // CPU: comparison-count proxies over the PE's cores. Sorting
         // s·n elements costs s·(W + n·log2 s) comparisons.
         let log_s = if self.scale > 1.0 { self.scale.log2() } else { 0.0 };
-        let sort_ops = self.scale
-            * (stats.cpu.sort_work as f64 + stats.cpu.elements_sorted as f64 * log_s);
+        let sort_ops =
+            self.scale * (stats.cpu.sort_work as f64 + stats.cpu.elements_sorted as f64 * log_s);
         let merge_ops = self.scale * stats.cpu.merge_work as f64;
         let cores = p.cores_per_pe.max(1) as f64;
-        let cpu_s =
-            (sort_ops * p.sort_ns_per_op + merge_ops * p.merge_ns_per_op) / 1e9 / cores;
+        let cpu_s = (sort_ops * p.sort_ns_per_op + merge_ops * p.merge_ns_per_op) / 1e9 / cores;
 
         // Network: the larger direction bounds the PE's time on a
         // full-duplex fabric; latency per message.
@@ -97,8 +95,7 @@ impl CostModel {
         let comm_s = wire / p.net_bytes_per_sec(pes)
             + stats.comm.messages as f64 * p.net_latency_ns as f64 / 1e9;
 
-        let wall_s =
-            if self.overlap { io_s.max(cpu_s + comm_s) } else { io_s + cpu_s + comm_s };
+        let wall_s = if self.overlap { io_s.max(cpu_s + comm_s) } else { io_s + cpu_s + comm_s };
         PhaseTime { io_s, cpu_s, comm_s, wall_s }
     }
 
@@ -165,11 +162,7 @@ mod tests {
                 max_disk_busy_ns: 0,
             },
             comm: CommCounters { bytes_sent: bytes_net, bytes_recv: bytes_net, messages: 10 },
-            cpu: CpuCounters {
-                elements_sorted: sort_work / 30,
-                sort_work,
-                ..Default::default()
-            },
+            cpu: CpuCounters { elements_sorted: sort_work / 30, sort_work, ..Default::default() },
         }
     }
 
@@ -180,8 +173,7 @@ mod tests {
         // ops at 6 ms positioning each.
         let s = stats(8 << 30, 1024, 0, 0);
         let t = m.phase_time(&s, 4);
-        let expect = (1024.0 / 4.0) * 0.006
-            + (8u64 << 30) as f64 / 4.0 / (52.0 * 1024.0 * 1024.0);
+        let expect = (1024.0 / 4.0) * 0.006 + (8u64 << 30) as f64 / 4.0 / (52.0 * 1024.0 * 1024.0);
         assert!((t.io_s - expect).abs() < 1e-9, "{} vs {}", t.io_s, expect);
     }
 

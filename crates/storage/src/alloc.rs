@@ -28,7 +28,9 @@ impl BlockAllocator {
     pub fn new(disks: usize) -> Self {
         assert!(disks > 0, "need at least one disk");
         Self {
-            disks: (0..disks).map(|_| Mutex::new(DiskAlloc { next: 0, free: Vec::new() })).collect(),
+            disks: (0..disks)
+                .map(|_| Mutex::new(DiskAlloc { next: 0, free: Vec::new() }))
+                .collect(),
             rr: AtomicUsize::new(0),
             in_use: AtomicUsize::new(0),
             high_water: AtomicUsize::new(0),
@@ -63,10 +65,7 @@ impl BlockAllocator {
     /// Return a block to its disk's free list.
     pub fn free(&self, id: BlockId) {
         let mut d = self.disks[id.disk as usize].lock();
-        debug_assert!(
-            id.slot < d.next,
-            "freeing never-allocated block {id}"
-        );
+        debug_assert!(id.slot < d.next, "freeing never-allocated block {id}");
         debug_assert!(!d.free.contains(&id.slot), "double free of {id}");
         d.free.push(id.slot);
         drop(d);

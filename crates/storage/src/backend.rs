@@ -50,28 +50,20 @@ impl MemBackend {
     pub fn resident_bytes(&self) -> u64 {
         self.disks
             .iter()
-            .map(|d| {
-                d.read().iter().map(|s| s.as_ref().map_or(0, |b| b.len() as u64)).sum::<u64>()
-            })
+            .map(|d| d.read().iter().map(|s| s.as_ref().map_or(0, |b| b.len() as u64)).sum::<u64>())
             .sum()
     }
 
     /// Number of occupied slots across all disks.
     pub fn resident_blocks(&self) -> u64 {
-        self.disks
-            .iter()
-            .map(|d| d.read().iter().filter(|s| s.is_some()).count() as u64)
-            .sum()
+        self.disks.iter().map(|d| d.read().iter().filter(|s| s.is_some()).count() as u64).sum()
     }
 }
 
 impl Backend for MemBackend {
     fn read(&self, disk: usize, slot: u64, buf: &mut [u8]) -> Result<()> {
-        let disk_tbl = self
-            .disks
-            .get(disk)
-            .ok_or_else(|| Error::io(format!("no such disk {disk}")))?
-            .read();
+        let disk_tbl =
+            self.disks.get(disk).ok_or_else(|| Error::io(format!("no such disk {disk}")))?.read();
         let data = disk_tbl
             .get(slot as usize)
             .and_then(|s| s.as_ref())
@@ -88,11 +80,8 @@ impl Backend for MemBackend {
     }
 
     fn write(&self, disk: usize, slot: u64, data: &[u8]) -> Result<()> {
-        let mut disk_tbl = self
-            .disks
-            .get(disk)
-            .ok_or_else(|| Error::io(format!("no such disk {disk}")))?
-            .write();
+        let mut disk_tbl =
+            self.disks.get(disk).ok_or_else(|| Error::io(format!("no such disk {disk}")))?.write();
         let slot = slot as usize;
         if disk_tbl.len() <= slot {
             disk_tbl.resize_with(slot + 1, || None);

@@ -21,11 +21,20 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 enum Request {
-    Read { slot: u64, state: Arc<HandleState> },
-    Write { slot: u64, data: Box<[u8]>, state: Arc<HandleState> },
+    Read {
+        slot: u64,
+        state: Arc<HandleState>,
+    },
+    Write {
+        slot: u64,
+        data: Box<[u8]>,
+        state: Arc<HandleState>,
+    },
     /// Completes once everything queued before it has been serviced;
     /// touches neither the backend nor the counters.
-    Fence { state: Arc<HandleState> },
+    Fence {
+        state: Arc<HandleState>,
+    },
     Shutdown,
 }
 
@@ -280,8 +289,7 @@ mod tests {
     fn counters_track_traffic() {
         let e = engine(2, 128);
         for i in 0..10 {
-            e.write_sync(BlockId::new(i % 2, i), vec![0u8; 128].into_boxed_slice())
-                .expect("write");
+            e.write_sync(BlockId::new(i % 2, i), vec![0u8; 128].into_boxed_slice()).expect("write");
         }
         for i in 0..10 {
             e.read_sync(BlockId::new(i % 2, i)).expect("read");

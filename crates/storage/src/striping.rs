@@ -223,7 +223,12 @@ impl<'a> RunReader<'a> {
 
     /// Full-control constructor: `readahead` outstanding reads,
     /// `free_after_read` recycles each block once consumed.
-    pub fn with_options(st: &'a PeStorage, run: Run, readahead: usize, free_after_read: bool) -> Self {
+    pub fn with_options(
+        st: &'a PeStorage,
+        run: Run,
+        readahead: usize,
+        free_after_read: bool,
+    ) -> Self {
         Self {
             st,
             run,
@@ -309,12 +314,7 @@ mod tests {
     use super::*;
 
     fn storage(disks: usize, block: usize) -> PeStorage {
-        PeStorage::with_backend(
-            disks,
-            block,
-            DiskModel::paper(),
-            Arc::new(MemBackend::new(disks)),
-        )
+        PeStorage::with_backend(disks, block, DiskModel::paper(), Arc::new(MemBackend::new(disks)))
     }
 
     #[test]

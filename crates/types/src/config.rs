@@ -49,13 +49,7 @@ impl MachineConfig {
 
     /// A tiny configuration for unit tests (few, small blocks).
     pub fn tiny(pes: usize) -> Self {
-        Self {
-            pes,
-            disks_per_pe: 2,
-            block_bytes: 256,
-            mem_bytes_per_pe: 256 * 16,
-            cores_per_pe: 1,
-        }
+        Self { pes, disks_per_pe: 2, block_bytes: 256, mem_bytes_per_pe: 256 * 16, cores_per_pe: 1 }
     }
 
     /// The paper's cluster: 4 disks/node, B = 8 MiB, m = 16 GiB

@@ -100,6 +100,50 @@ mod tests {
         owner_of(10, 2, 10);
     }
 
+    #[test]
+    fn owned_len_when_n_is_zero() {
+        for p in 1..20 {
+            for pe in 0..p {
+                assert_eq!(owned_len(pe, p, 0), 0);
+                assert_eq!(owned_range(pe, p, 0), 0..0);
+            }
+        }
+        assert_eq!(boundaries(5, 0), vec![0; 6]);
+    }
+
+    #[test]
+    fn owned_len_when_n_less_than_p() {
+        // Fewer elements than PEs: every PE owns 0 or 1 element, the
+        // owned lengths sum to n, and owner_of agrees with the ranges.
+        for p in 2..12 {
+            for n in 1..p as u64 {
+                let sizes: Vec<u64> = (0..p).map(|pe| owned_len(pe, p, n)).collect();
+                assert!(sizes.iter().all(|&s| s <= 1), "p={p} n={n} sizes={sizes:?}");
+                assert_eq!(sizes.iter().sum::<u64>(), n);
+                for rank in 0..n {
+                    let pe = owner_of(rank, p, n);
+                    assert!(owned_range(pe, p, n).contains(&rank));
+                    assert_eq!(sizes[pe], 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn owned_len_when_n_not_divisible_by_p() {
+        // ⌊i·n/p⌋ boundaries put the larger pieces exactly where the
+        // floor steps land — check the canonical example and the
+        // general ±1 + exact-cover law on a sweep of awkward shapes.
+        assert_eq!((0..4).map(|pe| owned_len(pe, 4, 10)).collect::<Vec<_>>(), vec![2, 3, 2, 3]);
+        for (p, n) in [(3, 10u64), (7, 100), (16, 1000), (9, 80), (11, 23)] {
+            let sizes: Vec<u64> = (0..p).map(|pe| owned_len(pe, p, n)).collect();
+            assert_eq!(sizes.iter().sum::<u64>(), n, "p={p} n={n}");
+            let lo = n / p as u64;
+            assert!(sizes.iter().all(|&s| s == lo || s == lo + 1), "p={p} n={n} sizes={sizes:?}");
+            assert_eq!(sizes.iter().filter(|&&s| s == lo + 1).count() as u64, n % p as u64);
+        }
+    }
+
     proptest! {
         #[test]
         fn owner_inverts_range(p in 1usize..32, n in 1u64..10_000, frac in 0.0f64..1.0) {

@@ -193,10 +193,7 @@ mod tests {
         let skewed = below_median(&alpha40);
         assert!((0.45..0.55).contains(&flat), "α=1.0 is uniform-ish: {flat}");
         // P(u^4 < 1/2) = (1/2)^(1/4) ≈ 0.841.
-        assert!(
-            (0.80..0.88).contains(&skewed),
-            "α=4.0 concentrates below the median: {skewed}"
-        );
+        assert!((0.80..0.88).contains(&skewed), "α=4.0 concentrates below the median: {skewed}");
         // Keys stay in range.
         assert!(alpha40.iter().all(|e| e.key < (1 << 62)));
     }

@@ -76,11 +76,7 @@ fn main() {
         .map(|&(_, pe)| pe)
         .unwrap_or(0);
     let o = &outcome.per_pe[target_pe];
-    let block = o
-        .output
-        .block_first_keys
-        .partition_point(|&k| k <= term)
-        .saturating_sub(1);
+    let block = o.output.block_first_keys.partition_point(|&k| k <= term).saturating_sub(1);
     let recs = read_records::<Element16>(storage.pe(target_pe), &o.output.run, o.output.elems)
         .expect("read partition");
     let rpb = (4 << 10) / Element16::BYTES;

@@ -41,7 +41,7 @@ fn main() {
     println!("phase 1  run formation: {} global runs, each sorted across all PEs", o.runs);
     println!(
         "phase 2a multiway selection: exact rank boundaries, {} probes on PE 0 ({} block fetches, {} cache hits)",
-        o.selection.probes,
+        o.selection.probes(),
         o.selection.blocks_local + o.selection.blocks_remote,
         o.selection.cache_hits,
     );
@@ -56,7 +56,12 @@ fn main() {
     for phase in Phase::ALL {
         let io = outcome.report.phase_total(phase, |s| s.io.bytes_total());
         let net = outcome.report.phase_total(phase, |s| s.comm.bytes_sent);
-        println!("  {:<20} I/O {:>12}   network {:>12}", phase.name(), fmt_bytes(io), fmt_bytes(net));
+        println!(
+            "  {:<20} I/O {:>12}   network {:>12}",
+            phase.name(),
+            fmt_bytes(io),
+            fmt_bytes(net)
+        );
     }
     println!(
         "\ntotal I/O = {:.2} N (two passes ≈ 4 N), communication = {:.2} N\n",

@@ -44,9 +44,11 @@ fn main() {
     let input_fp = {
         let mut f = Fingerprint::default();
         for pe in 0..pes {
-            for r in
-                demsort::workloads::gensort_records(seed, (pe * local_records) as u64, local_records)
-            {
+            for r in demsort::workloads::gensort_records(
+                seed,
+                (pe * local_records) as u64,
+                local_records,
+            ) {
                 f.add(&r);
             }
         }

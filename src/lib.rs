@@ -49,7 +49,9 @@ pub use demsort_workloads as workloads;
 
 /// Commonly used items for application code.
 pub mod prelude {
-    pub use demsort_core::canonical::{canonical_mergesort, sort_cluster, ClusterOutcome, PeOutcome};
+    pub use demsort_core::canonical::{
+        canonical_mergesort, sort_cluster, ClusterOutcome, PeOutcome,
+    };
     pub use demsort_core::ctx::ClusterStorage;
     pub use demsort_core::recio::read_records;
     pub use demsort_core::validate::{validate_output, Fingerprint, ValidationReport};

@@ -2,11 +2,11 @@
 //! sorts across cluster sizes, input classes, record types, and
 //! storage backends, validated with the collective validator.
 
-use demsort::prelude::*;
 use demsort::core::canonical::sort_cluster;
 use demsort::core::recio::read_records;
 use demsort::core::validate::{validate_output, Fingerprint};
 use demsort::net::run_cluster;
+use demsort::prelude::*;
 use demsort::workloads::{generate_all, generate_pe_input, gensort_records};
 
 fn tiny_cfg(pes: usize) -> SortConfig {
@@ -31,7 +31,8 @@ fn sort_and_validate(cfg: &SortConfig, spec: InputSpec, local_n: usize) {
     let outputs: Vec<_> = outcome.per_pe.iter().map(|o| o.output.clone()).collect();
     let outputs = &outputs;
     let reports = run_cluster(p, move |c| {
-        validate_output::<Element16>(&c, storage.pe(c.rank()), &outputs[c.rank()]).expect("validate")
+        validate_output::<Element16>(&c, storage.pe(c.rank()), &outputs[c.rank()])
+            .expect("validate")
     });
     assert!(
         reports[0].is_valid_sort_of(input_fp),
@@ -104,8 +105,7 @@ fn sortbenchmark_records_end_to_end() {
     assert_eq!(all.len(), 3 * local_n);
     assert!(all.windows(2).all(|w| w[0].key <= w[1].key), "globally sorted by 10-byte key");
     // Permutation via recovered gensort indices.
-    let mut indices: Vec<u64> =
-        all.iter().map(demsort::workloads::record_index).collect();
+    let mut indices: Vec<u64> = all.iter().map(demsort::workloads::record_index).collect();
     indices.sort_unstable();
     let expect: Vec<u64> = (0..(3 * local_n) as u64).collect();
     assert_eq!(indices, expect, "every generated record survives exactly once");
@@ -145,8 +145,7 @@ fn file_backed_storage_end_to_end() {
     let mut all = Vec::new();
     for (pe, o) in outcomes.iter().enumerate() {
         all.extend(
-            read_records::<Element16>(storage.pe(pe), &o.output.run, o.output.elems)
-                .expect("read"),
+            read_records::<Element16>(storage.pe(pe), &o.output.run, o.output.elems).expect("read"),
         );
     }
     let mut reference = generate_all(InputSpec::Uniform, 5, p, 600);

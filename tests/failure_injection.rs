@@ -1,11 +1,11 @@
 //! Failure injection: storage errors must surface as `Err`, never as
 //! silent corruption, through every layer of the stack.
 
-use demsort::prelude::*;
 use demsort::core::canonical::canonical_mergesort;
 use demsort::core::ctx::ClusterStorage;
 use demsort::core::runform::ingest_input;
 use demsort::net::run_cluster;
+use demsort::prelude::*;
 use demsort::storage::{Backend, FaultInjectingBackend, MemBackend};
 use demsort::workloads::generate_pe_input;
 use std::sync::Arc;

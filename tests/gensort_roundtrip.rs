@@ -1,0 +1,112 @@
+//! SortBenchmark round trip: gensort-style 100-byte records →
+//! CANONICALMERGESORT → valsort-style collective validation.
+//!
+//! The validator must accept a genuine sort (sortedness + canonical
+//! boundaries + permutation fingerprint) and reject the same output
+//! with a single deliberately corrupted record — both a payload-only
+//! corruption (caught by the fingerprint) and a key corruption (caught
+//! by the order checks as well).
+
+use demsort::core::canonical::sort_cluster;
+use demsort::core::recio::{read_records, write_records};
+use demsort::core::validate::{validate_output, Fingerprint, ValidationReport};
+use demsort::net::run_cluster;
+use demsort::prelude::*;
+use demsort::workloads::gensort_records;
+
+const SEED: u64 = 2009; // the year DEMSort led the SortBenchmark
+const P: usize = 4;
+const LOCAL_N: usize = 300;
+
+fn sorted_outcome() -> demsort::core::canonical::ClusterOutcome<Record100> {
+    let cfg = SortConfig::new(MachineConfig::tiny(P), AlgoConfig::default()).expect("valid");
+    sort_cluster::<Record100, _>(&cfg, move |pe, _p| {
+        gensort_records(SEED, (pe * LOCAL_N) as u64, LOCAL_N)
+    })
+    .expect("sort")
+}
+
+fn input_fingerprint() -> Fingerprint {
+    let mut f = Fingerprint::default();
+    for pe in 0..P {
+        for r in gensort_records(SEED, (pe * LOCAL_N) as u64, LOCAL_N) {
+            f.add(&r);
+        }
+    }
+    f
+}
+
+fn validate_all(
+    outcome: &demsort::core::canonical::ClusterOutcome<Record100>,
+    outputs: &[demsort::core::recio::FinishedRun<Record100>],
+) -> Vec<ValidationReport> {
+    let storage = &outcome.storage;
+    run_cluster(P, move |c| {
+        validate_output::<Record100>(&c, storage.pe(c.rank()), &outputs[c.rank()])
+            .expect("validate")
+    })
+}
+
+#[test]
+fn roundtrip_accepts_genuine_sort() {
+    let outcome = sorted_outcome();
+    let outputs: Vec<_> = outcome.per_pe.iter().map(|o| o.output.clone()).collect();
+    let reports = validate_all(&outcome, &outputs);
+    let fp = input_fingerprint();
+    for (pe, rep) in reports.iter().enumerate() {
+        assert!(rep.is_valid_sort_of(fp), "PE {pe} rejected a correct sort: {rep:?}");
+        assert_eq!(rep.elements, (P * LOCAL_N) as u64);
+    }
+    // Validation is collective: every PE must report the same verdict.
+    for rep in &reports[1..] {
+        assert_eq!(rep, &reports[0]);
+    }
+}
+
+/// Replace PE `pe`'s output with a copy whose `victim`-th record has
+/// been run through `corrupt`, and return the new per-PE outputs.
+fn with_corrupted_record(
+    outcome: &demsort::core::canonical::ClusterOutcome<Record100>,
+    pe: usize,
+    victim: usize,
+    corrupt: impl FnOnce(&mut Record100),
+) -> Vec<demsort::core::recio::FinishedRun<Record100>> {
+    let st = outcome.storage.pe(pe);
+    let out = &outcome.per_pe[pe].output;
+    let mut recs = read_records::<Record100>(st, &out.run, out.elems).expect("read output");
+    corrupt(&mut recs[victim]);
+    let rewritten = write_records(st, &recs).expect("rewrite output");
+    let mut outputs: Vec<_> = outcome.per_pe.iter().map(|o| o.output.clone()).collect();
+    outputs[pe] = rewritten;
+    outputs
+}
+
+#[test]
+fn roundtrip_rejects_payload_corruption() {
+    let outcome = sorted_outcome();
+    // Payload-only corruption keeps every key in order — only the
+    // permutation fingerprint can catch it.
+    let outputs = with_corrupted_record(&outcome, 1, 17, |r| r.payload[42] ^= 0x01);
+    let reports = validate_all(&outcome, &outputs);
+    let fp = input_fingerprint();
+    for (pe, rep) in reports.iter().enumerate() {
+        assert!(!rep.is_valid_sort_of(fp), "PE {pe} accepted corrupted output: {rep:?}");
+        assert!(rep.locally_sorted, "payload corruption must not disturb key order");
+        assert_ne!(rep.fingerprint, fp, "fingerprint must flag the flipped bit");
+    }
+}
+
+#[test]
+fn roundtrip_rejects_key_corruption() {
+    let outcome = sorted_outcome();
+    // Forcing a middle record's key to the maximum breaks local
+    // sortedness (and the fingerprint, independently).
+    let outputs = with_corrupted_record(&outcome, 2, 100, |r| r.key.0 = [0xFF; 10]);
+    let reports = validate_all(&outcome, &outputs);
+    let fp = input_fingerprint();
+    for (pe, rep) in reports.iter().enumerate() {
+        assert!(!rep.is_valid_sort_of(fp), "PE {pe} accepted corrupted output: {rep:?}");
+        assert!(!rep.locally_sorted, "max key mid-run must break sortedness");
+        assert_ne!(rep.fingerprint, fp);
+    }
+}

@@ -1,9 +1,9 @@
 //! Property-based integration tests: the paper's invariants hold for
 //! arbitrary cluster shapes, input sizes, and key distributions.
 
-use demsort::prelude::*;
 use demsort::core::canonical::sort_cluster;
 use demsort::core::recio::read_records;
+use demsort::prelude::*;
 use demsort::types::ranks;
 use demsort::workloads::splitmix64;
 use proptest::prelude::*;

@@ -1,0 +1,228 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the group/bench/iter surface the suite's benches use,
+//! with plain wall-clock timing and a one-line-per-benchmark report.
+//! No statistics, warm-up calibration, or HTML output — the point is
+//! that `cargo bench` compiles and produces usable numbers offline;
+//! swap in real criterion for publication-grade measurements.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Throughput annotation; reported as a rate alongside the time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Drives the timing loop of one benchmark.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`: one untimed warm-up call, then `sample_size` timed
+    /// iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            std::hint::black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.sample_size as f64;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.0} {unit}/s")
+    }
+}
+
+/// A named group of related benchmarks sharing throughput/sample
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher { mean_ns: 0.0, sample_size: self.sample_size };
+        f(&mut b);
+        let mut line = format!("{}/{id}: {}/iter", self.name, human_time(b.mean_ns));
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let per_sec = count as f64 / (b.mean_ns / 1e9);
+            line.push_str(&format!(" ({})", human_rate(per_sec, unit)));
+        }
+        println!("{line}");
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = id.to_string();
+        let mut f = f;
+        self.run_one(&id, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = id.id.clone();
+        self.run_one(&name, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver, one per `criterion_group!`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Tiny by criterion standards: these are smoke-scale offline
+        // runs, not statistical measurements.
+        Self { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { _criterion: self, name: name.into(), throughput: None, sample_size }
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let name = id.to_string();
+        let mut g = self.benchmark_group(name);
+        g.bench_function("base", f);
+        g.finish();
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export matching criterion's own `black_box`.
+pub use std::hint::black_box;
+
+#[allow(dead_code)]
+fn _sleep_is_measurable() {
+    // Compile-time use of Duration to keep the import honest if the
+    // timing code changes.
+    let _ = Duration::from_nanos(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.throughput(Throughput::Elements(100));
+        g.sample_size(3);
+        let mut runs = 0usize;
+        g.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            runs += 1;
+        });
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("cold", 8).id, "cold/8");
+        assert_eq!(BenchmarkId::from_parameter("random").id, "random");
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human_time(12.0), "12 ns");
+        assert_eq!(human_time(1_500.0), "1.500 µs");
+        assert_eq!(human_time(2_000_000.0), "2.000 ms");
+        assert_eq!(human_time(3e9), "3.000 s");
+        assert_eq!(human_rate(2.5e9, "B"), "2.500 GB/s");
+    }
+}

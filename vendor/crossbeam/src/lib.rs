@@ -1,0 +1,117 @@
+//! Offline stand-in for the `crossbeam` crate (see `vendor/README.md`).
+//!
+//! Only `crossbeam::channel`'s unbounded MPSC surface is provided,
+//! backed by `std::sync::mpsc`. That is all the suite uses: each
+//! channel here has exactly one consumer (a PE inbox slot or a disk
+//! worker queue), so crossbeam's MPMC generality is not needed.
+
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel. Cloneable.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self(self.0.clone())
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// hands the message back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|mpsc::RecvError| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocking iterator over messages until disconnection.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvError};
+
+    #[test]
+    fn fifo_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).expect("receiver alive");
+            }
+        });
+        for i in 0..100 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        t.join().expect("sender");
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn clone_senders_share_channel() {
+        let (tx, rx) = unbounded::<u8>();
+        let tx2 = tx.clone();
+        tx.send(1).expect("send");
+        tx2.send(2).expect("send");
+        drop((tx, tx2));
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,410 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Provides the `proptest!` macro, range and collection strategies,
+//! and `prop_assert*` with proptest-1.x-shaped APIs, minus shrinking.
+//! Generation is **fully deterministic**: every test's RNG is seeded
+//! from its `file!()` + function name, so a failing case reproduces
+//! identically on every run and machine (the role upstream proptest's
+//! `proptest-regressions/` files play — see that directory's README).
+//!
+//! Case counts come from [`test_runner::Config`]: the `PROPTEST_CASES`
+//! environment variable overrides both the default and any
+//! `with_cases` value, so CI can pin or extend coverage globally.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    fn env_cases() -> Option<u32> {
+        let raw = std::env::var("PROPTEST_CASES").ok()?;
+        match raw.parse() {
+            Ok(n) => Some(n),
+            Err(_) => panic!("PROPTEST_CASES must be an unsigned integer, got {raw:?}"),
+        }
+    }
+
+    impl Config {
+        /// `cases` cases, unless `PROPTEST_CASES` overrides it.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases: env_cases().unwrap_or(cases) }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self::with_cases(64)
+        }
+    }
+
+    /// A failed property (carries the formatted assertion message).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic per-test RNG (SplitMix64 seeded by test identity).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from the test's source identity (FNV-1a over the name),
+        /// so runs are reproducible without any persisted state.
+        pub fn from_test_name(name: &str) -> Self {
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` 0 is an error.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty sampling bound");
+            self.next_u64() % bound
+        }
+
+        /// Uniform in `[0, 1)` with 53 bits.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Produces one value per generated case. (Upstream proptest's
+    /// `Strategy` yields shrinkable value trees; this stand-in yields
+    /// plain values.)
+    pub trait Strategy {
+        type Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(width) as $t)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let width = (*self.end() as u64).wrapping_sub(*self.start() as u64);
+                    if width == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    self.start().wrapping_add(rng.below(width + 1) as $t)
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start() <= self.end(), "empty range strategy");
+            // Hit both endpoints with small positive probability so
+            // boundary behavior (rank 0, rank N) is exercised.
+            match rng.below(64) {
+                0 => *self.start(),
+                1 => *self.end(),
+                _ => self.start() + rng.unit_f64() * (self.end() - self.start()),
+            }
+        }
+    }
+
+    /// `Just(value)`: always produces a clone of `value`.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Vector strategy: length drawn from `size`, elements from
+    /// `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.new_value(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// `Option<T>` strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>` produced by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `prop::option::of(inner)`: `None` a quarter of the time,
+    /// `Some(inner value)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.new_value(rng))
+            }
+        }
+    }
+}
+
+/// The `prop::` namespace used inside `proptest!` bodies
+/// (`prop::collection::vec(...)`, `prop::option::of(...)`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+/// Everything test modules import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a `proptest!` body; failure fails only the current
+/// case (reported with the case number for reproduction).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    l,
+                    r
+                );
+            }
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, $($fmt)+);
+            }
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `(left != right)`\n  both: `{:?}`",
+                    l
+                );
+            }
+        }
+    }};
+}
+
+/// Define property tests. Accepts proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn prop(x in 0u64..100, mut v in prop::collection::vec(0u32..9, 0..50)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng = $crate::test_runner::TestRng::from_test_name(
+                    concat!(file!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> = {
+                        $(
+                            let $parm =
+                                $crate::strategy::Strategy::new_value(&($strategy), &mut rng);
+                        )+
+                        // `mut`: bodies that mutate their bound values
+                        // make this closure `FnMut`.
+                        #[allow(unused_mut)]
+                        let mut property = move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        };
+                        property()
+                    };
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest `{}` failed at case {}/{} (deterministic seed; rerun \
+                             reproduces it — see proptest-regressions/README.md):\n{}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 5u64..10, y in 0usize..3, f in 0.0f64..=1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(y < 3);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0u32..100, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            for e in &v {
+                prop_assert!(*e < 100);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_form_and_mut_patterns(mut v in prop::collection::vec(0u8..4, 0..6)) {
+            v.push(0);
+            prop_assert_eq!(*v.last().expect("just pushed"), 0);
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let mut a = TestRng::from_test_name("mod::x");
+        let mut b = TestRng::from_test_name("mod::x");
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = TestRng::from_test_name("mod::y");
+        assert_ne!(xs, (0..16).map(|_| c.next_u64()).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn full_u64_domain_does_not_overflow() {
+        let mut rng = TestRng::from_test_name("domain");
+        let s = 0u64..u64::MAX;
+        for _ in 0..100 {
+            let v = crate::strategy::Strategy::new_value(&s, &mut rng);
+            assert!(v < u64::MAX);
+        }
+    }
+}
