@@ -1,0 +1,44 @@
+//! Control-word codec throughput: fresh-allocation vs reused-buffer
+//! encode/decode of `u64` slices — the `Communicator` send-path
+//! optimization (scratch buffer instead of a `Vec` per message).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use demsort_net::{decode_u64s, decode_u64s_into, encode_u64s, encode_u64s_into};
+use demsort_workloads::splitmix64;
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("u64_codec");
+    for n in [8usize, 256, 1 << 14] {
+        let xs: Vec<u64> = (0..n).map(|i| splitmix64(i as u64)).collect();
+        let encoded = encode_u64s(&xs);
+        g.throughput(Throughput::Bytes((n * 8) as u64));
+
+        // Before: one fresh Vec per message.
+        g.bench_with_input(BenchmarkId::new("encode_alloc", n), &xs, |b, xs| {
+            b.iter(|| black_box(encode_u64s(xs)));
+        });
+        // After: the communicator's reusable scratch buffer.
+        g.bench_with_input(BenchmarkId::new("encode_reuse", n), &xs, |b, xs| {
+            let mut scratch = Vec::with_capacity(n * 8);
+            b.iter(|| {
+                encode_u64s_into(xs, &mut scratch);
+                black_box(scratch.len())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("decode_alloc", n), &encoded, |b, buf| {
+            b.iter(|| black_box(decode_u64s(buf)));
+        });
+        g.bench_with_input(BenchmarkId::new("decode_reuse", n), &encoded, |b, buf| {
+            let mut out = Vec::with_capacity(n);
+            b.iter(|| {
+                decode_u64s_into(buf, &mut out);
+                black_box(out.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,45 +1,66 @@
 //! `sortfile` — externally sort a file of SortBenchmark records with
-//! CANONICALMERGESORT on the in-process cluster.
+//! CANONICALMERGESORT.
 //!
 //! ```text
-//! sortfile [--pes P] [--mem-mib M] INPUT OUTPUT
+//! sortfile [--pes P] [--mem-mib M] [--transport local|tcp]
+//!          [--ranks P] [--worker-bin PATH] INPUT OUTPUT
 //! ```
 //!
-//! The file is split evenly over `P` simulated PEs, sorted, and the
-//! canonical per-PE outputs are concatenated into OUTPUT (which is
-//! therefore globally sorted). `--mem-mib` bounds each PE's memory, so
-//! files much larger than `P × M` are sorted genuinely externally.
+//! The file is split evenly over `P` PEs, sorted, and the canonical
+//! per-PE outputs are concatenated into OUTPUT (which is therefore
+//! globally sorted). `--mem-mib` bounds each PE's memory, so files
+//! much larger than `P × M` are sorted genuinely externally.
+//!
+//! `--transport` selects the cluster substrate:
+//!
+//! * `local` (default) — the in-process cluster: one thread per PE
+//!   over the channel mesh.
+//! * `tcp` — the multi-process cluster: one `demsort-worker` process
+//!   per rank over the loopback TCP mesh (`--ranks` is an alias for
+//!   `--pes` in this mode). Identical SPMD code path, identical
+//!   counters, real process isolation.
 
+use demsort_bench::procs::{launch, sibling_worker_bin};
 use demsort_core::canonical::sort_cluster;
 use demsort_core::recio::read_records;
-use demsort_types::{AlgoConfig, MachineConfig, Record as _, Record100, SortConfig};
+use demsort_types::{AlgoConfig, JobConfig, MachineConfig, Record as _, Record100, SortConfig};
 use std::io::{Read, Seek, SeekFrom, Write};
 
 fn main() {
     let mut pes = 4usize;
     let mut mem_mib = 8usize;
+    let mut transport = "local".to_string();
+    let mut timeout_ms = 30_000u64;
+    let mut worker_bin: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--pes" => pes = args.next().expect("--pes P").parse().expect("pes"),
+            "--pes" | "--ranks" => pes = args.next().expect("--pes P").parse().expect("pes"),
             "--mem-mib" => mem_mib = args.next().expect("--mem-mib M").parse().expect("mem"),
+            "--transport" => transport = args.next().expect("--transport local|tcp"),
+            "--timeout-ms" => {
+                timeout_ms = args.next().expect("--timeout-ms T").parse().expect("timeout")
+            }
+            "--worker-bin" => worker_bin = Some(args.next().expect("--worker-bin PATH")),
             "--help" | "-h" => {
-                println!("sortfile [--pes P] [--mem-mib M] INPUT OUTPUT");
+                println!(
+                    "sortfile [--pes P] [--mem-mib M] [--transport local|tcp] \
+                     [--timeout-ms T] [--worker-bin PATH] INPUT OUTPUT"
+                );
                 return;
             }
             other => positional.push(other.to_string()),
         }
     }
     let [input, output] = positional.as_slice() else {
-        eprintln!("usage: sortfile [--pes P] [--mem-mib M] INPUT OUTPUT");
+        eprintln!("usage: sortfile [--pes P] [--mem-mib M] [--transport local|tcp] INPUT OUTPUT");
         std::process::exit(2);
     };
 
     let meta = std::fs::metadata(input).expect("stat input");
     let total_records = (meta.len() / Record100::BYTES as u64) as usize;
     assert_eq!(meta.len() % Record100::BYTES as u64, 0, "input must be whole 100-byte records");
-    eprintln!("sorting {total_records} records on {pes} simulated PEs ({mem_mib} MiB memory each)");
 
     let machine = MachineConfig {
         pes,
@@ -50,18 +71,36 @@ fn main() {
             .map_or(1, |c| c.get() / pes.max(1))
             .max(1),
     };
+
+    match transport.as_str() {
+        "local" => sort_local(machine, total_records, input, output),
+        "tcp" => sort_tcp(machine, input, output, timeout_ms, worker_bin),
+        other => {
+            eprintln!("unknown transport {other} (expected local or tcp)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The in-process cluster: one thread per PE over the channel mesh.
+fn sort_local(machine: MachineConfig, total_records: usize, input: &str, output: &str) {
+    let pes = machine.pes;
+    eprintln!(
+        "sorting {total_records} records on {pes} in-process PEs ({} each)",
+        demsort_types::fmtsize::fmt_bytes(machine.mem_bytes_per_pe as u64)
+    );
     let cfg = SortConfig::new(machine, AlgoConfig::default()).expect("valid config");
 
-    // Each PE loads its contiguous shard of the file.
-    let input_path = input.clone();
+    // Each PE loads its contiguous shard of the file (the same
+    // ⌊i·n/p⌋ boundaries the TCP workers use).
+    let input_path = input.to_string();
     let outcome = sort_cluster::<Record100, _>(&cfg, move |pe, p| {
-        let lo = (pe as u64 * total_records as u64 / p as u64) as usize;
-        let hi = ((pe as u64 + 1) * total_records as u64 / p as u64) as usize;
+        let shard = demsort_types::ranks::owned_range(pe, p, total_records as u64);
         let mut f = std::fs::File::open(&input_path).expect("open input");
-        f.seek(SeekFrom::Start((lo * Record100::BYTES) as u64)).expect("seek");
-        let mut bytes = vec![0u8; (hi - lo) * Record100::BYTES];
+        f.seek(SeekFrom::Start(shard.start * Record100::BYTES as u64)).expect("seek");
+        let mut bytes = vec![0u8; (shard.end - shard.start) as usize * Record100::BYTES];
         f.read_exact(&mut bytes).expect("read shard");
-        let mut recs = Vec::with_capacity(hi - lo);
+        let mut recs = Vec::with_capacity((shard.end - shard.start) as usize);
         Record100::decode_slice(&bytes, &mut recs);
         recs
     })
@@ -86,4 +125,46 @@ fn main() {
         outcome.report.io_volume_over_n(),
         outcome.report.comm_volume_over_n(),
     );
+}
+
+/// The multi-process cluster: one `demsort-worker` process per rank
+/// over the loopback TCP mesh — identical SPMD code path.
+fn sort_tcp(
+    machine: MachineConfig,
+    input: &str,
+    output: &str,
+    timeout_ms: u64,
+    worker_bin: Option<String>,
+) {
+    let pes = machine.pes;
+    eprintln!(
+        "sorting via {pes} worker processes over loopback TCP ({} each)",
+        demsort_types::fmtsize::fmt_bytes(machine.mem_bytes_per_pe as u64)
+    );
+    let job = JobConfig {
+        input: input.to_string(),
+        output: output.to_string(),
+        machine,
+        algo: AlgoConfig::default(),
+        read_timeout_ms: timeout_ms,
+    };
+    let worker = match worker_bin {
+        Some(p) => std::path::PathBuf::from(p),
+        None => sibling_worker_bin().unwrap_or_else(|e| {
+            eprintln!("sortfile: {e}");
+            std::process::exit(2);
+        }),
+    };
+    match launch(&job, &worker) {
+        Ok(outcome) => eprintln!(
+            "done: {} runs, I/O volume {:.2} N, communication {:.2} N",
+            outcome.report.runs,
+            outcome.report.io_volume_over_n(),
+            outcome.report.comm_volume_over_n(),
+        ),
+        Err(e) => {
+            eprintln!("sortfile: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -23,6 +23,7 @@
 //! identical, so seek charges and phase shapes carry over directly.
 
 pub mod experiments;
+pub mod procs;
 pub mod table;
 
 use demsort_core::canonical::{sort_cluster, ClusterOutcome};

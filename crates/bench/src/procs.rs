@@ -1,0 +1,604 @@
+//! The multi-process cluster runtime: coordinator, launcher, worker.
+//!
+//! `demsort-launch` plays the role of `mpirun` on the paper's cluster:
+//! it binds a coordinator port, spawns one `demsort-worker` process
+//! per rank, rendezvouses them (each worker reports its mesh listener
+//! address, the coordinator assigns ranks and broadcasts the address
+//! table plus the [`JobConfig`]), and collects per-rank
+//! [`RankReport`]s when the sort finishes. The workers build the full
+//! `P × P` TCP mesh among themselves and run the *identical* SPMD code
+//! path as the in-process cluster — same `canonical_mergesort`, same
+//! collectives, same counters.
+//!
+//! ## Coordinator protocol
+//!
+//! Length-prefixed messages (`[len: u32 LE][tag: u8][body]`) over the
+//! worker's coordinator connection:
+//!
+//! | tag | direction | body |
+//! |---|---|---|
+//! | `JOIN`   | worker → launcher | mesh listener address |
+//! | `ASSIGN` | launcher → worker | rank, address table, job config |
+//! | `REPORT` | worker → launcher | [`RankReport`] |
+//! | `FAIL`   | worker → launcher | error message |
+//!
+//! Workers can alternatively rendezvous without a coordinator from a
+//! host file (`demsort-worker --hostfile`), each binding its listed
+//! address — the multi-host path, where the job config comes from
+//! flags instead of the wire.
+
+use demsort_core::canonical::canonical_mergesort;
+use demsort_core::ctx::{assemble_report, ClusterStorage, RemoteBlockFetch};
+use demsort_core::recio::read_records;
+use demsort_core::runform::ingest_input;
+use demsort_net::tcp::{bind_loopback, TcpOptions, TcpTransport};
+use demsort_net::Communicator;
+use demsort_storage::{BlockId, DiskModel, MemBackend, PeStorage};
+use demsort_types::wire::{
+    decode_job, decode_rank_report, encode_job, encode_rank_report, RankReport, WireReader,
+    WireWriter,
+};
+use demsort_types::{
+    ranks, Error, JobConfig, Record as _, Record100, Result, SortConfig, SortReport,
+};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TAG_JOIN: u8 = 1;
+const TAG_ASSIGN: u8 = 2;
+const TAG_REPORT: u8 = 3;
+const TAG_FAIL: u8 = 4;
+
+/// Upper bound on a coordinator message (reports are tiny).
+const MAX_CTRL_MSG: usize = 64 << 20;
+
+fn write_msg(s: &mut TcpStream, tag: u8, body: &[u8]) -> Result<()> {
+    let len = (body.len() + 1) as u32;
+    s.write_all(&len.to_le_bytes())
+        .and_then(|()| s.write_all(&[tag]))
+        .and_then(|()| s.write_all(body))
+        .and_then(|()| s.flush())
+        .map_err(|e| Error::comm(format!("coordinator write: {e}")))
+}
+
+/// Fill `buf` from `s`, riding out socket read-timeout ticks until
+/// `deadline` (progress across ticks is preserved, so a timeout can
+/// never corrupt message framing).
+fn read_exact_deadline(s: &mut TcpStream, buf: &mut [u8], deadline: Instant) -> Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match s.read(&mut buf[filled..]) {
+            Ok(0) => return Err(Error::comm("connection closed")),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                if Instant::now() >= deadline {
+                    return Err(Error::comm("timed out"));
+                }
+            }
+            Err(e) => return Err(Error::comm(format!("coordinator read: {e}"))),
+        }
+    }
+    Ok(())
+}
+
+/// Read one `[len][tag][body]` control message, bounded by `deadline`
+/// (the socket must carry a read timeout so blocked reads tick).
+fn read_msg_deadline(s: &mut TcpStream, deadline: Instant) -> Result<(u8, Vec<u8>)> {
+    let mut head = [0u8; 5]; // length prefix + tag
+    read_exact_deadline(s, &mut head, deadline)?;
+    let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize;
+    if len == 0 || len > MAX_CTRL_MSG {
+        return Err(Error::comm(format!("bad coordinator message length {len}")));
+    }
+    let mut body = vec![0u8; len - 1];
+    read_exact_deadline(s, &mut body, deadline)?;
+    Ok((head[4], body))
+}
+
+// -------------------------------------------------------------------
+// Worker
+// -------------------------------------------------------------------
+
+/// Remote probe path of a worker: selection's one-block reads of
+/// peers' disks ride the transport's out-of-band probe channel.
+struct TcpFetch(TcpTransport);
+
+impl RemoteBlockFetch for TcpFetch {
+    fn fetch(&self, pe: usize, id: BlockId) -> Result<Box<[u8]>> {
+        self.0.probe_block(pe, id.disk, id.slot).map(Vec::into_boxed_slice)
+    }
+}
+
+/// Join a cluster through the coordinator at `coordinator`, run the
+/// assigned rank's share of the job, and report back. The normal body
+/// of `demsort-worker`.
+pub fn run_worker(coordinator: &str) -> Result<RankReport> {
+    let mut ctrl = TcpStream::connect(coordinator)
+        .map_err(|e| Error::comm(format!("connect coordinator {coordinator}: {e}")))?;
+    ctrl.set_read_timeout(Some(Duration::from_millis(250)))
+        .map_err(|e| Error::comm(e.to_string()))?;
+    let (listener, mesh_addr) = bind_loopback()?;
+
+    let mut w = WireWriter::new();
+    w.string(&mesh_addr.to_string());
+    write_msg(&mut ctrl, TAG_JOIN, &w.finish())?;
+
+    // The rendezvous is quick (the launcher itself gives up after
+    // 30 s); a wedged launcher must not hang the worker forever.
+    let (tag, body) = read_msg_deadline(&mut ctrl, Instant::now() + Duration::from_secs(60))
+        .map_err(|e| Error::comm(format!("waiting for rank assignment: {e}")))?;
+    if tag != TAG_ASSIGN {
+        return Err(Error::comm(format!("expected ASSIGN, got tag {tag}")));
+    }
+    let mut r = WireReader::new(&body);
+    let rank = r.u32()? as usize;
+    let p = r.u32()? as usize;
+    let mut addrs = Vec::with_capacity(p);
+    for _ in 0..p {
+        let a = r.string()?;
+        addrs.push(
+            a.parse::<SocketAddr>()
+                .map_err(|e| Error::comm(format!("bad mesh address {a}: {e}")))?,
+        );
+    }
+    let job = decode_job(&r.bytes()?)?;
+
+    // The sort may panic (a communicator aborts on dead peers); turn
+    // that into a FAIL message so the launcher reports it cleanly.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_rank(rank, &addrs, listener, &job)
+    }))
+    .unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "worker panicked".to_string());
+        Err(Error::comm(format!("rank {rank} aborted: {msg}")))
+    });
+
+    match result {
+        Ok(report) => {
+            write_msg(&mut ctrl, TAG_REPORT, &encode_rank_report(&report))?;
+            Ok(report)
+        }
+        Err(e) => {
+            let mut w = WireWriter::new();
+            w.string(&e.to_string());
+            let _ = write_msg(&mut ctrl, TAG_FAIL, &w.finish());
+            Err(e)
+        }
+    }
+}
+
+/// Run one rank of `job` over an established rendezvous: build the TCP
+/// mesh, sort this rank's shard, write the canonical output slice.
+/// Shared by the coordinator and hostfile bootstrap paths.
+pub fn run_rank(
+    rank: usize,
+    addrs: &[SocketAddr],
+    listener: TcpListener,
+    job: &JobConfig,
+) -> Result<RankReport> {
+    job.validate()?;
+    let p = job.machine.pes;
+    if addrs.len() != p {
+        return Err(Error::config(format!(
+            "address table has {} entries for {} ranks",
+            addrs.len(),
+            p
+        )));
+    }
+
+    let opts = TcpOptions {
+        read_timeout: Duration::from_millis(job.read_timeout_ms),
+        ..TcpOptions::default()
+    };
+    let tcp = TcpTransport::connect_mesh(rank, addrs, listener, opts)?;
+
+    // One rank's storage: same in-memory multi-disk engine as the
+    // in-process cluster, so counters are comparable run-for-run.
+    let st = PeStorage::with_backend(
+        job.machine.disks_per_pe,
+        job.machine.block_bytes,
+        DiskModel::paper(),
+        Arc::new(MemBackend::new(job.machine.disks_per_pe)),
+    );
+    let storage = ClusterStorage::single(rank, p, st, Box::new(TcpFetch(tcp.clone())));
+
+    // Serve peers' selection probes out of this rank's storage. The
+    // handler closure holds the storage, which holds the transport,
+    // whose endpoint holds the handler — a cycle only
+    // `clear_probe_handler` breaks, so guard it against every exit
+    // path (errors and panics included), or a failed job leaks the
+    // reader threads, sockets, and storage for the process lifetime.
+    struct HandlerGuard(TcpTransport);
+    impl Drop for HandlerGuard {
+        fn drop(&mut self) {
+            self.0.clear_probe_handler();
+        }
+    }
+    let probe_storage = Arc::clone(&storage);
+    tcp.set_probe_handler(Arc::new(move |disk, slot| {
+        probe_storage
+            .pe(rank)
+            .engine()
+            .read_sync(BlockId::new(disk, slot))
+            .map(|b| b.into_vec())
+            .map_err(|e| e.to_string())
+    }));
+    let _handler_guard = HandlerGuard(tcp.clone());
+
+    // Load this rank's contiguous shard of the input.
+    let meta =
+        std::fs::metadata(&job.input).map_err(|e| Error::io(format!("stat {}: {e}", job.input)))?;
+    if meta.len() % Record100::BYTES as u64 != 0 {
+        return Err(Error::config(format!("input {} is not whole 100-byte records", job.input)));
+    }
+    let total_records = meta.len() / Record100::BYTES as u64;
+    let shard = ranks::owned_range(rank, p, total_records);
+    let mut f = std::fs::File::open(&job.input)
+        .map_err(|e| Error::io(format!("open {}: {e}", job.input)))?;
+    f.seek(SeekFrom::Start(shard.start * Record100::BYTES as u64))?;
+    let mut bytes = vec![0u8; (shard.end - shard.start) as usize * Record100::BYTES];
+    f.read_exact(&mut bytes)?;
+    let mut recs = Vec::with_capacity((shard.end - shard.start) as usize);
+    Record100::decode_slice(&bytes, &mut recs);
+    drop(bytes);
+
+    // The SPMD sort — identical code path to the in-process cluster.
+    let comm = Communicator::new(Box::new(tcp.clone()));
+    let cfg = SortConfig::new(job.machine.clone(), job.algo.clone())?;
+    let input = ingest_input(storage.pe(rank), &recs)?;
+    drop(recs);
+    let outcome =
+        canonical_mergesort::<Record100>(&comm, &storage, &cfg, input, job.machine.cores_per_pe)?;
+
+    // (Everyone is past multiway selection once the sort returns — no
+    // peer can probe us anymore; the handler guard clears on return.)
+
+    // Write this rank's canonical slice into the shared output file:
+    // ranks own disjoint byte ranges, so the file assembles in place.
+    let out_recs =
+        read_records::<Record100>(storage.pe(rank), &outcome.output.run, outcome.output.elems)?;
+    let own = ranks::owned_range(rank, p, total_records);
+    debug_assert_eq!(out_recs.len() as u64, own.end - own.start);
+    let mut out = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&job.output)
+        .map_err(|e| Error::io(format!("open {}: {e}", job.output)))?;
+    out.seek(SeekFrom::Start(own.start * Record100::BYTES as u64))?;
+    let mut writer = std::io::BufWriter::new(&mut out);
+    let mut buf = vec![0u8; Record100::BYTES];
+    for rec in &out_recs {
+        rec.encode(&mut buf);
+        writer.write_all(&buf)?;
+    }
+    writer.flush()?;
+    drop(writer);
+
+    // Ranks must not tear the mesh down while a slower peer still
+    // depends on it (probes are done, but the final phases interleave).
+    comm.barrier();
+
+    Ok(RankReport { rank, elems: outcome.output.elems, runs: outcome.runs, phases: outcome.phases })
+}
+
+// -------------------------------------------------------------------
+// Launcher
+// -------------------------------------------------------------------
+
+/// Result of a multi-process launch.
+#[derive(Debug)]
+pub struct LaunchOutcome {
+    /// Aggregated per-rank, per-phase counters (same shape as the
+    /// in-process [`sort_cluster`](demsort_core::canonical::sort_cluster)
+    /// report).
+    pub report: SortReport,
+    /// The raw per-rank reports, in rank order.
+    pub per_rank: Vec<RankReport>,
+}
+
+/// Exit with a usage error (shared by the CLI bins).
+pub fn cli_die(bin: &str, msg: &str) -> ! {
+    eprintln!("{bin}: {msg}");
+    std::process::exit(2);
+}
+
+/// Parse a CLI flag value or exit with a usage error.
+pub fn cli_parse<T: std::str::FromStr>(bin: &str, s: &str, what: &str) -> T {
+    s.parse().unwrap_or_else(|_| cli_die(bin, &format!("invalid {what}: {s}")))
+}
+
+/// `true` if the two paths name the same existing file (same
+/// device+inode on unix; path equality elsewhere or when either does
+/// not exist yet).
+fn same_file(a: &str, b: &str) -> bool {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::MetadataExt;
+        if let (Ok(ma), Ok(mb)) = (std::fs::metadata(a), std::fs::metadata(b)) {
+            return ma.dev() == mb.dev() && ma.ino() == mb.ino();
+        }
+    }
+    a == b
+}
+
+/// Locate the `demsort-worker` binary next to the running executable.
+pub fn sibling_worker_bin() -> Result<PathBuf> {
+    let exe = std::env::current_exe().map_err(|e| Error::io(e.to_string()))?;
+    let dir = exe.parent().ok_or_else(|| Error::io("executable has no parent dir"))?;
+    let candidate = dir.join("demsort-worker");
+    if candidate.exists() {
+        return Ok(candidate);
+    }
+    Err(Error::config(format!(
+        "demsort-worker not found next to {} — build it (cargo build -p demsort-bench) or pass \
+         --worker-bin",
+        exe.display()
+    )))
+}
+
+/// Spawn `job.machine.pes` local worker processes (running
+/// `worker_bin`), rendezvous them over a loopback coordinator port,
+/// and collect their reports.
+pub fn launch(job: &JobConfig, worker_bin: &std::path::Path) -> Result<LaunchOutcome> {
+    job.validate()?;
+    let p = job.machine.pes;
+
+    // The output is truncated before the workers read the input, so
+    // sorting a file onto itself would destroy the data silently —
+    // reject it (the in-process driver tolerates in-place use only
+    // because it creates the output after the sort).
+    if same_file(&job.input, &job.output) {
+        return Err(Error::config(format!(
+            "output {} is the input file; TCP mode pre-sizes (truncates) the output before \
+             the sort reads the input — pick a different output path",
+            job.output
+        )));
+    }
+
+    // Pre-size the output so workers can write disjoint ranges.
+    let in_len = std::fs::metadata(&job.input)
+        .map_err(|e| Error::io(format!("stat {}: {e}", job.input)))?
+        .len();
+    let out = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&job.output)
+        .map_err(|e| Error::io(format!("create {}: {e}", job.output)))?;
+    out.set_len(in_len).map_err(|e| Error::io(format!("size {}: {e}", job.output)))?;
+    drop(out);
+
+    let coordinator = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| Error::comm(format!("bind coordinator: {e}")))?;
+    let coord_addr = coordinator.local_addr().map_err(|e| Error::comm(e.to_string()))?;
+    coordinator.set_nonblocking(true).map_err(|e| Error::comm(e.to_string()))?;
+
+    // Spawn all workers; if any spawn fails, reap the ones already
+    // started instead of leaking them (they would otherwise linger
+    // waiting for a rank assignment).
+    let mut children = Vec::with_capacity(p);
+    let mut spawn_err = None;
+    for _ in 0..p {
+        match std::process::Command::new(worker_bin)
+            .arg("--coordinator")
+            .arg(coord_addr.to_string())
+            .spawn()
+        {
+            Ok(c) => children.push(c),
+            Err(e) => {
+                spawn_err = Some(Error::io(format!("spawn {}: {e}", worker_bin.display())));
+                break;
+            }
+        }
+    }
+    let result = match spawn_err {
+        Some(e) => Err(e),
+        None => rendezvous_and_collect(job, &coordinator, p),
+    };
+
+    // Reap the children regardless of outcome.
+    let mut child_failure = None;
+    for (i, mut c) in children.into_iter().enumerate() {
+        let status = match result {
+            Ok(_) => c.wait().ok(),
+            Err(_) => {
+                let _ = c.kill();
+                c.wait().ok()
+            }
+        };
+        if let Some(st) = status {
+            if !st.success() && child_failure.is_none() {
+                child_failure = Some(format!("worker {i} exited with {st}"));
+            }
+        }
+    }
+    let outcome = result?;
+    if let Some(msg) = child_failure {
+        return Err(Error::comm(msg));
+    }
+    Ok(outcome)
+}
+
+/// Accept `p` JOINs, assign ranks in arrival order, ship the job, and
+/// collect every report.
+fn rendezvous_and_collect(
+    job: &JobConfig,
+    coordinator: &TcpListener,
+    p: usize,
+) -> Result<LaunchOutcome> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut conns: Vec<TcpStream> = Vec::with_capacity(p);
+    let mut mesh_addrs: Vec<String> = Vec::with_capacity(p);
+    while conns.len() < p {
+        match coordinator.accept() {
+            Ok((mut stream, _)) => {
+                // A connection that is not a prompt, well-formed JOIN
+                // (e.g. a stray prober) is dropped; only the overall
+                // deadline fails the rendezvous.
+                let join = stream
+                    .set_nonblocking(false)
+                    .and_then(|()| stream.set_read_timeout(Some(Duration::from_millis(250))))
+                    .map_err(|e| Error::comm(e.to_string()))
+                    .and_then(|()| {
+                        read_msg_deadline(&mut stream, Instant::now() + Duration::from_secs(5))
+                    });
+                match join {
+                    Ok((TAG_JOIN, body)) => match WireReader::new(&body).string() {
+                        Ok(addr) => {
+                            mesh_addrs.push(addr);
+                            conns.push(stream);
+                        }
+                        Err(_) => continue, // garbage JOIN body: drop it too
+                    },
+                    Ok(_) | Err(_) => continue,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(Error::comm(format!(
+                        "only {} of {p} workers joined within 30s",
+                        conns.len()
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(Error::comm(format!("coordinator accept: {e}"))),
+        }
+    }
+
+    let encoded_job = encode_job(job);
+    for (rank, conn) in conns.iter_mut().enumerate() {
+        let mut w = WireWriter::new();
+        w.u32(rank as u32).u32(p as u32);
+        for a in &mesh_addrs {
+            w.string(a);
+        }
+        w.bytes(&encoded_job);
+        write_msg(conn, TAG_ASSIGN, &w.finish())?;
+    }
+
+    // Collect reports. A dying worker closes its socket (read error,
+    // not a hang); a wedged-but-alive worker is cut off by a deadline
+    // scaled from the job's transport timeout — a legitimately long
+    // sort should raise `read_timeout_ms` (it bounds both).
+    let collect_deadline = Instant::now()
+        + Duration::from_millis(job.read_timeout_ms)
+            .saturating_mul(20)
+            .max(Duration::from_secs(300));
+    let mut per_rank: Vec<Option<RankReport>> = (0..p).map(|_| None).collect();
+    for (rank, conn) in conns.iter_mut().enumerate() {
+        let (tag, body) = read_msg_deadline(conn, collect_deadline)
+            .map_err(|e| Error::comm(format!("rank {rank} vanished before reporting: {e}")))?;
+        match tag {
+            TAG_REPORT => {
+                let rep = decode_rank_report(&body)?;
+                if rep.rank != rank {
+                    return Err(Error::comm(format!(
+                        "rank {rank}'s connection reported rank {}",
+                        rep.rank
+                    )));
+                }
+                per_rank[rank] = Some(rep);
+            }
+            TAG_FAIL => {
+                let msg = WireReader::new(&body).string()?;
+                return Err(Error::comm(format!("rank {rank} failed: {msg}")));
+            }
+            t => return Err(Error::comm(format!("unexpected tag {t} from rank {rank}"))),
+        }
+    }
+    let per_rank: Vec<RankReport> =
+        per_rank.into_iter().map(|r| r.expect("all reports collected")).collect();
+
+    // Aggregate exactly like the in-process driver.
+    let elements: u64 = per_rank.iter().map(|r| r.elems).sum();
+    let runs = per_rank.first().map_or(0, |r| r.runs);
+    let cfg = SortConfig::new(job.machine.clone(), job.algo.clone())?;
+    let report = assemble_report(
+        &cfg,
+        elements,
+        Record100::BYTES,
+        runs,
+        per_rank.iter().map(|r| r.phases.clone()).collect(),
+    );
+    Ok(LaunchOutcome { report, per_rank })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctrl_messages_roundtrip_over_a_socketpair() {
+        let deadline = || Instant::now() + Duration::from_secs(5);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let t = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().expect("accept");
+            s.set_read_timeout(Some(Duration::from_millis(50))).expect("timeout");
+            let (tag, body) = read_msg_deadline(&mut s, deadline()).expect("read");
+            write_msg(&mut s, tag + 1, &body).expect("write");
+        });
+        let mut c = TcpStream::connect(addr).expect("connect");
+        c.set_read_timeout(Some(Duration::from_millis(50))).expect("timeout");
+        write_msg(&mut c, TAG_JOIN, b"hello").expect("write");
+        let (tag, body) = read_msg_deadline(&mut c, deadline()).expect("read");
+        assert_eq!(tag, TAG_JOIN + 1);
+        assert_eq!(body, b"hello");
+        t.join().expect("echo thread");
+        // A silent peer times out instead of hanging.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let _silent = TcpStream::connect(addr).expect("connect");
+        let (mut s, _) = listener.accept().expect("accept");
+        s.set_read_timeout(Some(Duration::from_millis(20))).expect("timeout");
+        let err = read_msg_deadline(&mut s, Instant::now() + Duration::from_millis(100))
+            .expect_err("silence");
+        assert!(err.to_string().contains("timed out"), "{err}");
+    }
+
+    #[test]
+    fn launch_rejects_in_place_output_before_truncating() {
+        let path = std::env::temp_dir().join(format!("demsort-inplace-{}.dat", std::process::id()));
+        std::fs::write(&path, vec![1u8; 200]).expect("write input");
+        let p = path.to_string_lossy().into_owned();
+        let job = JobConfig {
+            input: p.clone(),
+            output: p,
+            machine: demsort_types::MachineConfig::tiny(2),
+            algo: demsort_types::AlgoConfig::default(),
+            read_timeout_ms: 1000,
+        };
+        // Rejected before any worker spawns (the bogus worker path is
+        // never exercised) and before the output truncate.
+        let err =
+            launch(&job, std::path::Path::new("/nonexistent-worker")).expect_err("in-place output");
+        assert!(err.to_string().contains("output"), "{err}");
+        assert_eq!(std::fs::metadata(&path).expect("stat").len(), 200, "input untouched");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_rank_rejects_mismatched_address_table() {
+        let (listener, _) = bind_loopback().expect("bind");
+        let job = JobConfig {
+            input: "/nonexistent".into(),
+            output: "/nonexistent".into(),
+            machine: demsort_types::MachineConfig::tiny(3),
+            algo: demsort_types::AlgoConfig::default(),
+            read_timeout_ms: 1000,
+        };
+        let err = run_rank(0, &[], listener, &job).expect_err("empty address table");
+        assert!(err.to_string().contains("address table"), "{err}");
+    }
+}

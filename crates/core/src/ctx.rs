@@ -4,20 +4,44 @@
 //! storage; peers' storage is reachable read-only for the remote probes
 //! of external multiway selection (Section IV-A: "they have to request
 //! data from remote disks"). In a real deployment those probes are
-//! one-block RDMA gets / MPI request-reply pairs; here a probe reads
-//! the peer's storage engine directly, so the I/O lands on the owning
-//! PE's disks (exactly where the paper's bottleneck analysis puts it)
-//! and the transferred bytes are charged to the prober as communication.
+//! one-block RDMA gets / MPI request-reply pairs. The in-process
+//! cluster holds every PE's storage in one [`ClusterStorage`], so a
+//! probe reads the peer's storage engine directly; the multi-process
+//! runtime gives each worker a single-rank view
+//! ([`ClusterStorage::single`]) whose remote probes go through a
+//! [`RemoteBlockFetch`] (the TCP transport's out-of-band probe
+//! channel). Either way the I/O lands on the owning PE's disks
+//! (exactly where the paper's bottleneck analysis puts it) and the
+//! transferred bytes are charged to the prober as communication.
 
-use demsort_storage::{Backend, DiskModel, MemBackend, PeStorage};
+use demsort_storage::{Backend, BlockId, DiskModel, MemBackend, PeStorage};
 use demsort_types::{
-    CommCounters, CpuCounters, IoCounters, MachineConfig, Phase, PhaseStats, SortConfig, SortReport,
+    CommCounters, CpuCounters, Error, IoCounters, MachineConfig, Phase, PhaseStats, Result,
+    SortConfig, SortReport,
 };
 use std::sync::Arc;
 
-/// The storage of every PE in the cluster, shared between PE threads.
+/// Fetches one block from a remote PE's storage (multi-process mode:
+/// implemented over the transport's probe channel).
+pub trait RemoteBlockFetch: Send + Sync {
+    /// Read block `id` owned by rank `pe`.
+    fn fetch(&self, pe: usize, id: BlockId) -> Result<Box<[u8]>>;
+}
+
+/// The storage view of one participant in the cluster.
+///
+/// * In-process cluster: every PE's storage, shared between PE
+///   threads (`base_rank = 0`, all ranks local).
+/// * Multi-process cluster: one worker's own storage plus a remote
+///   fetcher for probing peers' blocks.
 pub struct ClusterStorage {
+    /// Cluster size (`P`), which may exceed `pes.len()` in single-rank
+    /// mode.
+    size: usize,
+    /// Rank of `pes[0]`.
+    base_rank: usize,
     pes: Vec<PeStorage>,
+    remote: Option<Box<dyn RemoteBlockFetch>>,
 }
 
 impl ClusterStorage {
@@ -31,7 +55,7 @@ impl ClusterStorage {
         cfg: &MachineConfig,
         mut make: impl FnMut(&MachineConfig) -> Arc<dyn Backend>,
     ) -> Arc<Self> {
-        let pes = (0..cfg.pes)
+        let pes: Vec<PeStorage> = (0..cfg.pes)
             .map(|_| {
                 PeStorage::with_backend(
                     cfg.disks_per_pe,
@@ -41,22 +65,62 @@ impl ClusterStorage {
                 )
             })
             .collect();
-        Arc::new(Self { pes })
+        Arc::new(Self { size: pes.len(), base_rank: 0, pes, remote: None })
     }
 
-    /// Storage of PE `rank`.
+    /// Single-rank view for a worker process: `rank`'s own storage plus
+    /// a fetcher for remote probes. `size` is the cluster size `P`.
+    pub fn single(
+        rank: usize,
+        size: usize,
+        storage: PeStorage,
+        remote: Box<dyn RemoteBlockFetch>,
+    ) -> Arc<Self> {
+        assert!(rank < size, "rank {rank} out of range for {size} ranks");
+        Arc::new(Self { size, base_rank: rank, pes: vec![storage], remote: Some(remote) })
+    }
+
+    /// `true` if rank `rank`'s storage lives in this view.
+    pub fn is_local(&self, rank: usize) -> bool {
+        rank >= self.base_rank && rank - self.base_rank < self.pes.len()
+    }
+
+    /// Storage of PE `rank` (panics if the rank is not local to this
+    /// view — remote blocks go through [`ClusterStorage::fetch_block`]).
     pub fn pe(&self, rank: usize) -> &PeStorage {
-        &self.pes[rank]
+        assert!(
+            self.is_local(rank),
+            "PE {rank}'s storage is not local to this view (base {}, {} local)",
+            self.base_rank,
+            self.pes.len()
+        );
+        &self.pes[rank - self.base_rank]
     }
 
-    /// Number of PEs.
+    /// Read one block of PE `rank`'s storage, local or remote — the
+    /// multiway-selection probe path. Local reads go through the
+    /// owner's engine (its disk pays the I/O); remote reads go through
+    /// the registered [`RemoteBlockFetch`].
+    pub fn fetch_block(&self, rank: usize, id: BlockId) -> Result<Box<[u8]>> {
+        if self.is_local(rank) {
+            return self.pe(rank).engine().read_sync(id);
+        }
+        match &self.remote {
+            Some(r) => r.fetch(rank, id),
+            None => Err(Error::io(format!(
+                "PE {rank}'s storage is remote and no remote fetcher is registered"
+            ))),
+        }
+    }
+
+    /// Number of PEs in the cluster (`P`, not the local count).
     pub fn len(&self) -> usize {
-        self.pes.len()
+        self.size
     }
 
     /// `true` if the cluster has no PEs (never in practice).
     pub fn is_empty(&self) -> bool {
-        self.pes.is_empty()
+        self.size == 0
     }
 }
 
@@ -158,6 +222,65 @@ mod tests {
         assert!(!cs.is_empty());
         assert_eq!(cs.pe(1).disks(), cfg.disks_per_pe);
         assert_eq!(cs.pe(2).block_bytes(), cfg.block_bytes);
+        assert!((0..3).all(|r| cs.is_local(r)));
+    }
+
+    /// Echoes the requested address instead of real data.
+    struct FakeFetch;
+
+    impl RemoteBlockFetch for FakeFetch {
+        fn fetch(&self, pe: usize, id: BlockId) -> Result<Box<[u8]>> {
+            Ok(vec![pe as u8, id.disk as u8, id.slot as u8].into_boxed_slice())
+        }
+    }
+
+    fn one_rank_view(rank: usize, size: usize) -> (Arc<ClusterStorage>, BlockId) {
+        let cfg = MachineConfig::tiny(size);
+        let st = PeStorage::with_backend(
+            cfg.disks_per_pe,
+            cfg.block_bytes,
+            DiskModel::paper(),
+            Arc::new(MemBackend::new(cfg.disks_per_pe)),
+        );
+        let id = st.alloc().alloc_striped();
+        st.engine()
+            .write_sync(id, vec![7u8; cfg.block_bytes].into_boxed_slice())
+            .expect("write local block");
+        (ClusterStorage::single(rank, size, st, Box::new(FakeFetch)), id)
+    }
+
+    #[test]
+    fn single_rank_view_routes_local_and_remote_fetches() {
+        let (cs, local_id) = one_rank_view(1, 3);
+        assert_eq!(cs.len(), 3, "logical cluster size, not local count");
+        assert!(cs.is_local(1));
+        assert!(!cs.is_local(0) && !cs.is_local(2));
+        // Local fetch reads the real block through the own engine.
+        assert_eq!(&cs.fetch_block(1, local_id).expect("local")[..3], &[7, 7, 7]);
+        // Remote fetch goes through the registered fetcher.
+        let got = cs.fetch_block(2, BlockId::new(1, 5)).expect("remote");
+        assert_eq!(&*got, &[2u8, 1, 5][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not local to this view")]
+    fn single_rank_view_rejects_direct_remote_storage_access() {
+        let (cs, _) = one_rank_view(1, 3);
+        let _ = cs.pe(0);
+    }
+
+    #[test]
+    fn in_process_view_has_no_remote_fetcher() {
+        let cs = ClusterStorage::new_mem(&MachineConfig::tiny(2));
+        // An unallocated-but-valid address read through fetch_block
+        // routes to the local engine (error or not, it must not demand
+        // a remote fetcher).
+        let id = cs.pe(1).alloc().alloc_striped();
+        cs.pe(1)
+            .engine()
+            .write_sync(id, vec![3u8; cs.pe(1).block_bytes()].into_boxed_slice())
+            .expect("write");
+        assert_eq!(&cs.fetch_block(1, id).expect("local fetch")[..2], &[3, 3]);
     }
 
     #[test]

@@ -159,9 +159,10 @@ impl<R: Record> SortedSeq for RunProbe<'_, R> {
             // Only a cache-missing probe is an I/O step — the metric
             // the paper's bottleneck analysis (and the sampling/caching
             // ablation) is about; see SelectionStats::probes.
-            // Probe through the owner's engine: its disk pays the I/O.
-            let block =
-                self.storage.pe(pe).engine().read_sync(id).expect("selection probe I/O failed");
+            // Probe through the owner's storage: its disk pays the
+            // I/O. In multi-process mode a non-local owner is reached
+            // through the transport's probe channel.
+            let block = self.storage.fetch_block(pe, id).expect("selection probe I/O failed");
             if pe == self.my_rank {
                 stats.blocks_local += 1;
             } else {

@@ -103,4 +103,60 @@ mod tests {
             assert!(r.iter().all(|m| m.is_empty()));
         }
     }
+
+    #[test]
+    fn volume_limit_boundary_roundtrips_on_both_transports() {
+        // Off-by-one guard at the volume limit: a payload of exactly
+        // `limit` bytes must fit one round; `limit + 1` must split into
+        // two and reassemble byte-exactly. Run the identical job over
+        // the in-process mesh and the TCP loopback mesh (the real MPI
+        // limit is `i32::MAX`; the chunking logic is size-agnostic, so
+        // a small limit exercises the same boundary arithmetic).
+        let p = 3;
+        let limit = 1usize << 12;
+        for extra in [0usize, 1] {
+            let job = move |c: crate::Communicator| {
+                // rank 0 sends a boundary-sized payload to rank 2;
+                // everything else stays small/empty.
+                let mut msgs = vec![Vec::new(); p];
+                if c.rank() == 0 {
+                    msgs[2] = payload(0, 2, limit + extra);
+                    msgs[1] = vec![9u8; 3];
+                }
+                let before = c.counters().messages;
+                let out = chunked_alltoallv(&c, msgs, limit);
+                (out, c.counters().messages - before)
+            };
+            let local = crate::cluster::run_cluster(p, job);
+            let tcp = crate::cluster::run_cluster_tcp(p, job);
+            for (transport, results) in [("local", &local), ("tcp", &tcp)] {
+                let (out2, _) = &results[2];
+                assert_eq!(
+                    out2[0],
+                    payload(0, 2, limit + extra),
+                    "{transport}: limit+{extra} payload must reassemble"
+                );
+                assert!(out2[1].is_empty() && out2[2].is_empty());
+                let (out1, _) = &results[1];
+                assert_eq!(out1[0], vec![9u8; 3], "{transport}: small payload rides along");
+            }
+            // At the limit: one alltoall round; one byte over: two.
+            // Each round costs every PE P-1 sends plus the allreduce's
+            // ring traffic — identical across transports.
+            let rounds_msgs_local = local[0].1;
+            let rounds_msgs_tcp = tcp[0].1;
+            assert_eq!(
+                rounds_msgs_local, rounds_msgs_tcp,
+                "message counts must be transport-independent (extra {extra})"
+            );
+            let expect_rounds = 1 + extra as u64;
+            // allgather_u64 ring: P-1 sends per PE; each alltoallv
+            // round: P-1 sends per PE.
+            assert_eq!(
+                rounds_msgs_local,
+                (p as u64 - 1) * (1 + expect_rounds),
+                "round count off-by-one at the volume limit (extra {extra})"
+            );
+        }
+    }
 }

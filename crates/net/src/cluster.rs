@@ -1,40 +1,28 @@
-//! Cluster runtime: spawn `P` PE threads wired into a full channel
-//! mesh.
+//! Cluster runtime: run an SPMD function over a set of communicator
+//! endpoints.
 //!
-//! This substitutes for the paper's 200-node InfiniBand cluster plus
-//! MVAPICH: each PE is an OS thread running the same SPMD function with
-//! its own [`Communicator`] endpoint. Panics in any PE propagate to the
-//! caller after all PEs have been joined, so test failures surface
-//! cleanly.
+//! [`run_cluster`] substitutes for the paper's 200-node InfiniBand
+//! cluster plus MVAPICH: each PE is an OS thread running the same SPMD
+//! function with its own [`Communicator`] endpoint over the in-process
+//! [`LocalTransport`] mesh. [`run_cluster_over`] does the same over
+//! *any* pre-built transport endpoints (used by the TCP loopback tests
+//! and benchmarks); the true multi-process deployment instead runs one
+//! [`run_cluster`]-less rank per process via `demsort-worker`.
+//!
+//! Panics in any PE propagate to the caller after all PEs have been
+//! joined, so test failures surface cleanly.
 
 use crate::comm::Communicator;
-use crossbeam::channel::unbounded;
+use crate::transport::LocalTransport;
 
-/// Build the `P × P` channel mesh and hand each PE its endpoint.
-#[allow(clippy::needless_range_loop)] // (src, dst) indices mirror the mesh
+/// Build the `P × P` in-process channel mesh and hand each PE its
+/// endpoint.
 pub fn build_mesh(p: usize) -> Vec<Communicator> {
-    assert!(p > 0, "cluster needs at least one PE");
-    // senders[src][dst] / receivers[dst][src]
-    let mut senders: Vec<Vec<_>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
-    let mut inboxes: Vec<Vec<_>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
-    for dst in 0..p {
-        for src in 0..p {
-            let (tx, rx) = unbounded::<Vec<u8>>();
-            senders[src].push(tx);
-            inboxes[dst].push(rx);
-        }
-    }
-    // senders[src] currently indexed by dst in order; inboxes[dst] by src.
-    senders
-        .into_iter()
-        .zip(inboxes)
-        .enumerate()
-        .map(|(rank, (out, inbox))| Communicator::new(rank, p, out, inbox))
-        .collect()
+    LocalTransport::mesh(p).into_iter().map(|t| Communicator::new(Box::new(t))).collect()
 }
 
-/// Run `f` as an SPMD program on `p` PE threads; returns the per-rank
-/// results in rank order.
+/// Run `f` as an SPMD program on `p` PE threads over the in-process
+/// channel mesh; returns the per-rank results in rank order.
 ///
 /// `f` receives the PE's [`Communicator`]. If any PE panics, this
 /// function panics after joining all threads (mirroring an MPI job
@@ -44,7 +32,26 @@ where
     T: Send,
     F: Fn(Communicator) -> T + Send + Sync,
 {
-    let comms = build_mesh(p);
+    run_cluster_over(build_mesh(p), f)
+}
+
+/// Run `f` as an SPMD program, one thread per pre-built endpoint
+/// (endpoints must be in rank order); returns per-rank results in rank
+/// order.
+///
+/// This is the transport-generic sibling of [`run_cluster`]: pass
+/// communicators over [`LocalTransport`] endpoints for the in-process
+/// cluster, or over [`TcpTransport`](crate::tcp::TcpTransport)
+/// endpoints (e.g. from
+/// [`tcp::loopback_mesh`](crate::tcp::loopback_mesh)) to exercise the
+/// full wire path within one process.
+pub fn run_cluster_over<T, F>(comms: Vec<Communicator>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Communicator) -> T + Send + Sync,
+{
+    let p = comms.len();
+    debug_assert!(comms.iter().enumerate().all(|(i, c)| c.rank() == i), "rank order");
     let f = &f;
     std::thread::scope(|s| {
         let handles: Vec<_> = comms
@@ -71,6 +78,22 @@ where
         }
         results
     })
+}
+
+/// Run `f` over a freshly bootstrapped TCP loopback mesh of `p`
+/// single-process ranks — the full wire path (framing, handshake,
+/// buffered writers, reader threads) without spawning processes.
+pub fn run_cluster_tcp<T, F>(p: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Communicator) -> T + Send + Sync,
+{
+    let comms = crate::tcp::loopback_mesh(p, crate::tcp::TcpOptions::default())
+        .expect("bootstrap loopback TCP mesh")
+        .into_iter()
+        .map(|t| Communicator::new(Box::new(t)))
+        .collect();
+    run_cluster_over(comms, f)
 }
 
 #[cfg(test)]

@@ -1,92 +1,136 @@
-//! MPI-style communicator over in-process channels.
+//! MPI-style communicator over a pluggable [`Transport`].
 //!
-//! Each pair of PEs owns a dedicated FIFO channel, so `recv(from)` has
-//! MPI's per-source ordering semantics. All collectives (barrier,
-//! broadcast, gather, allgather, reductions, alltoallv) are built from
-//! point-to-point sends exactly as an MPI implementation would, and all
-//! remote traffic is metered into [`CommCounters`] — the communication
-//! volumes reported in the paper's analysis (Section IV-D) are read off
-//! these counters.
+//! All collectives (barrier, broadcast, gather, allgather, reductions,
+//! alltoallv) are built from point-to-point sends exactly as an MPI
+//! implementation would, against the [`Transport`] contract (per-source
+//! FIFO, non-blocking send). The same `Communicator` therefore runs
+//! unchanged over the in-process channel mesh
+//! ([`LocalTransport`](crate::transport::LocalTransport)) and the
+//! multi-process TCP mesh ([`TcpTransport`](crate::tcp::TcpTransport)).
+//!
+//! All remote traffic is metered per peer into [`CommCounters`] — the
+//! communication volumes reported in the paper's analysis (Section
+//! IV-D) are read off these counters, and they are *transport
+//! independent*: a TCP run and an in-process run of the same job report
+//! identical message and byte totals.
 //!
 //! Self-messages short-circuit (a real MPI does a memcpy); they are not
 //! counted as network traffic.
+//!
+//! Control-word collectives (`allgather_u64` and the reductions built
+//! on it) encode on the stack and send borrowed bytes
+//! ([`Transport::send_bytes`]), so the hot send path allocates no
+//! per-message `Vec` on transports that serialize onto a wire; bulk
+//! payload senders can do the same via [`encode_u64s_into`] plus a
+//! reused buffer.
 
-use crossbeam::channel::{Receiver, Sender};
+use crate::transport::Transport;
 use demsort_types::CommCounters;
 use std::cell::Cell;
 
-/// One PE's endpoint of the cluster interconnect.
-///
-/// Not `Sync`: a communicator belongs to its PE thread, like an MPI
-/// rank.
-pub struct Communicator {
-    rank: usize,
-    size: usize,
-    /// `out[j]` sends into PE `j`'s inbox slot for us.
-    out: Vec<Sender<Vec<u8>>>,
-    /// `inbox[i]` receives what PE `i` sent us.
-    inbox: Vec<Receiver<Vec<u8>>>,
+/// Per-peer traffic cells (interior mutability: the communicator is
+/// `!Sync`, owned by its PE).
+#[derive(Default)]
+struct PeerMeter {
     bytes_sent: Cell<u64>,
     bytes_recv: Cell<u64>,
     messages: Cell<u64>,
 }
 
+/// One PE's endpoint of the cluster interconnect.
+///
+/// Not `Sync`: a communicator belongs to its PE thread/process, like an
+/// MPI rank.
+pub struct Communicator {
+    transport: Box<dyn Transport>,
+    peers: Vec<PeerMeter>,
+}
+
 impl Communicator {
-    pub(crate) fn new(
-        rank: usize,
-        size: usize,
-        out: Vec<Sender<Vec<u8>>>,
-        inbox: Vec<Receiver<Vec<u8>>>,
-    ) -> Self {
-        assert_eq!(out.len(), size);
-        assert_eq!(inbox.len(), size);
-        Self {
-            rank,
-            size,
-            out,
-            inbox,
-            bytes_sent: Cell::new(0),
-            bytes_recv: Cell::new(0),
-            messages: Cell::new(0),
-        }
+    /// Wrap a transport endpoint into a communicator.
+    pub fn new(transport: Box<dyn Transport>) -> Self {
+        let peers = (0..transport.size()).map(|_| PeerMeter::default()).collect();
+        Self { transport, peers }
     }
 
     /// This PE's rank (`0..size`).
     pub fn rank(&self) -> usize {
-        self.rank
+        self.transport.rank()
     }
 
     /// Number of PEs.
     pub fn size(&self) -> usize {
-        self.size
+        self.transport.size()
     }
 
-    /// Traffic counters so far.
+    /// Traffic counters so far (sum over peers; self-traffic is free).
     pub fn counters(&self) -> CommCounters {
+        let mut total = CommCounters::default();
+        for p in &self.peers {
+            total.bytes_sent += p.bytes_sent.get();
+            total.bytes_recv += p.bytes_recv.get();
+            total.messages += p.messages.get();
+        }
+        total
+    }
+
+    /// Traffic exchanged with one peer (zeros for `peer == rank`).
+    pub fn peer_counters(&self, peer: usize) -> CommCounters {
+        let p = &self.peers[peer];
         CommCounters {
-            bytes_sent: self.bytes_sent.get(),
-            bytes_recv: self.bytes_recv.get(),
-            messages: self.messages.get(),
+            bytes_sent: p.bytes_sent.get(),
+            bytes_recv: p.bytes_recv.get(),
+            messages: p.messages.get(),
         }
     }
 
-    /// Send `msg` to PE `to` (non-blocking; channels are unbounded).
-    pub fn send(&self, to: usize, msg: Vec<u8>) {
-        if to != self.rank {
-            self.bytes_sent.set(self.bytes_sent.get() + msg.len() as u64);
-            self.messages.set(self.messages.get() + 1);
+    fn meter_send(&self, to: usize, bytes: usize) {
+        if to != self.rank() {
+            let p = &self.peers[to];
+            p.bytes_sent.set(p.bytes_sent.get() + bytes as u64);
+            p.messages.set(p.messages.get() + 1);
         }
-        self.out[to].send(msg).expect("peer hung up");
+    }
+
+    /// Send `msg` to PE `to` (non-blocking; the transport buffers).
+    pub fn send(&self, to: usize, msg: Vec<u8>) {
+        self.meter_send(to, msg.len());
+        self.transport.send(to, msg).unwrap_or_else(|e| panic!("send to {to}: {e}"));
+    }
+
+    /// Send a borrowed message — wire transports copy straight into
+    /// their buffered writer, no intermediate allocation.
+    pub fn send_bytes(&self, to: usize, msg: &[u8]) {
+        self.meter_send(to, msg.len());
+        self.transport.send_bytes(to, msg).unwrap_or_else(|e| panic!("send to {to}: {e}"));
     }
 
     /// Receive the next message from PE `from` (blocking, FIFO per
     /// source).
+    ///
+    /// Flushes buffered sends first, so blocking here can never
+    /// deadlock on bytes parked in this PE's own write buffers; this is
+    /// the transport's collective-boundary flush point. Panics (aborting
+    /// the SPMD job like an MPI error handler) if the peer is gone or
+    /// the transport's receive timeout elapses.
     pub fn recv(&self, from: usize) -> Vec<u8> {
-        let msg = self.inbox[from].recv().expect("peer hung up");
-        if from != self.rank {
-            self.bytes_recv.set(self.bytes_recv.get() + msg.len() as u64);
+        self.transport.flush().unwrap_or_else(|e| panic!("flush: {e}"));
+        let msg = self.transport.recv(from).unwrap_or_else(|e| panic!("recv from {from}: {e}"));
+        if from != self.rank() {
+            let p = &self.peers[from];
+            p.bytes_recv.set(p.bytes_recv.get() + msg.len() as u64);
         }
         msg
+    }
+
+    /// Send one control word, encoded on the stack — no allocation.
+    fn send_u64(&self, to: usize, x: u64) {
+        self.send_bytes(to, &x.to_le_bytes());
+    }
+
+    fn recv_u64(&self, from: usize) -> u64 {
+        let buf = self.recv(from);
+        u64::from_le_bytes(buf.as_slice().try_into().expect("8-byte control word"))
     }
 
     // ---------------------------------------------------------------
@@ -96,10 +140,10 @@ impl Communicator {
     /// Dissemination barrier: `⌈log2 P⌉` rounds.
     pub fn barrier(&self) {
         let mut dist = 1;
-        while dist < self.size {
-            let to = (self.rank + dist) % self.size;
-            let from = (self.rank + self.size - dist) % self.size;
-            self.send(to, Vec::new());
+        while dist < self.size() {
+            let to = (self.rank() + dist) % self.size();
+            let from = (self.rank() + self.size() - dist) % self.size();
+            self.send_bytes(to, &[]);
             let _ = self.recv(from);
             dist <<= 1;
         }
@@ -113,32 +157,36 @@ impl Communicator {
     /// `v + 2^k` for all `2^k` below that bit (all powers of two for
     /// the root).
     pub fn broadcast(&self, root: usize, msg: Vec<u8>) -> Vec<u8> {
-        let vrank = (self.rank + self.size - root) % self.size;
+        let size = self.size();
+        let vrank = (self.rank() + size - root) % size;
         let data = if vrank == 0 {
             msg
         } else {
             let parent_v = vrank & (vrank - 1);
-            self.recv((parent_v + root) % self.size)
+            self.recv((parent_v + root) % size)
         };
-        let child_bit_limit = if vrank == 0 { self.size } else { vrank & vrank.wrapping_neg() };
+        let child_bit_limit = if vrank == 0 { size } else { vrank & vrank.wrapping_neg() };
         let mut b = 1;
         while b < child_bit_limit {
             let child_v = vrank + b;
-            if child_v < self.size {
-                self.send((child_v + root) % self.size, data.clone());
+            if child_v < size {
+                self.send_bytes((child_v + root) % size, &data);
             }
             b <<= 1;
         }
+        // The root and interior tree nodes end the collective on a
+        // send: flush so children never wait on locally parked frames.
+        self.transport.flush().unwrap_or_else(|e| panic!("flush: {e}"));
         data
     }
 
     /// Gather everyone's `msg` at `root`; non-roots get an empty vec.
     #[allow(clippy::needless_range_loop)] // rank loop skips self by index
     pub fn gather(&self, root: usize, msg: Vec<u8>) -> Vec<Vec<u8>> {
-        if self.rank == root {
-            let mut out = vec![Vec::new(); self.size];
+        if self.rank() == root {
+            let mut out = vec![Vec::new(); self.size()];
             out[root] = msg;
-            for i in 0..self.size {
+            for i in 0..self.size() {
                 if i != root {
                     out[i] = self.recv(i);
                 }
@@ -146,6 +194,9 @@ impl Communicator {
             out
         } else {
             self.send(root, msg);
+            // Non-roots end the collective on a send: flush so the
+            // root never waits on locally parked frames.
+            self.transport.flush().unwrap_or_else(|e| panic!("flush: {e}"));
             Vec::new()
         }
     }
@@ -153,26 +204,36 @@ impl Communicator {
     /// Allgather: everyone receives everyone's message, indexed by rank.
     pub fn allgather(&self, msg: Vec<u8>) -> Vec<Vec<u8>> {
         // Simple ring: P-1 rounds, each forwarding one original.
-        let mut out = vec![Vec::new(); self.size];
-        out[self.rank] = msg;
-        for round in 1..self.size {
-            let to = (self.rank + 1) % self.size;
-            let from = (self.rank + self.size - 1) % self.size;
+        let size = self.size();
+        let mut out = vec![Vec::new(); size];
+        out[self.rank()] = msg;
+        for round in 1..size {
+            let to = (self.rank() + 1) % size;
+            let from = (self.rank() + size - 1) % size;
             // forward the message that originated `round-1` hops back
-            let orig = (self.rank + self.size - (round - 1)) % self.size;
-            self.send(to, out[orig].clone());
-            let recv_orig = (self.rank + self.size - round) % self.size;
+            let orig = (self.rank() + size - (round - 1)) % size;
+            self.send_bytes(to, &out[orig]);
+            let recv_orig = (self.rank() + size - round) % size;
             out[recv_orig] = self.recv(from);
         }
         out
     }
 
-    /// Allgather of one `u64` per PE.
+    /// Allgather of one `u64` per PE (stack-encoded ring — no
+    /// per-message allocation on wire transports).
     pub fn allgather_u64(&self, x: u64) -> Vec<u64> {
-        self.allgather(x.to_le_bytes().to_vec())
-            .into_iter()
-            .map(|v| u64::from_le_bytes(v.try_into().expect("8 bytes")))
-            .collect()
+        let size = self.size();
+        let mut out = vec![0u64; size];
+        out[self.rank()] = x;
+        for round in 1..size {
+            let to = (self.rank() + 1) % size;
+            let from = (self.rank() + size - 1) % size;
+            let orig = (self.rank() + size - (round - 1)) % size;
+            self.send_u64(to, out[orig]);
+            let recv_orig = (self.rank() + size - round) % size;
+            out[recv_orig] = self.recv_u64(from);
+        }
+        out
     }
 
     /// Allreduce of a `u64` with an associative, commutative `op`.
@@ -197,27 +258,28 @@ impl Communicator {
 
     /// Exclusive prefix sum of `x` over ranks (`rank 0 gets 0`).
     pub fn exscan_sum(&self, x: u64) -> u64 {
-        self.allgather_u64(x).iter().take(self.rank).sum()
+        self.allgather_u64(x).iter().take(self.rank()).sum()
     }
 
     /// Personalized all-to-all: `msgs[j]` goes to PE `j`; returns what
     /// each PE sent us, indexed by source rank.
     ///
-    /// Sends happen before receives; unbounded channels make this
-    /// deadlock-free without MPI's internal buffering concerns.
+    /// Sends happen before receives; unbounded transport buffering
+    /// makes this deadlock-free without MPI's internal buffering
+    /// concerns.
     #[allow(clippy::needless_range_loop)] // rank loop skips self by index
     pub fn alltoallv(&self, msgs: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
-        assert_eq!(msgs.len(), self.size, "need exactly one message per PE");
-        let mut out = vec![Vec::new(); self.size];
+        assert_eq!(msgs.len(), self.size(), "need exactly one message per PE");
+        let mut out = vec![Vec::new(); self.size()];
         for (j, m) in msgs.into_iter().enumerate() {
-            if j == self.rank {
-                out[j] = m; // self-delivery without the channel round-trip
+            if j == self.rank() {
+                out[j] = m; // self-delivery without the transport round-trip
             } else {
                 self.send(j, m);
             }
         }
-        for i in 0..self.size {
-            if i != self.rank {
+        for i in 0..self.size() {
+            if i != self.rank() {
                 out[i] = self.recv(i);
             }
         }
@@ -225,19 +287,36 @@ impl Communicator {
     }
 }
 
-/// Encode a `u64` slice little-endian.
+/// Encode a `u64` slice little-endian into a fresh buffer.
 pub fn encode_u64s(xs: &[u64]) -> Vec<u8> {
     let mut out = Vec::with_capacity(xs.len() * 8);
-    for x in xs {
-        out.extend_from_slice(&x.to_le_bytes());
-    }
+    encode_u64s_into(xs, &mut out);
     out
 }
 
-/// Decode a little-endian `u64` buffer.
+/// Encode a `u64` slice little-endian into `out` (cleared first) —
+/// reuse one buffer across messages to skip the per-message allocation.
+pub fn encode_u64s_into(xs: &[u64], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(xs.len() * 8);
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Decode a little-endian `u64` buffer into a fresh vector.
 pub fn decode_u64s(buf: &[u8]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(buf.len() / 8);
+    decode_u64s_into(buf, &mut out);
+    out
+}
+
+/// Decode a little-endian `u64` buffer into `out` (cleared first).
+pub fn decode_u64s_into(buf: &[u8], out: &mut Vec<u64>) {
     assert_eq!(buf.len() % 8, 0, "u64 buffer length must be a multiple of 8");
-    buf.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))).collect()
+    out.clear();
+    out.reserve(buf.len() / 8);
+    out.extend(buf.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))));
 }
 
 #[cfg(test)]
@@ -249,6 +328,18 @@ mod tests {
     fn u64_codec_roundtrip() {
         let xs = vec![0u64, 1, u64::MAX, 0xDEAD_BEEF];
         assert_eq!(decode_u64s(&encode_u64s(&xs)), xs);
+    }
+
+    #[test]
+    fn u64_codec_reuses_buffers() {
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        for xs in [vec![1u64, 2, 3], vec![u64::MAX], vec![]] {
+            encode_u64s_into(&xs, &mut buf);
+            assert_eq!(buf.len(), xs.len() * 8);
+            decode_u64s_into(&buf, &mut out);
+            assert_eq!(out, xs);
+        }
     }
 
     #[test]
@@ -351,6 +442,40 @@ mod tests {
             assert_eq!(c.bytes_sent, 50);
             assert_eq!(c.bytes_recv, 50);
             assert_eq!(c.messages, 1);
+        }
+    }
+
+    #[test]
+    fn per_peer_metering_sums_to_totals() {
+        let p = 3;
+        let results = run_cluster(p, move |c| {
+            // Send j+1 bytes to each peer j; receive theirs.
+            for j in 0..p {
+                if j != c.rank() {
+                    c.send(j, vec![0; j + 1]);
+                }
+            }
+            for j in 0..p {
+                if j != c.rank() {
+                    let _ = c.recv(j);
+                }
+            }
+            (0..p).map(|j| c.peer_counters(j)).collect::<Vec<_>>()
+        });
+        for (me, peers) in results.into_iter().enumerate() {
+            let mut sum = CommCounters::default();
+            for (j, pc) in peers.iter().enumerate() {
+                if j == me {
+                    assert_eq!(*pc, CommCounters::default(), "self-traffic is free");
+                } else {
+                    assert_eq!(pc.bytes_sent, j as u64 + 1, "PE {me} -> {j}");
+                    assert_eq!(pc.bytes_recv, me as u64 + 1, "PE {me} <- {j}");
+                    assert_eq!(pc.messages, 1);
+                }
+                sum = sum.merge(pc);
+            }
+            let expect_sent: u64 = (0..p).filter(|&j| j != me).map(|j| j as u64 + 1).sum();
+            assert_eq!(sum.bytes_sent, expect_sent);
         }
     }
 }

@@ -1,0 +1,891 @@
+//! The TCP cluster transport: one PE per OS process, a full `P × P`
+//! socket mesh.
+//!
+//! This is the deployment shape of the paper's experiments — MVAPICH
+//! over InfiniBand on 200 nodes — with TCP standing in for the
+//! interconnect and this module for the MPI runtime:
+//!
+//! * **Wire framing** — every message is a length-prefixed frame
+//!   `[kind: u8][len: u32 LE][payload]`; the connection identifies the
+//!   source rank, so frames carry no addressing.
+//! * **Mesh bootstrap** — every rank binds a listener, then rank `i`
+//!   dials every `j < i` (with retry while the peer is still coming
+//!   up) and accepts from every `j > i`. The first bytes on a fresh
+//!   connection are a **rank handshake** (`magic, version, rank`), so
+//!   connections may arrive in any order — the handshake, not arrival
+//!   order, assigns the connection its peer slot.
+//! * **Buffered writers** — sends copy into a per-peer `BufWriter`;
+//!   [`Communicator`](crate::Communicator) flushes at collective
+//!   boundaries (before every blocking receive), so batching can never
+//!   deadlock a peer on bytes parked locally.
+//! * **Reader threads** — one per peer socket, demultiplexing frames
+//!   into per-source FIFO queues (preserving MPI's per-source
+//!   ordering) and serving **block-probe requests** out of band: the
+//!   paper's multiway selection issues one-block remote reads ("they
+//!   have to request data from remote disks", Section IV-A), which in
+//!   process-per-PE mode become request/reply frames served from the
+//!   owning rank's storage by its reader thread — the remote PE's CPU
+//!   never leaves its own phase, exactly like an RDMA get.
+//! * **Failure detection** — sockets carry read timeouts and queue
+//!   receives are bounded by [`TcpOptions::read_timeout`], so a peer
+//!   dying mid-collective surfaces as a clean
+//!   [`Error::Comm`](demsort_types::Error), never a hang.
+
+use crate::transport::Transport;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use demsort_types::{Error, Result};
+use std::io::{BufWriter, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Handshake magic: `"DEMS"`.
+const MAGIC: u32 = 0x4445_4D53;
+/// Wire protocol version.
+const VERSION: u8 = 1;
+/// Upper bound on a single frame: the full reach of the `u32` length
+/// field, so any message `chunked_alltoallv` produces under the 2 GiB
+/// `MPI_VOLUME_LIMIT` (plus submessage headers) fits in one frame.
+/// Senders reject larger payloads explicitly; receivers treat larger
+/// prefixes as corruption.
+const MAX_FRAME: usize = u32::MAX as usize;
+/// Socket-level read timeout: the tick at which blocked reads re-check
+/// the shutdown flag (liveness of teardown, not of peers — peer
+/// liveness is [`TcpOptions::read_timeout`] at the queue level).
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Frame kinds on the wire.
+const KIND_DATA: u8 = 0;
+const KIND_PROBE_REQ: u8 = 1;
+const KIND_PROBE_RESP: u8 = 2;
+
+/// Serves remote block-probe requests from this rank's local storage:
+/// `(disk, slot) -> block bytes` (or a message for the prober).
+pub type ProbeHandler = Arc<dyn Fn(u32, u32) -> std::result::Result<Vec<u8>, String> + Send + Sync>;
+
+/// Tunables of the TCP transport.
+#[derive(Clone, Debug)]
+pub struct TcpOptions {
+    /// How long a blocking receive (or probe) waits for a peer before
+    /// reporting it dead.
+    pub read_timeout: Duration,
+    /// How long mesh bootstrap keeps re-dialing a peer that is not
+    /// listening yet.
+    pub connect_timeout: Duration,
+    /// Capacity of each per-peer write buffer.
+    pub write_buffer: usize,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        Self {
+            read_timeout: Duration::from_secs(30),
+            connect_timeout: Duration::from_secs(10),
+            write_buffer: 256 << 10,
+        }
+    }
+}
+
+/// One established peer connection: buffered writer plus wire-level
+/// per-peer traffic meters (headers included — the payload-level
+/// counters live in the transport-independent `Communicator`).
+struct PeerLink {
+    stream: TcpStream,
+    writer: Mutex<BufWriter<TcpStream>>,
+    /// Set inside the writer lock on every send, cleared inside the
+    /// lock on flush — `flush_all` skips peers with nothing pending.
+    dirty: AtomicBool,
+    wire_sent: AtomicU64,
+    wire_recv: AtomicU64,
+}
+
+impl PeerLink {
+    fn write_frame(&self, kind: u8, payload: &[u8]) -> Result<()> {
+        if payload.len() > MAX_FRAME {
+            return Err(Error::comm(format!(
+                "frame of {} bytes exceeds the wire limit ({MAX_FRAME}); split the message \
+                 (chunked_alltoallv) before sending",
+                payload.len()
+            )));
+        }
+        let mut w = self.writer.lock().expect("writer lock");
+        let header = frame_header(kind, payload.len());
+        w.write_all(&header)
+            .and_then(|()| w.write_all(payload))
+            .map_err(|e| Error::comm(format!("write to peer failed: {e}")))?;
+        self.dirty.store(true, Ordering::Release);
+        self.wire_sent.fetch_add((header.len() + payload.len()) as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<()> {
+        if self.dirty.load(Ordering::Acquire) {
+            let mut w = self.writer.lock().expect("writer lock");
+            w.flush().map_err(|e| Error::comm(format!("flush to peer failed: {e}")))?;
+            self.dirty.store(false, Ordering::Release);
+        }
+        Ok(())
+    }
+}
+
+fn frame_header(kind: u8, len: usize) -> [u8; 5] {
+    let mut h = [0u8; 5];
+    h[0] = kind;
+    h[1..5].copy_from_slice(&(len as u32).to_le_bytes());
+    h
+}
+
+/// A probe response routed back to the waiting prober.
+type ProbeResp = (u64, std::result::Result<Vec<u8>, String>);
+
+struct Inner {
+    rank: usize,
+    size: usize,
+    opts: TcpOptions,
+    /// `peers[j]` — `None` at `j == rank`.
+    peers: Vec<Option<Arc<PeerLink>>>,
+    /// Self-delivery queue feeding `inbox[rank]`.
+    self_tx: Sender<Vec<u8>>,
+    /// Per-source FIFO data queues (mutex: receivers are single-
+    /// consumer; contention is nil — one recv call at a time).
+    inbox: Vec<Mutex<Receiver<Vec<u8>>>>,
+    /// Per-source probe-response queues.
+    probe_rx: Vec<Option<Mutex<Receiver<ProbeResp>>>>,
+    probe_seq: AtomicU64,
+    /// Serializes outstanding probes (one in flight per rank).
+    probe_lock: Mutex<()>,
+    handler: Arc<RwLock<Option<ProbeHandler>>>,
+    shutdown: Arc<AtomicBool>,
+    readers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // A rank may exit while peers still depend on its last sends
+        // (e.g. the final frames of a broadcast tree): push buffered
+        // frames onto the wire before closing anything.
+        for p in self.peers.iter().flatten() {
+            let _ = p.flush();
+        }
+        self.shutdown.store(true, Ordering::Release);
+        for p in self.peers.iter().flatten() {
+            let _ = p.stream.shutdown(std::net::Shutdown::Both);
+        }
+        for h in self.readers.lock().expect("reader handles").drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One rank's endpoint of the TCP socket mesh (cheaply cloneable
+/// handle; the last clone tears the connections down).
+#[derive(Clone)]
+pub struct TcpTransport {
+    inner: Arc<Inner>,
+}
+
+impl TcpTransport {
+    /// Join the mesh: `addrs[rank]` must be the address `listener` is
+    /// bound to; every other entry a peer's listener. Dials lower
+    /// ranks (retrying while they come up), accepts higher ranks, and
+    /// spawns one reader thread per established connection.
+    pub fn connect_mesh(
+        rank: usize,
+        addrs: &[SocketAddr],
+        listener: TcpListener,
+        opts: TcpOptions,
+    ) -> Result<Self> {
+        let size = addrs.len();
+        if rank >= size {
+            return Err(Error::config(format!("rank {rank} out of range for {size} ranks")));
+        }
+
+        // Accept from higher ranks while dialing lower ranks.
+        let expect_inbound = size - 1 - rank;
+        let deadline = Instant::now() + opts.connect_timeout;
+        let acceptor = std::thread::Builder::new()
+            .name(format!("demsort-accept-{rank}"))
+            .spawn(move || accept_peers(&listener, rank, size, expect_inbound, deadline))
+            .map_err(|e| Error::comm(format!("spawn acceptor: {e}")))?;
+
+        let mut streams: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
+        for (j, stream_slot) in streams.iter_mut().enumerate().take(rank) {
+            let s = dial_peer(addrs[j], rank, deadline)
+                .map_err(|e| Error::comm(format!("rank {rank} dialing rank {j}: {e}")))?;
+            *stream_slot = Some(s);
+        }
+        let accepted = acceptor
+            .join()
+            .map_err(|_| Error::comm("acceptor thread panicked"))?
+            .map_err(|e| Error::comm(format!("rank {rank} accepting peers: {e}")))?;
+        for (j, s) in accepted {
+            streams[j] = Some(s);
+        }
+
+        Self::from_streams(rank, size, streams, opts)
+    }
+
+    /// Assemble the endpoint from established, handshaken streams
+    /// (`streams[j]` connected to rank `j`, `None` at `j == rank`).
+    fn from_streams(
+        rank: usize,
+        size: usize,
+        streams: Vec<Option<TcpStream>>,
+        opts: TcpOptions,
+    ) -> Result<Self> {
+        let mut peers: Vec<Option<Arc<PeerLink>>> = Vec::with_capacity(size);
+        let mut inbox = Vec::with_capacity(size);
+        let mut probe_rx: Vec<Option<Mutex<Receiver<ProbeResp>>>> = Vec::with_capacity(size);
+        let (self_tx, self_rx) = unbounded::<Vec<u8>>();
+        let mut self_rx = Some(self_rx);
+        let handler: Arc<RwLock<Option<ProbeHandler>>> = Arc::new(RwLock::new(None));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::with_capacity(size.saturating_sub(1));
+
+        for (j, stream) in streams.into_iter().enumerate() {
+            if j == rank {
+                debug_assert!(stream.is_none(), "no stream to self");
+                peers.push(None);
+                inbox.push(Mutex::new(self_rx.take().expect("one self slot")));
+                probe_rx.push(None);
+                continue;
+            }
+            let stream = stream
+                .ok_or_else(|| Error::comm(format!("no connection established to rank {j}")))?;
+            stream
+                .set_nodelay(true)
+                .and_then(|()| stream.set_read_timeout(Some(READ_TICK)))
+                .map_err(|e| Error::comm(format!("configure socket to rank {j}: {e}")))?;
+            let write_half = stream
+                .try_clone()
+                .map_err(|e| Error::comm(format!("clone socket to rank {j}: {e}")))?;
+            let link = Arc::new(PeerLink {
+                stream: stream.try_clone().map_err(|e| Error::comm(e.to_string()))?,
+                writer: Mutex::new(BufWriter::with_capacity(opts.write_buffer, write_half)),
+                dirty: AtomicBool::new(false),
+                wire_sent: AtomicU64::new(0),
+                wire_recv: AtomicU64::new(0),
+            });
+            let (data_tx, data_rx) = unbounded::<Vec<u8>>();
+            let (presp_tx, presp_rx) = unbounded::<ProbeResp>();
+            let reader = ReaderCtx {
+                peer: j,
+                stream,
+                link: Arc::clone(&link),
+                data_tx,
+                presp_tx,
+                handler: Arc::clone(&handler),
+                shutdown: Arc::clone(&shutdown),
+            };
+            readers.push(
+                std::thread::Builder::new()
+                    .name(format!("demsort-rx-{rank}-from-{j}"))
+                    .spawn(move || reader.run())
+                    .map_err(|e| Error::comm(format!("spawn reader: {e}")))?,
+            );
+            peers.push(Some(link));
+            inbox.push(Mutex::new(data_rx));
+            probe_rx.push(Some(Mutex::new(presp_rx)));
+        }
+
+        Ok(Self {
+            inner: Arc::new(Inner {
+                rank,
+                size,
+                opts,
+                peers,
+                self_tx,
+                inbox,
+                probe_rx,
+                probe_seq: AtomicU64::new(0),
+                probe_lock: Mutex::new(()),
+                handler,
+                shutdown,
+                readers: Mutex::new(readers),
+            }),
+        })
+    }
+
+    /// Register the handler serving this rank's blocks to remote
+    /// probes (multiway selection's remote one-block reads).
+    pub fn set_probe_handler(&self, h: ProbeHandler) {
+        *self.inner.handler.write().expect("handler lock") = Some(h);
+    }
+
+    /// Drop the probe handler (subsequent probes get an error reply).
+    /// Workers clear it once no peer can probe anymore, breaking the
+    /// handler's reference back to the storage.
+    pub fn clear_probe_handler(&self) {
+        *self.inner.handler.write().expect("handler lock") = None;
+    }
+
+    /// Fetch one block from rank `pe`'s storage (out-of-band
+    /// request/reply, served by the peer's reader thread).
+    pub fn probe_block(&self, pe: usize, disk: u32, slot: u32) -> Result<Vec<u8>> {
+        let inner = &*self.inner;
+        if pe == inner.rank {
+            let handler = inner.handler.read().expect("handler lock").clone();
+            let h = handler.ok_or_else(|| Error::comm("no probe handler registered"))?;
+            return h(disk, slot).map_err(Error::io);
+        }
+        let link = inner.peers[pe].as_ref().expect("peer link");
+        let _guard = inner.probe_lock.lock().expect("probe lock");
+        let seq = inner.probe_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut req = [0u8; 16];
+        req[..8].copy_from_slice(&seq.to_le_bytes());
+        req[8..12].copy_from_slice(&disk.to_le_bytes());
+        req[12..16].copy_from_slice(&slot.to_le_bytes());
+        link.write_frame(KIND_PROBE_REQ, &req)?;
+        link.flush()?;
+
+        let rx = inner.probe_rx[pe].as_ref().expect("probe queue").lock().expect("probe rx");
+        let deadline = Instant::now() + inner.opts.read_timeout;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(left) {
+                Ok((got_seq, resp)) => {
+                    if got_seq < seq {
+                        continue; // stale reply of a timed-out probe
+                    }
+                    return resp.map_err(Error::io);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(Error::comm(format!(
+                        "probe to rank {pe} timed out after {:?}",
+                        inner.opts.read_timeout
+                    )));
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(Error::comm(format!("rank {pe} disconnected during probe")));
+                }
+            }
+        }
+    }
+
+    /// Wire-level traffic to/from rank `j` (frame headers included).
+    pub fn wire_peer(&self, j: usize) -> (u64, u64) {
+        match &self.inner.peers[j] {
+            Some(p) => (p.wire_sent.load(Ordering::Relaxed), p.wire_recv.load(Ordering::Relaxed)),
+            None => (0, 0),
+        }
+    }
+
+    /// Total wire-level traffic `(sent, received)` over all peers.
+    pub fn wire_totals(&self) -> (u64, u64) {
+        (0..self.inner.size).fold((0, 0), |(s, r), j| {
+            let (ps, pr) = self.wire_peer(j);
+            (s + ps, r + pr)
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn rank(&self) -> usize {
+        self.inner.rank
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size
+    }
+
+    fn send(&self, to: usize, frame: Vec<u8>) -> Result<()> {
+        self.send_bytes(to, &frame)
+    }
+
+    fn send_bytes(&self, to: usize, frame: &[u8]) -> Result<()> {
+        if to == self.inner.rank {
+            return self
+                .inner
+                .self_tx
+                .send(frame.to_vec())
+                .map_err(|_| Error::comm("self queue closed"));
+        }
+        self.inner.peers[to].as_ref().expect("peer link").write_frame(KIND_DATA, frame)
+    }
+
+    fn recv(&self, from: usize) -> Result<Vec<u8>> {
+        let rx = self.inner.inbox[from].lock().expect("inbox lock");
+        match rx.recv_timeout(self.inner.opts.read_timeout) {
+            Ok(frame) => Ok(frame),
+            Err(RecvTimeoutError::Timeout) => Err(Error::comm(format!(
+                "timed out after {:?} waiting for a message from rank {from}",
+                self.inner.opts.read_timeout
+            ))),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(Error::comm(format!("rank {from} disconnected (socket closed)")))
+            }
+        }
+    }
+
+    fn flush(&self) -> Result<()> {
+        for p in self.inner.peers.iter().flatten() {
+            p.flush()?;
+        }
+        Ok(())
+    }
+}
+
+// -------------------------------------------------------------------
+// Reader thread: demultiplex one peer's frames.
+// -------------------------------------------------------------------
+
+struct ReaderCtx {
+    peer: usize,
+    stream: TcpStream,
+    link: Arc<PeerLink>,
+    data_tx: Sender<Vec<u8>>,
+    presp_tx: Sender<ProbeResp>,
+    handler: Arc<RwLock<Option<ProbeHandler>>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ReaderCtx {
+    fn run(mut self) {
+        loop {
+            let mut header = [0u8; 5];
+            match self.read_full(&mut header) {
+                ReadOutcome::Ok => {}
+                ReadOutcome::Closed | ReadOutcome::Shutdown => return,
+            }
+            let kind = header[0];
+            let len = u32::from_le_bytes(header[1..5].try_into().expect("4 bytes")) as usize;
+            let mut payload = vec![0u8; len];
+            match self.read_full(&mut payload) {
+                ReadOutcome::Ok => {}
+                ReadOutcome::Closed | ReadOutcome::Shutdown => return,
+            }
+            self.link.wire_recv.fetch_add((5 + len) as u64, Ordering::Relaxed);
+            match kind {
+                KIND_DATA => {
+                    if self.data_tx.send(payload).is_err() {
+                        return; // endpoint dropped
+                    }
+                }
+                KIND_PROBE_REQ => {
+                    if self.serve_probe(&payload).is_err() {
+                        return;
+                    }
+                }
+                KIND_PROBE_RESP => {
+                    if payload.len() < 9 {
+                        return;
+                    }
+                    let seq = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+                    let resp = if payload[8] == 0 {
+                        Ok(payload[9..].to_vec())
+                    } else {
+                        Err(String::from_utf8_lossy(&payload[9..]).into_owned())
+                    };
+                    if self.presp_tx.send((seq, resp)).is_err() {
+                        return;
+                    }
+                }
+                _ => return, // unknown frame kind: protocol violation
+            }
+        }
+    }
+
+    /// Answer one probe request from this peer out of local storage.
+    fn serve_probe(&self, req: &[u8]) -> Result<()> {
+        if req.len() != 16 {
+            return Err(Error::comm(format!("malformed probe request from rank {}", self.peer)));
+        }
+        let seq = u64::from_le_bytes(req[..8].try_into().expect("8 bytes"));
+        let disk = u32::from_le_bytes(req[8..12].try_into().expect("4 bytes"));
+        let slot = u32::from_le_bytes(req[12..16].try_into().expect("4 bytes"));
+        let handler = self.handler.read().expect("handler lock").clone();
+        let result = match handler {
+            Some(h) => h(disk, slot),
+            None => Err("no probe handler registered on remote rank".to_string()),
+        };
+        let mut resp = Vec::with_capacity(9 + result.as_ref().map_or(0, Vec::len));
+        resp.extend_from_slice(&seq.to_le_bytes());
+        match &result {
+            Ok(data) => {
+                resp.push(0);
+                resp.extend_from_slice(data);
+            }
+            Err(msg) => {
+                resp.push(1);
+                resp.extend_from_slice(msg.as_bytes());
+            }
+        }
+        self.link.write_frame(KIND_PROBE_RESP, &resp)?;
+        self.link.flush()
+    }
+
+    /// Fill `buf`, riding out socket read-timeout ticks (idle peers are
+    /// normal; the shutdown flag ends the wait, a closed socket ends
+    /// the connection).
+    fn read_full(&mut self, buf: &mut [u8]) -> ReadOutcome {
+        let mut filled = 0;
+        while filled < buf.len() {
+            if self.shutdown.load(Ordering::Acquire) {
+                return ReadOutcome::Shutdown;
+            }
+            match self.stream.read(&mut buf[filled..]) {
+                Ok(0) => return ReadOutcome::Closed,
+                Ok(n) => filled += n,
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock
+                        || e.kind() == ErrorKind::TimedOut
+                        || e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Closed,
+            }
+        }
+        ReadOutcome::Ok
+    }
+}
+
+enum ReadOutcome {
+    Ok,
+    Closed,
+    Shutdown,
+}
+
+// -------------------------------------------------------------------
+// Mesh bootstrap
+// -------------------------------------------------------------------
+
+/// Dial `addr`, retrying while the peer's listener is still coming up,
+/// then send the rank handshake.
+fn dial_peer(addr: SocketAddr, my_rank: usize, deadline: Instant) -> std::io::Result<TcpStream> {
+    loop {
+        // Per-attempt timeout generous enough for high-RTT links (the
+        // multi-host hostfile mode); the retry loop handles peers that
+        // are not listening yet, bounded by the overall deadline.
+        let attempt = Duration::from_secs(2).min(
+            deadline.saturating_duration_since(Instant::now()).max(Duration::from_millis(250)),
+        );
+        match TcpStream::connect_timeout(&addr, attempt) {
+            Ok(mut s) => {
+                let mut hello = [0u8; 9];
+                hello[..4].copy_from_slice(&MAGIC.to_le_bytes());
+                hello[4] = VERSION;
+                hello[5..9].copy_from_slice(&(my_rank as u32).to_le_bytes());
+                s.write_all(&hello)?;
+                s.flush()?;
+                return Ok(s);
+            }
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// Accept `expect` handshaken connections from ranks above `my_rank`,
+/// in any arrival order.
+///
+/// Connections that fail the handshake — silent probers (a port
+/// scanner or health check hitting a well-known hostfile port), bad
+/// magic/version, or duplicate/out-of-range ranks — are dropped and
+/// accepting continues; only the deadline aborts the bootstrap.
+fn accept_peers(
+    listener: &TcpListener,
+    my_rank: usize,
+    size: usize,
+    expect: usize,
+    deadline: Instant,
+) -> std::io::Result<Vec<(usize, TcpStream)>> {
+    listener.set_nonblocking(true)?;
+    let mut got: Vec<(usize, TcpStream)> = Vec::with_capacity(expect);
+    while got.len() < expect {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Some((rank, stream)) = handshake_inbound(stream, my_rank, size, &got) {
+                    got.push((rank, stream));
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        ErrorKind::TimedOut,
+                        format!(
+                            "rank {my_rank}: only {} of {expect} inbound connections arrived",
+                            got.len()
+                        ),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(got)
+}
+
+/// Validate one inbound connection's rank handshake; `None` drops it.
+fn handshake_inbound(
+    mut stream: TcpStream,
+    my_rank: usize,
+    size: usize,
+    got: &[(usize, TcpStream)],
+) -> Option<(usize, TcpStream)> {
+    stream.set_nonblocking(false).ok()?;
+    // A real peer writes its hello immediately on connect, so a short
+    // timeout suffices — and bounds how long a silent stray can stall
+    // the (single-threaded) accept loop.
+    stream.set_read_timeout(Some(Duration::from_millis(1000))).ok()?;
+    let mut hello = [0u8; 9];
+    stream.read_exact(&mut hello).ok()?;
+    let magic = u32::from_le_bytes(hello[..4].try_into().expect("4 bytes"));
+    let version = hello[4];
+    let rank = u32::from_le_bytes(hello[5..9].try_into().expect("4 bytes")) as usize;
+    if magic != MAGIC || version != VERSION {
+        return None;
+    }
+    if rank <= my_rank || rank >= size || got.iter().any(|(r, _)| *r == rank) {
+        return None; // out-of-range or duplicate: first connection wins
+    }
+    Some((rank, stream))
+}
+
+/// Bind an ephemeral loopback listener (mesh address to register with
+/// the coordinator or hostfile).
+pub fn bind_loopback() -> Result<(TcpListener, SocketAddr)> {
+    let l = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| Error::comm(format!("bind loopback listener: {e}")))?;
+    let addr = l.local_addr().map_err(|e| Error::comm(e.to_string()))?;
+    Ok((l, addr))
+}
+
+/// Parse a rendezvous host file: one `host:port` per line (rank =
+/// line order), blank lines and `#` comments ignored.
+pub fn parse_hostfile(text: &str) -> Result<Vec<SocketAddr>> {
+    let mut addrs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut resolved = line
+            .to_socket_addrs()
+            .map_err(|e| Error::config(format!("hostfile line {}: {e}", lineno + 1)))?;
+        addrs.push(resolved.next().ok_or_else(|| {
+            Error::config(format!("hostfile line {} resolves to no address", lineno + 1))
+        })?);
+    }
+    if addrs.is_empty() {
+        return Err(Error::config("hostfile contains no addresses"));
+    }
+    Ok(addrs)
+}
+
+/// Bootstrap a full loopback mesh of `p` endpoints within this process
+/// (each rank on its own thread during the handshake). Used by tests
+/// and benchmarks to exercise the complete wire path.
+pub fn loopback_mesh(p: usize, opts: TcpOptions) -> Result<Vec<TcpTransport>> {
+    let mut listeners = Vec::with_capacity(p);
+    let mut addrs = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (l, a) = bind_loopback()?;
+        listeners.push(l);
+        addrs.push(a);
+    }
+    let addrs = &addrs;
+    let opts = &opts;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(rank, listener)| {
+                s.spawn(move || TcpTransport::connect_mesh(rank, addrs, listener, opts.clone()))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("mesh thread")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{run_cluster, run_cluster_tcp};
+    use crate::comm::Communicator;
+
+    fn fast_opts() -> TcpOptions {
+        TcpOptions {
+            read_timeout: Duration::from_millis(500),
+            connect_timeout: Duration::from_secs(5),
+            write_buffer: 4 << 10,
+        }
+    }
+
+    #[test]
+    fn loopback_collectives_match_local_transport() {
+        let job = |c: Communicator| {
+            c.barrier();
+            let gathered = c.allgather(vec![c.rank() as u8; 3]);
+            let sum = c.allreduce_sum(c.rank() as u64 + 1);
+            let msgs: Vec<Vec<u8>> = (0..c.size()).map(|j| vec![c.rank() as u8, j as u8]).collect();
+            let a2a = c.alltoallv(msgs);
+            let bc = c.broadcast(1, if c.rank() == 1 { vec![7, 7] } else { Vec::new() });
+            (gathered, sum, a2a, bc, c.counters())
+        };
+        let local = run_cluster(4, job);
+        let tcp = run_cluster_tcp(4, job);
+        for (l, t) in local.iter().zip(&tcp) {
+            assert_eq!(l.0, t.0, "allgather");
+            assert_eq!(l.1, t.1, "allreduce");
+            assert_eq!(l.2, t.2, "alltoallv");
+            assert_eq!(l.3, t.3, "broadcast");
+            // The headline transport property: metered traffic is
+            // byte-for-byte identical across transports.
+            assert_eq!(l.4, t.4, "CommCounters parity");
+        }
+    }
+
+    #[test]
+    fn mesh_survives_out_of_order_connects() {
+        // Stagger rank start-up in reverse order: high ranks dial
+        // before low ranks even listen-accept, so connections arrive
+        // out of order and the rank handshake must sort them out.
+        let p = 4;
+        let mut listeners = Vec::new();
+        let mut addrs = Vec::new();
+        for _ in 0..p {
+            let (l, a) = bind_loopback().expect("bind");
+            listeners.push(l);
+            addrs.push(a);
+        }
+        let addrs = &addrs;
+        let transports: Vec<TcpTransport> = std::thread::scope(|s| {
+            let handles: Vec<_> = listeners
+                .into_iter()
+                .enumerate()
+                .map(|(rank, listener)| {
+                    s.spawn(move || {
+                        std::thread::sleep(Duration::from_millis(30 * (p - rank) as u64));
+                        TcpTransport::connect_mesh(rank, addrs, listener, fast_opts())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("thread").expect("mesh")).collect()
+        });
+        // The mesh must be fully usable: run a barrier + alltoall.
+        let comms: Vec<Communicator> =
+            transports.into_iter().map(|t| Communicator::new(Box::new(t))).collect();
+        let results = crate::cluster::run_cluster_over(comms, |c| {
+            c.barrier();
+            c.allgather_u64(c.rank() as u64 * 100)
+        });
+        for r in results {
+            assert_eq!(r, vec![0, 100, 200, 300]);
+        }
+    }
+
+    #[test]
+    fn mesh_tolerates_stray_connections() {
+        // A stray client hits rank 0's listener (where rank 1 is also
+        // expected) with a garbage handshake: the bootstrap must drop
+        // it and still complete the mesh.
+        let (l0, a0) = bind_loopback().expect("bind 0");
+        let (l1, a1) = bind_loopback().expect("bind 1");
+        let addrs = vec![a0, a1];
+        let mut stray = std::net::TcpStream::connect(a0).expect("stray connect");
+        stray.write_all(&[0xFF; 9]).expect("stray garbage");
+        let addrs = &addrs;
+        let (t0, t1) = std::thread::scope(|s| {
+            let h0 = s.spawn(move || TcpTransport::connect_mesh(0, addrs, l0, fast_opts()));
+            let h1 = s.spawn(move || TcpTransport::connect_mesh(1, addrs, l1, fast_opts()));
+            (
+                h0.join().expect("thread 0").expect("mesh 0"),
+                h1.join().expect("thread 1").expect("mesh 1"),
+            )
+        });
+        drop(stray);
+        t1.send(0, vec![5]).expect("send");
+        t1.flush().expect("flush");
+        assert_eq!(t0.recv(1).expect("recv"), vec![5]);
+    }
+
+    #[test]
+    fn dead_peer_surfaces_error_not_hang() {
+        let mut mesh = loopback_mesh(2, fast_opts()).expect("mesh");
+        let t1 = mesh.pop().expect("rank 1");
+        let t0 = mesh.pop().expect("rank 0");
+        t1.send(0, vec![1, 2]).expect("send");
+        t1.flush().expect("flush");
+        assert_eq!(t0.recv(1).expect("first frame"), vec![1, 2]);
+        // Rank 1 dies mid-collective: its sockets close.
+        drop(t1);
+        let start = Instant::now();
+        let err = t0.recv(1).expect_err("dead peer must error");
+        assert!(matches!(err, Error::Comm(_)), "{err}");
+        assert!(start.elapsed() < Duration::from_secs(5), "must not hang");
+    }
+
+    #[test]
+    fn silent_peer_times_out() {
+        let mesh = loopback_mesh(2, fast_opts()).expect("mesh");
+        // Rank 1 stays alive but sends nothing.
+        let start = Instant::now();
+        let err = mesh[0].recv(1).expect_err("silence must time out");
+        assert!(matches!(err, Error::Comm(ref m) if m.contains("timed out")), "{err}");
+        assert!(start.elapsed() >= Duration::from_millis(400));
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn probe_round_trip_and_missing_handler() {
+        let mut mesh = loopback_mesh(2, fast_opts()).expect("mesh");
+        let t1 = mesh.pop().expect("rank 1");
+        let t0 = mesh.pop().expect("rank 0");
+        // No handler yet: the prober gets an error reply, not a hang.
+        let err = t0.probe_block(1, 0, 0).expect_err("no handler");
+        assert!(err.to_string().contains("no probe handler"), "{err}");
+        // Register a handler on rank 1 serving synthetic blocks.
+        t1.set_probe_handler(Arc::new(|disk, slot| {
+            if disk > 3 {
+                return Err(format!("no such disk {disk}"));
+            }
+            Ok(vec![disk as u8, slot as u8, 0xAB])
+        }));
+        assert_eq!(t0.probe_block(1, 2, 9).expect("probe"), vec![2, 9, 0xAB]);
+        let err = t0.probe_block(1, 7, 0).expect_err("bad disk");
+        assert!(err.to_string().contains("no such disk"), "{err}");
+        // Probes are out-of-band: data frames sent before a probe do
+        // not block it, and per-source FIFO of data survives.
+        t1.send(0, vec![42]).expect("send");
+        assert_eq!(t0.probe_block(1, 0, 1).expect("probe"), vec![0, 1, 0xAB]);
+        assert_eq!(t0.recv(1).expect("data"), vec![42]);
+    }
+
+    #[test]
+    fn wire_meters_count_headers() {
+        let mut mesh = loopback_mesh(2, fast_opts()).expect("mesh");
+        let t1 = mesh.pop().expect("rank 1");
+        let t0 = mesh.pop().expect("rank 0");
+        t0.send(1, vec![0; 100]).expect("send");
+        t0.flush().expect("flush");
+        assert_eq!(t1.recv(0).expect("recv").len(), 100);
+        let (sent, _) = t0.wire_peer(1);
+        assert_eq!(sent, 105, "payload + 5-byte frame header");
+        let (_, recv) = t1.wire_peer(0);
+        assert_eq!(recv, 105);
+        assert_eq!(t0.wire_totals().0, 105);
+    }
+
+    #[test]
+    fn hostfile_parses_and_rejects() {
+        let text = "# demsort hosts\n127.0.0.1:9000\n\n127.0.0.1:9001\n";
+        let addrs = parse_hostfile(text).expect("parse");
+        assert_eq!(addrs.len(), 2);
+        assert_eq!(addrs[0].port(), 9000);
+        assert_eq!(addrs[1].port(), 9001);
+        assert!(parse_hostfile("").is_err(), "empty hostfile");
+        assert!(parse_hostfile("not-an-address").is_err(), "garbage line");
+    }
+
+    #[test]
+    fn single_rank_mesh_needs_no_sockets() {
+        let mesh = loopback_mesh(1, fast_opts()).expect("mesh");
+        let c = Communicator::new(Box::new(mesh.into_iter().next().expect("one")));
+        c.barrier();
+        assert_eq!(c.allreduce_sum(3), 3);
+    }
+}

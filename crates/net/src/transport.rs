@@ -1,0 +1,170 @@
+//! The pluggable cluster transport: point-to-point byte frames with
+//! per-source FIFO ordering.
+//!
+//! [`Communicator`](crate::Communicator) builds every MPI-style
+//! collective from this interface, so swapping the transport swaps the
+//! *cluster substrate* under every algorithm unchanged:
+//!
+//! * [`LocalTransport`] — the original in-process channel mesh (one PE
+//!   per thread). This is the MVAPICH-over-shared-memory analogue: zero
+//!   copies cross the kernel, a "send" is a channel push.
+//! * [`TcpTransport`](crate::tcp::TcpTransport) — one PE per OS
+//!   process, a full `P × P` socket mesh over TCP. This is the paper's
+//!   actual deployment shape (200 nodes, MVAPICH over InfiniBand), with
+//!   TCP standing in for the interconnect.
+//!
+//! The contract mirrors what the algorithms assume of MPI:
+//!
+//! 1. **Per-source FIFO**: two frames sent from the same rank to the
+//!    same destination are received in send order. No ordering is
+//!    promised across sources.
+//! 2. **Non-blocking send**: `send` may buffer; it never waits for the
+//!    receiver (unbounded buffering, like the channel mesh).
+//! 3. **Self-delivery**: `send(rank, ..)` loops back through the same
+//!    FIFO (a real MPI does a memcpy).
+//! 4. **Failure is an `Err`, not a hang**: a disappeared peer must
+//!    surface as [`Error::Comm`](demsort_types::Error) from `recv`
+//!    within the transport's timeout.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use demsort_types::{Error, Result};
+
+/// Point-to-point byte-frame transport between `size` ranks.
+///
+/// Implementations must be `Send` (a rank's endpoint moves into its PE
+/// thread/process) but need not be `Sync` — like an MPI rank, an
+/// endpoint belongs to one execution context.
+pub trait Transport: Send {
+    /// This endpoint's rank (`0..size`).
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the cluster.
+    fn size(&self) -> usize;
+
+    /// Queue `frame` for delivery to `to` (non-blocking).
+    fn send(&self, to: usize, frame: Vec<u8>) -> Result<()>;
+
+    /// Queue a borrowed frame for delivery to `to`.
+    ///
+    /// Transports that serialize onto a wire (TCP) copy straight into
+    /// their buffered writer — no intermediate `Vec` per message. The
+    /// default falls back to an owned copy for transports that hand
+    /// frames across threads.
+    fn send_bytes(&self, to: usize, frame: &[u8]) -> Result<()> {
+        self.send(to, frame.to_vec())
+    }
+
+    /// Receive the next frame from `from` (blocking, FIFO per source).
+    ///
+    /// Returns [`Error::Comm`](demsort_types::Error) if the peer
+    /// disconnects or the transport's receive timeout elapses — never
+    /// hangs forever on a dead peer.
+    fn recv(&self, from: usize) -> Result<Vec<u8>>;
+
+    /// Push buffered sends onto the wire.
+    ///
+    /// Buffering transports (TCP) may hold small frames back for
+    /// batching; [`Communicator`](crate::Communicator) flushes before
+    /// every blocking receive — the collective-boundary flush points —
+    /// so no peer ever waits on bytes parked in a local buffer. In-
+    /// process transports deliver eagerly and make this a no-op.
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// The in-process channel mesh: each rank pair has a dedicated
+/// unbounded FIFO channel, each rank one endpoint.
+pub struct LocalTransport {
+    rank: usize,
+    size: usize,
+    /// `out[j]` feeds rank `j`'s inbox slot for this rank.
+    out: Vec<Sender<Vec<u8>>>,
+    /// `inbox[i]` receives what rank `i` sent us.
+    inbox: Vec<Receiver<Vec<u8>>>,
+}
+
+impl LocalTransport {
+    /// Build the full `p × p` mesh and return one endpoint per rank.
+    pub fn mesh(p: usize) -> Vec<LocalTransport> {
+        assert!(p > 0, "cluster needs at least one rank");
+        // senders[src][dst] / inboxes[dst][src]
+        let mut senders: Vec<Vec<Sender<Vec<u8>>>> =
+            (0..p).map(|_| Vec::with_capacity(p)).collect();
+        let mut inboxes: Vec<Vec<Receiver<Vec<u8>>>> =
+            (0..p).map(|_| Vec::with_capacity(p)).collect();
+        for dst_inbox in inboxes.iter_mut() {
+            for sender in senders.iter_mut() {
+                let (tx, rx) = unbounded::<Vec<u8>>();
+                sender.push(tx);
+                dst_inbox.push(rx);
+            }
+        }
+        senders
+            .into_iter()
+            .zip(inboxes)
+            .enumerate()
+            .map(|(rank, (out, inbox))| LocalTransport { rank, size: p, out, inbox })
+            .collect()
+    }
+}
+
+impl Transport for LocalTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&self, to: usize, frame: Vec<u8>) -> Result<()> {
+        self.out[to]
+            .send(frame)
+            .map_err(|_| Error::comm(format!("rank {to} hung up (channel closed)")))
+    }
+
+    fn recv(&self, from: usize) -> Result<Vec<u8>> {
+        self.inbox[from]
+            .recv()
+            .map_err(|_| Error::comm(format!("rank {from} hung up (channel closed)")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_shapes() {
+        let mesh = LocalTransport::mesh(3);
+        assert_eq!(mesh.len(), 3);
+        for (i, t) in mesh.iter().enumerate() {
+            assert_eq!(t.rank(), i);
+            assert_eq!(t.size(), 3);
+        }
+    }
+
+    #[test]
+    fn per_source_fifo_and_self_delivery() {
+        let mut mesh = LocalTransport::mesh(2);
+        let t1 = mesh.pop().expect("rank 1");
+        let t0 = mesh.pop().expect("rank 0");
+        t0.send(1, vec![1]).expect("send");
+        t0.send_bytes(1, &[2]).expect("send");
+        t0.send(0, vec![9]).expect("self send");
+        assert_eq!(t1.recv(0).expect("recv"), vec![1]);
+        assert_eq!(t1.recv(0).expect("recv"), vec![2]);
+        assert_eq!(t0.recv(0).expect("self recv"), vec![9]);
+    }
+
+    #[test]
+    fn dead_peer_is_an_error_not_a_hang() {
+        let mut mesh = LocalTransport::mesh(2);
+        let t1 = mesh.pop().expect("rank 1");
+        let t0 = mesh.pop().expect("rank 0");
+        drop(t1);
+        let err = t0.recv(1).expect_err("peer gone");
+        assert!(matches!(err, Error::Comm(_)), "{err}");
+    }
+}

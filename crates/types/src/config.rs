@@ -179,9 +179,62 @@ impl SortConfig {
     }
 }
 
+/// A complete multi-process sort job: what the launcher ships to every
+/// `demsort-worker` rank (serialized via [`crate::wire`]).
+///
+/// The machine config describes the *whole* cluster (`machine.pes` =
+/// number of worker processes); each worker owns one rank's share of
+/// it. Input and output are paths valid on every worker's host —
+/// workers read disjoint shards of the input and write disjoint byte
+/// ranges of the output, so the canonical concatenated result appears
+/// in place.
+#[derive(Clone, Debug)]
+pub struct JobConfig {
+    /// Path of the input file (whole 100-byte SortBenchmark records).
+    pub input: String,
+    /// Path of the output file (pre-sized by the launcher).
+    pub output: String,
+    /// The cluster shape.
+    pub machine: MachineConfig,
+    /// The algorithm switches (seeded — the job is deterministic).
+    pub algo: AlgoConfig,
+    /// Transport receive timeout: how long a rank waits on a silent
+    /// peer before declaring the job dead.
+    pub read_timeout_ms: u64,
+}
+
+impl JobConfig {
+    /// Validate the embedded configs.
+    pub fn validate(&self) -> Result<()> {
+        self.machine.validate()?;
+        self.algo.validate()?;
+        if self.read_timeout_ms == 0 {
+            return Err(Error::config("read_timeout_ms must be > 0"));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn job_config_validates_embedded_configs() {
+        let mut job = JobConfig {
+            input: "in".into(),
+            output: "out".into(),
+            machine: MachineConfig::tiny(2),
+            algo: AlgoConfig::default(),
+            read_timeout_ms: 1000,
+        };
+        job.validate().expect("valid");
+        job.read_timeout_ms = 0;
+        assert!(job.validate().is_err());
+        job.read_timeout_ms = 1000;
+        job.machine.pes = 0;
+        assert!(job.validate().is_err());
+    }
 
     #[test]
     fn paper_ratios() {

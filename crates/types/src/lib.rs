@@ -25,8 +25,9 @@ pub mod error;
 pub mod fmtsize;
 pub mod ranks;
 pub mod record;
+pub mod wire;
 
-pub use config::{AlgoConfig, MachineConfig, SortConfig};
+pub use config::{AlgoConfig, JobConfig, MachineConfig, SortConfig};
 pub use counters::{CommCounters, CpuCounters, IoCounters, Phase, PhaseStats, SortReport};
 pub use error::{Error, Result};
 pub use record::{Element16, Key, Key10, Record, Record100};

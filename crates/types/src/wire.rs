@@ -1,0 +1,377 @@
+//! Wire codec for cluster control messages.
+//!
+//! The multi-process runtime (`demsort-launch` / `demsort-worker`)
+//! ships job configuration to workers and collects per-rank reports
+//! back over the coordinator connection. This module is the shared
+//! vocabulary for that control plane: a tiny, dependency-free
+//! little-endian codec plus encode/decode for the config and counter
+//! types. Payloads are versioned by the launcher protocol, not here —
+//! the codec is strictly structural.
+
+use crate::config::{AlgoConfig, JobConfig, MachineConfig};
+use crate::counters::{CommCounters, CpuCounters, IoCounters, Phase, PhaseStats};
+use crate::error::{Error, Result};
+
+/// Append-only encoder over a byte buffer.
+#[derive(Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Start with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, x: u8) -> &mut Self {
+        self.buf.push(x);
+        self
+    }
+
+    pub fn u32(&mut self, x: u32) -> &mut Self {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+        self
+    }
+
+    pub fn u64(&mut self, x: u64) -> &mut Self {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+        self
+    }
+
+    pub fn f64(&mut self, x: f64) -> &mut Self {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+        self
+    }
+
+    pub fn bool(&mut self, x: bool) -> &mut Self {
+        self.u8(x as u8)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+        self
+    }
+}
+
+/// Cursor-based decoder over a byte slice. Every read is
+/// bounds-checked and returns [`Error::Comm`] on truncation — a
+/// malformed control frame must never panic a worker.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::comm(format!(
+                "truncated control frame: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn bool(&mut self) -> Result<bool> {
+        Ok(self.u8()? != 0)
+    }
+
+    pub fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let s = self.take(len)?;
+        String::from_utf8(s.to_vec()).map_err(|_| Error::comm("control frame string is not UTF-8"))
+    }
+
+    pub fn bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+}
+
+// -------------------------------------------------------------------
+// Config codecs
+// -------------------------------------------------------------------
+
+/// Encode a [`MachineConfig`].
+pub fn encode_machine(w: &mut WireWriter, m: &MachineConfig) {
+    w.u64(m.pes as u64)
+        .u64(m.disks_per_pe as u64)
+        .u64(m.block_bytes as u64)
+        .u64(m.mem_bytes_per_pe as u64)
+        .u64(m.cores_per_pe as u64);
+}
+
+/// Decode a [`MachineConfig`].
+pub fn decode_machine(r: &mut WireReader<'_>) -> Result<MachineConfig> {
+    Ok(MachineConfig {
+        pes: r.u64()? as usize,
+        disks_per_pe: r.u64()? as usize,
+        block_bytes: r.u64()? as usize,
+        mem_bytes_per_pe: r.u64()? as usize,
+        cores_per_pe: r.u64()? as usize,
+    })
+}
+
+/// Encode an [`AlgoConfig`].
+pub fn encode_algo(w: &mut WireWriter, a: &AlgoConfig) {
+    w.bool(a.randomize)
+        .u64(a.sample_every as u64)
+        .u64(a.selection_cache_blocks as u64)
+        .bool(a.overlap)
+        .u64(a.seed)
+        .f64(a.alltoall_mem_fraction);
+}
+
+/// Decode an [`AlgoConfig`].
+pub fn decode_algo(r: &mut WireReader<'_>) -> Result<AlgoConfig> {
+    Ok(AlgoConfig {
+        randomize: r.bool()?,
+        sample_every: r.u64()? as usize,
+        selection_cache_blocks: r.u64()? as usize,
+        overlap: r.bool()?,
+        seed: r.u64()?,
+        alltoall_mem_fraction: r.f64()?,
+    })
+}
+
+/// Encode a [`JobConfig`].
+pub fn encode_job(job: &JobConfig) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.string(&job.input).string(&job.output);
+    encode_machine(&mut w, &job.machine);
+    encode_algo(&mut w, &job.algo);
+    w.u64(job.read_timeout_ms);
+    w.finish()
+}
+
+/// Decode a [`JobConfig`].
+pub fn decode_job(buf: &[u8]) -> Result<JobConfig> {
+    let mut r = WireReader::new(buf);
+    Ok(JobConfig {
+        input: r.string()?,
+        output: r.string()?,
+        machine: decode_machine(&mut r)?,
+        algo: decode_algo(&mut r)?,
+        read_timeout_ms: r.u64()?,
+    })
+}
+
+// -------------------------------------------------------------------
+// Counter codecs (worker -> launcher report)
+// -------------------------------------------------------------------
+
+fn phase_tag(p: Phase) -> u8 {
+    match p {
+        Phase::RunFormation => 0,
+        Phase::MultiwaySelection => 1,
+        Phase::AllToAll => 2,
+        Phase::FinalMerge => 3,
+    }
+}
+
+fn phase_from_tag(t: u8) -> Result<Phase> {
+    match t {
+        0 => Ok(Phase::RunFormation),
+        1 => Ok(Phase::MultiwaySelection),
+        2 => Ok(Phase::AllToAll),
+        3 => Ok(Phase::FinalMerge),
+        _ => Err(Error::comm(format!("unknown phase tag {t}"))),
+    }
+}
+
+/// Encode one phase's stats.
+pub fn encode_phase_stats(w: &mut WireWriter, phase: Phase, s: &PhaseStats) {
+    w.u8(phase_tag(phase));
+    w.u64(s.io.bytes_read)
+        .u64(s.io.bytes_written)
+        .u64(s.io.blocks_read)
+        .u64(s.io.blocks_written)
+        .u64(s.io.max_disk_busy_ns);
+    w.u64(s.comm.bytes_sent).u64(s.comm.bytes_recv).u64(s.comm.messages);
+    w.u64(s.cpu.elements_sorted)
+        .u64(s.cpu.sort_work)
+        .u64(s.cpu.elements_merged)
+        .u64(s.cpu.merge_work)
+        .u64(s.cpu.host_wall_ns);
+}
+
+/// Decode one phase's stats.
+pub fn decode_phase_stats(r: &mut WireReader<'_>) -> Result<(Phase, PhaseStats)> {
+    let phase = phase_from_tag(r.u8()?)?;
+    let io = IoCounters {
+        bytes_read: r.u64()?,
+        bytes_written: r.u64()?,
+        blocks_read: r.u64()?,
+        blocks_written: r.u64()?,
+        max_disk_busy_ns: r.u64()?,
+    };
+    let comm = CommCounters { bytes_sent: r.u64()?, bytes_recv: r.u64()?, messages: r.u64()? };
+    let cpu = CpuCounters {
+        elements_sorted: r.u64()?,
+        sort_work: r.u64()?,
+        elements_merged: r.u64()?,
+        merge_work: r.u64()?,
+        host_wall_ns: r.u64()?,
+    };
+    Ok((phase, PhaseStats { io, comm, cpu }))
+}
+
+/// One worker's result summary, shipped back to the launcher.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankReport {
+    /// The reporting rank.
+    pub rank: usize,
+    /// Elements in this rank's canonical output.
+    pub elems: u64,
+    /// Number of runs formed (`R`, identical across ranks).
+    pub runs: usize,
+    /// Per-phase measured counters, in phase order.
+    pub phases: Vec<(Phase, PhaseStats)>,
+}
+
+/// Encode a [`RankReport`].
+pub fn encode_rank_report(rep: &RankReport) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u64(rep.rank as u64).u64(rep.elems).u64(rep.runs as u64);
+    w.u32(rep.phases.len() as u32);
+    for (phase, stats) in &rep.phases {
+        encode_phase_stats(&mut w, *phase, stats);
+    }
+    w.finish()
+}
+
+/// Decode a [`RankReport`].
+pub fn decode_rank_report(buf: &[u8]) -> Result<RankReport> {
+    let mut r = WireReader::new(buf);
+    let rank = r.u64()? as usize;
+    let elems = r.u64()?;
+    let runs = r.u64()? as usize;
+    let n = r.u32()? as usize;
+    let mut phases = Vec::with_capacity(n);
+    for _ in 0..n {
+        phases.push(decode_phase_stats(&mut r)?);
+    }
+    Ok(RankReport { rank, elems, runs, phases })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = WireWriter::new();
+        w.u8(7).u32(0xDEAD_BEEF).u64(u64::MAX).f64(0.5).bool(true).string("héllo").bytes(&[1, 2]);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8().expect("u8"), 7);
+        assert_eq!(r.u32().expect("u32"), 0xDEAD_BEEF);
+        assert_eq!(r.u64().expect("u64"), u64::MAX);
+        assert_eq!(r.f64().expect("f64"), 0.5);
+        assert!(r.bool().expect("bool"));
+        assert_eq!(r.string().expect("string"), "héllo");
+        assert_eq!(r.bytes().expect("bytes"), vec![1, 2]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = WireWriter::new();
+        w.u32(1000); // string length, no body
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(r.string(), Err(Error::Comm(_))));
+        let mut r = WireReader::new(&[1, 2]);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn job_config_roundtrip() {
+        let job = JobConfig {
+            input: "/tmp/in.dat".to_string(),
+            output: "/tmp/out.dat".to_string(),
+            machine: MachineConfig::tiny(4),
+            algo: AlgoConfig { seed: 42, sample_every: 7, ..AlgoConfig::default() },
+            read_timeout_ms: 12_345,
+        };
+        let decoded = decode_job(&encode_job(&job)).expect("decode");
+        assert_eq!(decoded.input, job.input);
+        assert_eq!(decoded.output, job.output);
+        assert_eq!(decoded.machine, job.machine);
+        assert_eq!(decoded.algo, job.algo);
+        assert_eq!(decoded.read_timeout_ms, 12_345);
+    }
+
+    #[test]
+    fn rank_report_roundtrip() {
+        let rep = RankReport {
+            rank: 3,
+            elems: 999,
+            runs: 4,
+            phases: vec![
+                (
+                    Phase::RunFormation,
+                    PhaseStats {
+                        io: IoCounters { bytes_read: 1, bytes_written: 2, ..Default::default() },
+                        comm: CommCounters { bytes_sent: 3, bytes_recv: 4, messages: 5 },
+                        cpu: CpuCounters { elements_sorted: 6, ..Default::default() },
+                    },
+                ),
+                (Phase::FinalMerge, PhaseStats::default()),
+            ],
+        };
+        assert_eq!(decode_rank_report(&encode_rank_report(&rep)).expect("decode"), rep);
+    }
+
+    #[test]
+    fn every_phase_tag_roundtrips() {
+        for p in Phase::ALL {
+            assert_eq!(phase_from_tag(phase_tag(p)).expect("tag"), p);
+        }
+        assert!(phase_from_tag(9).is_err());
+    }
+}
