@@ -27,12 +27,12 @@ fn bench_codec(c: &mut Criterion) {
             });
         });
         g.bench_with_input(BenchmarkId::new("decode_alloc", n), &encoded, |b, buf| {
-            b.iter(|| black_box(decode_u64s(buf)));
+            b.iter(|| black_box(decode_u64s(buf).expect("aligned")));
         });
         g.bench_with_input(BenchmarkId::new("decode_reuse", n), &encoded, |b, buf| {
             let mut out = Vec::with_capacity(n);
             b.iter(|| {
-                decode_u64s_into(buf, &mut out);
+                decode_u64s_into(buf, &mut out).expect("aligned");
                 black_box(out.len())
             });
         });

@@ -24,20 +24,22 @@ fn bench_selection(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("cold", r), &seqs, |b, seqs| {
             b.iter(|| {
                 let mut views: Vec<&[u64]> = seqs.iter().map(|s| s.as_slice()).collect();
-                black_box(multiway_select(&mut views, rank))
+                black_box(multiway_select(&mut views, rank).expect("in-memory"))
             });
         });
         // Warm start: positions within K = 64 of the target (what the
         // run-formation sample provides).
         let reference = {
             let mut views: Vec<&[u64]> = seqs.iter().map(|s| s.as_slice()).collect();
-            multiway_select(&mut views, rank)
+            multiway_select(&mut views, rank).expect("in-memory")
         };
         let init: Vec<usize> = reference.positions.iter().map(|&p| p - p % 64).collect();
         g.bench_with_input(BenchmarkId::new("sample_warm", r), &seqs, |b, seqs| {
             b.iter(|| {
                 let mut views: Vec<&[u64]> = seqs.iter().map(|s| s.as_slice()).collect();
-                black_box(multiway_select_from(&mut views, rank, init.clone(), 64))
+                black_box(
+                    multiway_select_from(&mut views, rank, init.clone(), 64).expect("in-memory"),
+                )
             });
         });
     }

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! demsort-launch [--ranks P] [--mem-mib M] [--block-kib K] [--disks D]
-//!                [--seed S] [--timeout-ms T] [--worker-bin PATH]
+//!                [--seed S] [--comm-timeout MS] [--worker-bin PATH]
 //!                INPUT OUTPUT
 //! ```
 //!
@@ -12,37 +12,26 @@
 //! per-rank reports. The workers run the identical SPMD code path as
 //! `sortfile`'s in-process cluster — same algorithms, same counters —
 //! so the two modes are directly comparable.
+//!
+//! On failure the exit code is non-zero and the error names the failed
+//! rank(s): a rank that died without reporting (crash, SIGKILL) leads
+//! the message, followed by surviving ranks' structured comm failures.
 
-use demsort_bench::procs::{launch, sibling_worker_bin};
-use demsort_types::{AlgoConfig, JobConfig, MachineConfig};
+use demsort_bench::procs::{launch_and_report, TcpJobCli};
 
 fn main() {
-    let mut ranks = 4usize;
-    let mut mem_mib = 8usize;
-    let mut block_kib = 64usize;
-    let mut disks = 4usize;
-    let mut seed: Option<u64> = None;
-    let mut timeout_ms = 30_000u64;
-    let mut worker_bin: Option<String> = None;
+    const BIN: &str = "demsort-launch";
+    let mut cli = TcpJobCli::default();
     let mut positional: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        let mut next = |flag: &str| args.next().unwrap_or_else(|| die(&format!("{flag} VALUE")));
+        if cli.try_flag(BIN, &a, &mut args) {
+            continue;
+        }
         match a.as_str() {
-            "--ranks" => ranks = parse(&next("--ranks"), "ranks"),
-            "--mem-mib" => mem_mib = parse(&next("--mem-mib"), "mem-mib"),
-            "--block-kib" => block_kib = parse(&next("--block-kib"), "block-kib"),
-            "--disks" => disks = parse(&next("--disks"), "disks"),
-            "--seed" => seed = Some(parse(&next("--seed"), "seed")),
-            "--timeout-ms" => timeout_ms = parse(&next("--timeout-ms"), "timeout-ms"),
-            "--worker-bin" => worker_bin = Some(next("--worker-bin")),
             "--help" | "-h" => {
-                println!(
-                    "demsort-launch [--ranks P] [--mem-mib M] [--block-kib K] [--disks D]\n\
-                     \x20              [--seed S] [--timeout-ms T] [--worker-bin PATH]\n\
-                     \x20              INPUT OUTPUT"
-                );
+                println!("demsort-launch [flags] INPUT OUTPUT\n{}", TcpJobCli::FLAG_HELP);
                 return;
             }
             other => positional.push(other.to_string()),
@@ -52,59 +41,9 @@ fn main() {
         die("usage: demsort-launch [flags] INPUT OUTPUT (see --help)");
     };
 
-    let algo = match seed {
-        Some(s) => AlgoConfig { seed: s, ..AlgoConfig::default() },
-        None => AlgoConfig::default(),
-    };
-    let job = JobConfig {
-        input: input.clone(),
-        output: output.clone(),
-        machine: MachineConfig {
-            pes: ranks,
-            disks_per_pe: disks,
-            block_bytes: block_kib << 10,
-            mem_bytes_per_pe: mem_mib << 20,
-            cores_per_pe: std::thread::available_parallelism()
-                .map_or(1, |c| c.get() / ranks.max(1))
-                .max(1),
-        },
-        algo,
-        read_timeout_ms: timeout_ms,
-    };
-
-    let worker = match worker_bin {
-        Some(p) => std::path::PathBuf::from(p),
-        None => sibling_worker_bin().unwrap_or_else(|e| die(&e.to_string())),
-    };
-
-    eprintln!(
-        "launching {ranks} worker processes ({} each) via {}",
-        demsort_types::fmtsize::fmt_bytes(job.machine.mem_bytes_per_pe as u64),
-        worker.display()
-    );
-    match launch(&job, &worker) {
-        Ok(outcome) => {
-            for rep in &outcome.per_rank {
-                eprintln!("  rank {}: {} records, {} runs", rep.rank, rep.elems, rep.runs);
-            }
-            eprintln!(
-                "done: {} records on {ranks} ranks, {} runs, I/O volume {:.2} N, \
-                 communication {:.2} N",
-                outcome.report.elements,
-                outcome.report.runs,
-                outcome.report.io_volume_over_n(),
-                outcome.report.comm_volume_over_n(),
-            );
-        }
-        Err(e) => {
-            eprintln!("demsort-launch: {e}");
-            std::process::exit(1);
-        }
-    }
-}
-
-fn parse<T: std::str::FromStr>(s: &str, what: &str) -> T {
-    demsort_bench::procs::cli_parse("demsort-launch", s, what)
+    let job = cli.job(input, output);
+    let worker = cli.worker(BIN);
+    launch_and_report(BIN, &job, &worker)
 }
 
 fn die(msg: &str) -> ! {

@@ -4,7 +4,7 @@
 //! demsort-worker --coordinator HOST:PORT
 //! demsort-worker --hostfile FILE --rank R --input IN --output OUT
 //!                [--mem-mib M] [--block-kib K] [--disks D]
-//!                [--cores C] [--seed S] [--timeout-ms T]
+//!                [--cores C] [--seed S] [--comm-timeout MS]
 //! ```
 //!
 //! In **coordinator mode** the worker dials `demsort-launch`'s
@@ -15,6 +15,11 @@
 //! the address at line `R` of the host file, meshes with the other
 //! listed ranks, and takes the job config from flags — every rank must
 //! be started with identical flags.
+//!
+//! `--comm-timeout MS` (legacy alias `--timeout-ms`) bounds how long a
+//! rank waits on a silent peer before declaring the job dead; a worker
+//! whose sort fails exits non-zero after reporting a structured failure
+//! to its coordinator (fallible collectives — no `catch_unwind`).
 
 use demsort_bench::procs::{run_rank, run_worker};
 use demsort_net::tcp::parse_hostfile;
@@ -48,13 +53,13 @@ fn main() {
             "--disks" => disks = parse(&next("--disks"), "disks"),
             "--cores" => cores = parse(&next("--cores"), "cores"),
             "--seed" => seed = Some(parse(&next("--seed"), "seed")),
-            "--timeout-ms" => timeout_ms = parse(&next("--timeout-ms"), "timeout-ms"),
+            "--comm-timeout" | "--timeout-ms" => timeout_ms = parse(&next(&a), "comm-timeout"),
             "--help" | "-h" => {
                 println!(
                     "demsort-worker --coordinator HOST:PORT\n\
                      demsort-worker --hostfile FILE --rank R --input IN --output OUT\n\
                      \x20              [--mem-mib M] [--block-kib K] [--disks D]\n\
-                     \x20              [--cores C] [--seed S] [--timeout-ms T]"
+                     \x20              [--cores C] [--seed S] [--comm-timeout MS]"
                 );
                 return;
             }

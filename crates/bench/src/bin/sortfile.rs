@@ -2,8 +2,9 @@
 //! CANONICALMERGESORT.
 //!
 //! ```text
-//! sortfile [--pes P] [--mem-mib M] [--transport local|tcp]
-//!          [--ranks P] [--worker-bin PATH] INPUT OUTPUT
+//! sortfile [--transport local|tcp] [--pes P] [--mem-mib M]
+//!          [--block-kib K] [--disks D] [--seed S] [--comm-timeout MS]
+//!          [--worker-bin PATH] INPUT OUTPUT
 //! ```
 //!
 //! The file is split evenly over `P` PEs, sorted, and the canonical
@@ -18,35 +19,33 @@
 //! * `tcp` — the multi-process cluster: one `demsort-worker` process
 //!   per rank over the loopback TCP mesh (`--ranks` is an alias for
 //!   `--pes` in this mode). Identical SPMD code path, identical
-//!   counters, real process isolation.
+//!   counters, real process isolation. The job-building flags are the
+//!   same as `demsort-launch`'s (shared via `demsort_bench::procs`).
 
-use demsort_bench::procs::{launch, sibling_worker_bin};
+use demsort_bench::procs::{launch_and_report, TcpJobCli};
 use demsort_core::canonical::sort_cluster;
 use demsort_core::recio::read_records;
-use demsort_types::{AlgoConfig, JobConfig, MachineConfig, Record as _, Record100, SortConfig};
+use demsort_types::{AlgoConfig, MachineConfig, Record as _, Record100, SortConfig};
 use std::io::{Read, Seek, SeekFrom, Write};
 
 fn main() {
-    let mut pes = 4usize;
-    let mut mem_mib = 8usize;
+    const BIN: &str = "sortfile";
+    let mut cli = TcpJobCli::default();
     let mut transport = "local".to_string();
-    let mut timeout_ms = 30_000u64;
-    let mut worker_bin: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
+        if cli.try_flag(BIN, &a, &mut args) {
+            continue;
+        }
         match a.as_str() {
-            "--pes" | "--ranks" => pes = args.next().expect("--pes P").parse().expect("pes"),
-            "--mem-mib" => mem_mib = args.next().expect("--mem-mib M").parse().expect("mem"),
-            "--transport" => transport = args.next().expect("--transport local|tcp"),
-            "--timeout-ms" => {
-                timeout_ms = args.next().expect("--timeout-ms T").parse().expect("timeout")
+            "--transport" => {
+                transport = args.next().unwrap_or_else(|| die("--transport local|tcp"))
             }
-            "--worker-bin" => worker_bin = Some(args.next().expect("--worker-bin PATH")),
             "--help" | "-h" => {
                 println!(
-                    "sortfile [--pes P] [--mem-mib M] [--transport local|tcp] \
-                     [--timeout-ms T] [--worker-bin PATH] INPUT OUTPUT"
+                    "sortfile [--transport local|tcp] [flags] INPUT OUTPUT\n{}",
+                    TcpJobCli::FLAG_HELP
                 );
                 return;
             }
@@ -54,36 +53,28 @@ fn main() {
         }
     }
     let [input, output] = positional.as_slice() else {
-        eprintln!("usage: sortfile [--pes P] [--mem-mib M] [--transport local|tcp] INPUT OUTPUT");
-        std::process::exit(2);
-    };
-
-    let meta = std::fs::metadata(input).expect("stat input");
-    let total_records = (meta.len() / Record100::BYTES as u64) as usize;
-    assert_eq!(meta.len() % Record100::BYTES as u64, 0, "input must be whole 100-byte records");
-
-    let machine = MachineConfig {
-        pes,
-        disks_per_pe: 4,
-        block_bytes: 64 << 10,
-        mem_bytes_per_pe: mem_mib << 20,
-        cores_per_pe: std::thread::available_parallelism()
-            .map_or(1, |c| c.get() / pes.max(1))
-            .max(1),
+        die("usage: sortfile [--transport local|tcp] [flags] INPUT OUTPUT (see --help)");
     };
 
     match transport.as_str() {
-        "local" => sort_local(machine, total_records, input, output),
-        "tcp" => sort_tcp(machine, input, output, timeout_ms, worker_bin),
-        other => {
-            eprintln!("unknown transport {other} (expected local or tcp)");
-            std::process::exit(2);
+        "local" => sort_local(cli.machine(), input, output),
+        "tcp" => {
+            let job = cli.job(input, output);
+            let worker = cli.worker(BIN);
+            launch_and_report(BIN, &job, &worker)
         }
+        other => die(&format!("unknown transport {other} (expected local or tcp)")),
     }
 }
 
 /// The in-process cluster: one thread per PE over the channel mesh.
-fn sort_local(machine: MachineConfig, total_records: usize, input: &str, output: &str) {
+fn sort_local(machine: MachineConfig, input: &str, output: &str) {
+    let meta = std::fs::metadata(input).unwrap_or_else(|e| die(&format!("stat {input}: {e}")));
+    if !meta.len().is_multiple_of(Record100::BYTES as u64) {
+        die(&format!("input {input} must be whole 100-byte records"));
+    }
+    let total_records = (meta.len() / Record100::BYTES as u64) as usize;
+
     let pes = machine.pes;
     eprintln!(
         "sorting {total_records} records on {pes} in-process PEs ({} each)",
@@ -104,10 +95,14 @@ fn sort_local(machine: MachineConfig, total_records: usize, input: &str, output:
         Record100::decode_slice(&bytes, &mut recs);
         recs
     })
-    .expect("sort");
+    .unwrap_or_else(|e| {
+        eprintln!("sortfile: {e}");
+        std::process::exit(1);
+    });
 
     // Concatenate the canonical outputs: globally sorted by key.
-    let out = std::fs::File::create(output).expect("create output");
+    let out =
+        std::fs::File::create(output).unwrap_or_else(|e| die(&format!("create {output}: {e}")));
     let mut out = std::io::BufWriter::new(out);
     let mut buf = vec![0u8; Record100::BYTES];
     for (pe, o) in outcome.per_pe.iter().enumerate() {
@@ -127,44 +122,6 @@ fn sort_local(machine: MachineConfig, total_records: usize, input: &str, output:
     );
 }
 
-/// The multi-process cluster: one `demsort-worker` process per rank
-/// over the loopback TCP mesh — identical SPMD code path.
-fn sort_tcp(
-    machine: MachineConfig,
-    input: &str,
-    output: &str,
-    timeout_ms: u64,
-    worker_bin: Option<String>,
-) {
-    let pes = machine.pes;
-    eprintln!(
-        "sorting via {pes} worker processes over loopback TCP ({} each)",
-        demsort_types::fmtsize::fmt_bytes(machine.mem_bytes_per_pe as u64)
-    );
-    let job = JobConfig {
-        input: input.to_string(),
-        output: output.to_string(),
-        machine,
-        algo: AlgoConfig::default(),
-        read_timeout_ms: timeout_ms,
-    };
-    let worker = match worker_bin {
-        Some(p) => std::path::PathBuf::from(p),
-        None => sibling_worker_bin().unwrap_or_else(|e| {
-            eprintln!("sortfile: {e}");
-            std::process::exit(2);
-        }),
-    };
-    match launch(&job, &worker) {
-        Ok(outcome) => eprintln!(
-            "done: {} runs, I/O volume {:.2} N, communication {:.2} N",
-            outcome.report.runs,
-            outcome.report.io_volume_over_n(),
-            outcome.report.comm_volume_over_n(),
-        ),
-        Err(e) => {
-            eprintln!("sortfile: {e}");
-            std::process::exit(1);
-        }
-    }
+fn die(msg: &str) -> ! {
+    demsort_bench::procs::cli_die("sortfile", msg)
 }

@@ -10,6 +10,18 @@
 //! path as the in-process cluster — same `canonical_mergesort`, same
 //! collectives, same counters.
 //!
+//! ## Failure model
+//!
+//! Collectives are fallible end-to-end: a peer dying mid-sort surfaces
+//! as `Error::Comm` from the sort on every surviving rank (within the
+//! transport's read timeout — no hang, no abort). A worker whose sort
+//! fails ships a **structured failed [`RankReport`]** (the `error`
+//! field set) back over its coordinator connection instead of
+//! unwinding; a SIGKILLed worker simply closes its connection. The
+//! launcher classifies every rank into a [`RankOutcome`] — reported,
+//! failed, or vanished — and its error names the dead rank(s) first,
+//! so `demsort-launch` exits non-zero identifying exactly who died.
+//!
 //! ## Coordinator protocol
 //!
 //! Length-prefixed messages (`[len: u32 LE][tag: u8][body]`) over the
@@ -17,10 +29,9 @@
 //!
 //! | tag | direction | body |
 //! |---|---|---|
-//! | `JOIN`   | worker → launcher | mesh listener address |
+//! | `JOIN`   | worker → launcher | mesh listener address, worker pid |
 //! | `ASSIGN` | launcher → worker | rank, address table, job config |
-//! | `REPORT` | worker → launcher | [`RankReport`] |
-//! | `FAIL`   | worker → launcher | error message |
+//! | `REPORT` | worker → launcher | [`RankReport`] (success *or* structured failure) |
 //!
 //! Workers can alternatively rendezvous without a coordinator from a
 //! host file (`demsort-worker --hostfile`), each binding its listed
@@ -39,7 +50,8 @@ use demsort_types::wire::{
     WireWriter,
 };
 use demsort_types::{
-    ranks, Error, JobConfig, Record as _, Record100, Result, SortConfig, SortReport,
+    ranks, AlgoConfig, Error, JobConfig, MachineConfig, Record as _, Record100, Result, SortConfig,
+    SortReport,
 };
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -50,7 +62,6 @@ use std::time::{Duration, Instant};
 const TAG_JOIN: u8 = 1;
 const TAG_ASSIGN: u8 = 2;
 const TAG_REPORT: u8 = 3;
-const TAG_FAIL: u8 = 4;
 
 /// Upper bound on a coordinator message (reports are tiny).
 const MAX_CTRL_MSG: usize = 64 << 20;
@@ -119,6 +130,12 @@ impl RemoteBlockFetch for TcpFetch {
 /// Join a cluster through the coordinator at `coordinator`, run the
 /// assigned rank's share of the job, and report back. The normal body
 /// of `demsort-worker`.
+///
+/// Collectives are fallible, so a dead peer mid-sort comes back as a
+/// plain `Err` from [`run_rank`] — no unwinding and no panic
+/// translation: the error is shipped to the launcher as a structured
+/// failed [`RankReport`] and also returned (so the worker process
+/// exits non-zero).
 pub fn run_worker(coordinator: &str) -> Result<RankReport> {
     let mut ctrl = TcpStream::connect(coordinator)
         .map_err(|e| Error::comm(format!("connect coordinator {coordinator}: {e}")))?;
@@ -128,6 +145,7 @@ pub fn run_worker(coordinator: &str) -> Result<RankReport> {
 
     let mut w = WireWriter::new();
     w.string(&mesh_addr.to_string());
+    w.u32(std::process::id());
     write_msg(&mut ctrl, TAG_JOIN, &w.finish())?;
 
     // The rendezvous is quick (the launcher itself gives up after
@@ -150,29 +168,17 @@ pub fn run_worker(coordinator: &str) -> Result<RankReport> {
     }
     let job = decode_job(&r.bytes()?)?;
 
-    // The sort may panic (a communicator aborts on dead peers); turn
-    // that into a FAIL message so the launcher reports it cleanly.
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_rank(rank, &addrs, listener, &job)
-    }))
-    .unwrap_or_else(|payload| {
-        let msg = payload
-            .downcast_ref::<String>()
-            .cloned()
-            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-            .unwrap_or_else(|| "worker panicked".to_string());
-        Err(Error::comm(format!("rank {rank} aborted: {msg}")))
-    });
-
-    match result {
+    // Run the rank. Errors (a dead peer surfacing as Error::Comm from
+    // a collective, storage faults, bad input) come back as plain
+    // Results — the panic-translating unwind shim is gone.
+    match run_rank(rank, &addrs, listener, &job) {
         Ok(report) => {
             write_msg(&mut ctrl, TAG_REPORT, &encode_rank_report(&report))?;
             Ok(report)
         }
         Err(e) => {
-            let mut w = WireWriter::new();
-            w.string(&e.to_string());
-            let _ = write_msg(&mut ctrl, TAG_FAIL, &w.finish());
+            let failed = RankReport::failed(rank, e.to_string());
+            let _ = write_msg(&mut ctrl, TAG_REPORT, &encode_rank_report(&failed));
             Err(e)
         }
     }
@@ -217,8 +223,8 @@ pub fn run_rank(
     // handler closure holds the storage, which holds the transport,
     // whose endpoint holds the handler — a cycle only
     // `clear_probe_handler` breaks, so guard it against every exit
-    // path (errors and panics included), or a failed job leaks the
-    // reader threads, sockets, and storage for the process lifetime.
+    // path (errors included), or a failed job leaks the reader
+    // threads, sockets, and storage for the process lifetime.
     struct HandlerGuard(TcpTransport);
     impl Drop for HandlerGuard {
         fn drop(&mut self) {
@@ -286,9 +292,15 @@ pub fn run_rank(
 
     // Ranks must not tear the mesh down while a slower peer still
     // depends on it (probes are done, but the final phases interleave).
-    comm.barrier();
+    comm.barrier()?;
 
-    Ok(RankReport { rank, elems: outcome.output.elems, runs: outcome.runs, phases: outcome.phases })
+    Ok(RankReport {
+        rank,
+        elems: outcome.output.elems,
+        runs: outcome.runs,
+        phases: outcome.phases,
+        error: None,
+    })
 }
 
 // -------------------------------------------------------------------
@@ -304,6 +316,19 @@ pub struct LaunchOutcome {
     pub report: SortReport,
     /// The raw per-rank reports, in rank order.
     pub per_rank: Vec<RankReport>,
+}
+
+/// What became of one rank of a launch (indexed by rank).
+#[derive(Debug)]
+pub enum RankOutcome {
+    /// The rank completed and reported counters.
+    Report(RankReport),
+    /// The rank reported a structured failure (e.g. `Error::Comm` after
+    /// a peer died) and exited cleanly.
+    Failed(String),
+    /// The rank's coordinator connection closed or timed out before any
+    /// report arrived — the process died (crash, SIGKILL, node loss).
+    Vanished(String),
 }
 
 /// Exit with a usage error (shared by the CLI bins).
@@ -346,10 +371,142 @@ pub fn sibling_worker_bin() -> Result<PathBuf> {
     )))
 }
 
+/// A launched-but-not-yet-collected cluster job: the worker processes
+/// are running the sort, ranks are assigned, the job config has been
+/// shipped. Used directly by failure-injection tests (which kill a
+/// worker mid-sort) and by [`launch`] (which immediately collects).
+///
+/// Dropping the control kills and reaps any children not yet reaped.
+pub struct LaunchControl {
+    children: Vec<std::process::Child>,
+    conns: Vec<TcpStream>,
+    /// OS pid per rank (reported in each worker's JOIN).
+    pids: Vec<u32>,
+    collect_deadline: Instant,
+}
+
+impl LaunchControl {
+    /// The OS pid of the worker that holds `rank`.
+    pub fn pid_of_rank(&self, rank: usize) -> u32 {
+        self.pids[rank]
+    }
+
+    /// SIGKILL the worker holding `rank` (failure injection).
+    pub fn kill_rank(&mut self, rank: usize) -> Result<()> {
+        let pid = self.pids[rank];
+        let child = self
+            .children
+            .iter_mut()
+            .find(|c| c.id() == pid)
+            .ok_or_else(|| Error::config(format!("no child process with pid {pid}")))?;
+        child.kill().map_err(|e| Error::io(format!("kill rank {rank} (pid {pid}): {e}")))
+    }
+
+    /// Collect every rank's outcome: a report, a structured failure, or
+    /// a vanished connection. Never fails as a whole and never hangs —
+    /// each connection is bounded by the collect deadline (scaled from
+    /// the job's comm timeout), and a dead worker's closed socket
+    /// errors immediately.
+    pub fn collect_outcomes(&mut self) -> Vec<RankOutcome> {
+        let deadline = self.collect_deadline;
+        self.conns
+            .iter_mut()
+            .enumerate()
+            .map(|(rank, conn)| match read_msg_deadline(conn, deadline) {
+                Ok((TAG_REPORT, body)) => match decode_rank_report(&body) {
+                    Ok(rep) if rep.rank != rank => RankOutcome::Vanished(format!(
+                        "rank {rank}'s connection reported rank {}",
+                        rep.rank
+                    )),
+                    Ok(rep) => match &rep.error {
+                        Some(msg) => RankOutcome::Failed(msg.clone()),
+                        None => RankOutcome::Report(rep),
+                    },
+                    Err(e) => RankOutcome::Vanished(format!("undecodable report: {e}")),
+                },
+                Ok((tag, _)) => RankOutcome::Vanished(format!("unexpected tag {tag}")),
+                Err(e) => RankOutcome::Vanished(e.to_string()),
+            })
+            .collect()
+    }
+
+    /// Collect outcomes, reap the workers, and aggregate — the tail of
+    /// [`launch`].
+    pub fn finish(mut self, job: &JobConfig) -> Result<LaunchOutcome> {
+        let outcomes = self.collect_outcomes();
+        let all_ok = outcomes.iter().all(|o| matches!(o, RankOutcome::Report(_)));
+        let mut child_failure = None;
+        for (i, mut c) in self.children.drain(..).enumerate() {
+            let status = if all_ok {
+                c.wait().ok()
+            } else {
+                let _ = c.kill();
+                c.wait().ok()
+            };
+            if let Some(st) = status {
+                if !st.success() && child_failure.is_none() {
+                    child_failure = Some(format!("worker process {i} exited with {st}"));
+                }
+            }
+        }
+        let outcome = summarize_outcomes(job, outcomes)?;
+        if let Some(msg) = child_failure {
+            return Err(Error::comm(msg));
+        }
+        Ok(outcome)
+    }
+}
+
+impl Drop for LaunchControl {
+    fn drop(&mut self) {
+        for c in &mut self.children {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+/// Aggregate per-rank outcomes into a [`LaunchOutcome`], or an error
+/// that **names the failed ranks** — vanished (dead) ranks first, then
+/// ranks that reported structured failures.
+pub fn summarize_outcomes(job: &JobConfig, outcomes: Vec<RankOutcome>) -> Result<LaunchOutcome> {
+    let mut per_rank = Vec::with_capacity(outcomes.len());
+    let mut vanished: Vec<String> = Vec::new();
+    let mut failed: Vec<String> = Vec::new();
+    for (rank, o) in outcomes.into_iter().enumerate() {
+        match o {
+            RankOutcome::Report(rep) => per_rank.push(rep),
+            RankOutcome::Failed(msg) => failed.push(format!("rank {rank} failed: {msg}")),
+            RankOutcome::Vanished(msg) => {
+                vanished.push(format!("rank {rank} died without reporting ({msg})"));
+            }
+        }
+    }
+    if !vanished.is_empty() || !failed.is_empty() {
+        let mut parts = vanished;
+        parts.extend(failed);
+        return Err(Error::comm(parts.join("; ")));
+    }
+
+    // Aggregate exactly like the in-process driver.
+    let elements: u64 = per_rank.iter().map(|r| r.elems).sum();
+    let runs = per_rank.first().map_or(0, |r| r.runs);
+    let cfg = SortConfig::new(job.machine.clone(), job.algo.clone())?;
+    let report = assemble_report(
+        &cfg,
+        elements,
+        Record100::BYTES,
+        runs,
+        per_rank.iter().map(|r| r.phases.clone()).collect(),
+    );
+    Ok(LaunchOutcome { report, per_rank })
+}
+
 /// Spawn `job.machine.pes` local worker processes (running
 /// `worker_bin`), rendezvous them over a loopback coordinator port,
-/// and collect their reports.
-pub fn launch(job: &JobConfig, worker_bin: &std::path::Path) -> Result<LaunchOutcome> {
+/// ship the job, and return the running cluster for collection (or
+/// failure injection).
+pub fn launch_workers(job: &JobConfig, worker_bin: &std::path::Path) -> Result<LaunchControl> {
     job.validate()?;
     let p = job.machine.pes;
 
@@ -383,63 +540,55 @@ pub fn launch(job: &JobConfig, worker_bin: &std::path::Path) -> Result<LaunchOut
     let coord_addr = coordinator.local_addr().map_err(|e| Error::comm(e.to_string()))?;
     coordinator.set_nonblocking(true).map_err(|e| Error::comm(e.to_string()))?;
 
-    // Spawn all workers; if any spawn fails, reap the ones already
-    // started instead of leaking them (they would otherwise linger
-    // waiting for a rank assignment).
-    let mut children = Vec::with_capacity(p);
-    let mut spawn_err = None;
+    // Spawn all workers; children are killed and reaped by the
+    // LaunchControl's Drop on any later failure, so none leak.
+    let mut ctl = LaunchControl {
+        children: Vec::with_capacity(p),
+        conns: Vec::new(),
+        pids: Vec::new(),
+        // A dying worker closes its socket (read error, not a hang); a
+        // wedged-but-alive worker is cut off by a deadline scaled from
+        // the job's transport timeout — a legitimately long sort
+        // should raise `read_timeout_ms` (it bounds both).
+        collect_deadline: Instant::now()
+            + Duration::from_millis(job.read_timeout_ms)
+                .saturating_mul(20)
+                .max(Duration::from_secs(300)),
+    };
     for _ in 0..p {
-        match std::process::Command::new(worker_bin)
+        let child = std::process::Command::new(worker_bin)
             .arg("--coordinator")
             .arg(coord_addr.to_string())
             .spawn()
-        {
-            Ok(c) => children.push(c),
-            Err(e) => {
-                spawn_err = Some(Error::io(format!("spawn {}: {e}", worker_bin.display())));
-                break;
-            }
-        }
+            .map_err(|e| Error::io(format!("spawn {}: {e}", worker_bin.display())))?;
+        ctl.children.push(child);
     }
-    let result = match spawn_err {
-        Some(e) => Err(e),
-        None => rendezvous_and_collect(job, &coordinator, p),
-    };
 
-    // Reap the children regardless of outcome.
-    let mut child_failure = None;
-    for (i, mut c) in children.into_iter().enumerate() {
-        let status = match result {
-            Ok(_) => c.wait().ok(),
-            Err(_) => {
-                let _ = c.kill();
-                c.wait().ok()
-            }
-        };
-        if let Some(st) = status {
-            if !st.success() && child_failure.is_none() {
-                child_failure = Some(format!("worker {i} exited with {st}"));
-            }
-        }
-    }
-    let outcome = result?;
-    if let Some(msg) = child_failure {
-        return Err(Error::comm(msg));
-    }
-    Ok(outcome)
+    rendezvous(job, &coordinator, p, &mut ctl)?;
+    Ok(ctl)
 }
 
-/// Accept `p` JOINs, assign ranks in arrival order, ship the job, and
-/// collect every report.
-fn rendezvous_and_collect(
+/// Spawn, rendezvous, sort, collect: the whole multi-process launch
+/// (what `demsort-launch` and `sortfile --transport tcp` run).
+///
+/// # Errors
+/// Besides setup failures, the launch fails with an [`Error::Comm`]
+/// naming every rank that died without reporting and every rank that
+/// reported a structured failure.
+pub fn launch(job: &JobConfig, worker_bin: &std::path::Path) -> Result<LaunchOutcome> {
+    launch_workers(job, worker_bin)?.finish(job)
+}
+
+/// Accept `p` JOINs, assign ranks in arrival order, and ship the job.
+fn rendezvous(
     job: &JobConfig,
     coordinator: &TcpListener,
     p: usize,
-) -> Result<LaunchOutcome> {
+    ctl: &mut LaunchControl,
+) -> Result<()> {
     let deadline = Instant::now() + Duration::from_secs(30);
-    let mut conns: Vec<TcpStream> = Vec::with_capacity(p);
     let mut mesh_addrs: Vec<String> = Vec::with_capacity(p);
-    while conns.len() < p {
+    while ctl.conns.len() < p {
         match coordinator.accept() {
             Ok((mut stream, _)) => {
                 // A connection that is not a prompt, well-formed JOIN
@@ -453,13 +602,17 @@ fn rendezvous_and_collect(
                         read_msg_deadline(&mut stream, Instant::now() + Duration::from_secs(5))
                     });
                 match join {
-                    Ok((TAG_JOIN, body)) => match WireReader::new(&body).string() {
-                        Ok(addr) => {
-                            mesh_addrs.push(addr);
-                            conns.push(stream);
+                    Ok((TAG_JOIN, body)) => {
+                        let mut r = WireReader::new(&body);
+                        match (r.string(), r.u32()) {
+                            (Ok(addr), Ok(pid)) => {
+                                mesh_addrs.push(addr);
+                                ctl.pids.push(pid);
+                                ctl.conns.push(stream);
+                            }
+                            _ => continue, // garbage JOIN body: drop it too
                         }
-                        Err(_) => continue, // garbage JOIN body: drop it too
-                    },
+                    }
                     Ok(_) | Err(_) => continue,
                 }
             }
@@ -467,7 +620,7 @@ fn rendezvous_and_collect(
                 if Instant::now() >= deadline {
                     return Err(Error::comm(format!(
                         "only {} of {p} workers joined within 30s",
-                        conns.len()
+                        ctl.conns.len()
                     )));
                 }
                 std::thread::sleep(Duration::from_millis(10));
@@ -477,7 +630,7 @@ fn rendezvous_and_collect(
     }
 
     let encoded_job = encode_job(job);
-    for (rank, conn) in conns.iter_mut().enumerate() {
+    for (rank, conn) in ctl.conns.iter_mut().enumerate() {
         let mut w = WireWriter::new();
         w.u32(rank as u32).u32(p as u32);
         for a in &mesh_addrs {
@@ -486,52 +639,157 @@ fn rendezvous_and_collect(
         w.bytes(&encoded_job);
         write_msg(conn, TAG_ASSIGN, &w.finish())?;
     }
+    Ok(())
+}
 
-    // Collect reports. A dying worker closes its socket (read error,
-    // not a hang); a wedged-but-alive worker is cut off by a deadline
-    // scaled from the job's transport timeout — a legitimately long
-    // sort should raise `read_timeout_ms` (it bounds both).
-    let collect_deadline = Instant::now()
-        + Duration::from_millis(job.read_timeout_ms)
-            .saturating_mul(20)
-            .max(Duration::from_secs(300));
-    let mut per_rank: Vec<Option<RankReport>> = (0..p).map(|_| None).collect();
-    for (rank, conn) in conns.iter_mut().enumerate() {
-        let (tag, body) = read_msg_deadline(conn, collect_deadline)
-            .map_err(|e| Error::comm(format!("rank {rank} vanished before reporting: {e}")))?;
-        match tag {
-            TAG_REPORT => {
-                let rep = decode_rank_report(&body)?;
-                if rep.rank != rank {
-                    return Err(Error::comm(format!(
-                        "rank {rank}'s connection reported rank {}",
-                        rep.rank
-                    )));
-                }
-                per_rank[rank] = Some(rep);
-            }
-            TAG_FAIL => {
-                let msg = WireReader::new(&body).string()?;
-                return Err(Error::comm(format!("rank {rank} failed: {msg}")));
-            }
-            t => return Err(Error::comm(format!("unexpected tag {t} from rank {rank}"))),
+// -------------------------------------------------------------------
+// Shared CLI glue of the TCP job-building bins
+// -------------------------------------------------------------------
+
+/// The job-building flags shared by `demsort-launch` and
+/// `sortfile --transport tcp` (hoisted here so the two bins cannot
+/// drift): cluster shape, seed, comm timeout, worker binary.
+#[derive(Clone, Debug)]
+pub struct TcpJobCli {
+    /// Number of worker processes / PEs (`--ranks` / `--pes`).
+    pub ranks: usize,
+    /// Memory per PE in MiB (`--mem-mib`).
+    pub mem_mib: usize,
+    /// Block size in KiB (`--block-kib`).
+    pub block_kib: usize,
+    /// Disks per PE (`--disks`).
+    pub disks: usize,
+    /// Algorithm seed (`--seed`), default config seed if unset.
+    pub seed: Option<u64>,
+    /// Comm read timeout in milliseconds (`--comm-timeout`, legacy
+    /// alias `--timeout-ms`): how long a rank waits on a silent peer
+    /// before declaring it dead ([`JobConfig::read_timeout_ms`]).
+    pub comm_timeout_ms: u64,
+    /// Explicit worker binary path (`--worker-bin`).
+    pub worker_bin: Option<String>,
+}
+
+impl Default for TcpJobCli {
+    fn default() -> Self {
+        Self {
+            ranks: 4,
+            mem_mib: 8,
+            block_kib: 64,
+            disks: 4,
+            seed: None,
+            comm_timeout_ms: 30_000,
+            worker_bin: None,
         }
     }
-    let per_rank: Vec<RankReport> =
-        per_rank.into_iter().map(|r| r.expect("all reports collected")).collect();
+}
 
-    // Aggregate exactly like the in-process driver.
-    let elements: u64 = per_rank.iter().map(|r| r.elems).sum();
-    let runs = per_rank.first().map_or(0, |r| r.runs);
-    let cfg = SortConfig::new(job.machine.clone(), job.algo.clone())?;
-    let report = assemble_report(
-        &cfg,
-        elements,
-        Record100::BYTES,
-        runs,
-        per_rank.iter().map(|r| r.phases.clone()).collect(),
+impl TcpJobCli {
+    /// Help text for the shared flags (one line per flag).
+    pub const FLAG_HELP: &'static str =
+        "  --ranks P         worker processes / PEs (default 4; alias --pes)\n  \
+         --mem-mib M       memory per PE in MiB (default 8)\n  \
+         --block-kib K     block size in KiB (default 64)\n  \
+         --disks D         disks per PE (default 4)\n  \
+         --seed S          algorithm seed\n  \
+         --comm-timeout MS comm read timeout in ms (default 30000; alias --timeout-ms)\n  \
+         --worker-bin PATH explicit demsort-worker binary";
+
+    /// Consume `flag` if it is one of the shared job flags (pulling its
+    /// value from `args`); returns `false` for flags the bin must
+    /// handle itself.
+    pub fn try_flag(
+        &mut self,
+        bin: &str,
+        flag: &str,
+        args: &mut impl Iterator<Item = String>,
+    ) -> bool {
+        let mut next =
+            |flag: &str| args.next().unwrap_or_else(|| cli_die(bin, &format!("{flag} VALUE")));
+        match flag {
+            "--ranks" | "--pes" => self.ranks = cli_parse(bin, &next(flag), "ranks"),
+            "--mem-mib" => self.mem_mib = cli_parse(bin, &next(flag), "mem-mib"),
+            "--block-kib" => self.block_kib = cli_parse(bin, &next(flag), "block-kib"),
+            "--disks" => self.disks = cli_parse(bin, &next(flag), "disks"),
+            "--seed" => self.seed = Some(cli_parse(bin, &next(flag), "seed")),
+            "--comm-timeout" | "--timeout-ms" => {
+                self.comm_timeout_ms = cli_parse(bin, &next(flag), "comm-timeout")
+            }
+            "--worker-bin" => self.worker_bin = Some(next(flag)),
+            _ => return false,
+        }
+        true
+    }
+
+    /// The cluster shape these flags describe (cores split the host's
+    /// parallelism across the ranks).
+    pub fn machine(&self) -> MachineConfig {
+        MachineConfig {
+            pes: self.ranks,
+            disks_per_pe: self.disks,
+            block_bytes: self.block_kib << 10,
+            mem_bytes_per_pe: self.mem_mib << 20,
+            cores_per_pe: std::thread::available_parallelism()
+                .map_or(1, |c| c.get() / self.ranks.max(1))
+                .max(1),
+        }
+    }
+
+    /// Assemble the [`JobConfig`] for `input` → `output`.
+    pub fn job(&self, input: &str, output: &str) -> JobConfig {
+        let algo = match self.seed {
+            Some(s) => AlgoConfig { seed: s, ..AlgoConfig::default() },
+            None => AlgoConfig::default(),
+        };
+        JobConfig {
+            input: input.to_string(),
+            output: output.to_string(),
+            machine: self.machine(),
+            algo,
+            read_timeout_ms: self.comm_timeout_ms,
+        }
+    }
+
+    /// Resolve the worker binary: the explicit `--worker-bin` path or
+    /// the `demsort-worker` sibling of the running executable.
+    pub fn worker(&self, bin: &str) -> PathBuf {
+        match &self.worker_bin {
+            Some(p) => PathBuf::from(p),
+            None => sibling_worker_bin().unwrap_or_else(|e| cli_die(bin, &e.to_string())),
+        }
+    }
+}
+
+/// Launch `job` with `worker`, print the per-rank and summary lines,
+/// and exit — non-zero (naming the failed rank) on any failure. The
+/// shared tail of `demsort-launch` and `sortfile --transport tcp`.
+pub fn launch_and_report(bin: &str, job: &JobConfig, worker: &std::path::Path) -> ! {
+    eprintln!(
+        "launching {} worker processes ({} each) via {}",
+        job.machine.pes,
+        demsort_types::fmtsize::fmt_bytes(job.machine.mem_bytes_per_pe as u64),
+        worker.display()
     );
-    Ok(LaunchOutcome { report, per_rank })
+    match launch(job, worker) {
+        Ok(outcome) => {
+            for rep in &outcome.per_rank {
+                eprintln!("  rank {}: {} records, {} runs", rep.rank, rep.elems, rep.runs);
+            }
+            eprintln!(
+                "done: {} records on {} ranks, {} runs, I/O volume {:.2} N, \
+                 communication {:.2} N",
+                outcome.report.elements,
+                job.machine.pes,
+                outcome.report.runs,
+                outcome.report.io_volume_over_n(),
+                outcome.report.comm_volume_over_n(),
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("{bin}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -600,5 +858,64 @@ mod tests {
         };
         let err = run_rank(0, &[], listener, &job).expect_err("empty address table");
         assert!(err.to_string().contains("address table"), "{err}");
+    }
+
+    #[test]
+    fn summarize_names_dead_ranks_before_survivor_failures() {
+        let job = JobConfig {
+            input: "in".into(),
+            output: "out".into(),
+            machine: demsort_types::MachineConfig::tiny(3),
+            algo: demsort_types::AlgoConfig::default(),
+            read_timeout_ms: 1000,
+        };
+        let outcomes = vec![
+            RankOutcome::Failed("communication error: recv from rank 1: timed out".into()),
+            RankOutcome::Vanished("connection closed".into()),
+            RankOutcome::Failed("communication error: recv from rank 1: peer disconnected".into()),
+        ];
+        let err = summarize_outcomes(&job, outcomes).expect_err("failed job");
+        let msg = err.to_string();
+        let died = msg.find("rank 1 died").expect("dead rank named");
+        let survivor = msg.find("rank 0 failed").expect("survivor failure named");
+        assert!(died < survivor, "dead rank leads the message: {msg}");
+        assert!(msg.contains("rank 2 failed"), "{msg}");
+    }
+
+    #[test]
+    fn shared_cli_flags_build_the_job() {
+        let mut cli = TcpJobCli::default();
+        let mut args = [
+            "--ranks",
+            "3",
+            "--mem-mib",
+            "2",
+            "--block-kib",
+            "32",
+            "--disks",
+            "2",
+            "--seed",
+            "9",
+            "--comm-timeout",
+            "1500",
+        ]
+        .iter()
+        .map(|s| s.to_string());
+        while let Some(flag) = args.next() {
+            assert!(cli.try_flag("test", &flag, &mut args), "{flag} must be shared");
+        }
+        assert!(!cli.try_flag("test", "--transport", &mut std::iter::empty()));
+        let job = cli.job("a.dat", "b.dat");
+        assert_eq!(job.machine.pes, 3);
+        assert_eq!(job.machine.mem_bytes_per_pe, 2 << 20);
+        assert_eq!(job.machine.block_bytes, 32 << 10);
+        assert_eq!(job.machine.disks_per_pe, 2);
+        assert_eq!(job.algo.seed, 9);
+        assert_eq!(job.read_timeout_ms, 1500);
+        // The legacy alias still works.
+        let mut args = ["--timeout-ms", "2500"].iter().map(|s| s.to_string());
+        let flag = args.next().expect("flag");
+        assert!(cli.try_flag("test", &flag, &mut args));
+        assert_eq!(cli.job("a", "b").read_timeout_ms, 2500);
     }
 }

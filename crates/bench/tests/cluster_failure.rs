@@ -1,0 +1,126 @@
+//! Cluster-level failure injection: SIGKILL one worker of a real
+//! 4-process loopback TCP launch mid-sort and assert the fallible-
+//! collective contract end to end:
+//!
+//! * every **surviving** rank returns `Error::Comm` from its sort
+//!   (reported to the coordinator as a structured failed `RankReport`)
+//!   within the comm read timeout — no hang, no process abort, no
+//!   `catch_unwind`;
+//! * the **launcher** classifies the killed rank as vanished and its
+//!   error (what `demsort-launch` prints before exiting non-zero)
+//!   names that rank first.
+//!
+//! Cargo builds the real `demsort-worker` binary for this test and
+//! exposes its path via `CARGO_BIN_EXE_demsort-worker`.
+
+use demsort_bench::procs::{launch_workers, summarize_outcomes, RankOutcome};
+use demsort_types::{AlgoConfig, JobConfig, MachineConfig, Record as _, Record100};
+use demsort_workloads::gensort_records;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Enough records over a tiny memory budget that the sort runs many
+/// multi-collective rounds (R ≈ 30 runs) — the kill lands mid-sort,
+/// not after a rank already finished.
+const RECORDS: usize = 20_000;
+const RANKS: usize = 4;
+const VICTIM: usize = 1;
+const COMM_TIMEOUT_MS: u64 = 2_000;
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("demsort-cluster-failure-{}-{name}", std::process::id()))
+}
+
+fn write_gensort_input(path: &Path) {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path).expect("create input"));
+    let mut buf = vec![0u8; Record100::BYTES];
+    for rec in gensort_records(11, 0, RECORDS) {
+        rec.encode(&mut buf);
+        f.write_all(&buf).expect("write record");
+    }
+    f.flush().expect("flush");
+}
+
+#[test]
+fn sigkill_mid_sort_fails_every_survivor_cleanly_and_names_the_dead_rank() {
+    let input = tmp_path("input.dat");
+    let output = tmp_path("out.dat");
+    write_gensort_input(&input);
+
+    let job = JobConfig {
+        input: input.to_string_lossy().into_owned(),
+        output: output.to_string_lossy().into_owned(),
+        machine: MachineConfig {
+            pes: RANKS,
+            disks_per_pe: 2,
+            block_bytes: 1 << 10,
+            mem_bytes_per_pe: 16 << 10,
+            cores_per_pe: 1,
+        },
+        algo: AlgoConfig::default(),
+        read_timeout_ms: COMM_TIMEOUT_MS,
+    };
+    let worker = PathBuf::from(env!("CARGO_BIN_EXE_demsort-worker"));
+
+    // Spawn + rendezvous the real 4-process cluster; the sort is now
+    // underway in the workers.
+    let mut ctl = launch_workers(&job, &worker).expect("launch workers");
+
+    // Let the mesh come up and the sort get going, then kill one rank.
+    std::thread::sleep(Duration::from_millis(150));
+    ctl.kill_rank(VICTIM).expect("SIGKILL the victim rank");
+
+    let started = Instant::now();
+    let outcomes = ctl.collect_outcomes();
+    let elapsed = started.elapsed();
+
+    // No hang: every surviving rank's collective fails within the read
+    // timeout (plus per-rank dependency chains and reporting slack; a
+    // hang would only break at the 300 s collect deadline).
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "survivors must fail within the read timeout, took {elapsed:?}"
+    );
+
+    assert_eq!(outcomes.len(), RANKS);
+    for (rank, outcome) in outcomes.iter().enumerate() {
+        if rank == VICTIM {
+            assert!(
+                matches!(outcome, RankOutcome::Vanished(_)),
+                "killed rank must vanish without a report: {outcome:?}"
+            );
+            continue;
+        }
+        // A structured failure report (no abort: the worker stayed
+        // alive to send it) carrying the sort's Error::Comm, which
+        // names a peer and direction.
+        match outcome {
+            RankOutcome::Failed(msg) => {
+                assert!(
+                    msg.contains("communication error"),
+                    "rank {rank} must fail with Error::Comm, got: {msg}"
+                );
+            }
+            other => panic!("surviving rank {rank} must report a failure, got {other:?}"),
+        }
+    }
+
+    // The launcher-level summary (what demsort-launch prints before
+    // exiting non-zero) names the dead rank, leading the message.
+    let err = summarize_outcomes(&job, outcomes).expect_err("job must fail");
+    let msg = err.to_string();
+    assert!(
+        msg.contains(&format!("rank {VICTIM} died without reporting")),
+        "launch error must name the dead rank: {msg}"
+    );
+    assert!(
+        msg.find(&format!("rank {VICTIM} died")).expect("named") < msg.len() / 2,
+        "dead rank leads the diagnostics: {msg}"
+    );
+
+    drop(ctl); // reaps the surviving workers
+    for p in [&input, &output] {
+        let _ = std::fs::remove_file(p);
+    }
+}

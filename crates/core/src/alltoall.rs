@@ -101,10 +101,14 @@ pub struct AllToAllOutcome {
 
 /// Allgather every PE's splitter vector (each PE computed its own rank's
 /// positions via external multiway selection).
-pub fn exchange_splitters(comm: &Communicator, mine: &RunSplitters) -> Vec<RunSplitters> {
-    comm.allgather(encode_u64s(&mine.positions))
+///
+/// # Errors
+/// [`Error::Comm`](demsort_types::Error) if the allgather fails or a
+/// peer's splitter message is malformed.
+pub fn exchange_splitters(comm: &Communicator, mine: &RunSplitters) -> Result<Vec<RunSplitters>> {
+    comm.allgather(encode_u64s(&mine.positions))?
         .into_iter()
-        .map(|buf| RunSplitters { positions: decode_u64s(&buf) })
+        .map(|buf| Ok(RunSplitters { positions: decode_u64s(&buf)? }))
         .collect()
 }
 
@@ -171,7 +175,7 @@ pub fn external_alltoall<R: Record + Ord>(
         / R::BYTES as f64)
         .max(1.0) as u64;
     let k_local = send_elems.div_ceil(budget).max(1);
-    let k = comm.allreduce_max(k_local) as usize;
+    let k = comm.allreduce_max(k_local)? as usize;
 
     // Per-destination per-suboperation quota, in records.
     let quotas: Vec<u64> = segments
@@ -240,7 +244,7 @@ pub fn external_alltoall<R: Record + Ord>(
         }
 
         // ---- exchange ----
-        let received = chunked_alltoallv(comm, msgs, MPI_VOLUME_LIMIT);
+        let received = chunked_alltoallv(comm, msgs, MPI_VOLUME_LIMIT)?;
 
         // ---- write received pieces as fragments ----
         for (src, buf) in received.into_iter().enumerate() {
@@ -426,11 +430,12 @@ mod tests {
             let recs = generate_pe_input(spec, 13, c.rank(), p, local_n);
             let input = ingest_input(st, &recs).expect("ingest");
             let out = form_runs::<Element16>(&c, st, &cfg2, input, 1).expect("form");
-            let dir = build_directory(&c, out.local);
+            let dir = build_directory(&c, out.local).expect("directory");
             let n = dir.total_elems();
             let r = ranks::owned_range(c.rank(), p, n).start;
-            let (mine, _) = select_rank_external(storage_ref, c.rank(), &dir, r, &cfg2.algo);
-            let all = exchange_splitters(&c, &mine);
+            let (mine, _) =
+                select_rank_external(storage_ref, c.rank(), &dir, r, &cfg2.algo).expect("select");
+            let all = exchange_splitters(&c, &mine).expect("exchange");
             // Reference: decode each run fully (before the exchange
             // frees blocks) and slice at the splitter positions.
             let nruns = dir.num_runs();

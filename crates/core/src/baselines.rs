@@ -65,7 +65,7 @@ pub fn nowsort<R: Record + Ord>(
     );
     let rounds = {
         let local = input.elems.div_ceil(chunk_elems as u64);
-        comm.allreduce_max(local).max(1)
+        comm.allreduce_max(local)?.max(1)
     };
     let mut local_runs: Vec<FinishedRun<R>> = Vec::new();
     let mut received_total = 0u64;
@@ -86,7 +86,7 @@ pub fn nowsort<R: Record + Ord>(
                 buf
             })
             .collect();
-        let received = chunked_alltoallv(comm, msgs, MPI_VOLUME_LIMIT);
+        let received = chunked_alltoallv(comm, msgs, MPI_VOLUME_LIMIT)?;
         // Sort what arrived and write it as one run (NOW-Sort's
         // receiver-side run formation).
         let mut run_data: Vec<R> = Vec::new();
@@ -115,8 +115,8 @@ pub fn nowsort<R: Record + Ord>(
     rec.add_cpu(merge_cpu);
     rec.finish_phase(Phase::FinalMerge, st.counters(), comm.counters());
 
-    let n = comm.allreduce_sum(received_total);
-    let max_local = comm.allreduce_max(received_total);
+    let n = comm.allreduce_sum(received_total)?;
+    let max_local = comm.allreduce_max(received_total)?;
     let imbalance = if n == 0 { 1.0 } else { max_local as f64 / (n as f64 / p as f64) };
 
     Ok(NowSortOutcome { output, local_elems: received_total, imbalance, phases: rec.into_stats() })

@@ -65,7 +65,7 @@ pub fn canonical_mergesort<R: Record + Ord>(
     // ---- Phase 1: run formation ----
     let formed = form_runs::<R>(comm, st, cfg, input, cores)?;
     rec.add_cpu(formed.cpu);
-    let dir = build_directory(comm, formed.local);
+    let dir = build_directory(comm, formed.local)?;
     let runs = dir.num_runs();
     rec.finish_phase(Phase::RunFormation, st.counters(), comm.counters());
 
@@ -86,9 +86,9 @@ pub fn canonical_mergesort<R: Record + Ord>(
     let n = dir.total_elems();
     let my_rank_boundary = ranks::owned_range(me, comm.size(), n).start;
     let (splitters, sel_stats) =
-        select_rank_external(storage, me, &dir, my_rank_boundary, &cfg.algo);
+        select_rank_external(storage, me, &dir, my_rank_boundary, &cfg.algo)?;
     rec.add_comm(sel_stats.comm());
-    let all_splitters = exchange_splitters(comm, &splitters);
+    let all_splitters = exchange_splitters(comm, &splitters)?;
     rec.finish_phase(Phase::MultiwaySelection, st.counters(), comm.counters());
 
     // ---- Phase 2b: external all-to-all ----

@@ -24,7 +24,7 @@
 //! and is the same convention as [`crate::selection`].
 
 use demsort_net::Communicator;
-use demsort_types::Record;
+use demsort_types::{Record, Result};
 
 /// Number of elements of `local` (this PE's sorted sequence) that fall
 /// strictly left of the global partition at rank `r`.
@@ -32,17 +32,25 @@ use demsort_types::Record;
 /// Collective: every PE must call this with the same `r`. The result
 /// differs per PE; summed over PEs it equals `r`.
 ///
+/// # Errors
+/// [`Error::Comm`](demsort_types::Error) if a peer dies or goes silent
+/// during any pivot round — every surviving PE gets the error.
+///
 /// # Panics
 /// Panics (on every PE) if `r` exceeds the global element count.
-pub fn dist_select_rank<R: Record + Ord>(comm: &Communicator, local: &[R], r: u64) -> usize {
+pub fn dist_select_rank<R: Record + Ord>(
+    comm: &Communicator,
+    local: &[R],
+    r: u64,
+) -> Result<usize> {
     debug_assert!(local.windows(2).all(|w| w[0].key() <= w[1].key()), "local must be sorted");
-    let total = comm.allreduce_sum(local.len() as u64);
+    let total = comm.allreduce_sum(local.len() as u64)?;
     assert!(r <= total, "rank {r} > total {total}");
     if r == 0 {
-        return 0;
+        return Ok(0);
     }
     if r == total {
-        return local.len();
+        return Ok(local.len());
     }
 
     // Active range of candidate split positions in the local sequence.
@@ -55,19 +63,19 @@ pub fn dist_select_rank<R: Record + Ord>(comm: &Communicator, local: &[R], r: u6
         let weight = (hi - lo) as u64;
         // Candidate pivot: the median record of the active range.
         let candidate = if weight > 0 { Some(local[lo + (hi - lo) / 2]) } else { None };
-        let pivot = weighted_median(comm, candidate, weight);
+        let pivot = weighted_median(comm, candidate, weight)?;
         let Some((pk, _ppe)) = pivot else {
             // No PE has active elements left: the split is pinned.
-            debug_assert_eq!(comm.allreduce_sum(lo as u64), r);
-            return lo;
+            debug_assert_eq!(comm.allreduce_sum(lo as u64)?, r);
+            return Ok(lo);
         };
 
         // Count, over the *whole* local sequence, elements with keys
         // strictly below the pivot key, and at-or-below it.
         let lt = local.partition_point(|x| x.key() < pk);
         let le = local.partition_point(|x| x.key() <= pk);
-        let c_lt = comm.allreduce_sum(lt as u64); // elements with key < pk
-        let c_le = comm.allreduce_sum(le as u64); // elements with key <= pk
+        let c_lt = comm.allreduce_sum(lt as u64)?; // elements with key < pk
+        let c_le = comm.allreduce_sum(le as u64)?; // elements with key <= pk
 
         if r <= c_lt {
             // Split lies among keys < pk: discard everything >= pk.
@@ -81,9 +89,9 @@ pub fn dist_select_rank<R: Record + Ord>(comm: &Communicator, local: &[R], r: u6
             // The split lands inside the band of keys == pk. Assign the
             // `r - c_lt` in-band slots to PEs in rank order.
             let eq = (le - lt) as u64;
-            let before_me = comm.exscan_sum(eq);
+            let before_me = comm.exscan_sum(eq)?;
             let remaining = (r - c_lt).saturating_sub(before_me);
-            return lt + remaining.min(eq) as usize;
+            return Ok(lt + remaining.min(eq) as usize);
         }
     }
     unreachable!("distributed selection did not converge in {max_rounds} rounds");
@@ -92,18 +100,26 @@ pub fn dist_select_rank<R: Record + Ord>(comm: &Communicator, local: &[R], r: u6
 /// Split the distributed sequence into `parts` equal pieces: returns the
 /// `parts + 1` local cut positions for this PE (monotone, covering
 /// `0..local.len()`).
-pub fn dist_split<R: Record + Ord>(comm: &Communicator, local: &[R], parts: usize) -> Vec<usize> {
+///
+/// # Errors
+/// [`Error::Comm`](demsort_types::Error) on the first failed collective
+/// of any underlying selection round.
+pub fn dist_split<R: Record + Ord>(
+    comm: &Communicator,
+    local: &[R],
+    parts: usize,
+) -> Result<Vec<usize>> {
     assert!(parts > 0);
-    let total = comm.allreduce_sum(local.len() as u64);
+    let total = comm.allreduce_sum(local.len() as u64)?;
     let mut cuts = Vec::with_capacity(parts + 1);
     cuts.push(0);
     for p in 1..parts {
         let r = (p as u128 * total as u128 / parts as u128) as u64;
-        cuts.push(dist_select_rank(comm, local, r));
+        cuts.push(dist_select_rank(comm, local, r)?);
     }
     cuts.push(local.len());
     debug_assert!(cuts.windows(2).all(|w| w[0] <= w[1]), "cuts must be monotone: {cuts:?}");
-    cuts
+    Ok(cuts)
 }
 
 /// Weighted median of one candidate record per PE.
@@ -114,14 +130,14 @@ fn weighted_median<R: Record + Ord>(
     comm: &Communicator,
     candidate: Option<R>,
     weight: u64,
-) -> Option<(R::Key, usize)> {
+) -> Result<Option<(R::Key, usize)>> {
     // Allgather (weight, encoded record); weight 0 = no candidate.
     let mut msg = vec![0u8; 8 + R::BYTES];
     msg[..8].copy_from_slice(&weight.to_le_bytes());
     if let Some(c) = candidate {
         c.encode(&mut msg[8..]);
     }
-    let gathered = comm.allgather(msg);
+    let gathered = comm.allgather(msg)?;
 
     let mut cands: Vec<(R::Key, usize, u64)> = gathered
         .iter()
@@ -132,7 +148,7 @@ fn weighted_median<R: Record + Ord>(
         })
         .collect();
     if cands.is_empty() {
-        return None;
+        return Ok(None);
     }
     cands.sort_by_key(|a| (a.0, a.1));
     let total: u64 = cands.iter().map(|c| c.2).sum();
@@ -140,7 +156,7 @@ fn weighted_median<R: Record + Ord>(
     for (k, pe, w) in &cands {
         acc += w;
         if acc * 2 >= total {
-            return Some((*k, *pe));
+            return Ok(Some((*k, *pe)));
         }
     }
     unreachable!("cumulative weight must reach the total");
@@ -161,7 +177,7 @@ mod tests {
         let locals_ref = &locals;
         let positions = run_cluster(p, move |c| {
             let mine = &locals_ref[c.rank()];
-            dist_select_rank(&c, mine, r)
+            dist_select_rank(&c, mine, r).expect("select")
         });
         let total: u64 = positions.iter().map(|&x| x as u64).sum();
         assert_eq!(total, r, "positions must sum to the rank");
@@ -231,7 +247,9 @@ mod tests {
         let locals: Vec<Vec<Element16>> =
             (0..p).map(|pe| vec![Element16::new(42, pe as u64); 10]).collect();
         let locals_ref = &locals;
-        let positions = run_cluster(p, move |c| dist_select_rank(&c, &locals_ref[c.rank()], 15));
+        let positions = run_cluster(p, move |c| {
+            dist_select_rank(&c, &locals_ref[c.rank()], 15).expect("select")
+        });
         // Canonical: PE 0's 10 elements, then 5 from PE 1.
         assert_eq!(positions, vec![10, 5, 0]);
     }
@@ -240,7 +258,8 @@ mod tests {
     fn dist_split_produces_equal_parts() {
         let locals = sorted_locals(5, 200, 23);
         let locals_ref = &locals;
-        let all_cuts = run_cluster(5, move |c| dist_split(&c, &locals_ref[c.rank()], 5));
+        let all_cuts =
+            run_cluster(5, move |c| dist_split(&c, &locals_ref[c.rank()], 5).expect("split"));
         // Every part has global size 200.
         for part in 0..5 {
             let size: usize = all_cuts.iter().map(|cuts| cuts[part + 1] - cuts[part]).sum();

@@ -27,7 +27,7 @@ use crate::ctx::ClusterStorage;
 use crate::recio::records_per_block;
 use crate::rundir::{RunDirectory, RunMeta};
 use crate::selection::{multiway_select_from, KeyedSlice, SortedSeq};
-use demsort_types::{AlgoConfig, CommCounters, Record};
+use demsort_types::{AlgoConfig, CommCounters, Error, Record, Result};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -132,7 +132,7 @@ impl<R: Record> SortedSeq for RunProbe<'_, R> {
         self.meta.elems() as usize
     }
 
-    fn key_at(&mut self, idx: usize) -> R::Key {
+    fn key_at(&mut self, idx: usize) -> Result<R::Key> {
         // Appendix B: the sample lives in memory, so a probe landing on
         // a sampled position costs no I/O at all. Warm-started searches
         // spend their coarse rounds on the sample grid, which is what
@@ -141,7 +141,7 @@ impl<R: Record> SortedSeq for RunProbe<'_, R> {
         if self.use_samples {
             if let Ok(si) = self.meta.samples.binary_search_by_key(&(idx as u64), |s| s.pos) {
                 self.stats.borrow_mut().sample_hits += 1;
-                return self.meta.samples[si].rec.key();
+                return Ok(self.meta.samples[si].rec.key());
             }
         }
         let (pe, local) = self.meta.locate(idx as u64);
@@ -161,8 +161,16 @@ impl<R: Record> SortedSeq for RunProbe<'_, R> {
             // ablation) is about; see SelectionStats::probes.
             // Probe through the owner's storage: its disk pays the
             // I/O. In multi-process mode a non-local owner is reached
-            // through the transport's probe channel.
-            let block = self.storage.fetch_block(pe, id).expect("selection probe I/O failed");
+            // through the transport's probe channel; a dead owner
+            // surfaces here as a clean error, not a panic. Keep the
+            // error's kind (a local disk fault stays Error::Io) and
+            // add probe context to comm failures only.
+            let block = self.storage.fetch_block(pe, id).map_err(|e| match e {
+                Error::Comm(m) => {
+                    Error::comm(format!("selection probe of rank {pe}'s block {id:?} failed: {m}"))
+                }
+                other => other,
+            })?;
             if pe == self.my_rank {
                 stats.blocks_local += 1;
             } else {
@@ -173,7 +181,7 @@ impl<R: Record> SortedSeq for RunProbe<'_, R> {
             self.cache.borrow_mut().put(key, Arc::clone(&arc));
             arc
         };
-        R::decode(&data[offset * R::BYTES..(offset + 1) * R::BYTES]).key()
+        Ok(R::decode(&data[offset * R::BYTES..(offset + 1) * R::BYTES]).key())
     }
 }
 
@@ -186,13 +194,17 @@ pub struct RunSplitters {
 }
 
 /// Select the partition of global rank `r` over all runs of `dir`.
+///
+/// # Errors
+/// [`Error::Comm`] if a (possibly remote) block probe fails — the
+/// selection aborts cleanly instead of panicking the PE.
 pub fn select_rank_external<R: Record + Ord>(
     storage: &ClusterStorage,
     my_rank: usize,
     dir: &RunDirectory<R>,
     r: u64,
     algo: &AlgoConfig,
-) -> (RunSplitters, SelectionStats) {
+) -> Result<(RunSplitters, SelectionStats)> {
     let block_bytes = storage.pe(my_rank).block_bytes();
     let rpb = records_per_block::<R>(block_bytes);
     let cache = Rc::new(RefCell::new(BlockCache::new(algo.selection_cache_blocks)));
@@ -217,9 +229,9 @@ pub fn select_rank_external<R: Record + Ord>(
     // position; the external search then starts at step ~K.
     let (init, step) = sample_warm_start(dir, r, algo.sample_every);
 
-    let result = multiway_select_from(&mut probes, r, init, step);
+    let result = multiway_select_from(&mut probes, r, init, step)?;
     let stats = *stats.borrow();
-    (RunSplitters { positions: result.positions.iter().map(|&p| p as u64).collect() }, stats)
+    Ok((RunSplitters { positions: result.positions.iter().map(|&p| p as u64).collect() }, stats))
 }
 
 /// Select the partitions of *several* ranks over the runs of `dir`,
@@ -232,13 +244,16 @@ pub fn select_rank_external<R: Record + Ord>(
 /// count well below `ranks × (per-rank fetches)`. Useful when one node
 /// computes several boundaries (e.g. recovering for a failed peer, or
 /// the `P = 1` debugging path).
+///
+/// # Errors
+/// [`Error::Comm`] on the first failed block probe.
 pub fn select_ranks_external<R: Record + Ord>(
     storage: &ClusterStorage,
     my_rank: usize,
     dir: &RunDirectory<R>,
     ranks: &[u64],
     algo: &AlgoConfig,
-) -> (Vec<RunSplitters>, SelectionStats) {
+) -> Result<(Vec<RunSplitters>, SelectionStats)> {
     let block_bytes = storage.pe(my_rank).block_bytes();
     let rpb = records_per_block::<R>(block_bytes);
     let cache = Rc::new(RefCell::new(BlockCache::new(algo.selection_cache_blocks)));
@@ -260,11 +275,11 @@ pub fn select_ranks_external<R: Record + Ord>(
             })
             .collect();
         let (init, step) = sample_warm_start(dir, r, algo.sample_every);
-        let result = multiway_select_from(&mut probes, r, init, step);
+        let result = multiway_select_from(&mut probes, r, init, step)?;
         out.push(RunSplitters { positions: result.positions.iter().map(|&p| p as u64).collect() });
     }
     let final_stats = *stats.borrow();
-    (out, final_stats)
+    Ok((out, final_stats))
 }
 
 /// Initial positions and step size derived from the in-memory samples.
@@ -293,7 +308,8 @@ fn sample_warm_start<R: Record + Ord>(
         .iter()
         .map(|m| KeyedSlice::new(m.samples.as_slice(), |s: &crate::recio::Sample<R>| s.rec.key()))
         .collect();
-    let sel = crate::selection::multiway_select(&mut sample_views, t);
+    let sel = crate::selection::multiway_select(&mut sample_views, t)
+        .expect("in-memory sample selection is infallible");
     let init: Vec<usize> = dir
         .runs
         .iter()
@@ -329,7 +345,7 @@ mod tests {
             let recs = generate_pe_input(InputSpec::Uniform, 11, c.rank(), p, local_n);
             let input = ingest_input(st, &recs).expect("ingest");
             let out = form_runs::<Element16>(&c, st, &cfg2, input, 1).expect("form");
-            crate::rundir::build_directory(&c, out.local)
+            crate::rundir::build_directory(&c, out.local).expect("directory")
         });
         // Decode every run (globally) for reference.
         let dir0 = &dirs[0];
@@ -354,6 +370,7 @@ mod tests {
         let mut views: Vec<KeyedSlice<'_, _, _, _>> =
             runs.iter().map(|s| KeyedSlice::new(s.as_slice(), |e: &Element16| e.key)).collect();
         crate::selection::multiway_select(&mut views, r)
+            .expect("in-memory selection")
             .positions
             .iter()
             .map(|&p| p as u64)
@@ -365,7 +382,8 @@ mod tests {
         let (storage, dirs, runs) = setup(3, 700, AlgoConfig::default());
         let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
         for r in [0, 1, total / 3, total / 2, total - 1, total] {
-            let (split, _) = select_rank_external(&storage, 0, &dirs[0], r, &AlgoConfig::default());
+            let (split, _) = select_rank_external(&storage, 0, &dirs[0], r, &AlgoConfig::default())
+                .expect("select");
             // Both are exact partitions of rank r; with distinct keys
             // (uniform 64-bit) the positions are unique.
             assert_eq!(split.positions, reference_positions(&runs, r), "rank {r}");
@@ -380,7 +398,8 @@ mod tests {
         let mut prev: Option<Vec<u64>> = None;
         for (pe, dir) in dirs.iter().enumerate() {
             let r = demsort_types::ranks::owned_range(pe, p, total).start;
-            let (split, _) = select_rank_external(&storage, pe, dir, r, &AlgoConfig::default());
+            let (split, _) =
+                select_rank_external(&storage, pe, dir, r, &AlgoConfig::default()).expect("select");
             assert_eq!(split.positions.iter().sum::<u64>(), r);
             if let Some(prev) = &prev {
                 for (a, b) in prev.iter().zip(&split.positions) {
@@ -399,8 +418,10 @@ mod tests {
         let (storage, dirs, runs) = setup(2, 1000, algo_sampled.clone());
         let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
         let r = total / 2;
-        let (s1, warm) = select_rank_external(&storage, 0, &dirs[0], r, &algo_sampled);
-        let (s2, cold) = select_rank_external(&storage, 0, &dirs[0], r, &algo_cold);
+        let (s1, warm) =
+            select_rank_external(&storage, 0, &dirs[0], r, &algo_sampled).expect("select");
+        let (s2, cold) =
+            select_rank_external(&storage, 0, &dirs[0], r, &algo_cold).expect("select");
         assert_eq!(s1.positions, s2.positions, "same exact result");
         assert!(
             warm.probes() < cold.probes() / 2,
@@ -421,8 +442,10 @@ mod tests {
         let (storage, dirs, runs) = setup(2, 1000, algo_cached.clone());
         let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
         let r = total / 2;
-        let (_, cached) = select_rank_external(&storage, 0, &dirs[0], r, &algo_cached);
-        let (_, uncached) = select_rank_external(&storage, 0, &dirs[0], r, &algo_uncached);
+        let (_, cached) =
+            select_rank_external(&storage, 0, &dirs[0], r, &algo_cached).expect("select");
+        let (_, uncached) =
+            select_rank_external(&storage, 0, &dirs[0], r, &algo_uncached).expect("select");
         assert_eq!(uncached.cache_hits, 0);
         assert!(cached.cache_hits > 0, "cache must serve repeat probes");
         let fetched_cached = cached.blocks_local + cached.blocks_remote;
@@ -439,7 +462,8 @@ mod tests {
         let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
         // PE 2's boundary rank probes mostly land on other PEs' slices.
         let (_, stats) =
-            select_rank_external(&storage, 2, &dirs[2], total / 3, &AlgoConfig::default());
+            select_rank_external(&storage, 2, &dirs[2], total / 3, &AlgoConfig::default())
+                .expect("select");
         assert!(stats.blocks_remote > 0, "cross-PE probes expected");
         assert_eq!(stats.remote_bytes, stats.blocks_remote * 256);
         let comm = stats.comm();
@@ -454,10 +478,12 @@ mod tests {
         let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
         let ranks: Vec<u64> = (0..4).map(|i| i * total / 4).collect();
 
-        let (batched, batched_stats) = select_ranks_external(&storage, 0, &dirs[0], &ranks, &algo);
+        let (batched, batched_stats) =
+            select_ranks_external(&storage, 0, &dirs[0], &ranks, &algo).expect("select");
         let mut individual_fetches = 0u64;
         for (i, &r) in ranks.iter().enumerate() {
-            let (single, s) = select_rank_external(&storage, 0, &dirs[0], r, &algo);
+            let (single, s) =
+                select_rank_external(&storage, 0, &dirs[0], r, &algo).expect("select");
             assert_eq!(single.positions, batched[i].positions, "rank {r}");
             individual_fetches += s.blocks_local + s.blocks_remote;
         }

@@ -74,15 +74,15 @@ where
         }
         produced += chunk.len() as u64;
         // Everyone must agree whether another run happens.
-        if comm.allreduce_sum(chunk.len() as u64) == 0 {
+        if comm.allreduce_sum(chunk.len() as u64)? == 0 {
             break;
         }
-        let (sorted, _cpu) = parallel_sort(comm, chunk, cores);
+        let (sorted, _cpu) = parallel_sort(comm, chunk, cores)?;
         let mut w = RecordRunWriter::new(st, cfg.algo.sample_every);
         w.push_all(&sorted)?;
         local_runs.push(w.finish()?);
     }
-    let dir = build_directory(comm, local_runs);
+    let dir = build_directory(comm, local_runs)?;
     let runs = dir.num_runs();
     let n = dir.total_elems();
 
@@ -103,8 +103,8 @@ where
 
     // ---- Phases 2–3: selection, redistribution, merge into the sink ----
     let boundary = ranks::owned_range(me, comm.size(), n).start;
-    let (splitters, _sel) = select_rank_external(storage, me, &dir, boundary, &cfg.algo);
-    let all_splitters = exchange_splitters(comm, &splitters);
+    let (splitters, _sel) = select_rank_external(storage, me, &dir, boundary, &cfg.algo)?;
+    let all_splitters = exchange_splitters(comm, &splitters)?;
     let outcome = external_alltoall::<R>(comm, st, cfg, &dir, &all_splitters)?;
     let mut delivered = 0u64;
     let (_, _cpu) = merge_into::<R>(st, outcome.merge_inputs, |rec| {

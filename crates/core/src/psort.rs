@@ -23,18 +23,22 @@ use crate::distselect::dist_split;
 use crate::merge::{merge_k_into, merge_work};
 use crate::seqsort::sort_in_node;
 use demsort_net::{chunked_alltoallv, Communicator, MPI_VOLUME_LIMIT};
-use demsort_types::{CpuCounters, Record};
+use demsort_types::{CpuCounters, Record, Result};
 
 /// Sort `data` across all PEs of `comm`; returns this PE's canonical
 /// slice of the global sorted order plus CPU counters.
 ///
 /// Every PE must call this collectively. Local input sizes may differ;
 /// output sizes differ by at most one element.
+///
+/// # Errors
+/// [`Error::Comm`](demsort_types::Error) if a peer dies during the
+/// splitter selection or the all-to-all exchange.
 pub fn parallel_sort<R: Record + Ord>(
     comm: &Communicator,
     mut data: Vec<R>,
     cores: usize,
-) -> (Vec<R>, CpuCounters) {
+) -> Result<(Vec<R>, CpuCounters)> {
     let cpu = sort_in_node(&mut data, cores);
     parallel_sort_presorted(comm, data, cpu)
 }
@@ -45,18 +49,21 @@ pub fn parallel_sort<R: Record + Ord>(
 ///
 /// `cpu` carries the counters of however the local sort was achieved;
 /// the splitter/exchange/merge counters are added to it.
+///
+/// # Errors
+/// See [`parallel_sort`].
 pub fn parallel_sort_presorted<R: Record + Ord>(
     comm: &Communicator,
     data: Vec<R>,
     mut cpu: CpuCounters,
-) -> (Vec<R>, CpuCounters) {
+) -> Result<(Vec<R>, CpuCounters)> {
     debug_assert!(data.windows(2).all(|w| w[0] <= w[1]), "input must be locally sorted");
     if comm.size() == 1 {
-        return (data, cpu);
+        return Ok((data, cpu));
     }
 
     // Exact equal-size splitters over the P distributed sorted runs.
-    let cuts = dist_split(comm, &data, comm.size());
+    let cuts = dist_split(comm, &data, comm.size())?;
 
     // Exchange the pieces: piece p of every PE goes to PE p.
     let msgs: Vec<Vec<u8>> = cuts
@@ -68,7 +75,7 @@ pub fn parallel_sort_presorted<R: Record + Ord>(
             buf
         })
         .collect();
-    let received = chunked_alltoallv(comm, msgs, MPI_VOLUME_LIMIT);
+    let received = chunked_alltoallv(comm, msgs, MPI_VOLUME_LIMIT)?;
     drop(data);
 
     // Merge the P sorted pieces (they arrive indexed by source rank,
@@ -88,7 +95,7 @@ pub fn parallel_sort_presorted<R: Record + Ord>(
 
     cpu.elements_merged += out.len() as u64;
     cpu.merge_work += merge_work(out.len() as u64, comm.size());
-    (out, cpu)
+    Ok((out, cpu))
 }
 
 #[cfg(test)]
@@ -104,7 +111,7 @@ mod tests {
     fn check_psort(spec: InputSpec, p: usize, local_n: usize) {
         let outputs = run_cluster(p, move |c| {
             let data = generate_pe_input(spec, 99, c.rank(), p, local_n);
-            let (out, _) = parallel_sort(&c, data, 2);
+            let (out, _) = parallel_sort(&c, data, 2).expect("sort");
             out
         });
 
@@ -161,7 +168,7 @@ mod tests {
             let counters = run_cluster(p, move |c| {
                 let data = generate_pe_input(InputSpec::Sorted, 1, c.rank(), p, local_n);
                 let before = c.counters();
-                let _ = parallel_sort(&c, data, 1);
+                let _ = parallel_sort(&c, data, 1).expect("sort");
                 c.counters().delta_since(&before)
             });
             counters.iter().map(|c| c.bytes_sent).max().expect("nonempty")
@@ -186,7 +193,7 @@ mod tests {
         let counters = run_cluster(p, move |c| {
             let data = generate_pe_input(InputSpec::Uniform, 5, c.rank(), p, local_n);
             let before = c.counters();
-            let _ = parallel_sort(&c, data, 1);
+            let _ = parallel_sort(&c, data, 1).expect("sort");
             c.counters().delta_since(&before)
         });
         let total_sent: u64 = counters.iter().map(|c| c.bytes_sent).sum();

@@ -18,7 +18,7 @@
 use crate::recio::{FinishedRun, Sample};
 use demsort_net::Communicator;
 use demsort_storage::{BlockId, Run};
-use demsort_types::Record;
+use demsort_types::{Record, Result};
 
 /// Per-PE slice metadata of one run, as seen by every PE.
 #[derive(Clone, Debug, Default)]
@@ -81,15 +81,19 @@ impl<R: Record> RunDirectory<R> {
 ///
 /// Collective: every PE contributes its local [`FinishedRun`] per run
 /// (one entry per run, possibly empty slices).
+///
+/// # Errors
+/// [`Error::Comm`](demsort_types::Error) if the metadata allgather of
+/// any run fails (dead or silent peer).
 pub fn build_directory<R: Record + Ord>(
     comm: &Communicator,
     local: Vec<FinishedRun<R>>,
-) -> RunDirectory<R> {
+) -> Result<RunDirectory<R>> {
     let p = comm.size();
     let nruns = local.len();
     let mut runs = Vec::with_capacity(nruns);
     for (j, fr) in local.iter().enumerate() {
-        let gathered = comm.allgather(encode_slice_meta(fr));
+        let gathered = comm.allgather(encode_slice_meta(fr))?;
         let mut slices = Vec::with_capacity(p);
         let mut per_pe_samples = Vec::with_capacity(p);
         for buf in &gathered {
@@ -111,7 +115,7 @@ pub fn build_directory<R: Record + Ord>(
         debug_assert!(samples.windows(2).all(|w| w[0].pos < w[1].pos), "run {j} samples ordered");
         runs.push(RunMeta { slices, offsets, samples });
     }
-    RunDirectory { runs, local }
+    Ok(RunDirectory { runs, local })
 }
 
 fn encode_slice_meta<R: Record>(fr: &FinishedRun<R>) -> Vec<u8> {
@@ -198,7 +202,7 @@ mod tests {
         let dirs = run_cluster(p, move |c| {
             // PE i's slice has 10·(i+1) elements.
             let fr = finished(c.rank(), 10 * (c.rank() as u64 + 1));
-            build_directory(&c, vec![fr])
+            build_directory(&c, vec![fr]).expect("directory")
         });
         for d in &dirs {
             let run = &d.runs[0];
@@ -217,7 +221,7 @@ mod tests {
         let p = 2;
         let dirs = run_cluster(p, move |c| {
             let fr = finished(c.rank(), 8);
-            build_directory(&c, vec![fr])
+            build_directory(&c, vec![fr]).expect("directory")
         });
         let samples = &dirs[0].runs[0].samples;
         let positions: Vec<u64> = samples.iter().map(|s| s.pos).collect();
@@ -229,7 +233,7 @@ mod tests {
         let p = 2;
         let dirs = run_cluster(p, move |c| {
             let fr = if c.rank() == 0 { finished(0, 5) } else { FinishedRun::empty() };
-            build_directory(&c, vec![fr])
+            build_directory(&c, vec![fr]).expect("directory")
         });
         assert_eq!(dirs[0].runs[0].offsets, vec![0, 5, 5]);
         assert_eq!(dirs[0].runs[0].locate(4), (0, 4));
@@ -240,7 +244,7 @@ mod tests {
         let dirs = run_cluster(2, move |c| {
             let a = finished(c.rank(), 4);
             let b = finished(c.rank(), 6);
-            build_directory(&c, vec![a, b])
+            build_directory(&c, vec![a, b]).expect("directory")
         });
         assert_eq!(dirs[0].num_runs(), 2);
         assert_eq!(dirs[0].runs[0].elems(), 8);

@@ -84,7 +84,7 @@ pub fn form_runs<R: Record + Ord>(
     // joins the last group.
     let bpr = cfg.machine.mem_blocks_per_pe().max(1);
     let local_groups = full_blocks.div_ceil(bpr).max(usize::from(tail_elems > 0));
-    let num_runs = comm.allreduce_max(local_groups as u64).max(1) as usize;
+    let num_runs = comm.allreduce_max(local_groups as u64)?.max(1) as usize;
 
     let mut cpu_total = CpuCounters::default();
     let mut finished: Vec<FinishedRun<R>> = Vec::with_capacity(num_runs);
@@ -117,9 +117,9 @@ pub fn form_runs<R: Record + Ord>(
 
         // Globally sort run j (CPU + communication, overlapping disk).
         let (slice, sort_cpu) = if single_run {
-            parallel_sort_presorted(comm, data, CpuCounters::default())
+            parallel_sort_presorted(comm, data, CpuCounters::default())?
         } else {
-            parallel_sort(comm, data, cores)
+            parallel_sort(comm, data, cores)?
         };
         cpu_total = cpu_total.merge(&sort_cpu);
 

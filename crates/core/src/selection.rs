@@ -23,10 +23,18 @@
 //! cross-pairs, so termination is immediate in practice and guaranteed
 //! in theory.
 //!
+//! Probing a sequence is **fallible**: external selection
+//! ([`crate::extselect`]) reads blocks that may live on a remote PE's
+//! disks, so [`SortedSeq::key_at`] returns `Result` and every selection
+//! entry point propagates the first probe failure instead of panicking
+//! (in-memory sequences simply never fail).
+//!
 //! Total work: `O(R · log M)` sequence probes, `O(R log R log M)` time
 //! with the priority queues replaced by linear scans over `R` (our `R`
 //! is small; the asymptotically better variant is what Appendix B's
 //! sampling already buys).
+
+use demsort_types::Result;
 
 /// Result of a multiway selection.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -61,7 +69,12 @@ pub trait SortedSeq {
     }
 
     /// Key of the element at `idx` (`idx < len`).
-    fn key_at(&mut self, idx: usize) -> Self::Key;
+    ///
+    /// # Errors
+    /// External sequences probe (possibly remote) disk blocks; a failed
+    /// fetch surfaces here and aborts the selection cleanly. In-memory
+    /// sequences are infallible.
+    fn key_at(&mut self, idx: usize) -> Result<Self::Key>;
 }
 
 impl<K: Ord + Copy> SortedSeq for &[K] {
@@ -71,8 +84,8 @@ impl<K: Ord + Copy> SortedSeq for &[K] {
         <[K]>::len(self)
     }
 
-    fn key_at(&mut self, idx: usize) -> K {
-        self[idx]
+    fn key_at(&mut self, idx: usize) -> Result<K> {
+        Ok(self[idx])
     }
 }
 
@@ -96,8 +109,8 @@ impl<T, K: Ord + Copy, F: Fn(&T) -> K> SortedSeq for KeyedSlice<'_, T, K, F> {
         self.slice.len()
     }
 
-    fn key_at(&mut self, idx: usize) -> K {
-        (self.keyfn)(&self.slice[idx])
+    fn key_at(&mut self, idx: usize) -> Result<K> {
+        Ok((self.keyfn)(&self.slice[idx]))
     }
 }
 
@@ -107,9 +120,14 @@ impl<T, K: Ord + Copy, F: Fn(&T) -> K> SortedSeq for KeyedSlice<'_, T, K, F> {
 /// paper's conceptual "fill up with ∞" padding plus a deterministic
 /// tie-break), so the result is unique and exact.
 ///
+/// # Errors
+/// Propagates the first failed [`SortedSeq::key_at`] probe (remote
+/// block fetch failures during external selection).
+///
 /// # Panics
-/// Panics if `r` exceeds the total number of elements.
-pub fn multiway_select<S: SortedSeq>(seqs: &mut [S], r: u64) -> SelectionResult {
+/// Panics if `r` exceeds the total number of elements (a caller bug,
+/// not a communication failure).
+pub fn multiway_select<S: SortedSeq>(seqs: &mut [S], r: u64) -> Result<SelectionResult> {
     let total: u64 = seqs.iter().map(|s| s.len() as u64).sum();
     assert!(r <= total, "rank {r} > total {total}");
     let max_len = seqs.iter().map(|s| s.len()).max().unwrap_or(0);
@@ -121,12 +139,15 @@ pub fn multiway_select<S: SortedSeq>(seqs: &mut [S], r: u64) -> SelectionResult 
 /// point used by sample-initialized external selection (Appendix B):
 /// the sample pins each splitter within `K` of its final position, so
 /// the search starts at step `K` instead of `2^⌈log2 M⌉`.
+///
+/// # Errors
+/// Propagates the first failed [`SortedSeq::key_at`] probe.
 pub fn multiway_select_from<S: SortedSeq>(
     seqs: &mut [S],
     r: u64,
     mut pos: Vec<usize>,
     init_step: usize,
-) -> SelectionResult {
+) -> Result<SelectionResult> {
     assert_eq!(pos.len(), seqs.len());
     for (p, s) in pos.iter().zip(seqs.iter()) {
         assert!(*p <= s.len(), "initial position out of range");
@@ -150,14 +171,17 @@ pub fn multiway_select_from<S: SortedSeq>(
         at: Option<usize>,
         cache: &mut Option<Option<S::Key>>,
         probes: &mut u64,
-    ) -> Option<S::Key> {
+    ) -> Result<Option<S::Key>> {
         if cache.is_none() {
-            *cache = Some(at.map(|idx| {
-                *probes += 1;
-                seq.key_at(idx)
-            }));
+            *cache = Some(match at {
+                Some(idx) => {
+                    *probes += 1;
+                    Some(seq.key_at(idx)?)
+                }
+                None => None,
+            });
         }
-        cache.expect("cache filled above")
+        Ok(cache.expect("cache filled above"))
     }
 
     loop {
@@ -168,7 +192,7 @@ pub fn multiway_select_from<S: SortedSeq>(
             let mut best: Option<(S::Key, usize)> = None;
             for (i, s) in seqs.iter_mut().enumerate() {
                 let at = (pos[i] < s.len()).then_some(pos[i]);
-                if let Some(k) = boundary_key(s, at, &mut heads[i], &mut probes) {
+                if let Some(k) = boundary_key(s, at, &mut heads[i], &mut probes)? {
                     // Strict `<` keeps the lowest sequence index on ties.
                     if best.is_none_or(|(bk, _)| k < bk) {
                         best = Some((k, i));
@@ -190,7 +214,7 @@ pub fn multiway_select_from<S: SortedSeq>(
             let mut best: Option<(S::Key, usize)> = None;
             for (i, s) in seqs.iter_mut().enumerate() {
                 let at = (pos[i] > 0).then(|| pos[i] - 1);
-                if let Some(k) = boundary_key(s, at, &mut tails[i], &mut probes) {
+                if let Some(k) = boundary_key(s, at, &mut tails[i], &mut probes)? {
                     // `>=` keeps the highest sequence index on ties
                     // (mirror of the up-phase tie-break).
                     if best.is_none_or(|(bk, _)| k >= bk) {
@@ -222,13 +246,13 @@ pub fn multiway_select_from<S: SortedSeq>(
         let mut min_right: Option<(S::Key, usize)> = None;
         for (i, s) in seqs.iter_mut().enumerate() {
             let tail_at = (pos[i] > 0).then(|| pos[i] - 1);
-            if let Some(k) = boundary_key(s, tail_at, &mut tails[i], &mut probes) {
+            if let Some(k) = boundary_key(s, tail_at, &mut tails[i], &mut probes)? {
                 if max_left.is_none_or(|(bk, bi)| (k, i) > (bk, bi)) {
                     max_left = Some((k, i));
                 }
             }
             let head_at = (pos[i] < s.len()).then_some(pos[i]);
-            if let Some(k) = boundary_key(s, head_at, &mut heads[i], &mut probes) {
+            if let Some(k) = boundary_key(s, head_at, &mut heads[i], &mut probes)? {
                 if min_right.is_none_or(|(bk, bi)| (k, i) < (bk, bi)) {
                     min_right = Some((k, i));
                 }
@@ -247,24 +271,27 @@ pub fn multiway_select_from<S: SortedSeq>(
         }
     }
 
-    SelectionResult { positions: pos, probes }
+    Ok(SelectionResult { positions: pos, probes })
 }
 
 /// Split `seqs` into `parts` pieces of (near-)equal global size:
 /// `parts + 1` position vectors, where piece `p` of sequence `i` is
 /// `result[p][i]..result[p+1][i]`. Used by the in-node parallel merge
 /// and the distributed internal sort.
-pub fn multiway_split<S: SortedSeq>(seqs: &mut [S], parts: usize) -> Vec<Vec<usize>> {
+///
+/// # Errors
+/// Propagates the first failed [`SortedSeq::key_at`] probe.
+pub fn multiway_split<S: SortedSeq>(seqs: &mut [S], parts: usize) -> Result<Vec<Vec<usize>>> {
     assert!(parts > 0);
     let total: u64 = seqs.iter().map(|s| s.len() as u64).sum();
     let mut cuts = Vec::with_capacity(parts + 1);
     cuts.push(vec![0; seqs.len()]);
     for p in 1..parts {
         let r = (p as u128 * total as u128 / parts as u128) as u64;
-        cuts.push(multiway_select(seqs, r).positions);
+        cuts.push(multiway_select(seqs, r)?.positions);
     }
     cuts.push(seqs.iter().map(|s| s.len()).collect());
-    cuts
+    Ok(cuts)
 }
 
 #[cfg(test)]
@@ -297,7 +324,7 @@ mod tests {
 
     fn select_and_check(seqs: &[Vec<u64>], r: u64) -> SelectionResult {
         let mut views: Vec<&[u64]> = seqs.iter().map(|s| s.as_slice()).collect();
-        let res = multiway_select(&mut views, r);
+        let res = multiway_select(&mut views, r).expect("in-memory selection");
         assert_exact(seqs, r, &res);
         res
     }
@@ -346,6 +373,33 @@ mod tests {
     }
 
     #[test]
+    fn probe_failures_abort_the_selection() {
+        /// A sequence whose probes fail past a cutoff index.
+        struct Flaky {
+            len: usize,
+            fail_from: usize,
+        }
+        impl SortedSeq for Flaky {
+            type Key = u64;
+            fn len(&self) -> usize {
+                self.len
+            }
+            fn key_at(&mut self, idx: usize) -> Result<u64> {
+                if idx >= self.fail_from {
+                    return Err(demsort_types::Error::comm(format!("probe of {idx} failed")));
+                }
+                Ok(idx as u64)
+            }
+        }
+        let mut seqs = vec![Flaky { len: 100, fail_from: 10 }];
+        let err = multiway_select(&mut seqs, 50).expect_err("failed probes must surface");
+        assert!(matches!(err, demsort_types::Error::Comm(_)), "{err}");
+        // Probes below the cutoff succeed.
+        let mut seqs = vec![Flaky { len: 100, fail_from: 101 }];
+        assert_eq!(multiway_select(&mut seqs, 50).expect("fine").positions, vec![50]);
+    }
+
+    #[test]
     fn wildly_different_lengths() {
         let seqs = vec![
             (0..1000u64).map(|i| 2 * i).collect::<Vec<_>>(),
@@ -369,7 +423,7 @@ mod tests {
         // Sample-derived warm start: true position rounded down to K.
         let init: Vec<usize> = reference.positions.iter().map(|&p| p - p % k).collect();
         let mut views: Vec<&[u64]> = seqs.iter().map(|s| s.as_slice()).collect();
-        let warm = multiway_select_from(&mut views, r, init, k);
+        let warm = multiway_select_from(&mut views, r, init, k).expect("warm selection");
         assert_eq!(warm.positions, reference.positions);
         assert!(
             warm.probes < reference.probes,
@@ -383,7 +437,7 @@ mod tests {
     fn split_covers_and_balances() {
         let seqs: Vec<Vec<u64>> = (0..5).map(|i| (0..100).map(|j| j * 5 + i).collect()).collect();
         let mut views: Vec<&[u64]> = seqs.iter().map(|s| s.as_slice()).collect();
-        let cuts = multiway_split(&mut views, 4);
+        let cuts = multiway_split(&mut views, 4).expect("split");
         assert_eq!(cuts.len(), 5);
         assert_eq!(cuts[0], vec![0; 5]);
         assert_eq!(cuts[4], vec![100; 5]);

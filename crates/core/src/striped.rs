@@ -96,7 +96,7 @@ pub fn striped_mergesort<R: Record + Ord>(
     let full_blocks = (input.elems / rpb as u64) as usize;
     let tail = (input.elems % rpb as u64) as usize;
     let local_groups = full_blocks.div_ceil(bpr).max(usize::from(tail > 0));
-    let num_runs = comm.allreduce_max(local_groups as u64).max(1) as usize;
+    let num_runs = comm.allreduce_max(local_groups as u64)?.max(1) as usize;
 
     let mut runs: Vec<StripedRun<R::Key>> = Vec::with_capacity(num_runs);
     for j in 0..num_runs {
@@ -118,7 +118,7 @@ pub fn striped_mergesort<R: Record + Ord>(
             let buf = h.wait()?;
             R::decode_slice(&buf[..valid * R::BYTES], &mut data);
         }
-        let (sorted, sort_cpu) = parallel_sort(comm, data, cores);
+        let (sorted, sort_cpu) = parallel_sort(comm, data, cores)?;
         cpu = cpu.merge(&sort_cpu);
         // The run is canonically distributed in memory; write it
         // striped over all disks (one more communication).
@@ -156,8 +156,8 @@ fn write_striped<R: Record>(
     let dpp = cfg.machine.disks_per_pe;
     let rpb = records_per_block::<R>(st.block_bytes()) as u64;
 
-    let n = comm.allreduce_sum(local.len() as u64);
-    let my_off = comm.exscan_sum(local.len() as u64);
+    let n = comm.allreduce_sum(local.len() as u64)?;
+    let my_off = comm.exscan_sum(local.len() as u64)?;
     let total_blocks = n.div_ceil(rpb);
 
     // Ship each overlapped piece of each global block to the block's
@@ -180,7 +180,7 @@ fn write_striped<R: Record>(
         R::encode_slice(&local[pos..pos + take], &mut msg[start..]);
         pos += take;
     }
-    let received = chunked_alltoallv(comm, msgs, MPI_VOLUME_LIMIT);
+    let received = chunked_alltoallv(comm, msgs, MPI_VOLUME_LIMIT)?;
 
     // Assemble my blocks (pieces of one block can come from two PEs).
     let mut mine: std::collections::BTreeMap<u64, (Vec<u8>, usize)> =
@@ -231,7 +231,7 @@ fn write_striped<R: Record>(
         R::with_key(*key).encode(&mut key_buf);
         msg.extend_from_slice(&key_buf);
     }
-    let gathered = comm.allgather(msg);
+    let gathered = comm.allgather(msg)?;
     let tb = total_blocks as usize;
     let mut run = StripedRun {
         owners: vec![0; tb],
@@ -293,7 +293,7 @@ fn merge_striped_group<R: Record + Ord>(
     let mut carry: Vec<R> = Vec::new(); // my slice of unemitted elements
     let mut next = 0usize;
     let mut out_pieces: Vec<StripedRun<R::Key>> = Vec::new();
-    while next < order.len() || comm.allreduce_sum(carry.len() as u64) > 0 {
+    while next < order.len() || comm.allreduce_sum(carry.len() as u64)? > 0 {
         let batch_end = (next + batch_blocks).min(order.len());
         // Each PE reads the batch blocks that live on its disks.
         let mut fetched: Vec<R> = Vec::new();
@@ -324,7 +324,7 @@ fn merge_striped_group<R: Record + Ord>(
         // Pool = carry + fetched, parallel-sorted across PEs.
         let mut pool = std::mem::take(&mut carry);
         pool.append(&mut fetched);
-        let (sorted, sort_cpu) = parallel_sort(comm, pool, cores);
+        let (sorted, sort_cpu) = parallel_sort(comm, pool, cores)?;
         cpu = cpu.merge(&sort_cpu);
 
         // Emit the global prefix that is smaller than the threshold.

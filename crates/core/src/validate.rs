@@ -119,7 +119,7 @@ pub fn validate_output<R: Record + Ord>(
         f.encode(&mut msg[1..1 + R::BYTES]);
         l.encode(&mut msg[1 + R::BYTES..]);
     }
-    let gathered = comm.allgather(msg);
+    let gathered = comm.allgather(msg)?;
     let mut boundaries_ordered = true;
     let mut prev_last: Option<R::Key> = None;
     for buf in &gathered {
@@ -137,12 +137,12 @@ pub fn validate_output<R: Record + Ord>(
     }
 
     Ok(ValidationReport {
-        elements: comm.allreduce_sum(fp.count),
-        locally_sorted: comm.allreduce_and(sorted),
+        elements: comm.allreduce_sum(fp.count)?,
+        locally_sorted: comm.allreduce_and(sorted)?,
         boundaries_ordered,
         fingerprint: Fingerprint {
-            count: comm.allreduce_sum(fp.count),
-            sum: comm.allreduce_u64(fp.sum, |a, b| a.wrapping_add(b)),
+            count: comm.allreduce_sum(fp.count)?,
+            sum: comm.allreduce_u64(fp.sum, |a, b| a.wrapping_add(b))?,
         },
     })
 }

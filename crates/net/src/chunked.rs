@@ -12,13 +12,23 @@
 //! reassembly.
 
 use crate::comm::Communicator;
+use demsort_types::Result;
 
 /// The 2 GiB (`i32::MAX`) volume limit of classic MPI interfaces.
 pub const MPI_VOLUME_LIMIT: usize = i32::MAX as usize;
 
 /// All-to-all of arbitrarily large messages by splitting into rounds of
 /// at most `limit` bytes per pairwise message.
-pub fn chunked_alltoallv(comm: &Communicator, msgs: Vec<Vec<u8>>, limit: usize) -> Vec<Vec<u8>> {
+///
+/// # Errors
+/// [`Error::Comm`](demsort_types::Error) if a peer dies or goes silent
+/// in any round (the allreduce agreeing on the round count included) —
+/// every surviving rank gets the error, none hangs.
+pub fn chunked_alltoallv(
+    comm: &Communicator,
+    msgs: Vec<Vec<u8>>,
+    limit: usize,
+) -> Result<Vec<Vec<u8>>> {
     assert!(limit > 0, "chunk limit must be positive");
     let p = comm.size();
     assert_eq!(msgs.len(), p);
@@ -26,7 +36,7 @@ pub fn chunked_alltoallv(comm: &Communicator, msgs: Vec<Vec<u8>>, limit: usize) 
     // Everyone must agree on the number of rounds: the global maximum
     // pairwise message decides.
     let local_max = msgs.iter().map(Vec::len).max().unwrap_or(0) as u64;
-    let global_max = comm.allreduce_max(local_max) as usize;
+    let global_max = comm.allreduce_max(local_max)? as usize;
     let rounds = global_max.div_ceil(limit).max(1);
 
     let mut out: Vec<Vec<u8>> = vec![Vec::new(); p];
@@ -44,12 +54,12 @@ pub fn chunked_alltoallv(comm: &Communicator, msgs: Vec<Vec<u8>>, limit: usize) 
         for (j, m) in round_msgs.iter().enumerate() {
             offsets[j] += m.len();
         }
-        let received = comm.alltoallv(round_msgs);
+        let received = comm.alltoallv(round_msgs)?;
         for (src, part) in received.into_iter().enumerate() {
             out[src].extend_from_slice(&part);
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -68,7 +78,7 @@ mod tests {
             let results = run_cluster(p, move |c| {
                 let msgs: Vec<Vec<u8>> =
                     (0..p).map(|j| payload(c.rank(), j, 10 + 13 * j)).collect();
-                chunked_alltoallv(&c, msgs, limit)
+                chunked_alltoallv(&c, msgs, limit).expect("alltoallv")
             });
             for (me, r) in results.into_iter().enumerate() {
                 for (src, m) in r.into_iter().enumerate() {
@@ -87,7 +97,7 @@ mod tests {
             if c.rank() == 0 {
                 msgs[2] = vec![5u8; 100];
             }
-            chunked_alltoallv(&c, msgs, 7)
+            chunked_alltoallv(&c, msgs, 7).expect("alltoallv")
         });
         assert!(results[0].iter().all(|m| m.is_empty()));
         assert!(results[1].iter().all(|m| m.is_empty()));
@@ -98,9 +108,29 @@ mod tests {
 
     #[test]
     fn all_empty_still_one_round() {
-        let results = run_cluster(2, |c| chunked_alltoallv(&c, vec![Vec::new(); 2], 8));
+        let results =
+            run_cluster(2, |c| chunked_alltoallv(&c, vec![Vec::new(); 2], 8).expect("alltoallv"));
         for r in results {
             assert!(r.iter().all(|m| m.is_empty()));
+        }
+    }
+
+    #[test]
+    fn dead_peer_fails_surviving_ranks() {
+        // Rank 2 exits before the exchange: the survivors' collective
+        // must return Error::Comm, not panic and not hang.
+        let p = 3;
+        let results = run_cluster(p, move |c| {
+            if c.rank() == 2 {
+                return Ok(Vec::new());
+            }
+            let msgs = vec![vec![1u8; 32]; p];
+            chunked_alltoallv(&c, msgs, 8)
+        });
+        assert!(results[2].is_ok());
+        for r in &results[..2] {
+            let err = r.as_ref().expect_err("survivors must see the failure");
+            assert!(matches!(err, demsort_types::Error::Comm(_)), "{err}");
         }
     }
 
@@ -124,7 +154,7 @@ mod tests {
                     msgs[1] = vec![9u8; 3];
                 }
                 let before = c.counters().messages;
-                let out = chunked_alltoallv(&c, msgs, limit);
+                let out = chunked_alltoallv(&c, msgs, limit).expect("alltoallv");
                 (out, c.counters().messages - before)
             };
             let local = crate::cluster::run_cluster(p, job);

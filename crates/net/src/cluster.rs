@@ -10,7 +10,11 @@
 //! [`run_cluster`]-less rank per process via `demsort-worker`.
 //!
 //! Panics in any PE propagate to the caller after all PEs have been
-//! joined, so test failures surface cleanly.
+//! joined, so test failures surface cleanly. Communication failures do
+//! *not* panic: collectives return `Result`, so an SPMD closure
+//! typically returns `Result<T>` and the caller inspects the per-rank
+//! outcomes (a dead peer yields `Error::Comm` on every surviving
+//! rank).
 
 use crate::comm::Communicator;
 use crate::transport::LocalTransport;
@@ -109,9 +113,9 @@ mod tests {
     #[test]
     fn single_pe_cluster_works() {
         let results = run_cluster(1, |c| {
-            c.barrier();
+            c.barrier().expect("barrier");
             assert_eq!(c.size(), 1);
-            c.allreduce_sum(5)
+            c.allreduce_sum(5).expect("allreduce")
         });
         assert_eq!(results, vec![5]);
     }
@@ -131,8 +135,8 @@ mod tests {
     #[test]
     fn large_cluster_spawns() {
         let results = run_cluster(64, |c| {
-            c.barrier();
-            c.allreduce_sum(1)
+            c.barrier().expect("barrier");
+            c.allreduce_sum(1).expect("allreduce")
         });
         assert!(results.iter().all(|&x| x == 64));
     }

@@ -8,6 +8,19 @@
 //! ([`LocalTransport`](crate::transport::LocalTransport)) and the
 //! multi-process TCP mesh ([`TcpTransport`](crate::tcp::TcpTransport)).
 //!
+//! ## Failure model
+//!
+//! Every operation that touches the transport returns
+//! [`demsort_types::Result`]: a dead or silent peer surfaces as
+//! [`Error::Comm`](demsort_types::Error) on the *surviving* ranks
+//! within the transport's receive timeout — collectives never panic and
+//! never hang forever. Callers (the SPMD algorithms in `demsort-core`)
+//! propagate the error out of the sort, so each rank of a cluster job
+//! ends with a per-rank `Result` instead of unwinding, and a worker
+//! process can report a structured failure to its launcher. Unlike
+//! MPI's default `MPI_ERRORS_ARE_FATAL`, this is the
+//! `MPI_ERRORS_RETURN` world, end to end.
+//!
 //! All remote traffic is metered per peer into [`CommCounters`] — the
 //! communication volumes reported in the paper's analysis (Section
 //! IV-D) are read off these counters, and they are *transport
@@ -25,7 +38,7 @@
 //! reused buffer.
 
 use crate::transport::Transport;
-use demsort_types::CommCounters;
+use demsort_types::{CommCounters, Error, Result};
 use std::cell::Cell;
 
 /// Per-peer traffic cells (interior mutability: the communicator is
@@ -93,16 +106,25 @@ impl Communicator {
     }
 
     /// Send `msg` to PE `to` (non-blocking; the transport buffers).
-    pub fn send(&self, to: usize, msg: Vec<u8>) {
+    ///
+    /// # Errors
+    /// [`Error::Comm`](demsort_types::Error) if the peer's connection
+    /// is gone — a dead peer fails the send, it does not abort the
+    /// process.
+    pub fn send(&self, to: usize, msg: Vec<u8>) -> Result<()> {
         self.meter_send(to, msg.len());
-        self.transport.send(to, msg).unwrap_or_else(|e| panic!("send to {to}: {e}"));
+        self.transport.send(to, msg)
     }
 
     /// Send a borrowed message — wire transports copy straight into
     /// their buffered writer, no intermediate allocation.
-    pub fn send_bytes(&self, to: usize, msg: &[u8]) {
+    ///
+    /// # Errors
+    /// [`Error::Comm`](demsort_types::Error) if the peer's connection
+    /// is gone.
+    pub fn send_bytes(&self, to: usize, msg: &[u8]) -> Result<()> {
         self.meter_send(to, msg.len());
-        self.transport.send_bytes(to, msg).unwrap_or_else(|e| panic!("send to {to}: {e}"));
+        self.transport.send_bytes(to, msg)
     }
 
     /// Receive the next message from PE `from` (blocking, FIFO per
@@ -110,27 +132,37 @@ impl Communicator {
     ///
     /// Flushes buffered sends first, so blocking here can never
     /// deadlock on bytes parked in this PE's own write buffers; this is
-    /// the transport's collective-boundary flush point. Panics (aborting
-    /// the SPMD job like an MPI error handler) if the peer is gone or
-    /// the transport's receive timeout elapses.
-    pub fn recv(&self, from: usize) -> Vec<u8> {
-        self.transport.flush().unwrap_or_else(|e| panic!("flush: {e}"));
-        let msg = self.transport.recv(from).unwrap_or_else(|e| panic!("recv from {from}: {e}"));
+    /// the transport's collective-boundary flush point.
+    ///
+    /// # Errors
+    /// [`Error::Comm`](demsort_types::Error) if the peer is gone or the
+    /// transport's receive timeout elapses — a dead peer is an error on
+    /// every surviving rank, never a hang (the fallible analogue of an
+    /// MPI error handler aborting the job).
+    pub fn recv(&self, from: usize) -> Result<Vec<u8>> {
+        self.transport.flush()?;
+        let msg = self.transport.recv(from)?;
         if from != self.rank() {
             let p = &self.peers[from];
             p.bytes_recv.set(p.bytes_recv.get() + msg.len() as u64);
         }
-        msg
+        Ok(msg)
     }
 
     /// Send one control word, encoded on the stack — no allocation.
-    fn send_u64(&self, to: usize, x: u64) {
-        self.send_bytes(to, &x.to_le_bytes());
+    fn send_u64(&self, to: usize, x: u64) -> Result<()> {
+        self.send_bytes(to, &x.to_le_bytes())
     }
 
-    fn recv_u64(&self, from: usize) -> u64 {
-        let buf = self.recv(from);
-        u64::from_le_bytes(buf.as_slice().try_into().expect("8-byte control word"))
+    fn recv_u64(&self, from: usize) -> Result<u64> {
+        let buf = self.recv(from)?;
+        let word: [u8; 8] = buf.as_slice().try_into().map_err(|_| {
+            Error::comm(format!(
+                "rank {from} sent a {}-byte frame where an 8-byte control word was expected",
+                buf.len()
+            ))
+        })?;
+        Ok(u64::from_le_bytes(word))
     }
 
     // ---------------------------------------------------------------
@@ -138,15 +170,20 @@ impl Communicator {
     // ---------------------------------------------------------------
 
     /// Dissemination barrier: `⌈log2 P⌉` rounds.
-    pub fn barrier(&self) {
+    ///
+    /// # Errors
+    /// [`Error::Comm`](demsort_types::Error) if any round's partner is
+    /// dead or silent past the receive timeout.
+    pub fn barrier(&self) -> Result<()> {
         let mut dist = 1;
         while dist < self.size() {
             let to = (self.rank() + dist) % self.size();
             let from = (self.rank() + self.size() - dist) % self.size();
-            self.send_bytes(to, &[]);
-            let _ = self.recv(from);
+            self.send_bytes(to, &[])?;
+            let _ = self.recv(from)?;
             dist <<= 1;
         }
+        Ok(())
     }
 
     /// Broadcast `msg` from `root` to everyone (binomial tree,
@@ -156,53 +193,65 @@ impl Communicator {
     /// `v` with its lowest set bit cleared, and the children of `v` are
     /// `v + 2^k` for all `2^k` below that bit (all powers of two for
     /// the root).
-    pub fn broadcast(&self, root: usize, msg: Vec<u8>) -> Vec<u8> {
+    ///
+    /// # Errors
+    /// [`Error::Comm`](demsort_types::Error) if a tree parent or child
+    /// is unreachable.
+    pub fn broadcast(&self, root: usize, msg: Vec<u8>) -> Result<Vec<u8>> {
         let size = self.size();
         let vrank = (self.rank() + size - root) % size;
         let data = if vrank == 0 {
             msg
         } else {
             let parent_v = vrank & (vrank - 1);
-            self.recv((parent_v + root) % size)
+            self.recv((parent_v + root) % size)?
         };
         let child_bit_limit = if vrank == 0 { size } else { vrank & vrank.wrapping_neg() };
         let mut b = 1;
         while b < child_bit_limit {
             let child_v = vrank + b;
             if child_v < size {
-                self.send_bytes((child_v + root) % size, &data);
+                self.send_bytes((child_v + root) % size, &data)?;
             }
             b <<= 1;
         }
         // The root and interior tree nodes end the collective on a
         // send: flush so children never wait on locally parked frames.
-        self.transport.flush().unwrap_or_else(|e| panic!("flush: {e}"));
-        data
+        self.transport.flush()?;
+        Ok(data)
     }
 
     /// Gather everyone's `msg` at `root`; non-roots get an empty vec.
+    ///
+    /// # Errors
+    /// [`Error::Comm`](demsort_types::Error) if the root cannot reach a
+    /// contributor (or a non-root cannot reach the root).
     #[allow(clippy::needless_range_loop)] // rank loop skips self by index
-    pub fn gather(&self, root: usize, msg: Vec<u8>) -> Vec<Vec<u8>> {
+    pub fn gather(&self, root: usize, msg: Vec<u8>) -> Result<Vec<Vec<u8>>> {
         if self.rank() == root {
             let mut out = vec![Vec::new(); self.size()];
             out[root] = msg;
             for i in 0..self.size() {
                 if i != root {
-                    out[i] = self.recv(i);
+                    out[i] = self.recv(i)?;
                 }
             }
-            out
+            Ok(out)
         } else {
-            self.send(root, msg);
+            self.send(root, msg)?;
             // Non-roots end the collective on a send: flush so the
             // root never waits on locally parked frames.
-            self.transport.flush().unwrap_or_else(|e| panic!("flush: {e}"));
-            Vec::new()
+            self.transport.flush()?;
+            Ok(Vec::new())
         }
     }
 
     /// Allgather: everyone receives everyone's message, indexed by rank.
-    pub fn allgather(&self, msg: Vec<u8>) -> Vec<Vec<u8>> {
+    ///
+    /// # Errors
+    /// [`Error::Comm`](demsort_types::Error) if a ring neighbour dies
+    /// mid-collective.
+    pub fn allgather(&self, msg: Vec<u8>) -> Result<Vec<Vec<u8>>> {
         // Simple ring: P-1 rounds, each forwarding one original.
         let size = self.size();
         let mut out = vec![Vec::new(); size];
@@ -212,16 +261,20 @@ impl Communicator {
             let from = (self.rank() + size - 1) % size;
             // forward the message that originated `round-1` hops back
             let orig = (self.rank() + size - (round - 1)) % size;
-            self.send_bytes(to, &out[orig]);
+            self.send_bytes(to, &out[orig])?;
             let recv_orig = (self.rank() + size - round) % size;
-            out[recv_orig] = self.recv(from);
+            out[recv_orig] = self.recv(from)?;
         }
-        out
+        Ok(out)
     }
 
     /// Allgather of one `u64` per PE (stack-encoded ring — no
     /// per-message allocation on wire transports).
-    pub fn allgather_u64(&self, x: u64) -> Vec<u64> {
+    ///
+    /// # Errors
+    /// [`Error::Comm`](demsort_types::Error) on a dead ring neighbour
+    /// or a malformed (non-8-byte) control frame.
+    pub fn allgather_u64(&self, x: u64) -> Result<Vec<u64>> {
         let size = self.size();
         let mut out = vec![0u64; size];
         out[self.rank()] = x;
@@ -229,36 +282,52 @@ impl Communicator {
             let to = (self.rank() + 1) % size;
             let from = (self.rank() + size - 1) % size;
             let orig = (self.rank() + size - (round - 1)) % size;
-            self.send_u64(to, out[orig]);
+            self.send_u64(to, out[orig])?;
             let recv_orig = (self.rank() + size - round) % size;
-            out[recv_orig] = self.recv_u64(from);
+            out[recv_orig] = self.recv_u64(from)?;
         }
-        out
+        Ok(out)
     }
 
     /// Allreduce of a `u64` with an associative, commutative `op`.
-    pub fn allreduce_u64(&self, x: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
-        self.allgather_u64(x).into_iter().reduce(&op).expect("size >= 1")
+    ///
+    /// # Errors
+    /// Propagates the underlying [`allgather_u64`](Self::allgather_u64)
+    /// failure.
+    pub fn allreduce_u64(&self, x: u64, op: impl Fn(u64, u64) -> u64) -> Result<u64> {
+        Ok(self.allgather_u64(x)?.into_iter().reduce(&op).expect("size >= 1"))
     }
 
     /// Sum-allreduce convenience.
-    pub fn allreduce_sum(&self, x: u64) -> u64 {
+    ///
+    /// # Errors
+    /// See [`allreduce_u64`](Self::allreduce_u64).
+    pub fn allreduce_sum(&self, x: u64) -> Result<u64> {
         self.allreduce_u64(x, |a, b| a.wrapping_add(b))
     }
 
     /// Max-allreduce convenience.
-    pub fn allreduce_max(&self, x: u64) -> u64 {
+    ///
+    /// # Errors
+    /// See [`allreduce_u64`](Self::allreduce_u64).
+    pub fn allreduce_max(&self, x: u64) -> Result<u64> {
         self.allreduce_u64(x, |a, b| a.max(b))
     }
 
     /// Logical-and allreduce (for "are we all done?" loops).
-    pub fn allreduce_and(&self, x: bool) -> bool {
-        self.allreduce_u64(x as u64, |a, b| a & b) == 1
+    ///
+    /// # Errors
+    /// See [`allreduce_u64`](Self::allreduce_u64).
+    pub fn allreduce_and(&self, x: bool) -> Result<bool> {
+        Ok(self.allreduce_u64(x as u64, |a, b| a & b)? == 1)
     }
 
     /// Exclusive prefix sum of `x` over ranks (`rank 0 gets 0`).
-    pub fn exscan_sum(&self, x: u64) -> u64 {
-        self.allgather_u64(x).iter().take(self.rank()).sum()
+    ///
+    /// # Errors
+    /// See [`allgather_u64`](Self::allgather_u64).
+    pub fn exscan_sum(&self, x: u64) -> Result<u64> {
+        Ok(self.allgather_u64(x)?.iter().take(self.rank()).sum())
     }
 
     /// Personalized all-to-all: `msgs[j]` goes to PE `j`; returns what
@@ -267,23 +336,27 @@ impl Communicator {
     /// Sends happen before receives; unbounded transport buffering
     /// makes this deadlock-free without MPI's internal buffering
     /// concerns.
+    ///
+    /// # Errors
+    /// [`Error::Comm`](demsort_types::Error) if any destination is
+    /// unreachable or any source goes silent past the receive timeout.
     #[allow(clippy::needless_range_loop)] // rank loop skips self by index
-    pub fn alltoallv(&self, msgs: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    pub fn alltoallv(&self, msgs: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>> {
         assert_eq!(msgs.len(), self.size(), "need exactly one message per PE");
         let mut out = vec![Vec::new(); self.size()];
         for (j, m) in msgs.into_iter().enumerate() {
             if j == self.rank() {
                 out[j] = m; // self-delivery without the transport round-trip
             } else {
-                self.send(j, m);
+                self.send(j, m)?;
             }
         }
         for i in 0..self.size() {
             if i != self.rank() {
-                out[i] = self.recv(i);
+                out[i] = self.recv(i)?;
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -305,18 +378,33 @@ pub fn encode_u64s_into(xs: &[u64], out: &mut Vec<u8>) {
 }
 
 /// Decode a little-endian `u64` buffer into a fresh vector.
-pub fn decode_u64s(buf: &[u8]) -> Vec<u64> {
+///
+/// # Errors
+/// [`Error::Comm`](demsort_types::Error) if the buffer length is not a
+/// multiple of 8 — a peer's protocol violation must never panic the
+/// receiver.
+pub fn decode_u64s(buf: &[u8]) -> Result<Vec<u64>> {
     let mut out = Vec::with_capacity(buf.len() / 8);
-    decode_u64s_into(buf, &mut out);
-    out
+    decode_u64s_into(buf, &mut out)?;
+    Ok(out)
 }
 
 /// Decode a little-endian `u64` buffer into `out` (cleared first).
-pub fn decode_u64s_into(buf: &[u8], out: &mut Vec<u64>) {
-    assert_eq!(buf.len() % 8, 0, "u64 buffer length must be a multiple of 8");
+///
+/// # Errors
+/// [`Error::Comm`](demsort_types::Error) if the buffer length is not a
+/// multiple of 8.
+pub fn decode_u64s_into(buf: &[u8], out: &mut Vec<u64>) -> Result<()> {
+    if !buf.len().is_multiple_of(8) {
+        return Err(Error::comm(format!(
+            "u64 buffer of {} bytes is not a whole number of control words",
+            buf.len()
+        )));
+    }
     out.clear();
     out.reserve(buf.len() / 8);
     out.extend(buf.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))));
+    Ok(())
 }
 
 #[cfg(test)]
@@ -327,7 +415,14 @@ mod tests {
     #[test]
     fn u64_codec_roundtrip() {
         let xs = vec![0u64, 1, u64::MAX, 0xDEAD_BEEF];
-        assert_eq!(decode_u64s(&encode_u64s(&xs)), xs);
+        assert_eq!(decode_u64s(&encode_u64s(&xs)).expect("aligned"), xs);
+    }
+
+    #[test]
+    fn u64_codec_rejects_misaligned_buffers() {
+        assert!(matches!(decode_u64s(&[1, 2, 3]), Err(demsort_types::Error::Comm(_))));
+        let mut out = vec![7u64];
+        assert!(decode_u64s_into(&[0; 9], &mut out).is_err());
     }
 
     #[test]
@@ -337,7 +432,7 @@ mod tests {
         for xs in [vec![1u64, 2, 3], vec![u64::MAX], vec![]] {
             encode_u64s_into(&xs, &mut buf);
             assert_eq!(buf.len(), xs.len() * 8);
-            decode_u64s_into(&buf, &mut out);
+            decode_u64s_into(&buf, &mut out).expect("aligned");
             assert_eq!(out, xs);
         }
     }
@@ -346,11 +441,11 @@ mod tests {
     fn p2p_send_recv() {
         let results = run_cluster(2, |c| {
             if c.rank() == 0 {
-                c.send(1, vec![1, 2, 3]);
-                c.recv(1)
+                c.send(1, vec![1, 2, 3]).expect("send");
+                c.recv(1).expect("recv")
             } else {
-                let got = c.recv(0);
-                c.send(0, vec![9]);
+                let got = c.recv(0).expect("recv");
+                c.send(0, vec![9]).expect("send");
                 got
             }
         });
@@ -363,7 +458,7 @@ mod tests {
         for p in 1..=9 {
             run_cluster(p, |c| {
                 for _ in 0..3 {
-                    c.barrier();
+                    c.barrier().expect("barrier");
                 }
             });
         }
@@ -375,7 +470,7 @@ mod tests {
             for root in 0..p {
                 let results = run_cluster(p, move |c| {
                     let msg = if c.rank() == root { vec![42, root as u8] } else { Vec::new() };
-                    c.broadcast(root, msg)
+                    c.broadcast(root, msg).expect("broadcast")
                 });
                 for r in results {
                     assert_eq!(r, vec![42, root as u8]);
@@ -387,7 +482,9 @@ mod tests {
     #[test]
     fn allgather_orders_by_rank() {
         for p in 1..=8 {
-            let results = run_cluster(p, |c| c.allgather(vec![c.rank() as u8; c.rank() + 1]));
+            let results = run_cluster(p, |c| {
+                c.allgather(vec![c.rank() as u8; c.rank() + 1]).expect("gather")
+            });
             for r in results {
                 for (i, m) in r.iter().enumerate() {
                     assert_eq!(m, &vec![i as u8; i + 1]);
@@ -399,11 +496,11 @@ mod tests {
     #[test]
     fn reductions_and_scan() {
         let results = run_cluster(5, |c| {
-            let sum = c.allreduce_sum(c.rank() as u64 + 1);
-            let max = c.allreduce_max(c.rank() as u64);
-            let and_all = c.allreduce_and(true);
-            let and_one = c.allreduce_and(c.rank() != 2);
-            let ex = c.exscan_sum(c.rank() as u64 + 1);
+            let sum = c.allreduce_sum(c.rank() as u64 + 1).expect("sum");
+            let max = c.allreduce_max(c.rank() as u64).expect("max");
+            let and_all = c.allreduce_and(true).expect("and");
+            let and_one = c.allreduce_and(c.rank() != 2).expect("and");
+            let ex = c.exscan_sum(c.rank() as u64 + 1).expect("exscan");
             (sum, max, and_all, and_one, ex)
         });
         for (rank, (sum, max, and_all, and_one, ex)) in results.into_iter().enumerate() {
@@ -420,7 +517,7 @@ mod tests {
         let p = 6;
         let results = run_cluster(p, move |c| {
             let msgs: Vec<Vec<u8>> = (0..p).map(|j| vec![c.rank() as u8, j as u8, 7]).collect();
-            c.alltoallv(msgs)
+            c.alltoallv(msgs).expect("alltoallv")
         });
         for (me, r) in results.into_iter().enumerate() {
             for (src, m) in r.into_iter().enumerate() {
@@ -430,12 +527,27 @@ mod tests {
     }
 
     #[test]
+    fn dead_peer_fails_the_collective_with_comm_error() {
+        // Rank 1 exits before the barrier; rank 0's barrier must return
+        // Error::Comm instead of panicking or hanging.
+        let results = run_cluster(2, |c| {
+            if c.rank() == 1 {
+                return Ok(());
+            }
+            c.barrier()
+        });
+        assert!(results[1].is_ok());
+        let err = results[0].as_ref().expect_err("dead peer must fail the barrier");
+        assert!(matches!(err, demsort_types::Error::Comm(_)), "{err}");
+    }
+
+    #[test]
     fn counters_meter_remote_traffic_only() {
         let results = run_cluster(2, |c| {
-            c.send(c.rank(), vec![0; 100]); // self: free
-            let _ = c.recv(c.rank());
-            c.send(1 - c.rank(), vec![0; 50]);
-            let _ = c.recv(1 - c.rank());
+            c.send(c.rank(), vec![0; 100]).expect("self send"); // self: free
+            let _ = c.recv(c.rank()).expect("self recv");
+            c.send(1 - c.rank(), vec![0; 50]).expect("send");
+            let _ = c.recv(1 - c.rank()).expect("recv");
             c.counters()
         });
         for c in results {
@@ -452,12 +564,12 @@ mod tests {
             // Send j+1 bytes to each peer j; receive theirs.
             for j in 0..p {
                 if j != c.rank() {
-                    c.send(j, vec![0; j + 1]);
+                    c.send(j, vec![0; j + 1]).expect("send");
                 }
             }
             for j in 0..p {
                 if j != c.rank() {
-                    let _ = c.recv(j);
+                    let _ = c.recv(j).expect("recv");
                 }
             }
             (0..p).map(|j| c.peer_counters(j)).collect::<Vec<_>>()

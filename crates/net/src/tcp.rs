@@ -90,7 +90,14 @@ impl Default for TcpOptions {
 /// One established peer connection: buffered writer plus wire-level
 /// per-peer traffic meters (headers included — the payload-level
 /// counters live in the transport-independent `Communicator`).
+///
+/// The link knows its peer's rank so every failure it reports names
+/// the dead peer and the direction (`send to rank j` / `flush to rank
+/// j`) — launch diagnostics point at a rank, not at "connection
+/// reset".
 struct PeerLink {
+    /// Rank of the peer this link connects to.
+    peer: usize,
     stream: TcpStream,
     writer: Mutex<BufWriter<TcpStream>>,
     /// Set inside the writer lock on every send, cleared inside the
@@ -104,8 +111,9 @@ impl PeerLink {
     fn write_frame(&self, kind: u8, payload: &[u8]) -> Result<()> {
         if payload.len() > MAX_FRAME {
             return Err(Error::comm(format!(
-                "frame of {} bytes exceeds the wire limit ({MAX_FRAME}); split the message \
-                 (chunked_alltoallv) before sending",
+                "send to rank {}: frame of {} bytes exceeds the wire limit ({MAX_FRAME}); \
+                 split the message (chunked_alltoallv) before sending",
+                self.peer,
                 payload.len()
             )));
         }
@@ -113,7 +121,7 @@ impl PeerLink {
         let header = frame_header(kind, payload.len());
         w.write_all(&header)
             .and_then(|()| w.write_all(payload))
-            .map_err(|e| Error::comm(format!("write to peer failed: {e}")))?;
+            .map_err(|e| Error::comm(format!("send to rank {}: write failed: {e}", self.peer)))?;
         self.dirty.store(true, Ordering::Release);
         self.wire_sent.fetch_add((header.len() + payload.len()) as u64, Ordering::Relaxed);
         Ok(())
@@ -122,7 +130,7 @@ impl PeerLink {
     fn flush(&self) -> Result<()> {
         if self.dirty.load(Ordering::Acquire) {
             let mut w = self.writer.lock().expect("writer lock");
-            w.flush().map_err(|e| Error::comm(format!("flush to peer failed: {e}")))?;
+            w.flush().map_err(|e| Error::comm(format!("flush to rank {}: {e}", self.peer)))?;
             self.dirty.store(false, Ordering::Release);
         }
         Ok(())
@@ -261,6 +269,7 @@ impl TcpTransport {
                 .try_clone()
                 .map_err(|e| Error::comm(format!("clone socket to rank {j}: {e}")))?;
             let link = Arc::new(PeerLink {
+                peer: j,
                 stream: stream.try_clone().map_err(|e| Error::comm(e.to_string()))?,
                 writer: Mutex::new(BufWriter::with_capacity(opts.write_buffer, write_half)),
                 dirty: AtomicBool::new(false),
@@ -352,12 +361,14 @@ impl TcpTransport {
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     return Err(Error::comm(format!(
-                        "probe to rank {pe} timed out after {:?}",
+                        "probe to rank {pe}: timed out after {:?}",
                         inner.opts.read_timeout
                     )));
                 }
                 Err(RecvTimeoutError::Disconnected) => {
-                    return Err(Error::comm(format!("rank {pe} disconnected during probe")));
+                    return Err(Error::comm(format!(
+                        "probe to rank {pe}: peer disconnected mid-probe"
+                    )));
                 }
             }
         }
@@ -399,7 +410,7 @@ impl Transport for TcpTransport {
                 .inner
                 .self_tx
                 .send(frame.to_vec())
-                .map_err(|_| Error::comm("self queue closed"));
+                .map_err(|_| Error::comm("send to self: loopback queue closed"));
         }
         self.inner.peers[to].as_ref().expect("peer link").write_frame(KIND_DATA, frame)
     }
@@ -409,12 +420,12 @@ impl Transport for TcpTransport {
         match rx.recv_timeout(self.inner.opts.read_timeout) {
             Ok(frame) => Ok(frame),
             Err(RecvTimeoutError::Timeout) => Err(Error::comm(format!(
-                "timed out after {:?} waiting for a message from rank {from}",
+                "recv from rank {from}: timed out after {:?}",
                 self.inner.opts.read_timeout
             ))),
-            Err(RecvTimeoutError::Disconnected) => {
-                Err(Error::comm(format!("rank {from} disconnected (socket closed)")))
-            }
+            Err(RecvTimeoutError::Disconnected) => Err(Error::comm(format!(
+                "recv from rank {from}: peer disconnected (socket closed)"
+            ))),
         }
     }
 
@@ -718,12 +729,14 @@ mod tests {
     #[test]
     fn loopback_collectives_match_local_transport() {
         let job = |c: Communicator| {
-            c.barrier();
-            let gathered = c.allgather(vec![c.rank() as u8; 3]);
-            let sum = c.allreduce_sum(c.rank() as u64 + 1);
+            c.barrier().expect("barrier");
+            let gathered = c.allgather(vec![c.rank() as u8; 3]).expect("allgather");
+            let sum = c.allreduce_sum(c.rank() as u64 + 1).expect("allreduce");
             let msgs: Vec<Vec<u8>> = (0..c.size()).map(|j| vec![c.rank() as u8, j as u8]).collect();
-            let a2a = c.alltoallv(msgs);
-            let bc = c.broadcast(1, if c.rank() == 1 { vec![7, 7] } else { Vec::new() });
+            let a2a = c.alltoallv(msgs).expect("alltoallv");
+            let bc = c
+                .broadcast(1, if c.rank() == 1 { vec![7, 7] } else { Vec::new() })
+                .expect("broadcast");
             (gathered, sum, a2a, bc, c.counters())
         };
         let local = run_cluster(4, job);
@@ -770,8 +783,8 @@ mod tests {
         let comms: Vec<Communicator> =
             transports.into_iter().map(|t| Communicator::new(Box::new(t))).collect();
         let results = crate::cluster::run_cluster_over(comms, |c| {
-            c.barrier();
-            c.allgather_u64(c.rank() as u64 * 100)
+            c.barrier().expect("barrier");
+            c.allgather_u64(c.rank() as u64 * 100).expect("allgather")
         });
         for r in results {
             assert_eq!(r, vec![0, 100, 200, 300]);
@@ -885,7 +898,7 @@ mod tests {
     fn single_rank_mesh_needs_no_sockets() {
         let mesh = loopback_mesh(1, fast_opts()).expect("mesh");
         let c = Communicator::new(Box::new(mesh.into_iter().next().expect("one")));
-        c.barrier();
-        assert_eq!(c.allreduce_sum(3), 3);
+        c.barrier().expect("barrier");
+        assert_eq!(c.allreduce_sum(3).expect("allreduce"), 3);
     }
 }

@@ -121,13 +121,13 @@ impl Transport for LocalTransport {
     fn send(&self, to: usize, frame: Vec<u8>) -> Result<()> {
         self.out[to]
             .send(frame)
-            .map_err(|_| Error::comm(format!("rank {to} hung up (channel closed)")))
+            .map_err(|_| Error::comm(format!("send to rank {to}: peer hung up (channel closed)")))
     }
 
     fn recv(&self, from: usize) -> Result<Vec<u8>> {
-        self.inbox[from]
-            .recv()
-            .map_err(|_| Error::comm(format!("rank {from} hung up (channel closed)")))
+        self.inbox[from].recv().map_err(|_| {
+            Error::comm(format!("recv from rank {from}: peer hung up (channel closed)"))
+        })
     }
 }
 

@@ -261,6 +261,11 @@ pub fn decode_phase_stats(r: &mut WireReader<'_>) -> Result<(Phase, PhaseStats)>
 }
 
 /// One worker's result summary, shipped back to the launcher.
+///
+/// A report is also the *failure* surface of a rank: a worker whose
+/// sort returns `Err` (a dead peer mid-collective, a storage fault)
+/// ships a report with [`RankReport::error`] set instead of unwinding —
+/// the launcher then knows exactly which rank failed and why.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RankReport {
     /// The reporting rank.
@@ -271,7 +276,25 @@ pub struct RankReport {
     pub runs: usize,
     /// Per-phase measured counters, in phase order.
     pub phases: Vec<(Phase, PhaseStats)>,
+    /// `Some(message)` if this rank's sort failed; `None` on success.
+    pub error: Option<String>,
 }
+
+impl RankReport {
+    /// A structured failure report for `rank`.
+    pub fn failed(rank: usize, error: impl Into<String>) -> Self {
+        Self { rank, elems: 0, runs: 0, phases: Vec::new(), error: Some(error.into()) }
+    }
+
+    /// `true` if the rank completed its share of the job.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Upper bound of one encoded phase entry (tag + 13 × u64) — used to
+/// sanity-bound decoded phase counts against the actual payload size.
+const PHASE_WIRE_BYTES: usize = 1 + 13 * 8;
 
 /// Encode a [`RankReport`].
 pub fn encode_rank_report(rep: &RankReport) -> Vec<u8> {
@@ -281,21 +304,37 @@ pub fn encode_rank_report(rep: &RankReport) -> Vec<u8> {
     for (phase, stats) in &rep.phases {
         encode_phase_stats(&mut w, *phase, stats);
     }
+    match &rep.error {
+        Some(msg) => w.bool(true).string(msg),
+        None => w.bool(false),
+    };
     w.finish()
 }
 
 /// Decode a [`RankReport`].
+///
+/// # Errors
+/// [`Error::Comm`] on truncation or a phase count larger than the
+/// payload could possibly hold — a garbage frame must neither panic nor
+/// allocate unboundedly.
 pub fn decode_rank_report(buf: &[u8]) -> Result<RankReport> {
     let mut r = WireReader::new(buf);
     let rank = r.u64()? as usize;
     let elems = r.u64()?;
     let runs = r.u64()? as usize;
     let n = r.u32()? as usize;
+    if n > r.remaining() / PHASE_WIRE_BYTES {
+        return Err(Error::comm(format!(
+            "rank report claims {n} phases but only {} bytes follow",
+            r.remaining()
+        )));
+    }
     let mut phases = Vec::with_capacity(n);
     for _ in 0..n {
         phases.push(decode_phase_stats(&mut r)?);
     }
-    Ok(RankReport { rank, elems, runs, phases })
+    let error = if r.bool()? { Some(r.string()?) } else { None };
+    Ok(RankReport { rank, elems, runs, phases, error })
 }
 
 #[cfg(test)]
@@ -363,8 +402,32 @@ mod tests {
                 ),
                 (Phase::FinalMerge, PhaseStats::default()),
             ],
+            error: None,
         };
         assert_eq!(decode_rank_report(&encode_rank_report(&rep)).expect("decode"), rep);
+    }
+
+    #[test]
+    fn failed_rank_report_roundtrips() {
+        let rep = RankReport::failed(2, "communication error: recv from rank 1: timed out");
+        assert!(!rep.is_ok());
+        let decoded = decode_rank_report(&encode_rank_report(&rep)).expect("decode");
+        assert_eq!(decoded, rep);
+        assert_eq!(
+            decoded.error.as_deref(),
+            Some("communication error: recv from rank 1: timed out")
+        );
+    }
+
+    #[test]
+    fn oversized_phase_count_is_rejected_without_allocating() {
+        // A garbage frame claiming u32::MAX phases must be a clean
+        // Error::Comm — with_capacity on the claimed count would abort
+        // the process on allocation failure.
+        let mut w = WireWriter::new();
+        w.u64(0).u64(0).u64(0).u32(u32::MAX);
+        let err = decode_rank_report(&w.finish()).expect_err("oversized phase count");
+        assert!(matches!(err, Error::Comm(_)), "{err}");
     }
 
     #[test]
@@ -373,5 +436,99 @@ mod tests {
             assert_eq!(phase_from_tag(phase_tag(p)).expect("tag"), p);
         }
         assert!(phase_from_tag(9).is_err());
+    }
+
+    mod codec_error_paths {
+        //! Satellite of the fallible-collectives PR: the wire codec's
+        //! error paths. Truncated, oversized, and garbage frames must
+        //! decode to `Error::Comm` — never panic, never abort.
+        use super::super::*;
+        use proptest::prelude::*;
+
+        fn job() -> JobConfig {
+            JobConfig {
+                input: "/tmp/in".into(),
+                output: "/tmp/out".into(),
+                machine: MachineConfig {
+                    pes: 3,
+                    disks_per_pe: 2,
+                    block_bytes: 256,
+                    mem_bytes_per_pe: 4096,
+                    cores_per_pe: 1,
+                },
+                algo: AlgoConfig::default(),
+                read_timeout_ms: 1234,
+            }
+        }
+
+        fn report() -> RankReport {
+            RankReport {
+                rank: 1,
+                elems: 77,
+                runs: 2,
+                phases: vec![
+                    (Phase::RunFormation, PhaseStats::default()),
+                    (Phase::AllToAll, PhaseStats::default()),
+                ],
+                error: Some("boom".into()),
+            }
+        }
+
+        proptest! {
+            /// Arbitrary byte soup: decoders return, they never panic.
+            #[test]
+            fn garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+                let _ = decode_job(&bytes);
+                let _ = decode_rank_report(&bytes);
+                let mut r = WireReader::new(&bytes);
+                let _ = r.string();
+                let mut r = WireReader::new(&bytes);
+                let _ = r.bytes();
+                let mut r = WireReader::new(&bytes);
+                while r.u64().is_ok() {}
+            }
+
+            /// Every strict prefix of a valid encoding (a truncated
+            /// frame) is a clean `Error::Comm`.
+            #[test]
+            fn truncated_job_is_comm_error(cut in 0usize..10_000) {
+                let full = encode_job(&job());
+                let cut = cut % full.len(); // strict prefix
+                let err = decode_job(&full[..cut]).expect_err("truncated");
+                prop_assert!(matches!(err, Error::Comm(_)), "{err}");
+            }
+
+            #[test]
+            fn truncated_report_is_comm_error(cut in 0usize..10_000) {
+                let full = encode_rank_report(&report());
+                let cut = cut % full.len(); // strict prefix
+                let err = decode_rank_report(&full[..cut]).expect_err("truncated");
+                prop_assert!(matches!(err, Error::Comm(_)), "{err}");
+            }
+
+            /// Oversized length prefixes (string/bytes/phase counts that
+            /// claim more than the payload holds) are `Error::Comm`.
+            #[test]
+            fn oversized_length_prefix_is_comm_error(claim in 1u32..=u32::MAX, tail in 0usize..32) {
+                let mut w = WireWriter::new();
+                w.u32(claim);
+                let mut buf = w.finish();
+                let tail = tail.min(claim as usize - 1);
+                buf.extend(std::iter::repeat_n(0u8, tail));
+                let mut r = WireReader::new(&buf);
+                let err = r.string().expect_err("oversized claim");
+                prop_assert!(matches!(err, Error::Comm(_)), "{err}");
+            }
+
+            /// Flipping any single byte of a valid report either decodes
+            /// to *some* report or fails cleanly — never a panic.
+            #[test]
+            fn bitflips_never_panic(pos in 0usize..10_000, flip in 1u8..=255) {
+                let mut buf = encode_rank_report(&report());
+                let pos = pos % buf.len();
+                buf[pos] ^= flip;
+                let _ = decode_rank_report(&buf);
+            }
+        }
     }
 }
