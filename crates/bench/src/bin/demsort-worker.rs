@@ -5,6 +5,7 @@
 //! demsort-worker --hostfile FILE --rank R --input IN --output OUT
 //!                [--mem-mib M] [--block-kib K] [--disks D]
 //!                [--cores C] [--seed S] [--comm-timeout MS]
+//!                [--algo canonical|striped]
 //! ```
 //!
 //! In **coordinator mode** the worker dials `demsort-launch`'s
@@ -23,7 +24,7 @@
 
 use demsort_bench::procs::{run_rank, run_worker};
 use demsort_net::tcp::parse_hostfile;
-use demsort_types::{AlgoConfig, JobConfig, MachineConfig};
+use demsort_types::{AlgoConfig, JobConfig, MachineConfig, SortAlgo};
 use std::net::TcpListener;
 
 fn main() {
@@ -38,6 +39,7 @@ fn main() {
     let mut cores = 1usize;
     let mut seed: Option<u64> = None;
     let mut timeout_ms = 30_000u64;
+    let mut algorithm = SortAlgo::Canonical;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -54,12 +56,16 @@ fn main() {
             "--cores" => cores = parse(&next("--cores"), "cores"),
             "--seed" => seed = Some(parse(&next("--seed"), "seed")),
             "--comm-timeout" | "--timeout-ms" => timeout_ms = parse(&next(&a), "comm-timeout"),
+            "--algo" => {
+                algorithm = SortAlgo::parse(&next("--algo")).unwrap_or_else(|e| die(&e.to_string()))
+            }
             "--help" | "-h" => {
                 println!(
                     "demsort-worker --coordinator HOST:PORT\n\
                      demsort-worker --hostfile FILE --rank R --input IN --output OUT\n\
                      \x20              [--mem-mib M] [--block-kib K] [--disks D]\n\
-                     \x20              [--cores C] [--seed S] [--comm-timeout MS]"
+                     \x20              [--cores C] [--seed S] [--comm-timeout MS]\n\
+                     \x20              [--algo canonical|striped]"
                 );
                 return;
             }
@@ -96,6 +102,7 @@ fn main() {
                     cores_per_pe: cores,
                 },
                 algo,
+                algorithm,
                 read_timeout_ms: timeout_ms,
             };
             run_rank(rank, &addrs, listener, &job)
@@ -106,7 +113,7 @@ fn main() {
     match result {
         Ok(rep) => {
             eprintln!(
-                "rank {}: {} records in canonical output, {} runs",
+                "rank {}: {} records in this rank's output, {} runs",
                 rep.rank, rep.elems, rep.runs
             );
         }

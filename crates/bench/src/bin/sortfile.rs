@@ -1,16 +1,20 @@
-//! `sortfile` — externally sort a file of SortBenchmark records with
-//! CANONICALMERGESORT.
+//! `sortfile` — externally sort a file of SortBenchmark records.
 //!
 //! ```text
-//! sortfile [--transport local|tcp] [--pes P] [--mem-mib M]
-//!          [--block-kib K] [--disks D] [--seed S] [--comm-timeout MS]
-//!          [--worker-bin PATH] INPUT OUTPUT
+//! sortfile [--transport local|tcp] [--algo canonical|striped]
+//!          [--pes P] [--mem-mib M] [--block-kib K] [--disks D]
+//!          [--seed S] [--comm-timeout MS] [--worker-bin PATH]
+//!          INPUT OUTPUT
 //! ```
 //!
-//! The file is split evenly over `P` PEs, sorted, and the canonical
-//! per-PE outputs are concatenated into OUTPUT (which is therefore
-//! globally sorted). `--mem-mib` bounds each PE's memory, so files
-//! much larger than `P × M` are sorted genuinely externally.
+//! The file is split evenly over `P` PEs and sorted; OUTPUT is
+//! globally sorted either way. `--mem-mib` bounds each PE's memory, so
+//! files much larger than `P × M` are sorted genuinely externally.
+//!
+//! `--algo` selects the paper's algorithm: `canonical`
+//! (CANONICALMERGESORT, Section IV — per-PE outputs concatenate into
+//! OUTPUT) or `striped` (mergesort with global striping, Section III —
+//! the globally striped blocks interleave into OUTPUT).
 //!
 //! `--transport` selects the cluster substrate:
 //!
@@ -25,7 +29,8 @@
 use demsort_bench::procs::{launch_and_report, TcpJobCli};
 use demsort_core::canonical::sort_cluster;
 use demsort_core::recio::read_records;
-use demsort_types::{AlgoConfig, MachineConfig, Record as _, Record100, SortConfig};
+use demsort_core::striped::{read_striped_blocks, striped_sort_cluster};
+use demsort_types::{AlgoConfig, MachineConfig, Record as _, Record100, SortAlgo, SortConfig};
 use std::io::{Read, Seek, SeekFrom, Write};
 
 fn main() {
@@ -57,7 +62,10 @@ fn main() {
     };
 
     match transport.as_str() {
-        "local" => sort_local(cli.machine(), input, output),
+        "local" => match cli.algorithm {
+            SortAlgo::Canonical => sort_local(cli.machine(), input, output),
+            SortAlgo::Striped => sort_local_striped(cli.machine(), input, output),
+        },
         "tcp" => {
             let job = cli.job(input, output);
             let worker = cli.worker(BIN);
@@ -67,25 +75,16 @@ fn main() {
     }
 }
 
-/// The in-process cluster: one thread per PE over the channel mesh.
-fn sort_local(machine: MachineConfig, input: &str, output: &str) {
+/// Validate the input file and split it into per-PE shard loaders (the
+/// same `⌊i·n/p⌋` boundaries the TCP workers use).
+fn shard_loader(input: &str) -> (usize, impl Fn(usize, usize) -> Vec<Record100> + Send + Sync) {
     let meta = std::fs::metadata(input).unwrap_or_else(|e| die(&format!("stat {input}: {e}")));
     if !meta.len().is_multiple_of(Record100::BYTES as u64) {
         die(&format!("input {input} must be whole 100-byte records"));
     }
     let total_records = (meta.len() / Record100::BYTES as u64) as usize;
-
-    let pes = machine.pes;
-    eprintln!(
-        "sorting {total_records} records on {pes} in-process PEs ({} each)",
-        demsort_types::fmtsize::fmt_bytes(machine.mem_bytes_per_pe as u64)
-    );
-    let cfg = SortConfig::new(machine, AlgoConfig::default()).expect("valid config");
-
-    // Each PE loads its contiguous shard of the file (the same
-    // ⌊i·n/p⌋ boundaries the TCP workers use).
     let input_path = input.to_string();
-    let outcome = sort_cluster::<Record100, _>(&cfg, move |pe, p| {
+    let load = move |pe: usize, p: usize| {
         let shard = demsort_types::ranks::owned_range(pe, p, total_records as u64);
         let mut f = std::fs::File::open(&input_path).expect("open input");
         f.seek(SeekFrom::Start(shard.start * Record100::BYTES as u64)).expect("seek");
@@ -94,8 +93,20 @@ fn sort_local(machine: MachineConfig, input: &str, output: &str) {
         let mut recs = Vec::with_capacity((shard.end - shard.start) as usize);
         Record100::decode_slice(&bytes, &mut recs);
         recs
-    })
-    .unwrap_or_else(|e| {
+    };
+    (total_records, load)
+}
+
+/// The in-process cluster: one thread per PE over the channel mesh.
+fn sort_local(machine: MachineConfig, input: &str, output: &str) {
+    let (total_records, load) = shard_loader(input);
+    let pes = machine.pes;
+    eprintln!(
+        "sorting {total_records} records on {pes} in-process PEs ({} each)",
+        demsort_types::fmtsize::fmt_bytes(machine.mem_bytes_per_pe as u64)
+    );
+    let cfg = SortConfig::new(machine, AlgoConfig::default()).expect("valid config");
+    let outcome = sort_cluster::<Record100, _>(&cfg, load).unwrap_or_else(|e| {
         eprintln!("sortfile: {e}");
         std::process::exit(1);
     });
@@ -117,6 +128,44 @@ fn sort_local(machine: MachineConfig, input: &str, output: &str) {
     eprintln!(
         "done: {} runs, I/O volume {:.2} N, communication {:.2} N",
         outcome.per_pe[0].runs,
+        outcome.report.io_volume_over_n(),
+        outcome.report.comm_volume_over_n(),
+    );
+}
+
+/// The in-process striped sort (Section III): globally striped output
+/// read back through the cluster block service in block order.
+fn sort_local_striped(machine: MachineConfig, input: &str, output: &str) {
+    let (total_records, load) = shard_loader(input);
+    let pes = machine.pes;
+    eprintln!(
+        "striped-sorting {total_records} records on {pes} in-process PEs ({} each)",
+        demsort_types::fmtsize::fmt_bytes(machine.mem_bytes_per_pe as u64)
+    );
+    let cfg = SortConfig::new(machine, AlgoConfig::default()).expect("valid config");
+    let outcome = striped_sort_cluster::<Record100, _>(&cfg, load, None).unwrap_or_else(|e| {
+        eprintln!("sortfile: {e}");
+        std::process::exit(1);
+    });
+
+    // Stream the globally striped output through the core block
+    // reader: global block order, bounded read-ahead window, so memory
+    // stays O(window · B) — not O(N) — while the async engine overlaps
+    // reads across every PE's disks (blocks hold raw encoded records,
+    // so bytes go straight to the file).
+    let run = &outcome.per_pe[0].output;
+    let out =
+        std::fs::File::create(output).unwrap_or_else(|e| die(&format!("create {output}: {e}")));
+    let mut out = std::io::BufWriter::new(out);
+    read_striped_blocks(&outcome.storage, run, Record100::BYTES, |bytes| {
+        out.write_all(bytes).map_err(|e| demsort_types::Error::io(format!("write {output}: {e}")))
+    })
+    .unwrap_or_else(|e| die(&e.to_string()));
+    out.flush().expect("flush");
+    eprintln!(
+        "done: {} runs, {} merge passes, I/O volume {:.2} N, communication {:.2} N",
+        outcome.per_pe[0].runs,
+        outcome.per_pe[0].passes,
         outcome.report.io_volume_over_n(),
         outcome.report.comm_volume_over_n(),
     );

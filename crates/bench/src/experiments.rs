@@ -330,7 +330,8 @@ pub fn run_striped_report(scale: &ExpScale, pes: usize) -> SortReport {
         let input = ingest_input(st, &recs).expect("ingest");
         let io0 = st.counters();
         let comm0 = c.counters();
-        let out = striped_mergesort::<Element16>(&c, st, &cfg2, input, 1, None).expect("striped");
+        let out = striped_mergesort::<Element16>(&c, storage_ref, &cfg2, input, 1, None)
+            .expect("striped");
         let mut stats = demsort_types::PhaseStats {
             io: st.counters().delta_since(&io0),
             comm: c.counters().delta_since(&comm0),

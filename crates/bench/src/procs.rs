@@ -39,10 +39,13 @@
 //! flags instead of the wire.
 
 use demsort_core::canonical::canonical_mergesort;
-use demsort_core::ctx::{assemble_report, ClusterStorage, RemoteBlockFetch};
+use demsort_core::ctx::{
+    assemble_report, BlockFetch, ClusterStorage, PendingBlock, RemoteBlockService,
+};
 use demsort_core::recio::read_records;
-use demsort_core::runform::ingest_input;
-use demsort_net::tcp::{bind_loopback, TcpOptions, TcpTransport};
+use demsort_core::runform::{ingest_input, LocalInput};
+use demsort_core::striped::striped_mergesort;
+use demsort_net::tcp::{bind_loopback, TcpOptions, TcpTransport, WireFetch};
 use demsort_net::Communicator;
 use demsort_storage::{BlockId, DiskModel, MemBackend, PeStorage};
 use demsort_types::wire::{
@@ -50,8 +53,8 @@ use demsort_types::wire::{
     WireWriter,
 };
 use demsort_types::{
-    ranks, AlgoConfig, Error, JobConfig, MachineConfig, Record as _, Record100, Result, SortConfig,
-    SortReport,
+    ranks, AlgoConfig, Error, JobConfig, MachineConfig, Record as _, Record100, Result, SortAlgo,
+    SortConfig, SortReport,
 };
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -75,55 +78,61 @@ fn write_msg(s: &mut TcpStream, tag: u8, body: &[u8]) -> Result<()> {
         .map_err(|e| Error::comm(format!("coordinator write: {e}")))
 }
 
-/// Fill `buf` from `s`, riding out socket read-timeout ticks until
-/// `deadline` (progress across ticks is preserved, so a timeout can
-/// never corrupt message framing).
-fn read_exact_deadline(s: &mut TcpStream, buf: &mut [u8], deadline: Instant) -> Result<()> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match s.read(&mut buf[filled..]) {
-            Ok(0) => return Err(Error::comm("connection closed")),
-            Ok(n) => filled += n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut
-                    || e.kind() == std::io::ErrorKind::Interrupted =>
-            {
+/// Read one `[len][tag][body]` control message, bounded by `deadline`
+/// (the socket must carry a read timeout so blocked reads tick). The
+/// framing itself lives in [`MsgProgress`] — the same state machine
+/// the launcher's poll loop drives nonblockingly — so the two paths
+/// cannot drift.
+fn read_msg_deadline(s: &mut TcpStream, deadline: Instant) -> Result<(u8, Vec<u8>)> {
+    let mut progress = MsgProgress::new();
+    loop {
+        match progress.pump(s) {
+            Pump::Done(tag, body) => return Ok((tag, body)),
+            Pump::Closed(msg) => return Err(Error::comm(msg)),
+            Pump::Pending => {
+                // Partial progress survives across read-timeout ticks,
+                // so a tick can never corrupt message framing.
                 if Instant::now() >= deadline {
                     return Err(Error::comm("timed out"));
                 }
             }
-            Err(e) => return Err(Error::comm(format!("coordinator read: {e}"))),
         }
     }
-    Ok(())
-}
-
-/// Read one `[len][tag][body]` control message, bounded by `deadline`
-/// (the socket must carry a read timeout so blocked reads tick).
-fn read_msg_deadline(s: &mut TcpStream, deadline: Instant) -> Result<(u8, Vec<u8>)> {
-    let mut head = [0u8; 5]; // length prefix + tag
-    read_exact_deadline(s, &mut head, deadline)?;
-    let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize;
-    if len == 0 || len > MAX_CTRL_MSG {
-        return Err(Error::comm(format!("bad coordinator message length {len}")));
-    }
-    let mut body = vec![0u8; len - 1];
-    read_exact_deadline(s, &mut body, deadline)?;
-    Ok((head[4], body))
 }
 
 // -------------------------------------------------------------------
 // Worker
 // -------------------------------------------------------------------
 
-/// Remote probe path of a worker: selection's one-block reads of
-/// peers' disks ride the transport's out-of-band probe channel.
-struct TcpFetch(TcpTransport);
+/// The remote half of a worker's cluster block service: batched reads
+/// of peers' blocks ride the transport's out-of-band block channel
+/// ([`TcpTransport::fetch_blocks`] — pipelined requests, responses
+/// matched by id). Public so tests can assemble single-rank
+/// [`ClusterStorage`] views over a real TCP mesh.
+pub struct TcpBlockService(pub TcpTransport);
 
-impl RemoteBlockFetch for TcpFetch {
-    fn fetch(&self, pe: usize, id: BlockId) -> Result<Box<[u8]>> {
-        self.0.probe_block(pe, id.disk, id.slot).map(Vec::into_boxed_slice)
+/// One in-flight wire read adapted to the core block-service contract.
+struct WirePending(WireFetch);
+
+impl PendingBlock for WirePending {
+    fn wait(self: Box<Self>) -> Result<Box<[u8]>> {
+        self.0.wait().map(Vec::into_boxed_slice)
+    }
+
+    fn is_done(&self) -> bool {
+        self.0.is_done()
+    }
+}
+
+impl RemoteBlockService for TcpBlockService {
+    fn fetch_blocks(&self, pe: usize, ids: &[BlockId]) -> Result<Vec<BlockFetch>> {
+        let addrs: Vec<(u32, u32)> = ids.iter().map(|id| (id.disk, id.slot)).collect();
+        Ok(self
+            .0
+            .fetch_blocks(pe, &addrs)?
+            .into_iter()
+            .map(|f| BlockFetch::remote(Box::new(WirePending(f))))
+            .collect())
     }
 }
 
@@ -217,23 +226,24 @@ pub fn run_rank(
         DiskModel::paper(),
         Arc::new(MemBackend::new(job.machine.disks_per_pe)),
     );
-    let storage = ClusterStorage::single(rank, p, st, Box::new(TcpFetch(tcp.clone())));
+    let storage = ClusterStorage::single(rank, p, st, Box::new(TcpBlockService(tcp.clone())));
 
-    // Serve peers' selection probes out of this rank's storage. The
-    // handler closure holds the storage, which holds the transport,
-    // whose endpoint holds the handler — a cycle only
-    // `clear_probe_handler` breaks, so guard it against every exit
-    // path (errors included), or a failed job leaks the reader
-    // threads, sockets, and storage for the process lifetime.
+    // Serve peers' block-service reads (selection probes, striped
+    // remote reads) out of this rank's storage. The handler closure
+    // holds the storage, which holds the transport, whose endpoint
+    // holds the handler — a cycle only `clear_block_handler` breaks,
+    // so guard it against every exit path (errors included), or a
+    // failed job leaks the reader threads, sockets, and storage for
+    // the process lifetime.
     struct HandlerGuard(TcpTransport);
     impl Drop for HandlerGuard {
         fn drop(&mut self) {
-            self.0.clear_probe_handler();
+            self.0.clear_block_handler();
         }
     }
-    let probe_storage = Arc::clone(&storage);
-    tcp.set_probe_handler(Arc::new(move |disk, slot| {
-        probe_storage
+    let serve_storage = Arc::clone(&storage);
+    tcp.set_block_handler(Arc::new(move |disk, slot| {
+        serve_storage
             .pe(rank)
             .engine()
             .read_sync(BlockId::new(disk, slot))
@@ -264,17 +274,39 @@ pub fn run_rank(
     let cfg = SortConfig::new(job.machine.clone(), job.algo.clone())?;
     let input = ingest_input(storage.pe(rank), &recs)?;
     drop(recs);
+    let report = match job.algorithm {
+        SortAlgo::Canonical => {
+            run_canonical_rank(rank, total_records, &comm, &storage, &cfg, input, job)?
+        }
+        SortAlgo::Striped => run_striped_rank(rank, &comm, &storage, &cfg, input, job)?,
+    };
+
+    // Ranks must not tear the mesh down while a slower peer still
+    // depends on it (remote reads are done, but the final phases
+    // interleave); the block handler clears on return.
+    comm.barrier()?;
+    Ok(report)
+}
+
+/// The canonical-mergesort body of a rank: sort, then write this
+/// rank's canonical slice into the shared output file — ranks own
+/// disjoint contiguous byte ranges, so the file assembles in place.
+#[allow(clippy::too_many_arguments)]
+fn run_canonical_rank(
+    rank: usize,
+    total_records: u64,
+    comm: &Communicator,
+    storage: &ClusterStorage,
+    cfg: &SortConfig,
+    input: LocalInput,
+    job: &JobConfig,
+) -> Result<RankReport> {
     let outcome =
-        canonical_mergesort::<Record100>(&comm, &storage, &cfg, input, job.machine.cores_per_pe)?;
+        canonical_mergesort::<Record100>(comm, storage, cfg, input, job.machine.cores_per_pe)?;
 
-    // (Everyone is past multiway selection once the sort returns — no
-    // peer can probe us anymore; the handler guard clears on return.)
-
-    // Write this rank's canonical slice into the shared output file:
-    // ranks own disjoint byte ranges, so the file assembles in place.
     let out_recs =
         read_records::<Record100>(storage.pe(rank), &outcome.output.run, outcome.output.elems)?;
-    let own = ranks::owned_range(rank, p, total_records);
+    let own = ranks::owned_range(rank, comm.size(), total_records);
     debug_assert_eq!(out_recs.len() as u64, own.end - own.start);
     let mut out = std::fs::OpenOptions::new()
         .write(true)
@@ -290,10 +322,6 @@ pub fn run_rank(
     writer.flush()?;
     drop(writer);
 
-    // Ranks must not tear the mesh down while a slower peer still
-    // depends on it (probes are done, but the final phases interleave).
-    comm.barrier()?;
-
     Ok(RankReport {
         rank,
         elems: outcome.output.elems,
@@ -301,6 +329,51 @@ pub fn run_rank(
         phases: outcome.phases,
         error: None,
     })
+}
+
+/// The striped-mergesort body of a rank: sort, then write the blocks
+/// this rank owns of the globally striped output into the shared
+/// output file. Block `g` starts at the record offset given by the
+/// prefix sum of the directory's block counts (interior blocks of
+/// stitched merge output can be partial), and the directory is global,
+/// so ranks write disjoint ranges without further communication.
+fn run_striped_rank(
+    rank: usize,
+    comm: &Communicator,
+    storage: &ClusterStorage,
+    cfg: &SortConfig,
+    input: LocalInput,
+    job: &JobConfig,
+) -> Result<RankReport> {
+    let outcome =
+        striped_mergesort::<Record100>(comm, storage, cfg, input, job.machine.cores_per_pe, None)?;
+
+    let run = &outcome.output;
+    let mut offsets = Vec::with_capacity(run.counts.len());
+    let mut at = 0u64;
+    for &c in &run.counts {
+        offsets.push(at);
+        at += c as u64;
+    }
+    let st = storage.pe(rank);
+    let mut out = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&job.output)
+        .map_err(|e| Error::io(format!("open {}: {e}", job.output)))?;
+    let mut elems = 0u64;
+    for (g, &id) in run.blocks.iter().enumerate() {
+        if run.owners[g] as usize != rank {
+            continue;
+        }
+        let data = st.engine().read_sync(id)?;
+        let bytes = run.counts[g] as usize * Record100::BYTES;
+        out.seek(SeekFrom::Start(offsets[g] * Record100::BYTES as u64))?;
+        out.write_all(&data[..bytes])?;
+        elems += run.counts[g] as u64;
+    }
+    drop(out);
+
+    Ok(RankReport { rank, elems, runs: outcome.runs, phases: outcome.phases, error: None })
 }
 
 // -------------------------------------------------------------------
@@ -371,6 +444,83 @@ pub fn sibling_worker_bin() -> Result<PathBuf> {
     )))
 }
 
+/// Incremental framing state of one polled coordinator connection:
+/// partial reads across poll rounds preserve message boundaries (a
+/// `WouldBlock` mid-header can never corrupt the frame).
+struct MsgProgress {
+    /// Length prefix (4 bytes) + tag.
+    head: [u8; 5],
+    head_filled: usize,
+    body: Vec<u8>,
+    body_filled: usize,
+}
+
+/// One poll round's outcome for a connection.
+enum Pump {
+    /// No complete message yet; the connection is still live.
+    Pending,
+    /// A complete `(tag, body)` control message arrived.
+    Done(u8, Vec<u8>),
+    /// The connection is unusable (closed, garbage framing, error).
+    Closed(String),
+}
+
+impl MsgProgress {
+    fn new() -> Self {
+        Self { head: [0u8; 5], head_filled: 0, body: Vec::new(), body_filled: 0 }
+    }
+
+    /// Drive the read as far as currently possible without blocking.
+    fn pump(&mut self, s: &mut TcpStream) -> Pump {
+        loop {
+            let (buf, filled) = if self.head_filled < self.head.len() {
+                (&mut self.head[..], &mut self.head_filled)
+            } else if self.body_filled < self.body.len() {
+                (&mut self.body[..], &mut self.body_filled)
+            } else {
+                return Pump::Done(self.head[4], std::mem::take(&mut self.body));
+            };
+            match s.read(&mut buf[*filled..]) {
+                Ok(0) => return Pump::Closed("connection closed".to_string()),
+                Ok(n) => {
+                    *filled += n;
+                    if self.head_filled == self.head.len() && self.body.is_empty() {
+                        let len = u32::from_le_bytes(self.head[..4].try_into().expect("4 bytes"))
+                            as usize;
+                        if len == 0 || len > MAX_CTRL_MSG {
+                            return Pump::Closed(format!("bad coordinator message length {len}"));
+                        }
+                        self.body = vec![0u8; len - 1];
+                        self.body_filled = 0;
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut
+                        || e.kind() == std::io::ErrorKind::Interrupted =>
+                {
+                    return Pump::Pending;
+                }
+                Err(e) => return Pump::Closed(format!("coordinator read: {e}")),
+            }
+        }
+    }
+}
+
+/// Classify one complete REPORT message from `rank`'s connection.
+fn classify_report(rank: usize, body: &[u8]) -> RankOutcome {
+    match decode_rank_report(body) {
+        Ok(rep) if rep.rank != rank => {
+            RankOutcome::Vanished(format!("rank {rank}'s connection reported rank {}", rep.rank))
+        }
+        Ok(rep) => match &rep.error {
+            Some(msg) => RankOutcome::Failed(msg.clone()),
+            None => RankOutcome::Report(rep),
+        },
+        Err(e) => RankOutcome::Vanished(format!("undecodable report: {e}")),
+    }
+}
+
 /// A launched-but-not-yet-collected cluster job: the worker processes
 /// are running the sort, ranks are assigned, the job config has been
 /// shipped. Used directly by failure-injection tests (which kill a
@@ -403,31 +553,54 @@ impl LaunchControl {
     }
 
     /// Collect every rank's outcome: a report, a structured failure, or
-    /// a vanished connection. Never fails as a whole and never hangs —
-    /// each connection is bounded by the collect deadline (scaled from
-    /// the job's comm timeout), and a dead worker's closed socket
-    /// errors immediately.
+    /// a vanished connection. All connections are **polled
+    /// concurrently** — a slow rank never delays classifying the ranks
+    /// that already reported (at cluster scale, waiting on connections
+    /// one at a time would serialize the collection behind the slowest
+    /// rank encountered first). Never fails as a whole and never hangs:
+    /// the loop is bounded by the collect deadline (scaled from the
+    /// job's comm timeout), and a dead worker's closed socket
+    /// classifies immediately.
     pub fn collect_outcomes(&mut self) -> Vec<RankOutcome> {
         let deadline = self.collect_deadline;
-        self.conns
-            .iter_mut()
-            .enumerate()
-            .map(|(rank, conn)| match read_msg_deadline(conn, deadline) {
-                Ok((TAG_REPORT, body)) => match decode_rank_report(&body) {
-                    Ok(rep) if rep.rank != rank => RankOutcome::Vanished(format!(
-                        "rank {rank}'s connection reported rank {}",
-                        rep.rank
-                    )),
-                    Ok(rep) => match &rep.error {
-                        Some(msg) => RankOutcome::Failed(msg.clone()),
-                        None => RankOutcome::Report(rep),
-                    },
-                    Err(e) => RankOutcome::Vanished(format!("undecodable report: {e}")),
-                },
-                Ok((tag, _)) => RankOutcome::Vanished(format!("unexpected tag {tag}")),
-                Err(e) => RankOutcome::Vanished(e.to_string()),
-            })
-            .collect()
+        let n = self.conns.len();
+        let mut outcomes: Vec<Option<RankOutcome>> = (0..n).map(|_| None).collect();
+        let mut progress: Vec<MsgProgress> = (0..n).map(|_| MsgProgress::new()).collect();
+        for c in &self.conns {
+            // Poll nonblockingly; a connection that cannot switch
+            // classifies through its first read error.
+            let _ = c.set_nonblocking(true);
+        }
+        loop {
+            let mut open = 0usize;
+            for (rank, conn) in self.conns.iter_mut().enumerate() {
+                if outcomes[rank].is_some() {
+                    continue;
+                }
+                match progress[rank].pump(conn) {
+                    Pump::Pending => open += 1,
+                    Pump::Done(TAG_REPORT, body) => {
+                        outcomes[rank] = Some(classify_report(rank, &body));
+                    }
+                    Pump::Done(tag, _) => {
+                        outcomes[rank] =
+                            Some(RankOutcome::Vanished(format!("unexpected tag {tag}")));
+                    }
+                    Pump::Closed(msg) => outcomes[rank] = Some(RankOutcome::Vanished(msg)),
+                }
+            }
+            if open == 0 {
+                break;
+            }
+            if Instant::now() >= deadline {
+                for o in outcomes.iter_mut().filter(|o| o.is_none()) {
+                    *o = Some(RankOutcome::Vanished("timed out".to_string()));
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        outcomes.into_iter().map(|o| o.expect("every rank classified")).collect()
     }
 
     /// Collect outcomes, reap the workers, and aggregate — the tail of
@@ -665,6 +838,9 @@ pub struct TcpJobCli {
     /// alias `--timeout-ms`): how long a rank waits on a silent peer
     /// before declaring it dead ([`JobConfig::read_timeout_ms`]).
     pub comm_timeout_ms: u64,
+    /// Which sorting algorithm the job runs (`--algo
+    /// canonical|striped`).
+    pub algorithm: SortAlgo,
     /// Explicit worker binary path (`--worker-bin`).
     pub worker_bin: Option<String>,
 }
@@ -678,6 +854,7 @@ impl Default for TcpJobCli {
             disks: 4,
             seed: None,
             comm_timeout_ms: 30_000,
+            algorithm: SortAlgo::Canonical,
             worker_bin: None,
         }
     }
@@ -692,6 +869,7 @@ impl TcpJobCli {
          --disks D         disks per PE (default 4)\n  \
          --seed S          algorithm seed\n  \
          --comm-timeout MS comm read timeout in ms (default 30000; alias --timeout-ms)\n  \
+         --algo A          sorting algorithm: canonical (default) or striped\n  \
          --worker-bin PATH explicit demsort-worker binary";
 
     /// Consume `flag` if it is one of the shared job flags (pulling its
@@ -713,6 +891,10 @@ impl TcpJobCli {
             "--seed" => self.seed = Some(cli_parse(bin, &next(flag), "seed")),
             "--comm-timeout" | "--timeout-ms" => {
                 self.comm_timeout_ms = cli_parse(bin, &next(flag), "comm-timeout")
+            }
+            "--algo" => {
+                self.algorithm =
+                    SortAlgo::parse(&next(flag)).unwrap_or_else(|e| cli_die(bin, &e.to_string()))
             }
             "--worker-bin" => self.worker_bin = Some(next(flag)),
             _ => return false,
@@ -745,6 +927,7 @@ impl TcpJobCli {
             output: output.to_string(),
             machine: self.machine(),
             algo,
+            algorithm: self.algorithm,
             read_timeout_ms: self.comm_timeout_ms,
         }
     }
@@ -826,6 +1009,81 @@ mod tests {
     }
 
     #[test]
+    fn poll_collection_classifies_when_rank_zero_reports_last() {
+        // Four synthetic "workers": ranks 1 and 3 report immediately,
+        // rank 2 dies without reporting, and rank 0 reports LAST —
+        // split across two writes with a pause in between, so the poll
+        // loop must carry partial framing across rounds. The
+        // collection must classify every rank correctly and finish
+        // about when rank 0's report lands, not at any per-connection
+        // deadline.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let n = 4;
+        let mut worker_ends = Vec::with_capacity(n);
+        let mut conns = Vec::with_capacity(n);
+        for _ in 0..n {
+            worker_ends.push(TcpStream::connect(addr).expect("connect"));
+            conns.push(listener.accept().expect("accept").0);
+        }
+        let mut ctl = LaunchControl {
+            children: Vec::new(),
+            conns,
+            pids: vec![0; n],
+            collect_deadline: Instant::now() + Duration::from_secs(30),
+        };
+
+        let report = |rank: usize| RankReport {
+            rank,
+            elems: 10 + rank as u64,
+            runs: 2,
+            phases: Vec::new(),
+            error: None,
+        };
+        let rank0 = worker_ends.remove(0);
+        let feeder = std::thread::spawn(move || {
+            let mut rank0 = rank0;
+            for (i, mut c) in worker_ends.into_iter().enumerate() {
+                let rank = i + 1;
+                if rank == 2 {
+                    drop(c); // vanishes without a report
+                    continue;
+                }
+                write_msg(&mut c, TAG_REPORT, &encode_rank_report(&report(rank)))
+                    .expect("fast rank report");
+                // Keep the connection open past collection.
+                std::mem::forget(c);
+            }
+            // Rank 0 reports last, in two fragments.
+            std::thread::sleep(Duration::from_millis(200));
+            let body = encode_rank_report(&report(0));
+            let mut msg = ((body.len() + 1) as u32).to_le_bytes().to_vec();
+            msg.push(TAG_REPORT);
+            msg.extend_from_slice(&body);
+            let split = 7; // mid-header of the framed message body
+            rank0.write_all(&msg[..split]).expect("first fragment");
+            rank0.flush().expect("flush");
+            std::thread::sleep(Duration::from_millis(100));
+            rank0.write_all(&msg[split..]).expect("second fragment");
+            std::mem::forget(rank0);
+        });
+
+        let started = Instant::now();
+        let outcomes = ctl.collect_outcomes();
+        let elapsed = started.elapsed();
+        feeder.join().expect("feeder");
+
+        assert!(matches!(&outcomes[0], RankOutcome::Report(r) if r.elems == 10), "{outcomes:?}");
+        assert!(matches!(&outcomes[1], RankOutcome::Report(r) if r.elems == 11), "{outcomes:?}");
+        assert!(matches!(&outcomes[2], RankOutcome::Vanished(_)), "{outcomes:?}");
+        assert!(matches!(&outcomes[3], RankOutcome::Report(r) if r.elems == 13), "{outcomes:?}");
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "collection must finish when the last report lands, took {elapsed:?}"
+        );
+    }
+
+    #[test]
     fn launch_rejects_in_place_output_before_truncating() {
         let path = std::env::temp_dir().join(format!("demsort-inplace-{}.dat", std::process::id()));
         std::fs::write(&path, vec![1u8; 200]).expect("write input");
@@ -835,6 +1093,7 @@ mod tests {
             output: p,
             machine: demsort_types::MachineConfig::tiny(2),
             algo: demsort_types::AlgoConfig::default(),
+            algorithm: SortAlgo::default(),
             read_timeout_ms: 1000,
         };
         // Rejected before any worker spawns (the bogus worker path is
@@ -854,6 +1113,7 @@ mod tests {
             output: "/nonexistent".into(),
             machine: demsort_types::MachineConfig::tiny(3),
             algo: demsort_types::AlgoConfig::default(),
+            algorithm: SortAlgo::default(),
             read_timeout_ms: 1000,
         };
         let err = run_rank(0, &[], listener, &job).expect_err("empty address table");
@@ -867,6 +1127,7 @@ mod tests {
             output: "out".into(),
             machine: demsort_types::MachineConfig::tiny(3),
             algo: demsort_types::AlgoConfig::default(),
+            algorithm: SortAlgo::default(),
             read_timeout_ms: 1000,
         };
         let outcomes = vec![
@@ -898,6 +1159,8 @@ mod tests {
             "9",
             "--comm-timeout",
             "1500",
+            "--algo",
+            "striped",
         ]
         .iter()
         .map(|s| s.to_string());
@@ -912,6 +1175,7 @@ mod tests {
         assert_eq!(job.machine.disks_per_pe, 2);
         assert_eq!(job.algo.seed, 9);
         assert_eq!(job.read_timeout_ms, 1500);
+        assert_eq!(job.algorithm, SortAlgo::Striped);
         // The legacy alias still works.
         let mut args = ["--timeout-ms", "2500"].iter().map(|s| s.to_string());
         let flag = args.next().expect("flag");

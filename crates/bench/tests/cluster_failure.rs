@@ -14,7 +14,7 @@
 //! exposes its path via `CARGO_BIN_EXE_demsort-worker`.
 
 use demsort_bench::procs::{launch_workers, summarize_outcomes, RankOutcome};
-use demsort_types::{AlgoConfig, JobConfig, MachineConfig, Record as _, Record100};
+use demsort_types::{AlgoConfig, JobConfig, MachineConfig, Record as _, Record100, SortAlgo};
 use demsort_workloads::gensort_records;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -59,6 +59,7 @@ fn sigkill_mid_sort_fails_every_survivor_cleanly_and_names_the_dead_rank() {
             cores_per_pe: 1,
         },
         algo: AlgoConfig::default(),
+        algorithm: SortAlgo::default(),
         read_timeout_ms: COMM_TIMEOUT_MS,
     };
     let worker = PathBuf::from(env!("CARGO_BIN_EXE_demsort-worker"));

@@ -1,0 +1,151 @@
+//! Striped-mergesort multi-process acceptance test: `sortfile --algo
+//! striped --transport tcp`'s code path (4 real `demsort-worker`
+//! processes over a loopback TCP mesh, each writing its own globally
+//! striped blocks into the shared output) must produce
+//! **byte-identical** output and **identical per-rank, per-phase comm
+//! and I/O counters** to the in-process striped run of the same
+//! gensort input.
+//!
+//! Unlike the canonical algorithm, the striped sort has no selection
+//! probes, so even the per-phase I/O attribution is deterministic —
+//! the comparison is exact on every counter.
+
+use demsort_bench::procs::launch;
+use demsort_core::striped::{read_striped, striped_sort_cluster};
+use demsort_core::validate::hash_record;
+use demsort_types::{
+    AlgoConfig, JobConfig, MachineConfig, Phase, Record as _, Record100, SortAlgo, SortConfig,
+    SortReport,
+};
+use demsort_workloads::gensort_records;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const RECORDS: usize = 3_000;
+const RANKS: usize = 4;
+
+fn test_machine() -> MachineConfig {
+    // Tiny blocks and memory force several runs per rank, so the merge
+    // phase (batch fetches + re-striping) really runs.
+    MachineConfig {
+        pes: RANKS,
+        disks_per_pe: 2,
+        block_bytes: 1 << 10,
+        mem_bytes_per_pe: 16 << 10,
+        cores_per_pe: 1,
+    }
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("demsort-striped-tcp-{}-{name}", std::process::id()))
+}
+
+fn write_gensort_input(path: &Path) {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path).expect("create input"));
+    let mut buf = vec![0u8; Record100::BYTES];
+    for rec in gensort_records(7, 0, RECORDS) {
+        rec.encode(&mut buf);
+        f.write_all(&buf).expect("write record");
+    }
+    f.flush().expect("flush");
+}
+
+/// The in-process reference: `sortfile --algo striped` in miniature.
+fn striped_in_process(input: &Path, output: &Path) -> SortReport {
+    let cfg = SortConfig::new(test_machine(), AlgoConfig::default()).expect("valid");
+    let input_path = input.to_path_buf();
+    let outcome = striped_sort_cluster::<Record100, _>(
+        &cfg,
+        move |pe, p| {
+            let shard = demsort_types::ranks::owned_range(pe, p, RECORDS as u64);
+            let mut f = std::fs::File::open(&input_path).expect("open input");
+            f.seek(SeekFrom::Start(shard.start * Record100::BYTES as u64)).expect("seek");
+            let mut bytes = vec![0u8; (shard.end - shard.start) as usize * Record100::BYTES];
+            f.read_exact(&mut bytes).expect("read shard");
+            let mut recs = Vec::new();
+            Record100::decode_slice(&bytes, &mut recs);
+            recs
+        },
+        None,
+    )
+    .expect("in-process striped sort");
+
+    // Output through the block service in global block order — the
+    // same byte sequence the workers assemble from disjoint ranges.
+    let recs = read_striped::<Record100>(&outcome.storage, &outcome.per_pe[0].output)
+        .expect("read striped output");
+    let mut out = std::io::BufWriter::new(std::fs::File::create(output).expect("create output"));
+    let mut buf = vec![0u8; Record100::BYTES];
+    for rec in &recs {
+        rec.encode(&mut buf);
+        out.write_all(&buf).expect("write");
+    }
+    out.flush().expect("flush");
+    outcome.report
+}
+
+#[test]
+fn four_rank_striped_tcp_launch_matches_in_process_run() {
+    let input = tmp_path("input.dat");
+    let out_tcp = tmp_path("out-tcp.dat");
+    let out_local = tmp_path("out-local.dat");
+    write_gensort_input(&input);
+
+    // --- multi-process run: real worker processes over loopback TCP ---
+    let job = JobConfig {
+        input: input.to_string_lossy().into_owned(),
+        output: out_tcp.to_string_lossy().into_owned(),
+        machine: test_machine(),
+        algo: AlgoConfig::default(),
+        algorithm: SortAlgo::Striped,
+        read_timeout_ms: 60_000,
+    };
+    let worker = PathBuf::from(env!("CARGO_BIN_EXE_demsort-worker"));
+    let tcp = launch(&job, &worker).expect("striped tcp launch");
+    assert_eq!(tcp.per_rank.len(), RANKS);
+    assert!(tcp.report.runs > 1, "test must exercise the merge phase (R > 1)");
+    let rank_sum: u64 = tcp.per_rank.iter().map(|r| r.elems).sum();
+    assert_eq!(rank_sum, RECORDS as u64, "ranks own disjoint striped blocks covering N");
+
+    // --- in-process reference run ---
+    let local_report = striped_in_process(&input, &out_local);
+
+    // Byte-identical striped output.
+    let tcp_bytes = std::fs::read(&out_tcp).expect("read tcp output");
+    let local_bytes = std::fs::read(&out_local).expect("read local output");
+    assert_eq!(tcp_bytes.len(), RECORDS * Record100::BYTES);
+    assert_eq!(tcp_bytes, local_bytes, "outputs must be byte-identical across transports");
+
+    // valsort-clean: globally sorted, a permutation of the input.
+    let mut recs = Vec::new();
+    Record100::decode_slice(&tcp_bytes, &mut recs);
+    assert!(recs.windows(2).all(|w| w[0].key <= w[1].key), "output must be globally sorted");
+    let out_fp = recs.iter().fold(0u64, |acc, r| acc.wrapping_add(hash_record(r)));
+    let input_bytes = std::fs::read(&input).expect("read input");
+    let mut input_recs = Vec::new();
+    Record100::decode_slice(&input_bytes, &mut input_recs);
+    let in_fp = input_recs.iter().fold(0u64, |acc, r| acc.wrapping_add(hash_record(r)));
+    assert_eq!(out_fp, in_fp, "output must be a permutation of the input");
+
+    // Identical counters, per rank, per phase — comm AND I/O. The
+    // striped algorithm issues no cross-rank probes during the sort,
+    // so every counter's phase attribution is deterministic and the
+    // transport must be completely invisible.
+    for pe in 0..RANKS {
+        for phase in Phase::ALL {
+            let t = tcp.report.get(pe, phase);
+            let l = local_report.get(pe, phase);
+            assert_eq!(t.comm, l.comm, "comm counters (pe {pe}, {phase})");
+            assert_eq!(t.io, l.io, "io counters (pe {pe}, {phase})");
+        }
+    }
+    // The striped phases really were recorded.
+    for pe in 0..RANKS {
+        assert!(tcp.report.get(pe, Phase::RunFormation).io.bytes_written > 0, "pe {pe} phase 1");
+        assert!(tcp.report.get(pe, Phase::FinalMerge).io.bytes_read > 0, "pe {pe} merge phase");
+    }
+
+    for p in [&input, &out_tcp, &out_local] {
+        let _ = std::fs::remove_file(p);
+    }
+}

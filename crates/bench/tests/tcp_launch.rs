@@ -12,7 +12,8 @@ use demsort_core::canonical::sort_cluster;
 use demsort_core::recio::read_records;
 use demsort_core::validate::hash_record;
 use demsort_types::{
-    AlgoConfig, JobConfig, MachineConfig, Phase, Record as _, Record100, SortConfig, SortReport,
+    AlgoConfig, JobConfig, MachineConfig, Phase, Record as _, Record100, SortAlgo, SortConfig,
+    SortReport,
 };
 use demsort_workloads::gensort_records;
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -104,6 +105,7 @@ fn four_rank_tcp_launch_matches_in_process_run() {
         output: out_tcp.to_string_lossy().into_owned(),
         machine: test_machine(),
         algo: AlgoConfig::default(),
+        algorithm: SortAlgo::Canonical,
         read_timeout_ms: 60_000,
     };
     let worker = PathBuf::from(env!("CARGO_BIN_EXE_demsort-worker"));
@@ -177,6 +179,7 @@ fn launch_surfaces_worker_failure() {
         output: out.to_string_lossy().into_owned(),
         machine: MachineConfig { pes: 2, ..test_machine() },
         algo: AlgoConfig::default(),
+        algorithm: SortAlgo::Canonical,
         read_timeout_ms: 10_000,
     };
     let worker = PathBuf::from(env!("CARGO_BIN_EXE_demsort-worker"));

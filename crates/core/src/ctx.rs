@@ -1,31 +1,97 @@
 //! Per-PE execution context: storage for every PE, phase accounting.
 //!
 //! A PE owns its communicator endpoint and *operates on* its own
-//! storage; peers' storage is reachable read-only for the remote probes
-//! of external multiway selection (Section IV-A: "they have to request
-//! data from remote disks"). In a real deployment those probes are
-//! one-block RDMA gets / MPI request-reply pairs. The in-process
-//! cluster holds every PE's storage in one [`ClusterStorage`], so a
-//! probe reads the peer's storage engine directly; the multi-process
-//! runtime gives each worker a single-rank view
-//! ([`ClusterStorage::single`]) whose remote probes go through a
-//! [`RemoteBlockFetch`] (the TCP transport's out-of-band probe
+//! storage; peers' storage is reachable read-only through the
+//! **location-transparent block service** of [`ClusterStorage`] — the
+//! remote probes of external multiway selection (Section IV-A: "they
+//! have to request data from remote disks") and the cross-rank block
+//! reads of the globally striped algorithm (Section III). In a real
+//! deployment those reads are one-block RDMA gets / MPI request-reply
+//! pairs. The in-process cluster holds every PE's storage in one
+//! [`ClusterStorage`], so a fetch reads the owner's storage engine
+//! directly; the multi-process runtime gives each worker a single-rank
+//! view ([`ClusterStorage::single`]) whose remote fetches go through a
+//! [`RemoteBlockService`] (the TCP transport's out-of-band block
 //! channel). Either way the I/O lands on the owning PE's disks
-//! (exactly where the paper's bottleneck analysis puts it) and the
-//! transferred bytes are charged to the prober as communication.
+//! (exactly where the paper's bottleneck analysis puts it), fetches
+//! are asynchronous [`BlockFetch`] handles mirroring the storage
+//! engine's `IoHandle` (so callers overlap remote reads with
+//! computation), and the transferred bytes are charged to the
+//! requester as communication.
 
-use demsort_storage::{Backend, BlockId, DiskModel, MemBackend, PeStorage};
+use demsort_storage::{Backend, BlockId, DiskModel, IoHandle, MemBackend, PeStorage};
 use demsort_types::{
     CommCounters, CpuCounters, Error, IoCounters, MachineConfig, Phase, PhaseStats, Result,
     SortConfig, SortReport,
 };
+use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Fetches one block from a remote PE's storage (multi-process mode:
-/// implemented over the transport's probe channel).
-pub trait RemoteBlockFetch: Send + Sync {
-    /// Read block `id` owned by rank `pe`.
-    fn fetch(&self, pe: usize, id: BlockId) -> Result<Box<[u8]>>;
+/// A pending remote block read: the block service's counterpart of the
+/// storage engine's `IoHandle`, implemented by the transport (the TCP
+/// backend wraps its wire-level future in this).
+pub trait PendingBlock: Send {
+    /// Block until the response arrives; returns the block bytes.
+    fn wait(self: Box<Self>) -> Result<Box<[u8]>>;
+
+    /// `true` once the response has arrived (success or failure).
+    fn is_done(&self) -> bool;
+}
+
+/// Issues asynchronous batched reads of blocks owned by a remote PE
+/// (multi-process mode: implemented over the transport's block-service
+/// channel). Requests are pipelined — all go out before any is waited
+/// on — and responses may complete in any order.
+pub trait RemoteBlockService: Send + Sync {
+    /// Issue reads of `ids` owned by rank `pe`; handles are returned
+    /// in request order.
+    fn fetch_blocks(&self, pe: usize, ids: &[BlockId]) -> Result<Vec<BlockFetch>>;
+}
+
+enum FetchState {
+    /// Served by a local engine (the owner's disk pays the I/O).
+    Local(IoHandle),
+    /// In flight on the wire.
+    Remote(Box<dyn PendingBlock>),
+}
+
+/// One pending block read through [`ClusterStorage::fetch_blocks`],
+/// local or remote — poll with [`BlockFetch::is_done`], resolve with
+/// [`BlockFetch::wait`].
+#[must_use = "a BlockFetch must be waited on, or the read is abandoned"]
+pub struct BlockFetch(FetchState);
+
+impl BlockFetch {
+    /// A fetch served by a local storage engine.
+    pub fn local(handle: IoHandle) -> Self {
+        Self(FetchState::Local(handle))
+    }
+
+    /// A fetch in flight on a transport.
+    pub fn remote(pending: Box<dyn PendingBlock>) -> Self {
+        Self(FetchState::Remote(pending))
+    }
+
+    /// An already-completed fetch (cache hits, tests).
+    pub fn ready(data: Box<[u8]>) -> Self {
+        Self(FetchState::Local(IoHandle::ready(data)))
+    }
+
+    /// Block until the read completes; returns the block bytes.
+    pub fn wait(self) -> Result<Box<[u8]>> {
+        match self.0 {
+            FetchState::Local(h) => h.wait(),
+            FetchState::Remote(p) => p.wait(),
+        }
+    }
+
+    /// `true` once the read has completed (success or failure).
+    pub fn is_done(&self) -> bool {
+        match &self.0 {
+            FetchState::Local(h) => h.is_done(),
+            FetchState::Remote(p) => p.is_done(),
+        }
+    }
 }
 
 /// The storage view of one participant in the cluster.
@@ -33,7 +99,7 @@ pub trait RemoteBlockFetch: Send + Sync {
 /// * In-process cluster: every PE's storage, shared between PE
 ///   threads (`base_rank = 0`, all ranks local).
 /// * Multi-process cluster: one worker's own storage plus a remote
-///   fetcher for probing peers' blocks.
+///   block service for reading peers' blocks.
 pub struct ClusterStorage {
     /// Cluster size (`P`), which may exceed `pes.len()` in single-rank
     /// mode.
@@ -41,7 +107,7 @@ pub struct ClusterStorage {
     /// Rank of `pes[0]`.
     base_rank: usize,
     pes: Vec<PeStorage>,
-    remote: Option<Box<dyn RemoteBlockFetch>>,
+    remote: Option<Box<dyn RemoteBlockService>>,
 }
 
 impl ClusterStorage {
@@ -69,12 +135,13 @@ impl ClusterStorage {
     }
 
     /// Single-rank view for a worker process: `rank`'s own storage plus
-    /// a fetcher for remote probes. `size` is the cluster size `P`.
+    /// a block service for remote reads. `size` is the cluster size
+    /// `P`.
     pub fn single(
         rank: usize,
         size: usize,
         storage: PeStorage,
-        remote: Box<dyn RemoteBlockFetch>,
+        remote: Box<dyn RemoteBlockService>,
     ) -> Arc<Self> {
         assert!(rank < size, "rank {rank} out of range for {size} ranks");
         Arc::new(Self { size, base_rank: rank, pes: vec![storage], remote: Some(remote) })
@@ -97,20 +164,63 @@ impl ClusterStorage {
         &self.pes[rank - self.base_rank]
     }
 
-    /// Read one block of PE `rank`'s storage, local or remote — the
-    /// multiway-selection probe path. Local reads go through the
-    /// owner's engine (its disk pays the I/O); remote reads go through
-    /// the registered [`RemoteBlockFetch`].
+    /// Read one block of PE `rank`'s storage, local or remote — a
+    /// one-element [`ClusterStorage::fetch_blocks`] waited immediately
+    /// (the multiway-selection probe path).
     pub fn fetch_block(&self, rank: usize, id: BlockId) -> Result<Box<[u8]>> {
+        let mut fetches = self.fetch_blocks(rank, &[id])?;
+        fetches.pop().expect("one fetch issued").wait()
+    }
+
+    /// Issue asynchronous reads of blocks owned by PE `rank`, local or
+    /// remote — the location-transparent block service. Handles come
+    /// back in request order; all reads are issued (and, for remote
+    /// owners, pipelined on the wire) before any is waited on, so
+    /// callers overlap the fetches with computation. Local reads go
+    /// through the owner's engine (its disk pays the I/O, and issue
+    /// order shapes its per-disk FIFO queues — pass ids in a prefetch
+    /// schedule order to realize it); remote reads go through the
+    /// registered [`RemoteBlockService`].
+    pub fn fetch_blocks(&self, rank: usize, ids: &[BlockId]) -> Result<Vec<BlockFetch>> {
+        if rank >= self.size {
+            return Err(Error::config(format!("rank {rank} out of range for {} ranks", self.size)));
+        }
         if self.is_local(rank) {
-            return self.pe(rank).engine().read_sync(id);
+            let engine = self.pe(rank).engine();
+            return Ok(ids.iter().map(|&id| BlockFetch::local(engine.read(id))).collect());
         }
         match &self.remote {
-            Some(r) => r.fetch(rank, id),
+            Some(r) => r.fetch_blocks(rank, ids),
             None => Err(Error::io(format!(
-                "PE {rank}'s storage is remote and no remote fetcher is registered"
+                "PE {rank}'s storage is remote and no remote block service is registered"
             ))),
         }
+    }
+
+    /// Read one block of PE `owner`'s storage through `cache`: a hit
+    /// costs nothing, a miss fetches through the block service and
+    /// populates the cache. The returned [`FetchSource`] says which
+    /// path served the read, classified relative to `my_rank` — a
+    /// cross-PE fetch is [`FetchSource::RemoteDisk`] even in the
+    /// in-process cluster, where every PE's storage happens to share
+    /// the address space (the counters must not depend on the
+    /// deployment shape).
+    pub fn fetch_block_cached(
+        &self,
+        my_rank: usize,
+        owner: usize,
+        id: BlockId,
+        cache: &mut BlockCache,
+    ) -> Result<(Arc<[u8]>, FetchSource)> {
+        if let Some(data) = cache.get(owner, id) {
+            return Ok((data, FetchSource::Cache));
+        }
+        let block = self.fetch_block(owner, id)?;
+        let data: Arc<[u8]> = Arc::from(block);
+        cache.put(owner, id, Arc::clone(&data));
+        let source =
+            if owner == my_rank { FetchSource::LocalDisk } else { FetchSource::RemoteDisk };
+        Ok((data, source))
     }
 
     /// Number of PEs in the cluster (`P`, not the local count).
@@ -121,6 +231,64 @@ impl ClusterStorage {
     /// `true` if the cluster has no PEs (never in practice).
     pub fn is_empty(&self) -> bool {
         self.size == 0
+    }
+}
+
+/// Which path served a [`ClusterStorage::fetch_block_cached`] read.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FetchSource {
+    /// The block cache — no I/O at all.
+    Cache,
+    /// The caller's own disks.
+    LocalDisk,
+    /// Another PE's disks (communication charged to the caller).
+    RemoteDisk,
+}
+
+/// Cache key: the owning PE and the block's id on its disks.
+type CacheKey = (usize, BlockId);
+/// Cache value: LRU stamp plus the shared block buffer.
+type CacheEntry = (u64, Arc<[u8]>);
+
+/// LRU cache of fetched blocks, shared across the probes of one
+/// external selection (capacity 0 disables caching — the paper's
+/// ablation). Keyed by `(owning PE, block id)`; values are decoded
+/// block buffers shared by `Arc`.
+pub struct BlockCache {
+    cap: usize,
+    clock: u64,
+    map: HashMap<CacheKey, CacheEntry>,
+}
+
+impl BlockCache {
+    /// A cache holding at most `cap` blocks.
+    pub fn new(cap: usize) -> Self {
+        Self { cap, clock: 0, map: HashMap::with_capacity(cap) }
+    }
+
+    fn get(&mut self, owner: usize, id: BlockId) -> Option<Arc<[u8]>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(&(owner, id)).map(|(stamp, data)| {
+            *stamp = clock;
+            Arc::clone(data)
+        })
+    }
+
+    fn put(&mut self, owner: usize, id: BlockId, data: Arc<[u8]>) {
+        if self.cap == 0 {
+            return;
+        }
+        self.clock += 1;
+        let key = (owner, id);
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            // Evict the least recently used entry (capacities are small
+            // — tens of blocks — so a scan beats bookkeeping).
+            if let Some(&old) = self.map.iter().min_by_key(|(_, (s, _))| *s).map(|(k, _)| k) {
+                self.map.remove(&old);
+            }
+        }
+        self.map.insert(key, (self.clock, data));
     }
 }
 
@@ -228,9 +396,16 @@ mod tests {
     /// Echoes the requested address instead of real data.
     struct FakeFetch;
 
-    impl RemoteBlockFetch for FakeFetch {
-        fn fetch(&self, pe: usize, id: BlockId) -> Result<Box<[u8]>> {
-            Ok(vec![pe as u8, id.disk as u8, id.slot as u8].into_boxed_slice())
+    impl RemoteBlockService for FakeFetch {
+        fn fetch_blocks(&self, pe: usize, ids: &[BlockId]) -> Result<Vec<BlockFetch>> {
+            Ok(ids
+                .iter()
+                .map(|id| {
+                    BlockFetch::ready(
+                        vec![pe as u8, id.disk as u8, id.slot as u8].into_boxed_slice(),
+                    )
+                })
+                .collect())
         }
     }
 
@@ -257,9 +432,62 @@ mod tests {
         assert!(!cs.is_local(0) && !cs.is_local(2));
         // Local fetch reads the real block through the own engine.
         assert_eq!(&cs.fetch_block(1, local_id).expect("local")[..3], &[7, 7, 7]);
-        // Remote fetch goes through the registered fetcher.
+        // Remote fetch goes through the registered block service.
         let got = cs.fetch_block(2, BlockId::new(1, 5)).expect("remote");
         assert_eq!(&*got, &[2u8, 1, 5][..]);
+        // Batched fetches return handles in request order.
+        let ids = [BlockId::new(0, 1), BlockId::new(1, 2)];
+        let fetches = cs.fetch_blocks(0, &ids).expect("batch");
+        let got: Vec<Box<[u8]>> =
+            fetches.into_iter().map(|f| f.wait().expect("remote block")).collect();
+        assert_eq!(&*got[0], &[0u8, 0, 1][..]);
+        assert_eq!(&*got[1], &[0u8, 1, 2][..]);
+        // Out-of-range ranks are clean errors.
+        assert!(cs.fetch_blocks(9, &ids).is_err());
+    }
+
+    #[test]
+    fn cached_fetch_classifies_sources_by_owner_not_view() {
+        let (cs, local_id) = one_rank_view(1, 3);
+        let mut cache = BlockCache::new(8);
+        let (_, src) = cs.fetch_block_cached(1, 1, local_id, &mut cache).expect("own block");
+        assert_eq!(src, FetchSource::LocalDisk);
+        let (_, src) = cs.fetch_block_cached(1, 1, local_id, &mut cache).expect("cached");
+        assert_eq!(src, FetchSource::Cache);
+        let remote_id = BlockId::new(0, 3);
+        let (data, src) = cs.fetch_block_cached(1, 2, remote_id, &mut cache).expect("peer block");
+        assert_eq!(src, FetchSource::RemoteDisk);
+        assert_eq!(&*data, &[2u8, 0, 3][..]);
+        let (_, src) = cs.fetch_block_cached(1, 2, remote_id, &mut cache).expect("cached");
+        assert_eq!(src, FetchSource::Cache);
+        // The in-process view classifies the same way: a cross-PE fetch
+        // is remote even though the storage is reachable directly.
+        let all = ClusterStorage::new_mem(&MachineConfig::tiny(2));
+        let id = all.pe(1).alloc().alloc_striped();
+        all.pe(1)
+            .engine()
+            .write_sync(id, vec![9u8; all.pe(1).block_bytes()].into_boxed_slice())
+            .expect("write");
+        let mut cache = BlockCache::new(0); // capacity 0: cache disabled
+        let (_, src) = all.fetch_block_cached(0, 1, id, &mut cache).expect("cross-PE");
+        assert_eq!(src, FetchSource::RemoteDisk);
+        let (_, src) = all.fetch_block_cached(0, 1, id, &mut cache).expect("uncached");
+        assert_eq!(src, FetchSource::RemoteDisk, "capacity 0 must never hit");
+        let (_, src) = all.fetch_block_cached(1, 1, id, &mut cache).expect("own");
+        assert_eq!(src, FetchSource::LocalDisk);
+    }
+
+    #[test]
+    fn lru_cache_evicts_least_recent() {
+        let mut c = BlockCache::new(2);
+        let data: Arc<[u8]> = Arc::from(vec![0u8; 4].into_boxed_slice());
+        c.put(0, BlockId::new(0, 0), Arc::clone(&data));
+        c.put(0, BlockId::new(0, 1), Arc::clone(&data));
+        assert!(c.get(0, BlockId::new(0, 0)).is_some()); // refresh 0
+        c.put(0, BlockId::new(0, 2), Arc::clone(&data)); // evicts (0,1)
+        assert!(c.get(0, BlockId::new(0, 1)).is_none());
+        assert!(c.get(0, BlockId::new(0, 0)).is_some());
+        assert!(c.get(0, BlockId::new(0, 2)).is_some());
     }
 
     #[test]

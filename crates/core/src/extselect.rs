@@ -19,19 +19,21 @@
 //! 3. **caching** — an LRU cache of recently probed blocks absorbs the
 //!    last `R·log B` probes of the halving search.
 //!
-//! A probe reads the block through the *owning* PE's storage engine
-//! (its disk pays the I/O, as in the paper's bottleneck analysis) and
-//! charges the transferred bytes to the prober as communication.
+//! A probe reads the block through the unified
+//! [`ClusterStorage::fetch_block_cached`] path — the *owning* PE's
+//! storage engine serves it (its disk pays the I/O, as in the paper's
+//! bottleneck analysis), the shared [`BlockCache`] absorbs repeats,
+//! and the transferred bytes are charged to the prober as
+//! communication. The same path serves the probes on every transport,
+//! so the probe counters are deployment-independent by construction.
 
-use crate::ctx::ClusterStorage;
+use crate::ctx::{BlockCache, ClusterStorage, FetchSource};
 use crate::recio::records_per_block;
 use crate::rundir::{RunDirectory, RunMeta};
 use crate::selection::{multiway_select_from, KeyedSlice, SortedSeq};
 use demsort_types::{AlgoConfig, CommCounters, Error, Record, Result};
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
-use std::sync::Arc;
 
 /// Probe-cost accounting for one external selection.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -65,48 +67,6 @@ impl SelectionStats {
             bytes_recv: self.remote_bytes,
             messages: 2 * self.blocks_remote,
         }
-    }
-}
-
-/// LRU cache of decoded probe blocks, shared by the `R` run probes of
-/// one selection (capacity 0 disables caching).
-/// Cache key: (owning PE, disk, slot). Value: (LRU stamp, block).
-type CacheKey = (usize, u32, u32);
-type CacheEntry = (u64, Arc<[u8]>);
-
-struct BlockCache {
-    cap: usize,
-    clock: u64,
-    map: HashMap<CacheKey, CacheEntry>,
-}
-
-impl BlockCache {
-    fn new(cap: usize) -> Self {
-        Self { cap, clock: 0, map: HashMap::with_capacity(cap) }
-    }
-
-    fn get(&mut self, key: CacheKey) -> Option<Arc<[u8]>> {
-        self.clock += 1;
-        let clock = self.clock;
-        self.map.get_mut(&key).map(|(stamp, data)| {
-            *stamp = clock;
-            Arc::clone(data)
-        })
-    }
-
-    fn put(&mut self, key: CacheKey, data: Arc<[u8]>) {
-        if self.cap == 0 {
-            return;
-        }
-        self.clock += 1;
-        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
-            // Evict the least recently used entry (capacities are small
-            // — tens of blocks — so a scan beats bookkeeping).
-            if let Some(&old) = self.map.iter().min_by_key(|(_, (s, _))| *s).map(|(k, _)| k) {
-                self.map.remove(&old);
-            }
-        }
-        self.map.insert(key, (self.clock, data));
     }
 }
 
@@ -149,38 +109,34 @@ impl<R: Record> SortedSeq for RunProbe<'_, R> {
         let offset = (local % self.rpb as u64) as usize;
         let id = self.meta.slices[pe].blocks[block_idx];
 
-        let mut stats = self.stats.borrow_mut();
-        let key = (pe, id.disk, id.slot);
-        let cached = self.cache.borrow_mut().get(key);
-        let data = if let Some(d) = cached {
-            stats.cache_hits += 1;
-            d
-        } else {
-            // Only a cache-missing probe is an I/O step — the metric
-            // the paper's bottleneck analysis (and the sampling/caching
-            // ablation) is about; see SelectionStats::probes.
-            // Probe through the owner's storage: its disk pays the
-            // I/O. In multi-process mode a non-local owner is reached
-            // through the transport's probe channel; a dead owner
-            // surfaces here as a clean error, not a panic. Keep the
-            // error's kind (a local disk fault stays Error::Io) and
-            // add probe context to comm failures only.
-            let block = self.storage.fetch_block(pe, id).map_err(|e| match e {
+        // Only a cache-missing probe is an I/O step — the metric the
+        // paper's bottleneck analysis (and the sampling/caching
+        // ablation) is about; see SelectionStats::probes. The unified
+        // fetch path reads through the owner's storage: its disk pays
+        // the I/O. In multi-process mode a non-local owner is reached
+        // through the transport's block service; a dead owner surfaces
+        // here as a clean error, not a panic. Keep the error's kind (a
+        // local disk fault stays Error::Io) and add probe context to
+        // comm failures only.
+        let mut cache = self.cache.borrow_mut();
+        let (data, source) = self
+            .storage
+            .fetch_block_cached(self.my_rank, pe, id, &mut cache)
+            .map_err(|e| match e {
                 Error::Comm(m) => {
                     Error::comm(format!("selection probe of rank {pe}'s block {id:?} failed: {m}"))
                 }
                 other => other,
             })?;
-            if pe == self.my_rank {
-                stats.blocks_local += 1;
-            } else {
+        let mut stats = self.stats.borrow_mut();
+        match source {
+            FetchSource::Cache => stats.cache_hits += 1,
+            FetchSource::LocalDisk => stats.blocks_local += 1,
+            FetchSource::RemoteDisk => {
                 stats.blocks_remote += 1;
-                stats.remote_bytes += block.len() as u64;
+                stats.remote_bytes += data.len() as u64;
             }
-            let arc: Arc<[u8]> = Arc::from(block);
-            self.cache.borrow_mut().put(key, Arc::clone(&arc));
-            arc
-        };
+        }
         Ok(R::decode(&data[offset * R::BYTES..(offset + 1) * R::BYTES]).key())
     }
 }
@@ -193,7 +149,9 @@ pub struct RunSplitters {
     pub positions: Vec<u64>,
 }
 
-/// Select the partition of global rank `r` over all runs of `dir`.
+/// Select the partition of global rank `r` over all runs of `dir` — a
+/// one-rank [`select_ranks_external`] (same probe path, same cache
+/// behavior).
 ///
 /// # Errors
 /// [`Error::Comm`] if a (possibly remote) block probe fails — the
@@ -205,33 +163,8 @@ pub fn select_rank_external<R: Record + Ord>(
     r: u64,
     algo: &AlgoConfig,
 ) -> Result<(RunSplitters, SelectionStats)> {
-    let block_bytes = storage.pe(my_rank).block_bytes();
-    let rpb = records_per_block::<R>(block_bytes);
-    let cache = Rc::new(RefCell::new(BlockCache::new(algo.selection_cache_blocks)));
-    let stats = Rc::new(RefCell::new(SelectionStats::default()));
-
-    let mut probes: Vec<RunProbe<'_, R>> = dir
-        .runs
-        .iter()
-        .map(|meta| RunProbe {
-            storage,
-            my_rank,
-            meta,
-            rpb,
-            use_samples: algo.sample_every > 0,
-            cache: Rc::clone(&cache),
-            stats: Rc::clone(&stats),
-        })
-        .collect();
-
-    // Sample warm start (Appendix B): an in-memory multiway selection
-    // over the samples pins each splitter within ~K of its final
-    // position; the external search then starts at step ~K.
-    let (init, step) = sample_warm_start(dir, r, algo.sample_every);
-
-    let result = multiway_select_from(&mut probes, r, init, step)?;
-    let stats = *stats.borrow();
-    Ok((RunSplitters { positions: result.positions.iter().map(|&p| p as u64).collect() }, stats))
+    let (mut splitters, stats) = select_ranks_external(storage, my_rank, dir, &[r], algo)?;
+    Ok((splitters.pop().expect("one rank selected"), stats))
 }
 
 /// Select the partitions of *several* ranks over the runs of `dir`,
@@ -328,6 +261,7 @@ mod tests {
     use demsort_net::run_cluster;
     use demsort_types::{AlgoConfig, Element16, MachineConfig, SortConfig};
     use demsort_workloads::{generate_pe_input, InputSpec};
+    use std::sync::Arc;
 
     /// Build a cluster, form runs, and return (storage, per-PE dirs,
     /// decoded runs for reference checks).
@@ -492,26 +426,5 @@ mod tests {
             batched_fetches < individual_fetches,
             "shared cache must cut fetches: {batched_fetches} vs {individual_fetches}"
         );
-    }
-
-    #[test]
-    fn lru_cache_evicts_least_recent() {
-        let mut c = BlockCache::new(2);
-        let data: Arc<[u8]> = Arc::from(vec![0u8; 4].into_boxed_slice());
-        c.put((0, 0, 0), Arc::clone(&data));
-        c.put((0, 0, 1), Arc::clone(&data));
-        assert!(c.get((0, 0, 0)).is_some()); // refresh 0
-        c.put((0, 0, 2), Arc::clone(&data)); // evicts (0,0,1)
-        assert!(c.get((0, 0, 1)).is_none());
-        assert!(c.get((0, 0, 0)).is_some());
-        assert!(c.get((0, 0, 2)).is_some());
-    }
-
-    #[test]
-    fn zero_capacity_cache_is_disabled() {
-        let mut c = BlockCache::new(0);
-        let data: Arc<[u8]> = Arc::from(vec![0u8; 4].into_boxed_slice());
-        c.put((0, 0, 0), data);
-        assert!(c.get((0, 0, 0)).is_none());
     }
 }

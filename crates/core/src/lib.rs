@@ -41,9 +41,15 @@ pub mod striped;
 pub mod validate;
 
 pub use canonical::{canonical_mergesort, sort_cluster, ClusterOutcome, PeOutcome};
-pub use ctx::ClusterStorage;
+pub use ctx::{
+    BlockCache, BlockFetch, ClusterStorage, FetchSource, PendingBlock, RemoteBlockService,
+};
 pub use distselect::{dist_select_rank, dist_split};
 pub use merge::{merge_k, LoserTree};
 pub use psort::parallel_sort;
 pub use selection::{multiway_select, SelectionResult};
 pub use seqsort::sort_in_node;
+pub use striped::{
+    read_striped, read_striped_blocks, striped_mergesort, striped_sort_cluster,
+    StripedClusterOutcome,
+};

@@ -25,13 +25,23 @@
 //!
 //! The result is a globally striped sorted sequence: block `g` of the
 //! output holds elements `g·rpb ..`, on disk `g mod D`.
+//!
+//! All block reads go through the location-transparent
+//! [`ClusterStorage`] block service: the merge phase issues its batch
+//! fetches asynchronously in the duality-optimal prefetch order
+//! ([`duality_issue_order`], Appendix A), so the reads overlap the
+//! batch sort, and [`read_striped`] reconstructs the output from *any
+//! single rank* — blocks owned by peers are fetched over the wire in
+//! pipelined per-owner batches.
 
+use crate::ctx::{assemble_report, BlockFetch, ClusterStorage, PhaseRecorder};
 use crate::psort::parallel_sort;
 use crate::recio::records_per_block;
-use crate::runform::LocalInput;
-use demsort_net::{chunked_alltoallv, Communicator, MPI_VOLUME_LIMIT};
-use demsort_storage::{BlockId, PeStorage};
-use demsort_types::{CpuCounters, Record, Result, SortConfig};
+use crate::runform::{ingest_input, LocalInput};
+use demsort_net::{chunked_alltoallv, run_cluster, Communicator, MPI_VOLUME_LIMIT};
+use demsort_storage::{duality_issue_order, BlockId, PeStorage};
+use demsort_types::{CpuCounters, Phase, PhaseStats, Record, Result, SortConfig, SortReport};
+use std::sync::Arc;
 
 /// A globally striped sorted sequence: block `g` lives on PE
 /// `owners[g]` at `blocks[g]`, holding records
@@ -75,22 +85,35 @@ pub struct StripedOutcome<R: Record> {
     pub passes: usize,
     /// CPU counters for this PE.
     pub cpu: CpuCounters,
+    /// Per-phase measured counters: run formation (striped writes
+    /// included), then — when merging happened — the merge passes
+    /// under [`Phase::FinalMerge`].
+    pub phases: Vec<(Phase, PhaseStats)>,
 }
 
 /// Sort `input` into a globally striped output (Section III).
 /// Collective. `k_max` bounds the merge fan-in (`None` = `M/B`).
+///
+/// `input` must reside on this rank's own storage
+/// (`storage.pe(comm.rank())`); cross-rank block access — none during
+/// the sort itself, all of it in [`read_striped`] — goes through
+/// `storage`'s block service, so the identical call works on the
+/// in-process cluster and on a multi-process single-rank view.
 pub fn striped_mergesort<R: Record + Ord>(
     comm: &Communicator,
-    st: &PeStorage,
+    storage: &ClusterStorage,
     cfg: &SortConfig,
     input: LocalInput,
     cores: usize,
     k_max: Option<usize>,
 ) -> Result<StripedOutcome<R>> {
+    let me = comm.rank();
+    let st = storage.pe(me);
     let rpb = records_per_block::<R>(st.block_bytes());
     let bpr = cfg.machine.mem_blocks_per_pe().max(1);
     let k_max = k_max.unwrap_or(cfg.machine.mem_blocks_per_pe() * cfg.machine.pes).max(2);
     let mut cpu = CpuCounters::default();
+    let mut rec = PhaseRecorder::new(me, st.counters(), comm.counters());
 
     // ---- Run formation with striped writes ----
     let full_blocks = (input.elems / rpb as u64) as usize;
@@ -120,10 +143,12 @@ pub fn striped_mergesort<R: Record + Ord>(
         }
         let (sorted, sort_cpu) = parallel_sort(comm, data, cores)?;
         cpu = cpu.merge(&sort_cpu);
+        rec.add_cpu(sort_cpu);
         // The run is canonically distributed in memory; write it
         // striped over all disks (one more communication).
         runs.push(write_striped::<R>(comm, st, cfg, &sorted)?);
     }
+    rec.finish_phase(Phase::RunFormation, st.counters(), comm.counters());
 
     // ---- Merge passes ----
     let mut passes = 0;
@@ -131,15 +156,21 @@ pub fn striped_mergesort<R: Record + Ord>(
         passes += 1;
         let mut next: Vec<StripedRun<R::Key>> = Vec::new();
         for group in runs.chunks(k_max) {
-            let (merged, pass_cpu) = merge_striped_group::<R>(comm, st, cfg, group, cores)?;
+            let (merged, pass_cpu) = merge_striped_group::<R>(comm, storage, cfg, group, cores)?;
             cpu = cpu.merge(&pass_cpu);
+            rec.add_cpu(pass_cpu);
             next.push(merged);
         }
         runs = next;
     }
+    if passes > 0 {
+        // `num_runs` is a collective maximum, so every rank records the
+        // same phase set (the report shapes stay comparable).
+        rec.finish_phase(Phase::FinalMerge, st.counters(), comm.counters());
+    }
 
     let output = runs.into_iter().next().unwrap_or_else(StripedRun::empty);
-    Ok(StripedOutcome { output, runs: num_runs, passes, cpu })
+    Ok(StripedOutcome { output, runs: num_runs, passes, cpu, phases: rec.into_stats() })
 }
 
 /// Write a canonically distributed sorted sequence (each PE holds its
@@ -264,12 +295,13 @@ fn write_striped<R: Record>(
 /// Merge one group of striped runs into a new striped run.
 fn merge_striped_group<R: Record + Ord>(
     comm: &Communicator,
-    st: &PeStorage,
+    storage: &ClusterStorage,
     cfg: &SortConfig,
     group: &[StripedRun<R::Key>],
     cores: usize,
 ) -> Result<(StripedRun<R::Key>, CpuCounters)> {
     let me = comm.rank();
+    let st = storage.pe(me);
     let p = comm.size();
 
     let mut cpu = CpuCounters::default();
@@ -295,23 +327,34 @@ fn merge_striped_group<R: Record + Ord>(
     let mut out_pieces: Vec<StripedRun<R::Key>> = Vec::new();
     while next < order.len() || comm.allreduce_sum(carry.len() as u64)? > 0 {
         let batch_end = (next + batch_blocks).min(order.len());
-        // Each PE reads the batch blocks that live on its disks.
-        let mut fetched: Vec<R> = Vec::new();
-        let mut handles = Vec::new();
-        for &(r, g) in &order[next..batch_end] {
-            let run = &group[r];
-            if run.owners[g] as usize == me {
-                let valid = run.counts[g] as usize;
-                handles.push((st.engine().read(run.blocks[g]), valid));
-                // In-place: the slot is reusable immediately (any write
-                // reusing it queues behind the read on the same disk);
-                // the backing bytes are only released on overwrite.
-                st.alloc().free(run.blocks[g]);
-            }
+        // Each PE reads the batch blocks that live on its disks,
+        // through the location-transparent block service: all fetches
+        // are issued asynchronously — in the duality-optimal prefetch
+        // order (Appendix A), which the engine's per-disk FIFO queues
+        // realize — before the first is waited on, so the reads
+        // overlap the decode and the batch sort below.
+        let mine: Vec<(BlockId, usize)> = order[next..batch_end]
+            .iter()
+            .filter_map(|&(r, g)| {
+                let run = &group[r];
+                (run.owners[g] as usize == me).then(|| (run.blocks[g], run.counts[g] as usize))
+            })
+            .collect();
+        let ids: Vec<BlockId> = mine.iter().map(|&(id, _)| id).collect();
+        let issue = duality_issue_order(&ids, batch_blocks.div_ceil(p).max(st.disks()));
+        let issue_ids: Vec<BlockId> = issue.iter().map(|&i| ids[i]).collect();
+        let issued = storage.fetch_blocks(me, &issue_ids)?;
+        let mut handles: Vec<Option<BlockFetch>> = ids.iter().map(|_| None).collect();
+        for (&i, f) in issue.iter().zip(issued) {
+            handles[i] = Some(f);
         }
-        for (h, valid) in handles {
-            let buf = h.wait()?;
+        let mut fetched: Vec<R> = Vec::new();
+        for (i, &(id, valid)) in mine.iter().enumerate() {
+            let buf = handles[i].take().expect("every block issued").wait()?;
             R::decode_slice(&buf[..valid * R::BYTES], &mut fetched);
+            // In-place: the slot is reusable once consumed; the
+            // backing bytes are only released on overwrite.
+            st.alloc().free(id);
         }
         next = batch_end;
 
@@ -359,27 +402,131 @@ fn merge_striped_group<R: Record + Ord>(
     Ok((merged, cpu))
 }
 
-/// Read a striped run back as one vector (test/validation helper —
-/// on a real cluster each PE would read only its blocks).
+/// How many blocks the striped streaming readers keep
+/// issued-but-unconsumed: deep enough to pipeline fetches across every
+/// owner's disks, shallow enough that in-flight response buffers stay
+/// O(window), not O(run).
+const READ_STRIPED_WINDOW: usize = 64;
+
+/// Stream a striped run's blocks in global order into `sink`, **from
+/// any single rank**: every block goes through the [`ClusterStorage`]
+/// block service, so blocks owned by peers are fetched over the
+/// transport. Reads are issued ahead of consumption as pipelined
+/// per-owner batches, bounded by a fixed in-flight window — memory
+/// stays O(window · B) regardless of the run size. Each callback
+/// receives one block's valid bytes (`counts[g] · record_bytes` of raw
+/// encoded records). The shared engine under [`read_striped`] and the
+/// file write-back of `sortfile --algo striped`.
+pub fn read_striped_blocks<K>(
+    storage: &ClusterStorage,
+    run: &StripedRun<K>,
+    record_bytes: usize,
+    mut sink: impl FnMut(&[u8]) -> Result<()>,
+) -> Result<()> {
+    let n = run.blocks.len();
+    let mut pending: Vec<Option<BlockFetch>> = run.blocks.iter().map(|_| None).collect();
+    let mut issued = 0usize;
+    // Issue the next slice of global blocks as one batch per owner —
+    // remote owners see a handful of pipelined request frames behind
+    // one flush each, and all owners' fetches are in flight at once.
+    let issue_chunk = |from: usize, pending: &mut Vec<Option<BlockFetch>>| -> Result<usize> {
+        let to = (from + READ_STRIPED_WINDOW / 2).max(from + 1).min(n);
+        let mut by_owner: std::collections::BTreeMap<u32, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for g in from..to {
+            by_owner.entry(run.owners[g]).or_default().push(g);
+        }
+        for (owner, gs) in &by_owner {
+            let ids: Vec<BlockId> = gs.iter().map(|&g| run.blocks[g]).collect();
+            let fetches = storage.fetch_blocks(*owner as usize, &ids)?;
+            for (&g, f) in gs.iter().zip(fetches) {
+                pending[g] = Some(f);
+            }
+        }
+        Ok(to)
+    };
+    for g in 0..n {
+        while issued < n && issued - g < READ_STRIPED_WINDOW {
+            issued = issue_chunk(issued, &mut pending)?;
+        }
+        let data = pending[g].take().expect("every block issued before consumption").wait()?;
+        sink(&data[..run.counts[g] as usize * record_bytes])?;
+    }
+    Ok(())
+}
+
+/// Read a striped run back as one vector — [`read_striped_blocks`]
+/// decoded into records (test/validation convenience; callers that
+/// stream to a file should use the block form directly to keep memory
+/// bounded).
 pub fn read_striped<R: Record>(
-    storage: &crate::ctx::ClusterStorage,
+    storage: &ClusterStorage,
     run: &StripedRun<R::Key>,
 ) -> Result<Vec<R>> {
     let mut out = Vec::with_capacity(run.elems as usize);
-    for g in 0..run.blocks.len() {
-        let st = storage.pe(run.owners[g] as usize);
-        let data = st.engine().read_sync(run.blocks[g])?;
-        R::decode_slice(&data[..run.counts[g] as usize * R::BYTES], &mut out);
-    }
+    read_striped_blocks(storage, run, R::BYTES, |bytes| {
+        R::decode_slice(bytes, &mut out);
+        Ok(())
+    })?;
     Ok(out)
+}
+
+/// Whole-cluster result of [`striped_sort_cluster`].
+pub struct StripedClusterOutcome<R: Record> {
+    /// Per-PE outcomes, indexed by rank.
+    pub per_pe: Vec<StripedOutcome<R>>,
+    /// The aggregated measured report.
+    pub report: SortReport,
+    /// The cluster storage (the striped output remains readable
+    /// through it via [`read_striped`]).
+    pub storage: Arc<ClusterStorage>,
+}
+
+/// Convenience driver for the in-process cluster: spin up
+/// `cfg.machine.pes` PE threads, generate and ingest each PE's input
+/// via `gen(pe, p)`, run the striped mergesort, and aggregate the
+/// report — the striped sibling of
+/// [`sort_cluster`](crate::canonical::sort_cluster).
+pub fn striped_sort_cluster<R, G>(
+    cfg: &SortConfig,
+    gen: G,
+    k_max: Option<usize>,
+) -> Result<StripedClusterOutcome<R>>
+where
+    R: Record + Ord,
+    G: Fn(usize, usize) -> Vec<R> + Send + Sync,
+{
+    let p = cfg.machine.pes;
+    let storage = ClusterStorage::new_mem(&cfg.machine);
+    let storage_ref = &storage;
+    let gen = &gen;
+    let results: Vec<Result<StripedOutcome<R>>> = run_cluster(p, move |comm| {
+        let st = storage_ref.pe(comm.rank());
+        let recs = gen(comm.rank(), p);
+        let input = ingest_input(st, &recs)?;
+        striped_mergesort::<R>(&comm, storage_ref, cfg, input, cfg.machine.cores_per_pe, k_max)
+    });
+    let mut per_pe = Vec::with_capacity(p);
+    for r in results {
+        per_pe.push(r?);
+    }
+    // The striped output is global, so the element count is any PE's
+    // view of it (identical everywhere), not a per-PE sum.
+    let elements = per_pe.first().map_or(0, |o| o.output.elems);
+    let runs = per_pe.first().map_or(0, |o| o.runs);
+    let report = assemble_report(
+        cfg,
+        elements,
+        R::BYTES,
+        runs,
+        per_pe.iter().map(|o| o.phases.clone()).collect(),
+    );
+    Ok(StripedClusterOutcome { per_pe, report, storage })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ctx::ClusterStorage;
-    use crate::runform::ingest_input;
-    use demsort_net::run_cluster;
     use demsort_types::{AlgoConfig, Element16, MachineConfig};
     use demsort_workloads::{checksum_elements, generate_all, generate_pe_input, InputSpec};
 
@@ -390,17 +537,15 @@ mod tests {
         k_max: Option<usize>,
     ) -> (Vec<Element16>, Vec<StripedOutcome<Element16>>, std::sync::Arc<ClusterStorage>) {
         let cfg = SortConfig::new(MachineConfig::tiny(p), AlgoConfig::default()).expect("valid");
-        let storage = ClusterStorage::new_mem(&cfg.machine);
-        let storage_ref = &storage;
-        let cfg2 = cfg.clone();
-        let outcomes = run_cluster(p, move |c| {
-            let st = storage_ref.pe(c.rank());
-            let recs = generate_pe_input(spec, 21, c.rank(), p, local_n);
-            let input = ingest_input(st, &recs).expect("ingest");
-            striped_mergesort::<Element16>(&c, st, &cfg2, input, 1, k_max).expect("sort")
-        });
-        let got = read_striped::<Element16>(&storage, &outcomes[0].output).expect("read");
-        (got, outcomes, storage)
+        let outcome = striped_sort_cluster::<Element16, _>(
+            &cfg,
+            |pe, p| generate_pe_input(spec, 21, pe, p, local_n),
+            k_max,
+        )
+        .expect("sort");
+        let got =
+            read_striped::<Element16>(&outcome.storage, &outcome.per_pe[0].output).expect("read");
+        (got, outcome.per_pe, outcome.storage)
     }
 
     fn check(p: usize, local_n: usize, spec: InputSpec, k_max: Option<usize>) {
@@ -450,5 +595,45 @@ mod tests {
         for pe in 0..3u32 {
             assert!(owners.contains(&pe), "every PE owns output blocks");
         }
+    }
+
+    #[test]
+    fn phases_cover_run_formation_and_merging() {
+        // External case: both phases recorded, counters attributed.
+        let (_, outcomes, _) = sort_striped(2, 700, InputSpec::Uniform, None);
+        for o in &outcomes {
+            assert!(o.passes >= 1, "external case must merge");
+            let phases: Vec<Phase> = o.phases.iter().map(|(p, _)| *p).collect();
+            assert_eq!(phases, vec![Phase::RunFormation, Phase::FinalMerge]);
+            assert!(o.phases[0].1.io.bytes_written > 0, "runs written in phase 1");
+            assert!(o.phases[1].1.io.bytes_read > 0, "merge reads in phase 2");
+        }
+        // Single-run case: only run formation.
+        let (_, outcomes, _) = sort_striped(2, 200, InputSpec::Uniform, None);
+        for o in &outcomes {
+            assert_eq!(o.passes, 0);
+            let phases: Vec<Phase> = o.phases.iter().map(|(p, _)| *p).collect();
+            assert_eq!(phases, vec![Phase::RunFormation]);
+        }
+    }
+
+    #[test]
+    fn cluster_driver_report_aggregates_striped_phases() {
+        let cfg = SortConfig::new(MachineConfig::tiny(2), AlgoConfig::default()).expect("valid");
+        let outcome = striped_sort_cluster::<Element16, _>(
+            &cfg,
+            |pe, p| generate_pe_input(InputSpec::Uniform, 21, pe, p, 700),
+            None,
+        )
+        .expect("sort");
+        assert_eq!(outcome.report.elements, 2 * 700);
+        assert_eq!(outcome.report.pes, 2);
+        assert!(outcome.report.runs > 1, "external case");
+        // Striped I/O: 2 passes = ~4N plus the re-striping writes.
+        let io_over_n = outcome.report.io_volume_over_n();
+        assert!(io_over_n > 3.0, "two-pass external I/O, got {io_over_n}");
+        // Striping costs communication on every pass ("4-5
+        // communications for two passes").
+        assert!(outcome.report.comm_volume_over_n() > 1.0);
     }
 }

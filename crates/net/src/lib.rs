@@ -15,7 +15,7 @@
 //!   OS thread, each PE pair a dedicated FIFO channel. This plays the
 //!   role MVAPICH's shared-memory device plays on one node: delivery
 //!   is a pointer move, and the whole cluster lives in one address
-//!   space (which also lets multiway selection probe remote storage by
+//!   space (which also lets remote block reads short-circuit to
 //!   direct memory access).
 //! * [`TcpTransport`](tcp::TcpTransport) — the multi-process mesh:
 //!   each PE is an OS process, each PE pair one TCP connection carrying
@@ -24,9 +24,11 @@
 //!   coordinator, buffered writers flushed at collective boundaries,
 //!   and per-socket timeouts so dead peers surface as errors. This
 //!   plays the role of MVAPICH's network device on the paper's
-//!   cluster; selection's remote one-block reads become out-of-band
-//!   request/reply frames served by the owner's reader thread, the
-//!   moral equivalent of the RDMA gets the paper assumes.
+//!   cluster; remote block reads (selection probes, striped-sequence
+//!   reconstruction) ride the out-of-band **block service**
+//!   ([`tcp::TcpTransport::fetch_blocks`]) — batched, pipelined,
+//!   id-matched request/reply frames served by the owner's reader
+//!   thread, the moral equivalent of the RDMA gets the paper assumes.
 //!
 //! Because metering happens in the facade, the message/byte counters of
 //! a job are **identical across transports** — the in-process cluster

@@ -20,12 +20,14 @@
 //!   deadlock a peer on bytes parked locally.
 //! * **Reader threads** — one per peer socket, demultiplexing frames
 //!   into per-source FIFO queues (preserving MPI's per-source
-//!   ordering) and serving **block-probe requests** out of band: the
-//!   paper's multiway selection issues one-block remote reads ("they
-//!   have to request data from remote disks", Section IV-A), which in
-//!   process-per-PE mode become request/reply frames served from the
-//!   owning rank's storage by its reader thread — the remote PE's CPU
-//!   never leaves its own phase, exactly like an RDMA get.
+//!   ordering) and serving the **block service** out of band: remote
+//!   block reads ("they have to request data from remote disks",
+//!   Section IV-A) become request/reply frames served from the owning
+//!   rank's storage by its reader thread — the remote PE's CPU never
+//!   leaves its own phase, exactly like an RDMA get. Requests carry
+//!   ids, so any number can be in flight per peer and responses are
+//!   matched by id, not arrival order ([`TcpTransport::fetch_blocks`]
+//!   pipelines a whole batch behind one flush).
 //! * **Failure detection** — sockets carry read timeouts and queue
 //!   receives are bounded by [`TcpOptions::read_timeout`], so a peer
 //!   dying mid-collective surfaces as a clean
@@ -34,10 +36,11 @@
 use crate::transport::Transport;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use demsort_types::{Error, Result};
+use std::collections::HashMap;
 use std::io::{BufWriter, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Handshake magic: `"DEMS"`.
@@ -57,12 +60,14 @@ const READ_TICK: Duration = Duration::from_millis(100);
 
 /// Frame kinds on the wire.
 const KIND_DATA: u8 = 0;
-const KIND_PROBE_REQ: u8 = 1;
-const KIND_PROBE_RESP: u8 = 2;
+const KIND_BLOCK_REQ: u8 = 1;
+const KIND_BLOCK_RESP: u8 = 2;
 
-/// Serves remote block-probe requests from this rank's local storage:
-/// `(disk, slot) -> block bytes` (or a message for the prober).
-pub type ProbeHandler = Arc<dyn Fn(u32, u32) -> std::result::Result<Vec<u8>, String> + Send + Sync>;
+/// Serves remote block-service requests from this rank's local
+/// storage: `(disk, slot) -> block bytes` (or a message for the
+/// requester). Runs on the reader thread of the requesting peer's
+/// connection, so serving never interrupts this rank's own phase.
+pub type BlockHandler = Arc<dyn Fn(u32, u32) -> std::result::Result<Vec<u8>, String> + Send + Sync>;
 
 /// Tunables of the TCP transport.
 #[derive(Clone, Debug)]
@@ -144,8 +149,94 @@ fn frame_header(kind: u8, len: usize) -> [u8; 5] {
     h
 }
 
-/// A probe response routed back to the waiting prober.
-type ProbeResp = (u64, std::result::Result<Vec<u8>, String>);
+/// Completion slot of one in-flight block request: the reader thread
+/// that receives the matching response fills it and wakes the waiter.
+struct FetchSlot {
+    result: Mutex<Option<Result<Vec<u8>>>>,
+    cv: Condvar,
+}
+
+impl FetchSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self { result: Mutex::new(None), cv: Condvar::new() })
+    }
+
+    fn complete(&self, r: Result<Vec<u8>>) {
+        let mut guard = self.result.lock().expect("fetch slot lock");
+        *guard = Some(r);
+        self.cv.notify_all();
+    }
+}
+
+/// The in-flight block requests of one endpoint, plus per-peer reader
+/// liveness. One lock covers both so a reader thread's exit sweep and
+/// new registrations serialize: a fetch is either swept (failed
+/// immediately) or refused — never silently stranded to ride out the
+/// full read timeout against a peer that can no longer answer.
+struct PendingFetches {
+    /// Request id → (owning peer, completion slot). Responses carry
+    /// the id, so they may arrive on any schedule and in any order.
+    inflight: HashMap<u64, (usize, Arc<FetchSlot>)>,
+    /// `true` once the peer's reader thread has exited (socket closed,
+    /// protocol violation, teardown) — no response can arrive anymore.
+    reader_gone: Vec<bool>,
+}
+
+type Pending = Mutex<PendingFetches>;
+
+/// A pending remote block read issued by
+/// [`TcpTransport::fetch_blocks`] — the wire-level sibling of the
+/// storage engine's `IoHandle`. Dropping it without waiting abandons
+/// the request (a late response is discarded by id).
+#[must_use = "a WireFetch must be waited on, or the read is abandoned"]
+pub struct WireFetch {
+    id: u64,
+    peer: usize,
+    slot: Arc<FetchSlot>,
+    pending: Arc<Pending>,
+    read_timeout: Duration,
+}
+
+impl WireFetch {
+    /// Block until the response arrives; bounded by the transport's
+    /// read timeout from the moment of the call.
+    ///
+    /// # Errors
+    /// [`Error::Comm`] if the owning rank disconnects or does not
+    /// answer within the timeout; [`Error::Io`] if it answered with a
+    /// storage error.
+    pub fn wait(self) -> Result<Vec<u8>> {
+        let deadline = Instant::now() + self.read_timeout;
+        let mut guard = self.slot.result.lock().expect("fetch slot lock");
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(Error::comm(format!(
+                    "block fetch from rank {}: timed out after {:?}",
+                    self.peer, self.read_timeout
+                )));
+            }
+            let (g, _) = self.slot.cv.wait_timeout(guard, left).expect("fetch slot lock");
+            guard = g;
+        }
+    }
+
+    /// `true` once the response has arrived (success or failure).
+    pub fn is_done(&self) -> bool {
+        self.slot.result.lock().expect("fetch slot lock").is_some()
+    }
+}
+
+impl Drop for WireFetch {
+    fn drop(&mut self) {
+        // Deregister so an abandoned (or completed) request cannot leak
+        // its slot; a response arriving later is dropped by id.
+        self.pending.lock().expect("pending fetches lock").inflight.remove(&self.id);
+    }
+}
 
 struct Inner {
     rank: usize,
@@ -158,12 +249,10 @@ struct Inner {
     /// Per-source FIFO data queues (mutex: receivers are single-
     /// consumer; contention is nil — one recv call at a time).
     inbox: Vec<Mutex<Receiver<Vec<u8>>>>,
-    /// Per-source probe-response queues.
-    probe_rx: Vec<Option<Mutex<Receiver<ProbeResp>>>>,
-    probe_seq: AtomicU64,
-    /// Serializes outstanding probes (one in flight per rank).
-    probe_lock: Mutex<()>,
-    handler: Arc<RwLock<Option<ProbeHandler>>>,
+    /// Block-service requests in flight, any number per peer.
+    pending: Arc<Pending>,
+    fetch_seq: AtomicU64,
+    handler: Arc<RwLock<Option<BlockHandler>>>,
     shutdown: Arc<AtomicBool>,
     readers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -244,10 +333,13 @@ impl TcpTransport {
     ) -> Result<Self> {
         let mut peers: Vec<Option<Arc<PeerLink>>> = Vec::with_capacity(size);
         let mut inbox = Vec::with_capacity(size);
-        let mut probe_rx: Vec<Option<Mutex<Receiver<ProbeResp>>>> = Vec::with_capacity(size);
         let (self_tx, self_rx) = unbounded::<Vec<u8>>();
         let mut self_rx = Some(self_rx);
-        let handler: Arc<RwLock<Option<ProbeHandler>>> = Arc::new(RwLock::new(None));
+        let handler: Arc<RwLock<Option<BlockHandler>>> = Arc::new(RwLock::new(None));
+        let pending: Arc<Pending> = Arc::new(Mutex::new(PendingFetches {
+            inflight: HashMap::new(),
+            reader_gone: vec![false; size],
+        }));
         let shutdown = Arc::new(AtomicBool::new(false));
         let mut readers = Vec::with_capacity(size.saturating_sub(1));
 
@@ -256,7 +348,6 @@ impl TcpTransport {
                 debug_assert!(stream.is_none(), "no stream to self");
                 peers.push(None);
                 inbox.push(Mutex::new(self_rx.take().expect("one self slot")));
-                probe_rx.push(None);
                 continue;
             }
             let stream = stream
@@ -277,13 +368,12 @@ impl TcpTransport {
                 wire_recv: AtomicU64::new(0),
             });
             let (data_tx, data_rx) = unbounded::<Vec<u8>>();
-            let (presp_tx, presp_rx) = unbounded::<ProbeResp>();
             let reader = ReaderCtx {
                 peer: j,
                 stream,
                 link: Arc::clone(&link),
                 data_tx,
-                presp_tx,
+                pending: Arc::clone(&pending),
                 handler: Arc::clone(&handler),
                 shutdown: Arc::clone(&shutdown),
             };
@@ -295,7 +385,6 @@ impl TcpTransport {
             );
             peers.push(Some(link));
             inbox.push(Mutex::new(data_rx));
-            probe_rx.push(Some(Mutex::new(presp_rx)));
         }
 
         Ok(Self {
@@ -306,9 +395,8 @@ impl TcpTransport {
                 peers,
                 self_tx,
                 inbox,
-                probe_rx,
-                probe_seq: AtomicU64::new(0),
-                probe_lock: Mutex::new(()),
+                pending,
+                fetch_seq: AtomicU64::new(0),
                 handler,
                 shutdown,
                 readers: Mutex::new(readers),
@@ -317,60 +405,93 @@ impl TcpTransport {
     }
 
     /// Register the handler serving this rank's blocks to remote
-    /// probes (multiway selection's remote one-block reads).
-    pub fn set_probe_handler(&self, h: ProbeHandler) {
+    /// block-service requests (selection probes, striped reads).
+    pub fn set_block_handler(&self, h: BlockHandler) {
         *self.inner.handler.write().expect("handler lock") = Some(h);
     }
 
-    /// Drop the probe handler (subsequent probes get an error reply).
-    /// Workers clear it once no peer can probe anymore, breaking the
-    /// handler's reference back to the storage.
-    pub fn clear_probe_handler(&self) {
+    /// Drop the block handler (subsequent requests get an error reply).
+    /// Workers clear it once no peer can read remotely anymore,
+    /// breaking the handler's reference back to the storage.
+    pub fn clear_block_handler(&self) {
         *self.inner.handler.write().expect("handler lock") = None;
     }
 
-    /// Fetch one block from rank `pe`'s storage (out-of-band
-    /// request/reply, served by the peer's reader thread).
-    pub fn probe_block(&self, pe: usize, disk: u32, slot: u32) -> Result<Vec<u8>> {
+    /// Issue a **batched, pipelined** read of `blocks` (as
+    /// `(disk, slot)` addresses) from rank `pe`'s storage: every
+    /// request goes onto the wire behind a single flush, responses are
+    /// matched by request id (so they may arrive out of order relative
+    /// to other in-flight batches), and the returned futures are in
+    /// request order. Any number of fetches — from any threads — may
+    /// be in flight to the same peer concurrently.
+    ///
+    /// # Errors
+    /// [`Error::Comm`] if a request cannot be written to the peer.
+    /// Per-block failures (including timeouts) surface from each
+    /// [`WireFetch::wait`].
+    pub fn fetch_blocks(&self, pe: usize, blocks: &[(u32, u32)]) -> Result<Vec<WireFetch>> {
         let inner = &*self.inner;
+        let mut fetches = Vec::with_capacity(blocks.len());
         if pe == inner.rank {
+            // Self-service: answer straight from the local handler.
             let handler = inner.handler.read().expect("handler lock").clone();
-            let h = handler.ok_or_else(|| Error::comm("no probe handler registered"))?;
-            return h(disk, slot).map_err(Error::io);
+            for &(disk, slot) in blocks {
+                let fetch = self.register_fetch(pe);
+                let result = match &handler {
+                    Some(h) => h(disk, slot).map_err(Error::io),
+                    None => Err(Error::io("no block handler registered")),
+                };
+                fetch.slot.complete(result);
+                fetches.push(fetch);
+            }
+            return Ok(fetches);
         }
         let link = inner.peers[pe].as_ref().expect("peer link");
-        let _guard = inner.probe_lock.lock().expect("probe lock");
-        let seq = inner.probe_seq.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut req = [0u8; 16];
-        req[..8].copy_from_slice(&seq.to_le_bytes());
-        req[8..12].copy_from_slice(&disk.to_le_bytes());
-        req[12..16].copy_from_slice(&slot.to_le_bytes());
-        link.write_frame(KIND_PROBE_REQ, &req)?;
+        for &(disk, slot) in blocks {
+            let fetch = self.register_fetch(pe);
+            let mut req = [0u8; 16];
+            req[..8].copy_from_slice(&fetch.id.to_le_bytes());
+            req[8..12].copy_from_slice(&disk.to_le_bytes());
+            req[12..16].copy_from_slice(&slot.to_le_bytes());
+            link.write_frame(KIND_BLOCK_REQ, &req)?;
+            fetches.push(fetch);
+        }
         link.flush()?;
+        Ok(fetches)
+    }
 
-        let rx = inner.probe_rx[pe].as_ref().expect("probe queue").lock().expect("probe rx");
-        let deadline = Instant::now() + inner.opts.read_timeout;
-        loop {
-            let left = deadline.saturating_duration_since(Instant::now());
-            match rx.recv_timeout(left) {
-                Ok((got_seq, resp)) => {
-                    if got_seq < seq {
-                        continue; // stale reply of a timed-out probe
-                    }
-                    return resp.map_err(Error::io);
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    return Err(Error::comm(format!(
-                        "probe to rank {pe}: timed out after {:?}",
-                        inner.opts.read_timeout
-                    )));
-                }
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(Error::comm(format!(
-                        "probe to rank {pe}: peer disconnected mid-probe"
-                    )));
-                }
+    /// Fetch one block from rank `pe`'s storage (a one-element
+    /// [`TcpTransport::fetch_blocks`] waited immediately).
+    pub fn fetch_block(&self, pe: usize, disk: u32, slot: u32) -> Result<Vec<u8>> {
+        let mut fetches = self.fetch_blocks(pe, &[(disk, slot)])?;
+        fetches.pop().expect("one fetch issued").wait()
+    }
+
+    /// Allocate a request id and register its completion slot. If the
+    /// peer's reader thread is already gone (dead peer), the fetch
+    /// comes back pre-failed — registration and the reader's exit
+    /// sweep share one lock, so a fetch can never be stranded waiting
+    /// on a peer that will never answer.
+    fn register_fetch(&self, peer: usize) -> WireFetch {
+        let inner = &*self.inner;
+        let id = inner.fetch_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let slot = FetchSlot::new();
+        {
+            let mut pending = inner.pending.lock().expect("pending fetches lock");
+            if peer != inner.rank && pending.reader_gone[peer] {
+                slot.complete(Err(Error::comm(format!(
+                    "block fetch from rank {peer}: peer disconnected"
+                ))));
+            } else {
+                pending.inflight.insert(id, (peer, Arc::clone(&slot)));
             }
+        }
+        WireFetch {
+            id,
+            peer,
+            slot,
+            pending: Arc::clone(&inner.pending),
+            read_timeout: inner.opts.read_timeout,
         }
     }
 
@@ -446,13 +567,36 @@ struct ReaderCtx {
     stream: TcpStream,
     link: Arc<PeerLink>,
     data_tx: Sender<Vec<u8>>,
-    presp_tx: Sender<ProbeResp>,
-    handler: Arc<RwLock<Option<ProbeHandler>>>,
+    pending: Arc<Pending>,
+    handler: Arc<RwLock<Option<BlockHandler>>>,
     shutdown: Arc<AtomicBool>,
 }
 
 impl ReaderCtx {
-    fn run(mut self) {
+    fn run(self) {
+        let peer = self.peer;
+        let pending = Arc::clone(&self.pending);
+        self.demux();
+        // This reader is the only path a response from `peer` can
+        // take: once it exits (socket closed, protocol violation,
+        // teardown), fail every fetch still in flight to the peer
+        // immediately — waiters must not ride out the full read
+        // timeout against a rank that can no longer answer — and mark
+        // the peer so later registrations come back pre-failed.
+        let mut p = pending.lock().expect("pending fetches lock");
+        p.reader_gone[peer] = true;
+        let gone: Vec<u64> =
+            p.inflight.iter().filter(|(_, (owner, _))| *owner == peer).map(|(id, _)| *id).collect();
+        for id in gone {
+            if let Some((_, slot)) = p.inflight.remove(&id) {
+                slot.complete(Err(Error::comm(format!(
+                    "block fetch from rank {peer}: peer disconnected"
+                ))));
+            }
+        }
+    }
+
+    fn demux(mut self) {
         loop {
             let mut header = [0u8; 5];
             match self.read_full(&mut header) {
@@ -473,23 +617,28 @@ impl ReaderCtx {
                         return; // endpoint dropped
                     }
                 }
-                KIND_PROBE_REQ => {
-                    if self.serve_probe(&payload).is_err() {
+                KIND_BLOCK_REQ => {
+                    if self.serve_block(&payload).is_err() {
                         return;
                     }
                 }
-                KIND_PROBE_RESP => {
+                KIND_BLOCK_RESP => {
                     if payload.len() < 9 {
                         return;
                     }
-                    let seq = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+                    let id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
                     let resp = if payload[8] == 0 {
                         Ok(payload[9..].to_vec())
                     } else {
-                        Err(String::from_utf8_lossy(&payload[9..]).into_owned())
+                        // The owner answered with a storage error.
+                        Err(Error::io(String::from_utf8_lossy(&payload[9..]).into_owned()))
                     };
-                    if self.presp_tx.send((seq, resp)).is_err() {
-                        return;
+                    // An unknown id is a response to an abandoned
+                    // (dropped or timed-out) fetch: discard it.
+                    let slot =
+                        self.pending.lock().expect("pending fetches lock").inflight.remove(&id);
+                    if let Some((_, slot)) = slot {
+                        slot.complete(resp);
                     }
                 }
                 _ => return, // unknown frame kind: protocol violation
@@ -497,21 +646,22 @@ impl ReaderCtx {
         }
     }
 
-    /// Answer one probe request from this peer out of local storage.
-    fn serve_probe(&self, req: &[u8]) -> Result<()> {
+    /// Answer one block-service request from this peer out of local
+    /// storage.
+    fn serve_block(&self, req: &[u8]) -> Result<()> {
         if req.len() != 16 {
-            return Err(Error::comm(format!("malformed probe request from rank {}", self.peer)));
+            return Err(Error::comm(format!("malformed block request from rank {}", self.peer)));
         }
-        let seq = u64::from_le_bytes(req[..8].try_into().expect("8 bytes"));
+        let id = u64::from_le_bytes(req[..8].try_into().expect("8 bytes"));
         let disk = u32::from_le_bytes(req[8..12].try_into().expect("4 bytes"));
         let slot = u32::from_le_bytes(req[12..16].try_into().expect("4 bytes"));
         let handler = self.handler.read().expect("handler lock").clone();
         let result = match handler {
             Some(h) => h(disk, slot),
-            None => Err("no probe handler registered on remote rank".to_string()),
+            None => Err("no block handler registered on remote rank".to_string()),
         };
         let mut resp = Vec::with_capacity(9 + result.as_ref().map_or(0, Vec::len));
-        resp.extend_from_slice(&seq.to_le_bytes());
+        resp.extend_from_slice(&id.to_le_bytes());
         match &result {
             Ok(data) => {
                 resp.push(0);
@@ -522,7 +672,7 @@ impl ReaderCtx {
                 resp.extend_from_slice(msg.as_bytes());
             }
         }
-        self.link.write_frame(KIND_PROBE_RESP, &resp)?;
+        self.link.write_frame(KIND_BLOCK_RESP, &resp)?;
         self.link.flush()
     }
 
@@ -844,28 +994,138 @@ mod tests {
     }
 
     #[test]
-    fn probe_round_trip_and_missing_handler() {
+    fn block_fetch_round_trip_and_missing_handler() {
         let mut mesh = loopback_mesh(2, fast_opts()).expect("mesh");
         let t1 = mesh.pop().expect("rank 1");
         let t0 = mesh.pop().expect("rank 0");
-        // No handler yet: the prober gets an error reply, not a hang.
-        let err = t0.probe_block(1, 0, 0).expect_err("no handler");
-        assert!(err.to_string().contains("no probe handler"), "{err}");
+        // No handler yet: the requester gets an error reply, not a hang.
+        let err = t0.fetch_block(1, 0, 0).expect_err("no handler");
+        assert!(err.to_string().contains("no block handler"), "{err}");
         // Register a handler on rank 1 serving synthetic blocks.
-        t1.set_probe_handler(Arc::new(|disk, slot| {
+        t1.set_block_handler(Arc::new(|disk, slot| {
             if disk > 3 {
                 return Err(format!("no such disk {disk}"));
             }
             Ok(vec![disk as u8, slot as u8, 0xAB])
         }));
-        assert_eq!(t0.probe_block(1, 2, 9).expect("probe"), vec![2, 9, 0xAB]);
-        let err = t0.probe_block(1, 7, 0).expect_err("bad disk");
+        assert_eq!(t0.fetch_block(1, 2, 9).expect("fetch"), vec![2, 9, 0xAB]);
+        let err = t0.fetch_block(1, 7, 0).expect_err("bad disk");
         assert!(err.to_string().contains("no such disk"), "{err}");
-        // Probes are out-of-band: data frames sent before a probe do
-        // not block it, and per-source FIFO of data survives.
+        // The block service is out of band: data frames sent before a
+        // fetch do not block it, and per-source FIFO of data survives.
         t1.send(0, vec![42]).expect("send");
-        assert_eq!(t0.probe_block(1, 0, 1).expect("probe"), vec![0, 1, 0xAB]);
+        assert_eq!(t0.fetch_block(1, 0, 1).expect("fetch"), vec![0, 1, 0xAB]);
         assert_eq!(t0.recv(1).expect("data"), vec![42]);
+    }
+
+    #[test]
+    fn batched_fetches_pipeline_and_match_by_id() {
+        let mut mesh = loopback_mesh(2, fast_opts()).expect("mesh");
+        let t1 = mesh.pop().expect("rank 1");
+        let t0 = mesh.pop().expect("rank 0");
+        t1.set_block_handler(Arc::new(|disk, slot| {
+            if slot == 13 {
+                return Err("slot 13 is cursed".to_string());
+            }
+            Ok(vec![disk as u8, slot as u8])
+        }));
+        // One flush puts a whole batch on the wire; futures come back
+        // in request order even though they complete independently.
+        let blocks: Vec<(u32, u32)> = (0..40u32).map(|i| (i % 4, i)).collect();
+        let fetches = t0.fetch_blocks(1, &blocks).expect("issue batch");
+        assert_eq!(fetches.len(), blocks.len());
+        // Wait in REVERSE order: matching is by id, not arrival order.
+        let mut results: Vec<Option<Vec<u8>>> = (0..blocks.len()).map(|_| None).collect();
+        for (i, f) in fetches.into_iter().enumerate().rev() {
+            if i == 13 {
+                let err = f.wait().expect_err("cursed slot");
+                assert!(err.to_string().contains("cursed"), "{err}");
+                results[i] = Some(Vec::new());
+            } else {
+                results[i] = Some(f.wait().expect("fetch"));
+            }
+        }
+        for (i, r) in results.iter().enumerate() {
+            if i == 13 {
+                continue;
+            }
+            assert_eq!(r.as_deref(), Some(&[(i % 4) as u8, i as u8][..]), "block {i}");
+        }
+    }
+
+    #[test]
+    fn concurrent_fetches_from_many_threads() {
+        // No serialization lock: several threads may have fetches in
+        // flight to the same peer at once, and each gets its own
+        // responses back (routing is by request id).
+        let mut mesh = loopback_mesh(2, fast_opts()).expect("mesh");
+        let t1 = mesh.pop().expect("rank 1");
+        let t0 = mesh.pop().expect("rank 0");
+        t1.set_block_handler(Arc::new(|disk, slot| Ok(vec![disk as u8, slot as u8])));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4u32)
+                .map(|thread| {
+                    let t0 = t0.clone();
+                    s.spawn(move || {
+                        for slot in 0..25u32 {
+                            let got = t0.fetch_block(1, thread, slot).expect("fetch");
+                            assert_eq!(got, vec![thread as u8, slot as u8]);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("fetch thread");
+            }
+        });
+    }
+
+    #[test]
+    fn dead_peer_fails_fetches_fast_not_after_timeout() {
+        // A generous read timeout that a hung fetch would ride out.
+        let opts = TcpOptions { read_timeout: Duration::from_secs(30), ..fast_opts() };
+        let mut mesh = loopback_mesh(2, opts).expect("mesh");
+        let t1 = mesh.pop().expect("rank 1");
+        let t0 = mesh.pop().expect("rank 0");
+        drop(t1); // peer dies; no response can ever arrive
+        let start = Instant::now();
+        // Depending on timing the requests are refused up front (the
+        // reader already noticed the closed socket), fail at flush, or
+        // are swept when the reader exits — every path must resolve
+        // far below the read timeout.
+        let err = match t0.fetch_blocks(1, &[(0, 0), (1, 1)]) {
+            Ok(fetches) => {
+                let mut first_err = None;
+                for f in fetches {
+                    if let Err(e) = f.wait() {
+                        first_err = Some(e);
+                        break;
+                    }
+                }
+                first_err.expect("dead peer must fail the fetch")
+            }
+            Err(e) => e,
+        };
+        assert!(matches!(err, Error::Comm(_)), "{err}");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "dead peer must fail fetches promptly, took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn abandoned_fetch_discards_late_response() {
+        let mut mesh = loopback_mesh(2, fast_opts()).expect("mesh");
+        let t1 = mesh.pop().expect("rank 1");
+        let t0 = mesh.pop().expect("rank 0");
+        t1.set_block_handler(Arc::new(|disk, slot| Ok(vec![disk as u8, slot as u8])));
+        // Drop the future without waiting: the request is abandoned and
+        // the late response must be discarded, not corrupt a later one.
+        let fetches = t0.fetch_blocks(1, &[(0, 1)]).expect("issue");
+        drop(fetches);
+        // A subsequent fetch still gets exactly its own block.
+        assert_eq!(t0.fetch_block(1, 2, 3).expect("fetch"), vec![2, 3]);
     }
 
     #[test]

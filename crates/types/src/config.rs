@@ -179,6 +179,44 @@ impl SortConfig {
     }
 }
 
+/// Which of the paper's sorting algorithms a job runs.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum SortAlgo {
+    /// CANONICALMERGESORT (Section IV) — the DEMSort record-setter.
+    #[default]
+    Canonical,
+    /// Mergesort with global striping (Section III) — the I/O-optimal
+    /// variant; every pass re-stripes the data over all disks.
+    Striped,
+}
+
+impl SortAlgo {
+    /// Parse a CLI spelling (`canonical` / `striped`).
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "canonical" => Ok(SortAlgo::Canonical),
+            "striped" => Ok(SortAlgo::Striped),
+            other => {
+                Err(Error::config(format!("unknown algorithm {other} (canonical or striped)")))
+            }
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SortAlgo::Canonical => "canonical",
+            SortAlgo::Striped => "striped",
+        }
+    }
+}
+
+impl std::fmt::Display for SortAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A complete multi-process sort job: what the launcher ships to every
 /// `demsort-worker` rank (serialized via [`crate::wire`]).
 ///
@@ -186,8 +224,9 @@ impl SortConfig {
 /// number of worker processes); each worker owns one rank's share of
 /// it. Input and output are paths valid on every worker's host —
 /// workers read disjoint shards of the input and write disjoint byte
-/// ranges of the output, so the canonical concatenated result appears
-/// in place.
+/// ranges of the output, so the sorted result appears in place
+/// (canonical mode concatenates per-rank slices; striped mode
+/// interleaves each rank's globally striped blocks).
 #[derive(Clone, Debug)]
 pub struct JobConfig {
     /// Path of the input file (whole 100-byte SortBenchmark records).
@@ -198,6 +237,8 @@ pub struct JobConfig {
     pub machine: MachineConfig,
     /// The algorithm switches (seeded — the job is deterministic).
     pub algo: AlgoConfig,
+    /// Which sorting algorithm to run.
+    pub algorithm: SortAlgo,
     /// Transport receive timeout: how long a rank waits on a silent
     /// peer before declaring the job dead.
     pub read_timeout_ms: u64,
@@ -226,6 +267,7 @@ mod tests {
             output: "out".into(),
             machine: MachineConfig::tiny(2),
             algo: AlgoConfig::default(),
+            algorithm: SortAlgo::default(),
             read_timeout_ms: 1000,
         };
         job.validate().expect("valid");

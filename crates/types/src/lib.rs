@@ -27,7 +27,7 @@ pub mod ranks;
 pub mod record;
 pub mod wire;
 
-pub use config::{AlgoConfig, JobConfig, MachineConfig, SortConfig};
+pub use config::{AlgoConfig, JobConfig, MachineConfig, SortAlgo, SortConfig};
 pub use counters::{CommCounters, CpuCounters, IoCounters, Phase, PhaseStats, SortReport};
 pub use error::{Error, Result};
 pub use record::{Element16, Key, Key10, Record, Record100};

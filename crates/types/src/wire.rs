@@ -8,7 +8,7 @@
 //! types. Payloads are versioned by the launcher protocol, not here —
 //! the codec is strictly structural.
 
-use crate::config::{AlgoConfig, JobConfig, MachineConfig};
+use crate::config::{AlgoConfig, JobConfig, MachineConfig, SortAlgo};
 use crate::counters::{CommCounters, CpuCounters, IoCounters, Phase, PhaseStats};
 use crate::error::{Error, Result};
 
@@ -178,12 +178,28 @@ pub fn decode_algo(r: &mut WireReader<'_>) -> Result<AlgoConfig> {
     })
 }
 
+fn algo_tag(a: SortAlgo) -> u8 {
+    match a {
+        SortAlgo::Canonical => 0,
+        SortAlgo::Striped => 1,
+    }
+}
+
+fn algo_from_tag(t: u8) -> Result<SortAlgo> {
+    match t {
+        0 => Ok(SortAlgo::Canonical),
+        1 => Ok(SortAlgo::Striped),
+        _ => Err(Error::comm(format!("unknown algorithm tag {t}"))),
+    }
+}
+
 /// Encode a [`JobConfig`].
 pub fn encode_job(job: &JobConfig) -> Vec<u8> {
     let mut w = WireWriter::new();
     w.string(&job.input).string(&job.output);
     encode_machine(&mut w, &job.machine);
     encode_algo(&mut w, &job.algo);
+    w.u8(algo_tag(job.algorithm));
     w.u64(job.read_timeout_ms);
     w.finish()
 }
@@ -196,6 +212,7 @@ pub fn decode_job(buf: &[u8]) -> Result<JobConfig> {
         output: r.string()?,
         machine: decode_machine(&mut r)?,
         algo: decode_algo(&mut r)?,
+        algorithm: algo_from_tag(r.u8()?)?,
         read_timeout_ms: r.u64()?,
     })
 }
@@ -375,6 +392,7 @@ mod tests {
             output: "/tmp/out.dat".to_string(),
             machine: MachineConfig::tiny(4),
             algo: AlgoConfig { seed: 42, sample_every: 7, ..AlgoConfig::default() },
+            algorithm: SortAlgo::Striped,
             read_timeout_ms: 12_345,
         };
         let decoded = decode_job(&encode_job(&job)).expect("decode");
@@ -382,6 +400,7 @@ mod tests {
         assert_eq!(decoded.output, job.output);
         assert_eq!(decoded.machine, job.machine);
         assert_eq!(decoded.algo, job.algo);
+        assert_eq!(decoded.algorithm, SortAlgo::Striped);
         assert_eq!(decoded.read_timeout_ms, 12_345);
     }
 
@@ -457,6 +476,7 @@ mod tests {
                     cores_per_pe: 1,
                 },
                 algo: AlgoConfig::default(),
+                algorithm: SortAlgo::default(),
                 read_timeout_ms: 1234,
             }
         }
