@@ -288,6 +288,26 @@ pub fn run_rank(
     Ok(report)
 }
 
+/// Open the shared output file for this rank's writes and size it to
+/// the job's record count. Hostfile mode has no launcher to pre-size
+/// the file, so every rank sizes it on open; the call is idempotent —
+/// all ranks set the same length, `set_len` to the current length is a
+/// no-op, and every rank's write range lies inside it, so no ordering
+/// (and no barrier) between sizing and the disjoint-range writes is
+/// needed. In coordinator mode the launcher has already pre-sized the
+/// file and this is a no-op.
+fn open_sized_output(path: &str, total_records: u64) -> Result<std::fs::File> {
+    let out = std::fs::OpenOptions::new()
+        .create(true)
+        .truncate(false) // peers' already-written ranges must survive
+        .write(true)
+        .open(path)
+        .map_err(|e| Error::io(format!("open {path}: {e}")))?;
+    out.set_len(total_records * Record100::BYTES as u64)
+        .map_err(|e| Error::io(format!("size {path}: {e}")))?;
+    Ok(out)
+}
+
 /// The canonical-mergesort body of a rank: sort, then write this
 /// rank's canonical slice into the shared output file — ranks own
 /// disjoint contiguous byte ranges, so the file assembles in place.
@@ -308,10 +328,7 @@ fn run_canonical_rank(
         read_records::<Record100>(storage.pe(rank), &outcome.output.run, outcome.output.elems)?;
     let own = ranks::owned_range(rank, comm.size(), total_records);
     debug_assert_eq!(out_recs.len() as u64, own.end - own.start);
-    let mut out = std::fs::OpenOptions::new()
-        .write(true)
-        .open(&job.output)
-        .map_err(|e| Error::io(format!("open {}: {e}", job.output)))?;
+    let mut out = open_sized_output(&job.output, total_records)?;
     out.seek(SeekFrom::Start(own.start * Record100::BYTES as u64))?;
     let mut writer = std::io::BufWriter::new(&mut out);
     let mut buf = vec![0u8; Record100::BYTES];
@@ -356,10 +373,7 @@ fn run_striped_rank(
         at += c as u64;
     }
     let st = storage.pe(rank);
-    let mut out = std::fs::OpenOptions::new()
-        .write(true)
-        .open(&job.output)
-        .map_err(|e| Error::io(format!("open {}: {e}", job.output)))?;
+    let mut out = open_sized_output(&job.output, run.elems)?;
     let mut elems = 0u64;
     for (g, &id) in run.blocks.iter().enumerate() {
         if run.owners[g] as usize != rank {

@@ -63,11 +63,9 @@ fn multi_address_hostfile_with_out_of_order_worker_starts() {
     drop(f);
     std::fs::write(&hostfile, format!("# demsort hosts\n{}\n", addrs.join("\n")))
         .expect("write hostfile");
-    // Hostfile mode has no launcher, so pre-size the shared output the
-    // way `demsort-launch` would.
-    let out = std::fs::File::create(&output).expect("create output");
-    out.set_len((RECORDS * Record100::BYTES) as u64).expect("size output");
-    drop(out);
+    // No pre-sizing here: hostfile mode has no launcher, so the
+    // workers themselves create and size the shared output from the
+    // job's record count before writing their disjoint ranges.
 
     // Start workers in REVERSE rank order with gaps: rank 2 dials
     // ranks 0 and 1 long before their listeners exist.

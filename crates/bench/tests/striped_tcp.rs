@@ -11,6 +11,7 @@
 //! the comparison is exact on every counter.
 
 use demsort_bench::procs::launch;
+use demsort_core::merge::merge_work;
 use demsort_core::striped::{read_striped, striped_sort_cluster};
 use demsort_core::validate::hash_record;
 use demsort_types::{
@@ -127,22 +128,64 @@ fn four_rank_striped_tcp_launch_matches_in_process_run() {
     let in_fp = input_recs.iter().fold(0u64, |acc, r| acc.wrapping_add(hash_record(r)));
     assert_eq!(out_fp, in_fp, "output must be a permutation of the input");
 
-    // Identical counters, per rank, per phase — comm AND I/O. The
-    // striped algorithm issues no cross-rank probes during the sort,
-    // so every counter's phase attribution is deterministic and the
-    // transport must be completely invisible.
+    // gensort keys are 10 random bytes — unique at this scale — so
+    // the totally ordered reference sort is exactly what the canonical
+    // algorithm would produce: the striped output must match it byte
+    // for byte (merging batches instead of sorting them must not
+    // change a single record position).
+    let mut reference = input_recs.clone();
+    reference.sort_unstable();
+    let mut ref_bytes = vec![0u8; reference.len() * Record100::BYTES];
+    Record100::encode_slice(&reference, &mut ref_bytes);
+    assert_eq!(tcp_bytes, ref_bytes, "striped output must equal the canonical sorted order");
+
+    // Identical counters, per rank, per phase — comm, I/O, AND the
+    // deterministic CPU work counters (host wall time is excluded).
+    // The striped algorithm issues no cross-rank probes during the
+    // sort, so every counter's phase attribution is deterministic and
+    // the transport must be completely invisible.
     for pe in 0..RANKS {
         for phase in Phase::ALL {
             let t = tcp.report.get(pe, phase);
             let l = local_report.get(pe, phase);
             assert_eq!(t.comm, l.comm, "comm counters (pe {pe}, {phase})");
             assert_eq!(t.io, l.io, "io counters (pe {pe}, {phase})");
+            for (name, f) in [
+                (
+                    "elements_sorted",
+                    (|c| c.elements_sorted) as fn(&demsort_types::CpuCounters) -> u64,
+                ),
+                ("sort_work", |c| c.sort_work),
+                ("elements_merged", |c| c.elements_merged),
+                ("merge_work", |c| c.merge_work),
+            ] {
+                assert_eq!(f(&t.cpu), f(&l.cpu), "cpu {name} (pe {pe}, {phase})");
+            }
         }
     }
     // The striped phases really were recorded.
     for pe in 0..RANKS {
         assert!(tcp.report.get(pe, Phase::RunFormation).io.bytes_written > 0, "pe {pe} phase 1");
         assert!(tcp.report.get(pe, Phase::FinalMerge).io.bytes_read > 0, "pe {pe} merge phase");
+    }
+
+    // Merge-phase CPU regression (on both transports): batches are
+    // *merged*, never re-sorted — zero sort comparisons, and the merge
+    // comparisons are exactly n·(⌈log2 R⌉ + ⌈log2 P⌉): each element
+    // goes through one R-way batch loser tree and one P-way exchange
+    // merge, strictly below the seed's ~n·log2(batch) sort cost per
+    // batch.
+    let n = RECORDS as u64;
+    for (name, report) in [("tcp", &tcp.report), ("local", &local_report)] {
+        let sort_work = report.phase_total(Phase::FinalMerge, |s| s.cpu.sort_work);
+        let merge_total = report.phase_total(Phase::FinalMerge, |s| s.cpu.merge_work);
+        assert_eq!(sort_work, 0, "{name}: merge phase must not sort");
+        assert_eq!(
+            merge_total,
+            merge_work(n, report.runs) + merge_work(n, RANKS),
+            "{name}: merge comparisons must be n·(⌈log2 R⌉ + ⌈log2 P⌉), R = {}",
+            report.runs
+        );
     }
 
     for p in [&input, &out_tcp, &out_local] {

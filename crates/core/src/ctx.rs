@@ -197,6 +197,28 @@ impl ClusterStorage {
         }
     }
 
+    /// [`ClusterStorage::fetch_blocks`], but issue the reads in
+    /// `schedule` order (a permutation of indices into `ids`, e.g. a
+    /// prefetch schedule from
+    /// [`duality_issue_order`](demsort_storage::duality_issue_order))
+    /// while returning the handles in `ids` order — the disks service
+    /// the schedule, the caller consumes in logical order.
+    pub fn fetch_blocks_scheduled(
+        &self,
+        rank: usize,
+        ids: &[BlockId],
+        schedule: &[usize],
+    ) -> Result<Vec<BlockFetch>> {
+        debug_assert_eq!(schedule.len(), ids.len(), "schedule must be a permutation of the ids");
+        let ordered: Vec<BlockId> = schedule.iter().map(|&i| ids[i]).collect();
+        let issued = self.fetch_blocks(rank, &ordered)?;
+        let mut handles: Vec<Option<BlockFetch>> = ids.iter().map(|_| None).collect();
+        for (&i, f) in schedule.iter().zip(issued) {
+            handles[i] = Some(f);
+        }
+        Ok(handles.into_iter().map(|h| h.expect("schedule is a permutation")).collect())
+    }
+
     /// Read one block of PE `owner`'s storage through `cache`: a hit
     /// costs nothing, a miss fetches through the block service and
     /// populates the cache. The returned [`FetchSource`] says which
@@ -444,6 +466,18 @@ mod tests {
         assert_eq!(&*got[1], &[0u8, 1, 2][..]);
         // Out-of-range ranks are clean errors.
         assert!(cs.fetch_blocks(9, &ids).is_err());
+    }
+
+    #[test]
+    fn scheduled_fetch_returns_handles_in_request_order() {
+        let (cs, _) = one_rank_view(1, 3);
+        let ids = [BlockId::new(0, 4), BlockId::new(1, 1), BlockId::new(0, 9)];
+        // Issue back-to-front; handles must still line up with `ids`.
+        let fetches = cs.fetch_blocks_scheduled(2, &ids, &[2, 0, 1]).expect("scheduled");
+        let got: Vec<Box<[u8]>> = fetches.into_iter().map(|f| f.wait().expect("block")).collect();
+        assert_eq!(&*got[0], &[2u8, 0, 4][..]);
+        assert_eq!(&*got[1], &[2u8, 1, 1][..]);
+        assert_eq!(&*got[2], &[2u8, 0, 9][..]);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! read-ahead plus write-behind windows.
 
 use crate::alltoall::{MergeFragment, MergeInput};
-use crate::merge::{merge_work, LoserTree};
+use crate::merge::{merge_cpu, LoserTree};
 use crate::recio::{ChainedReader, FinishedRun, RecordRunReader, RecordRunWriter};
 use demsort_storage::PeStorage;
 use demsort_types::{CpuCounters, Record, Result};
@@ -84,12 +84,7 @@ pub fn merge_into<R: Record + Ord>(
         deliver(tree.replace_winner(next))?;
     }
 
-    let cpu = CpuCounters {
-        elements_merged: total,
-        merge_work: merge_work(total, k),
-        ..Default::default()
-    };
-    Ok((total, cpu))
+    Ok((total, merge_cpu(total, k)))
 }
 
 #[cfg(test)]

@@ -149,6 +149,27 @@ pub fn merge_k_into<T: Ord + Copy>(seqs: &[&[T]], out: &mut Vec<T>) {
     }
 }
 
+/// Merge the leading run of each sorted slice that satisfies `below`
+/// (a monotone "still under the bound" predicate — true for a prefix
+/// of every slice, false after) into `out`, returning the per-source
+/// cut positions. The suffixes at and beyond the bound are untouched:
+/// this is the batch step of the striped merge, where everything
+/// smaller than the next unmerged block's first key can be emitted
+/// and the rest stays buffered per run.
+///
+/// Comparison cost is `prefix_total · ⌈log2 k⌉` plus one binary search
+/// per source for the cuts.
+pub fn merge_k_below_into<T: Ord + Copy>(
+    seqs: &[&[T]],
+    below: impl Fn(&T) -> bool,
+    out: &mut Vec<T>,
+) -> Vec<usize> {
+    let cuts: Vec<usize> = seqs.iter().map(|s| s.partition_point(|x| below(x))).collect();
+    let prefixes: Vec<&[T]> = seqs.iter().zip(&cuts).map(|(s, &c)| &s[..c]).collect();
+    merge_k_into(&prefixes, out);
+    cuts
+}
+
 /// Two-way merge fast path (no tree overhead).
 fn merge_2_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
     let (mut i, mut j) = (0, 0);
@@ -199,6 +220,18 @@ pub fn merge_work(elements: u64, k: usize) -> u64 {
         0
     } else {
         elements * (usize::BITS - (k - 1).leading_zeros()) as u64
+    }
+}
+
+/// CPU counters of one `k`-way merge over `elements` items — the one
+/// way every merge in the suite (final local merge, the exchange merge
+/// of the parallel sort, striped batch merging) charges its work, so
+/// merge comparisons always land in `merge_work`, never `sort_work`.
+pub fn merge_cpu(elements: u64, k: usize) -> demsort_types::CpuCounters {
+    demsort_types::CpuCounters {
+        elements_merged: elements,
+        merge_work: merge_work(elements, k),
+        ..Default::default()
     }
 }
 
@@ -297,6 +330,53 @@ mod tests {
         assert_eq!(merge_work(100, 3), 200);
         assert_eq!(merge_work(100, 4), 200);
         assert_eq!(merge_work(100, 5), 300);
+    }
+
+    #[test]
+    fn merge_cpu_charges_merge_work_only() {
+        let c = merge_cpu(100, 3);
+        assert_eq!(c.elements_merged, 100);
+        assert_eq!(c.merge_work, 200);
+        assert_eq!(c.sort_work, 0, "merging must never be charged as sorting");
+        assert_eq!(c.elements_sorted, 0);
+    }
+
+    #[test]
+    fn merge_below_emits_prefixes_and_reports_cuts() {
+        let a = [1u32, 3, 8, 9];
+        let b = [2u32, 8];
+        let c = [10u32, 11];
+        let mut out = Vec::new();
+        let cuts = merge_k_below_into(&[&a, &b, &c], |x| *x < 8, &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(cuts, vec![2, 1, 0]);
+        // No bound: everything merges, cuts are the lengths.
+        let mut all = Vec::new();
+        let cuts = merge_k_below_into(&[&a, &b, &c], |_| true, &mut all);
+        assert_eq!(all, merge_k(&[&a, &b, &c]));
+        assert_eq!(cuts, vec![4, 2, 2]);
+    }
+
+    proptest! {
+        /// Splitting a merge at any bound and concatenating the two
+        /// halves equals the unsplit merge.
+        #[test]
+        fn merge_below_plus_suffixes_equals_full_merge(
+            seqs in prop::collection::vec(prop::collection::vec(0u32..100, 0..30), 1..6),
+            bound in 0u32..100,
+        ) {
+            let sorted_seqs: Vec<Vec<u32>> = seqs.iter().cloned().map(sorted).collect();
+            let refs: Vec<&[u32]> = sorted_seqs.iter().map(|s| s.as_slice()).collect();
+            let mut head = Vec::new();
+            let cuts = merge_k_below_into(&refs, |x| *x < bound, &mut head);
+            prop_assert!(head.iter().all(|x| *x < bound));
+            let tails: Vec<&[u32]> =
+                refs.iter().zip(&cuts).map(|(s, &c)| &s[c..]).collect();
+            prop_assert!(tails.iter().all(|t| t.iter().all(|x| *x >= bound)));
+            let mut recombined = head;
+            merge_k_into(&tails, &mut recombined);
+            prop_assert_eq!(recombined, merge_k(&refs));
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! global ranks `⌊i·N/P⌋ .. ⌊(i+1)·N/P⌋`.
 
 use crate::distselect::dist_split;
-use crate::merge::{merge_k_into, merge_work};
+use crate::merge::{merge_cpu, merge_k_into};
 use crate::seqsort::sort_in_node;
 use demsort_net::{chunked_alltoallv, Communicator, MPI_VOLUME_LIMIT};
 use demsort_types::{CpuCounters, Record, Result};
@@ -93,8 +93,7 @@ pub fn parallel_sort_presorted<R: Record + Ord>(
     let mut out = Vec::with_capacity(total);
     merge_k_into(&views, &mut out);
 
-    cpu.elements_merged += out.len() as u64;
-    cpu.merge_work += merge_work(out.len() as u64, comm.size());
+    cpu = cpu.merge(&merge_cpu(out.len() as u64, comm.size()));
     Ok((out, cpu))
 }
 

@@ -14,28 +14,40 @@
 //!   *prediction sequence* — the smallest key of every block, recorded
 //!   at write time — gives the exact order in which blocks are needed
 //!   \[11\]\[14\]. A batch of the next `Θ(M/B)` blocks is fetched (each PE
-//!   reads the blocks on its own disks), the batch is sorted with the
-//!   fully-fledged parallel sort ("we could even afford to replace
-//!   batch merging by fully-fledged parallel sorting of batches
-//!   without performing more work than during run formation"), and the
-//!   elements that are provably complete — smaller than every unfetched
-//!   block's first key — are written out striped. The rest stays in
-//!   memory for the next batch (at most `B` elements per run remain
-//!   unmerged, so carry-over is bounded).
+//!   reads the blocks on its own disks) and **merged, not re-sorted**:
+//!   the fetched blocks come from already sorted runs, so each PE
+//!   feeds its per-run sorted sequences (plus the per-run carry tails
+//!   of the previous batch) into a loser tree, and the merged prefix
+//!   that is provably complete — smaller than every not-yet-merged
+//!   block's first key — is redistributed canonically with one
+//!   splitter-based exchange ([`parallel_sort_presorted`]: exact
+//!   splitters, one all-to-all, a `P`-way merge) and written out
+//!   striped. The rest stays buffered per run for the next batch (at
+//!   most `B` elements per run remain unmerged, so carry-over is
+//!   bounded). Merging costs `O(n log R)` comparisons per pass instead
+//!   of the `O(n log n)` per batch that full batch sorting would pay —
+//!   the internal-work bound that dominates throughput at scale.
 //!
 //! The result is a globally striped sorted sequence: block `g` of the
-//! output holds elements `g·rpb ..`, on disk `g mod D`.
+//! output holds elements `g·rpb ..`, on disk `g mod D` — emitted
+//! pieces continue the round-robin striping where the previous piece
+//! left off, so the per-disk block counts of the stitched output
+//! differ by at most one.
 //!
 //! All block reads go through the location-transparent
 //! [`ClusterStorage`] block service: the merge phase issues its batch
 //! fetches asynchronously in the duality-optimal prefetch order
-//! ([`duality_issue_order`], Appendix A), so the reads overlap the
-//! batch sort, and [`read_striped`] reconstructs the output from *any
-//! single rank* — blocks owned by peers are fetched over the wire in
-//! pipelined per-owner batches.
+//! ([`duality_issue_order`], Appendix A), and the fetches for batch
+//! `k+1` are issued **before** batch `k` is merged (double-buffered
+//! prefetch — [`StripedOutcome::merge_events`] records the
+//! interleaving), so the reads overlap the merge and the exchange.
+//! [`read_striped`] reconstructs the output from *any single rank* —
+//! blocks owned by peers are fetched over the wire in pipelined
+//! per-owner batches.
 
 use crate::ctx::{assemble_report, BlockFetch, ClusterStorage, PhaseRecorder};
-use crate::psort::parallel_sort;
+use crate::merge::{merge_cpu, merge_k_below_into, merge_k_into};
+use crate::psort::{parallel_sort, parallel_sort_presorted};
 use crate::recio::records_per_block;
 use crate::runform::{ingest_input, LocalInput};
 use demsort_net::{chunked_alltoallv, run_cluster, Communicator, MPI_VOLUME_LIMIT};
@@ -75,6 +87,17 @@ impl<K> StripedRun<K> {
     }
 }
 
+/// One step of the merge loop's fetch/merge interleaving, recorded in
+/// [`StripedOutcome::merge_events`]. Batch indices restart at 0 for
+/// each merge group (and each pass).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MergeEvent {
+    /// Batch `b`'s block fetches were handed to the block service.
+    Issued(usize),
+    /// Batch `b`'s merged prefix finished its striped write.
+    Emitted(usize),
+}
+
 /// Outcome of the striped sort on one PE.
 pub struct StripedOutcome<R: Record> {
     /// The globally striped sorted output (identical on every PE).
@@ -89,6 +112,10 @@ pub struct StripedOutcome<R: Record> {
     /// included), then — when merging happened — the merge passes
     /// under [`Phase::FinalMerge`].
     pub phases: Vec<(Phase, PhaseStats)>,
+    /// Fetch/merge interleaving trace of the merge passes: overlap
+    /// means `Issued(b+1)` precedes `Emitted(b)` (the next batch's
+    /// reads are in flight while the current batch merges).
+    pub merge_events: Vec<MergeEvent>,
 }
 
 /// Sort `input` into a globally striped output (Section III).
@@ -146,17 +173,19 @@ pub fn striped_mergesort<R: Record + Ord>(
         rec.add_cpu(sort_cpu);
         // The run is canonically distributed in memory; write it
         // striped over all disks (one more communication).
-        runs.push(write_striped::<R>(comm, st, cfg, &sorted)?);
+        runs.push(write_striped::<R>(comm, st, cfg, &sorted, 0)?);
     }
     rec.finish_phase(Phase::RunFormation, st.counters(), comm.counters());
 
     // ---- Merge passes ----
     let mut passes = 0;
+    let mut merge_events = Vec::new();
     while runs.len() > 1 {
         passes += 1;
         let mut next: Vec<StripedRun<R::Key>> = Vec::new();
         for group in runs.chunks(k_max) {
-            let (merged, pass_cpu) = merge_striped_group::<R>(comm, storage, cfg, group, cores)?;
+            let (merged, pass_cpu) =
+                merge_striped_group::<R>(comm, storage, cfg, group, &mut merge_events)?;
             cpu = cpu.merge(&pass_cpu);
             rec.add_cpu(pass_cpu);
             next.push(merged);
@@ -170,16 +199,32 @@ pub fn striped_mergesort<R: Record + Ord>(
     }
 
     let output = runs.into_iter().next().unwrap_or_else(StripedRun::empty);
-    Ok(StripedOutcome { output, runs: num_runs, passes, cpu, phases: rec.into_stats() })
+    Ok(StripedOutcome {
+        output,
+        runs: num_runs,
+        passes,
+        cpu,
+        phases: rec.into_stats(),
+        merge_events,
+    })
 }
 
 /// Write a canonically distributed sorted sequence (each PE holds its
 /// `⌊i·n/P⌋..⌊(i+1)·n/P⌋` slice in memory) as a globally striped run.
+///
+/// `stripe_offset` (in blocks) rotates the round-robin disk
+/// assignment: block `g` of this sequence goes to disk
+/// `(stripe_offset + g) mod D`. The merge loop passes the running
+/// block count of the pieces emitted so far, so a stitched multi-piece
+/// run continues the striping where the previous piece left off
+/// instead of every piece resetting to disk 0 (which would skew the
+/// per-disk block counts).
 fn write_striped<R: Record>(
     comm: &Communicator,
     st: &PeStorage,
     cfg: &SortConfig,
     local: &[R],
+    stripe_offset: u64,
 ) -> Result<StripedRun<R::Key>> {
     let p = comm.size();
     let me = comm.rank();
@@ -192,7 +237,7 @@ fn write_striped<R: Record>(
     let total_blocks = n.div_ceil(rpb);
 
     // Ship each overlapped piece of each global block to the block's
-    // owner: block g → disk (g mod D) → PE (g mod D)/dpp.
+    // owner: block g → disk ((off + g) mod D) → PE ((off + g) mod D)/dpp.
     // Message format per piece: (g: u64, offset_in_block: u32,
     // count: u32, records...).
     let mut msgs: Vec<Vec<u8>> = vec![Vec::new(); p];
@@ -201,7 +246,7 @@ fn write_striped<R: Record>(
         let g = (my_off + pos as u64) / rpb;
         let within = (my_off + pos as u64) % rpb;
         let take = ((rpb - within) as usize).min(local.len() - pos);
-        let owner = ((g % d as u64) as usize) / dpp;
+        let owner = (((stripe_offset + g) % d as u64) as usize) / dpp;
         let msg = &mut msgs[owner];
         msg.extend_from_slice(&g.to_le_bytes());
         msg.extend_from_slice(&(within as u32).to_le_bytes());
@@ -241,7 +286,7 @@ fn write_striped<R: Record>(
     for (g, (data, count)) in mine {
         let expect = (n.min((g + 1) * rpb) - g * rpb) as usize;
         debug_assert_eq!(count, expect, "block {g} incomplete");
-        let disk = ((g % d as u64) as usize) % dpp;
+        let disk = (((stripe_offset + g) % d as u64) as usize) % dpp;
         let id = st.alloc().alloc_on(disk);
         let first = R::decode(&data[..R::BYTES]).key();
         pending.push(st.engine().write(id, data.into_boxed_slice()));
@@ -293,16 +338,25 @@ fn write_striped<R: Record>(
 }
 
 /// Merge one group of striped runs into a new striped run.
+///
+/// Streaming multiway batch merge: the fetched blocks come from
+/// already sorted runs, so each batch is *merged* (per-run sources +
+/// per-run carry tails through a loser tree, `O(n log R)` comparisons)
+/// instead of re-sorted, and the emitted prefix is redistributed with
+/// one exact-splitter exchange. Batch `b+1`'s fetches are issued
+/// before batch `b` is merged, so the reads overlap the merge and the
+/// exchange (recorded in `events`).
 fn merge_striped_group<R: Record + Ord>(
     comm: &Communicator,
     storage: &ClusterStorage,
     cfg: &SortConfig,
     group: &[StripedRun<R::Key>],
-    cores: usize,
+    events: &mut Vec<MergeEvent>,
 ) -> Result<(StripedRun<R::Key>, CpuCounters)> {
     let me = comm.rank();
     let st = storage.pe(me);
     let p = comm.size();
+    let k = group.len();
 
     let mut cpu = CpuCounters::default();
 
@@ -318,78 +372,117 @@ fn merge_striped_group<R: Record + Ord>(
         (&group[ra].first_keys[ga], ra, ga).cmp(&(&group[rb].first_keys[gb], rb, gb))
     });
 
-    // Batch size: Θ(M/B) blocks globally.
+    // Batch size: Θ(M/B) blocks globally. The batch count is derived
+    // from the (identical) group directories, so every PE walks the
+    // same batches without a collective loop condition.
     let batch_blocks = (cfg.machine.mem_blocks_per_pe() * p / 2).max(1);
-    let n: u64 = group.iter().map(|r| r.elems).sum();
+    let total_batches = order.len().div_ceil(batch_blocks);
 
-    let mut carry: Vec<R> = Vec::new(); // my slice of unemitted elements
-    let mut next = 0usize;
-    let mut out_pieces: Vec<StripedRun<R::Key>> = Vec::new();
-    while next < order.len() || comm.allreduce_sum(carry.len() as u64)? > 0 {
-        let batch_end = (next + batch_blocks).min(order.len());
-        // Each PE reads the batch blocks that live on its disks,
-        // through the location-transparent block service: all fetches
-        // are issued asynchronously — in the duality-optimal prefetch
-        // order (Appendix A), which the engine's per-disk FIFO queues
-        // realize — before the first is waited on, so the reads
-        // overlap the decode and the batch sort below.
-        let mine: Vec<(BlockId, usize)> = order[next..batch_end]
+    // Each PE reads the batch blocks that live on its disks, through
+    // the location-transparent block service: all fetches are issued
+    // asynchronously — in the duality-optimal prefetch order
+    // (Appendix A), which the engine's per-disk FIFO queues realize —
+    // and only waited on when the batch is merged, one loop iteration
+    // later.
+    let issue_batch = |b: usize| -> Result<Vec<(usize, BlockId, usize, BlockFetch)>> {
+        let lo = b * batch_blocks;
+        let hi = ((b + 1) * batch_blocks).min(order.len());
+        let mine: Vec<(usize, BlockId, usize)> = order[lo..hi]
             .iter()
             .filter_map(|&(r, g)| {
                 let run = &group[r];
-                (run.owners[g] as usize == me).then(|| (run.blocks[g], run.counts[g] as usize))
+                (run.owners[g] as usize == me).then(|| (r, run.blocks[g], run.counts[g] as usize))
             })
             .collect();
-        let ids: Vec<BlockId> = mine.iter().map(|&(id, _)| id).collect();
-        let issue = duality_issue_order(&ids, batch_blocks.div_ceil(p).max(st.disks()));
-        let issue_ids: Vec<BlockId> = issue.iter().map(|&i| ids[i]).collect();
-        let issued = storage.fetch_blocks(me, &issue_ids)?;
-        let mut handles: Vec<Option<BlockFetch>> = ids.iter().map(|_| None).collect();
-        for (&i, f) in issue.iter().zip(issued) {
-            handles[i] = Some(f);
-        }
-        let mut fetched: Vec<R> = Vec::new();
-        for (i, &(id, valid)) in mine.iter().enumerate() {
-            let buf = handles[i].take().expect("every block issued").wait()?;
-            R::decode_slice(&buf[..valid * R::BYTES], &mut fetched);
+        let ids: Vec<BlockId> = mine.iter().map(|&(_, id, _)| id).collect();
+        let schedule = duality_issue_order(&ids, batch_blocks.div_ceil(p).max(st.disks()));
+        let fetches = storage.fetch_blocks_scheduled(me, &ids, &schedule)?;
+        Ok(mine.into_iter().zip(fetches).map(|((r, id, v), f)| (r, id, v, f)).collect())
+    };
+
+    // sources[r]: this PE's buffered sorted slice of run r — the carry
+    // tail of previous batches plus the blocks fetched this batch.
+    // Within a run, blocks in increasing g hold increasing key ranges
+    // (the run is globally sorted), so appending fetched blocks in
+    // prediction order keeps each source sorted.
+    let mut sources: Vec<Vec<R>> = vec![Vec::new(); k];
+    let mut out_pieces: Vec<StripedRun<R::Key>> = Vec::new();
+    let mut stripe_off = 0u64;
+    let mut pending = if total_batches > 0 {
+        events.push(MergeEvent::Issued(0));
+        Some(issue_batch(0)?)
+    } else {
+        None
+    };
+    for b in 0..total_batches {
+        let current = pending.take().expect("batch issued one iteration ahead");
+        // Overlap: hand batch b+1's reads to the block service before
+        // merging batch b, so the disks prefetch while the CPUs merge
+        // and the network exchanges.
+        pending = if b + 1 < total_batches {
+            events.push(MergeEvent::Issued(b + 1));
+            Some(issue_batch(b + 1)?)
+        } else {
+            None
+        };
+
+        for (r, id, valid, fetch) in current {
+            let buf = fetch.wait()?;
+            R::decode_slice(&buf[..valid * R::BYTES], &mut sources[r]);
             // In-place: the slot is reusable once consumed; the
             // backing bytes are only released on overwrite.
             st.alloc().free(id);
         }
-        next = batch_end;
 
-        // Threshold: smallest first key among unfetched blocks.
+        // Threshold: smallest first key among not-yet-merged blocks.
+        // `order` is sorted by first key, so the next batch's first
+        // entry *is* the global minimum over every block that has not
+        // entered the merge — its blocks may already be in flight, but
+        // none of their elements are in the sources yet. All PEs share
+        // the same batch index, so the threshold is globally
+        // consistent without communication.
         let threshold: Option<R::Key> =
-            order.get(next).map(|&(r, g)| group[r].first_keys[g]).into_iter().min();
-        // All fetched blocks on all PEs share the same `next`, so the
-        // threshold is globally consistent without communication.
+            order.get((b + 1) * batch_blocks).map(|&(r, g)| group[r].first_keys[g]);
 
-        // Pool = carry + fetched, parallel-sorted across PEs.
-        let mut pool = std::mem::take(&mut carry);
-        pool.append(&mut fetched);
-        let (sorted, sort_cpu) = parallel_sort(comm, pool, cores)?;
-        cpu = cpu.merge(&sort_cpu);
-
-        // Emit the global prefix that is smaller than the threshold.
-        let local_emit = match &threshold {
-            Some(t) => sorted.partition_point(|x| x.key() < *t),
-            None => sorted.len(),
+        // Merge (don't sort) the per-run prefixes below the threshold;
+        // the suffixes stay buffered as the next batch's carry tails.
+        let mut emit: Vec<R> = Vec::new();
+        let views: Vec<&[R]> = sources.iter().map(|s| s.as_slice()).collect();
+        let cuts = match &threshold {
+            Some(t) => merge_k_below_into(&views, |x| x.key() < *t, &mut emit),
+            None => {
+                merge_k_into(&views, &mut emit);
+                views.iter().map(|v| v.len()).collect()
+            }
         };
-        // The emitted prefix must be globally contiguous: since the
-        // pool is canonically distributed, everything below the
-        // threshold forms a prefix of (PE order, local order).
-        let emit: Vec<R> = sorted[..local_emit].to_vec();
-        carry = sorted[local_emit..].to_vec();
-        out_pieces.push(write_striped::<R>(comm, st, cfg, &emit)?);
+        drop(views);
+        for (s, cut) in sources.iter_mut().zip(cuts) {
+            s.drain(..cut);
+        }
+        cpu = cpu.merge(&merge_cpu(emit.len() as u64, k));
+
+        // The emitted set is locally sorted; one exact-splitter
+        // exchange (selection + all-to-all + P-way merge — no local
+        // sort) makes it canonically distributed for the striped
+        // write.
+        let (canon, exchange_cpu) = parallel_sort_presorted(comm, emit, CpuCounters::default())?;
+        cpu = cpu.merge(&exchange_cpu);
+
+        let piece = write_striped::<R>(comm, st, cfg, &canon, stripe_off)?;
+        stripe_off += piece.blocks.len() as u64;
+        events.push(MergeEvent::Emitted(b));
+        out_pieces.push(piece);
     }
+    debug_assert!(
+        sources.iter().all(Vec::is_empty),
+        "the final batch has no threshold and must drain every carry tail"
+    );
 
     // Stitch the emitted pieces into one striped run. Pieces were
     // emitted in globally increasing key order, so their concatenation
-    // is the merged run; re-striping block ownership is already
-    // piecewise consistent (each piece is striped from disk 0 — a real
-    // implementation would thread the stripe offset through; the I/O
-    // and communication volumes are identical, so we keep the simpler
-    // directory and note the stripe phase resets per piece).
+    // is the merged run, and each piece continued the round-robin
+    // striping at `stripe_off`, so block t of the stitched run is on
+    // disk t mod D exactly as if it had been written in one piece.
     let mut merged = StripedRun::<R::Key>::empty();
     for piece in out_pieces {
         merged.owners.extend(piece.owners);
@@ -398,7 +491,6 @@ fn merge_striped_group<R: Record + Ord>(
         merged.counts.extend(piece.counts);
         merged.elems += piece.elems;
     }
-    let _ = n;
     Ok((merged, cpu))
 }
 
@@ -615,6 +707,83 @@ mod tests {
             let phases: Vec<Phase> = o.phases.iter().map(|(p, _)| *p).collect();
             assert_eq!(phases, vec![Phase::RunFormation]);
         }
+    }
+
+    #[test]
+    fn merge_phase_merges_instead_of_sorting() {
+        // Single merge pass: the merge phase must charge *merge* work
+        // only — n·⌈log2 R⌉ for the batch loser trees plus n·⌈log2 P⌉
+        // for the exchange merges — and no sort comparisons at all
+        // (the seed re-sorted every batch: ~n·log n per batch).
+        let p = 2;
+        let local_n = 700;
+        let (_, outcomes, _) = sort_striped(p, local_n, InputSpec::Uniform, None);
+        assert_eq!(outcomes[0].passes, 1, "config must give a single merge pass");
+        let runs = outcomes[0].runs;
+        let n = (p * local_n) as u64;
+        let mut sort_work = 0u64;
+        let mut merge_work_total = 0u64;
+        let mut merged = 0u64;
+        for o in &outcomes {
+            let (_, stats) = o
+                .phases
+                .iter()
+                .find(|(ph, _)| *ph == Phase::FinalMerge)
+                .expect("merge phase recorded");
+            sort_work += stats.cpu.sort_work;
+            merge_work_total += stats.cpu.merge_work;
+            merged += stats.cpu.elements_merged;
+        }
+        assert_eq!(sort_work, 0, "batches are merged, never re-sorted");
+        assert_eq!(merged, 2 * n, "each element merges once locally, once in the exchange");
+        assert_eq!(
+            merge_work_total,
+            crate::merge::merge_work(n, runs) + crate::merge::merge_work(n, p),
+            "merge comparisons are n·(⌈log2 R⌉ + ⌈log2 P⌉), R = {runs}"
+        );
+    }
+
+    #[test]
+    fn next_batch_fetches_issued_before_current_batch_emits() {
+        // Multi-batch single-pass merge: the trace must show batch
+        // b+1's fetches handed to the block service before batch b's
+        // piece is written — the fetch/merge overlap of Section IV-E.
+        let (_, outcomes, _) = sort_striped(2, 1200, InputSpec::Uniform, None);
+        for o in &outcomes {
+            assert_eq!(o.passes, 1);
+            let ev = &o.merge_events;
+            let batches = ev.iter().filter(|e| matches!(e, MergeEvent::Emitted(_))).count();
+            assert!(batches >= 2, "config must force multiple merge batches, got {batches}");
+            let pos = |want: MergeEvent| ev.iter().position(|e| *e == want).expect("event");
+            for b in 0..batches - 1 {
+                assert!(
+                    pos(MergeEvent::Issued(b + 1)) < pos(MergeEvent::Emitted(b)),
+                    "batch {}'s fetches must be in flight before batch {b} emits: {ev:?}",
+                    b + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_piece_output_stripes_evenly_over_disks() {
+        // The merged output is stitched from several emitted pieces;
+        // each piece continues the round-robin striping where the
+        // previous left off, so per-disk block counts differ by ≤ 1.
+        let p = 2;
+        let (_, outcomes, _) = sort_striped(p, 1200, InputSpec::Uniform, None);
+        let o = &outcomes[0];
+        let pieces = o.merge_events.iter().filter(|e| matches!(e, MergeEvent::Emitted(_))).count();
+        assert!(pieces >= 2, "test must cover a multi-piece run, got {pieces} piece(s)");
+        let cfg = SortConfig::new(MachineConfig::tiny(p), AlgoConfig::default()).expect("valid");
+        let dpp = cfg.machine.disks_per_pe;
+        let mut per_disk = vec![0u64; cfg.machine.total_disks()];
+        for (g, id) in o.output.blocks.iter().enumerate() {
+            per_disk[o.output.owners[g] as usize * dpp + id.disk as usize] += 1;
+        }
+        let (min, max) =
+            (per_disk.iter().min().expect("disks"), per_disk.iter().max().expect("disks"));
+        assert!(max - min <= 1, "stitched run must stripe evenly over all disks, got {per_disk:?}");
     }
 
     #[test]
