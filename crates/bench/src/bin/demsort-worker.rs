@@ -5,7 +5,7 @@
 //! demsort-worker --hostfile FILE --rank R --input IN --output OUT
 //!                [--mem-mib M] [--block-kib K] [--disks D]
 //!                [--cores C] [--seed S] [--comm-timeout MS]
-//!                [--algo canonical|striped]
+//!                [--algo canonical|striped] [--replication F]
 //! ```
 //!
 //! In **coordinator mode** the worker dials `demsort-launch`'s
@@ -40,6 +40,7 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut timeout_ms = 30_000u64;
     let mut algorithm = SortAlgo::Canonical;
+    let mut replication = 0usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -59,13 +60,14 @@ fn main() {
             "--algo" => {
                 algorithm = SortAlgo::parse(&next("--algo")).unwrap_or_else(|e| die(&e.to_string()))
             }
+            "--replication" => replication = parse(&next("--replication"), "replication"),
             "--help" | "-h" => {
                 println!(
                     "demsort-worker --coordinator HOST:PORT\n\
                      demsort-worker --hostfile FILE --rank R --input IN --output OUT\n\
                      \x20              [--mem-mib M] [--block-kib K] [--disks D]\n\
                      \x20              [--cores C] [--seed S] [--comm-timeout MS]\n\
-                     \x20              [--algo canonical|striped]"
+                     \x20              [--algo canonical|striped] [--replication F]"
                 );
                 return;
             }
@@ -87,10 +89,11 @@ fn main() {
             }
             let listener = TcpListener::bind(addrs[rank])
                 .unwrap_or_else(|e| die(&format!("bind {}: {e}", addrs[rank])));
-            let algo = match seed {
-                Some(s) => AlgoConfig { seed: s, ..AlgoConfig::default() },
-                None => AlgoConfig::default(),
-            };
+            let mut algo = AlgoConfig::default();
+            if let Some(s) = seed {
+                algo.seed = s;
+            }
+            algo.replication = replication;
             let job = JobConfig {
                 input,
                 output,

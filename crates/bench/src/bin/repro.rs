@@ -5,7 +5,8 @@
 //!
 //! EXPERIMENT: fig2 | fig3 | fig4 | fig5 | fig6 | sortbench |
 //!             ablate-selection | ablate-overlap |
-//!             striped-vs-canonical | baseline-skew | all (default)
+//!             striped-vs-canonical | baseline-skew | bench-striped |
+//!             all (default)
 //!
 //! --smoke     run at the fast smoke scale (CI-sized, same shapes)
 //! --pes       override the cluster-size sweep
@@ -22,7 +23,7 @@ const USAGE: &str = "repro [EXPERIMENT] [--smoke] [--pes P1,P2,...] [--out DIR]
 EXPERIMENT: fig2 | fig3 | fig4 | fig5 | fig6 | sortbench |
             ablate-selection | ablate-overlap | ablate-runlength |
             ablate-prefetch | striped-vs-canonical | baseline-skew |
-            all (default)
+            bench-striped | all (default)
 
 --smoke     run at the fast smoke scale (CI-sized, same shapes)
 --pes       override the cluster-size sweep
@@ -128,8 +129,21 @@ fn main() {
     if want("baseline-skew") {
         emit("baseline_skew", experiments::baseline_skew(&args.scale, args.single_pes));
     }
+    // Machine-readable throughput benchmark (not a paper table): JSON
+    // to stdout and to OUT/BENCH_striped.json, replication off and on.
+    let mut bench_emitted = false;
+    if want("bench-striped") {
+        let json = experiments::bench_striped_json(&args.scale, args.single_pes, &[0, 1]);
+        print!("{json}");
+        if let Err(e) = std::fs::create_dir_all(&args.out)
+            .and_then(|()| std::fs::write(args.out.join("BENCH_striped.json"), &json))
+        {
+            eprintln!("warning: could not write {}/BENCH_striped.json: {e}", args.out.display());
+        }
+        bench_emitted = true;
+    }
 
-    if emitted.is_empty() {
+    if emitted.is_empty() && !bench_emitted {
         eprintln!("unknown experiment `{}`; try --help", args.experiment);
         std::process::exit(2);
     }
@@ -138,5 +152,7 @@ fn main() {
             eprintln!("warning: could not write {}/{}.csv: {e}", args.out.display(), name);
         }
     }
-    eprintln!("CSV written to {}/", args.out.display());
+    if !emitted.is_empty() {
+        eprintln!("CSV written to {}/", args.out.display());
+    }
 }

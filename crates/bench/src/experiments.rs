@@ -8,7 +8,7 @@ use demsort_core::baselines::nowsort;
 use demsort_core::canonical::{sort_cluster, ClusterOutcome};
 use demsort_core::ctx::ClusterStorage;
 use demsort_core::runform::ingest_input;
-use demsort_core::striped::striped_mergesort;
+use demsort_core::striped::{striped_mergesort, striped_sort_cluster};
 use demsort_net::run_cluster;
 use demsort_types::{AlgoConfig, Element16, Phase, Record, Record100, SortConfig, SortReport};
 use demsort_workloads::{generate_pe_input, gensort_records, InputSpec};
@@ -350,6 +350,79 @@ pub fn run_striped_report(scale: &ExpScale, pes: usize) -> SortReport {
     report
 }
 
+/// Repeatable striped-sort benchmark: measured wall-clock records/s,
+/// per phase and total, with each replication factor in
+/// `replications` — emitted as machine-readable JSON (the CI smoke
+/// step writes it to `BENCH_striped.json`). The same seed, input, and
+/// machine shape are used for every factor, so consecutive runs (and
+/// runs across commits) measure exactly the same work and the
+/// replication column isolates the cost of storing buddy-rank copies
+/// of every run block during run formation.
+pub fn bench_striped_json(scale: &ExpScale, pes: usize, replications: &[usize]) -> String {
+    fn phase_key(p: Phase) -> &'static str {
+        match p {
+            Phase::RunFormation => "run_formation",
+            Phase::MultiwaySelection => "multiway_selection",
+            Phase::AllToAll => "all_to_all",
+            Phase::FinalMerge => "final_merge",
+        }
+    }
+    let local_n = scale.elems_per_pe();
+    let mut entries = Vec::new();
+    for &f in replications {
+        let algo = AlgoConfig { replication: f, ..AlgoConfig::default() };
+        let cfg = SortConfig::new(scale.machine(pes), algo).expect("valid config");
+        let started = std::time::Instant::now();
+        let outcome = striped_sort_cluster::<Element16, _>(
+            &cfg,
+            |pe, p| generate_pe_input(InputSpec::Uniform, 0xBE6C_57A1, pe, p, local_n),
+            None,
+        )
+        .expect("striped sort");
+        let wall_s = started.elapsed().as_secs_f64();
+        let records = outcome.per_pe.first().map_or(0, |o| o.output.elems);
+        // A phase ends when its slowest PE does: throughput is bounded
+        // by the per-phase maximum over PEs of measured host wall time.
+        let mut phases = String::new();
+        for &phase in Phase::ALL.iter() {
+            let ns = outcome
+                .per_pe
+                .iter()
+                .flat_map(|o| &o.phases)
+                .filter(|(p, _)| *p == phase)
+                .map(|(_, s)| s.cpu.host_wall_ns)
+                .max()
+                .unwrap_or(0);
+            if ns == 0 {
+                continue;
+            }
+            let s = ns as f64 / 1e9;
+            if !phases.is_empty() {
+                phases.push_str(", ");
+            }
+            phases.push_str(&format!(
+                "\"{}\": {{\"wall_s\": {:.6}, \"records_per_s\": {:.0}}}",
+                phase_key(phase),
+                s,
+                records as f64 / s
+            ));
+        }
+        entries.push(format!(
+            "    {{\"replication\": {f}, \"wall_s\": {:.6}, \"records_per_s\": {:.0}, \
+             \"phases\": {{{phases}}}}}",
+            wall_s,
+            records as f64 / wall_s
+        ));
+    }
+    format!(
+        "{{\n  \"bench\": \"striped\",\n  \"pes\": {pes},\n  \"records\": {},\n  \
+         \"record_bytes\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        local_n as u64 * pes as u64,
+        Element16::BYTES,
+        entries.join(",\n")
+    )
+}
+
 /// NOW-Sort baseline vs CANONICALMERGESORT on uniform and skewed
 /// inputs: balance and modeled time (the Section II degradation).
 pub fn baseline_skew(scale: &ExpScale, pes: usize) -> Table {
@@ -567,6 +640,21 @@ mod tests {
         assert!(svc.contains("striped") && svc.contains("canonical"));
         let skew = baseline_skew(&s, 4).render();
         assert!(skew.contains("nowsort"));
+    }
+
+    #[test]
+    fn bench_striped_json_is_machine_readable_and_covers_both_factors() {
+        let s = bench_striped_json(&smoke(), 3, &[0, 1]);
+        // Shape pins: both replication factors, both striped phases,
+        // positive rates, balanced braces (parseable by any JSON
+        // consumer without a parser dependency here).
+        assert!(s.contains("\"replication\": 0"), "{s}");
+        assert!(s.contains("\"replication\": 1"), "{s}");
+        assert!(s.contains("\"run_formation\""), "{s}");
+        assert!(s.contains("\"final_merge\""), "{s}");
+        assert!(s.contains("\"records_per_s\""), "{s}");
+        assert!(!s.contains("\"records_per_s\": 0,"), "rates must be positive: {s}");
+        assert_eq!(s.matches('{').count(), s.matches('}').count(), "balanced JSON braces: {s}");
     }
 
     #[test]

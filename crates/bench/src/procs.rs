@@ -40,13 +40,14 @@
 
 use demsort_core::canonical::canonical_mergesort;
 use demsort_core::ctx::{
-    assemble_report, BlockFetch, ClusterStorage, PendingBlock, RemoteBlockService,
+    assemble_report, BlockFetch, BlockStore, ClusterStorage, PendingBlock, PendingStore,
+    RemoteBlockService,
 };
 use demsort_core::recio::read_records;
 use demsort_core::runform::{ingest_input, LocalInput};
-use demsort_core::striped::striped_mergesort;
-use demsort_net::tcp::{bind_loopback, TcpOptions, TcpTransport, WireFetch};
-use demsort_net::Communicator;
+use demsort_core::striped::{striped_mergesort_resilient, ResilientHooks};
+use demsort_net::tcp::{bind_loopback, TcpOptions, TcpTransport, WireFetch, WireStore};
+use demsort_net::{Communicator, SubTransport, Transport as _};
 use demsort_storage::{BlockId, DiskModel, MemBackend, PeStorage};
 use demsort_types::wire::{
     decode_job, decode_rank_report, encode_job, encode_rank_report, RankReport, WireReader,
@@ -105,8 +106,9 @@ fn read_msg_deadline(s: &mut TcpStream, deadline: Instant) -> Result<(u8, Vec<u8
 // -------------------------------------------------------------------
 
 /// The remote half of a worker's cluster block service: batched reads
-/// of peers' blocks ride the transport's out-of-band block channel
-/// ([`TcpTransport::fetch_blocks`] — pipelined requests, responses
+/// and writes of peers' blocks ride the transport's out-of-band block
+/// channel ([`TcpTransport::fetch_blocks`] /
+/// [`TcpTransport::store_blocks`] — pipelined requests, responses
 /// matched by id). Public so tests can assemble single-rank
 /// [`ClusterStorage`] views over a real TCP mesh.
 pub struct TcpBlockService(pub TcpTransport);
@@ -124,6 +126,20 @@ impl PendingBlock for WirePending {
     }
 }
 
+/// One in-flight wire write adapted to the core block-service
+/// contract: the owner's acknowledgement carries the assigned address.
+struct WirePendingStore(WireStore);
+
+impl PendingStore for WirePendingStore {
+    fn wait(self: Box<Self>) -> Result<BlockId> {
+        self.0.wait().map(|(disk, slot)| BlockId::new(disk, slot))
+    }
+
+    fn is_done(&self) -> bool {
+        self.0.is_done()
+    }
+}
+
 impl RemoteBlockService for TcpBlockService {
     fn fetch_blocks(&self, pe: usize, ids: &[BlockId]) -> Result<Vec<BlockFetch>> {
         let addrs: Vec<(u32, u32)> = ids.iter().map(|id| (id.disk, id.slot)).collect();
@@ -132,6 +148,15 @@ impl RemoteBlockService for TcpBlockService {
             .fetch_blocks(pe, &addrs)?
             .into_iter()
             .map(|f| BlockFetch::remote(Box::new(WirePending(f))))
+            .collect())
+    }
+
+    fn store_blocks(&self, pe: usize, blocks: &[(u32, &[u8])]) -> Result<Vec<BlockStore>> {
+        Ok(self
+            .0
+            .store_blocks(pe, blocks)?
+            .into_iter()
+            .map(|s| BlockStore::remote(Box::new(WirePendingStore(s))))
             .collect())
     }
 }
@@ -229,16 +254,17 @@ pub fn run_rank(
     let storage = ClusterStorage::single(rank, p, st, Box::new(TcpBlockService(tcp.clone())));
 
     // Serve peers' block-service reads (selection probes, striped
-    // remote reads) out of this rank's storage. The handler closure
-    // holds the storage, which holds the transport, whose endpoint
-    // holds the handler — a cycle only `clear_block_handler` breaks,
-    // so guard it against every exit path (errors included), or a
-    // failed job leaks the reader threads, sockets, and storage for
-    // the process lifetime.
+    // remote reads) and writes (run replication) out of this rank's
+    // storage. The handler closures hold the storage, which holds the
+    // transport, whose endpoint holds the handlers — a cycle only
+    // clearing the handlers breaks, so guard it against every exit
+    // path (errors included), or a failed job leaks the reader
+    // threads, sockets, and storage for the process lifetime.
     struct HandlerGuard(TcpTransport);
     impl Drop for HandlerGuard {
         fn drop(&mut self) {
             self.0.clear_block_handler();
+            self.0.clear_store_handler();
         }
     }
     let serve_storage = Arc::clone(&storage);
@@ -248,6 +274,18 @@ pub fn run_rank(
             .engine()
             .read_sync(BlockId::new(disk, slot))
             .map(|b| b.into_vec())
+            .map_err(|e| e.to_string())
+    }));
+    // Stores allocate on the serving rank — its allocator stays the
+    // authority for its disks; the requester only supplies a disk
+    // hint (spread stores like the originals were spread).
+    let store_storage = Arc::clone(&storage);
+    tcp.set_store_handler(Arc::new(move |disk_hint, data| {
+        let st = store_storage.pe(rank);
+        let id = st.alloc().alloc_on(disk_hint as usize % st.disks());
+        st.engine()
+            .write_sync(id, data.to_vec().into_boxed_slice())
+            .map(|()| (id.disk, id.slot))
             .map_err(|e| e.to_string())
     }));
     let _handler_guard = HandlerGuard(tcp.clone());
@@ -278,13 +316,22 @@ pub fn run_rank(
         SortAlgo::Canonical => {
             run_canonical_rank(rank, total_records, &comm, &storage, &cfg, input, job)?
         }
-        SortAlgo::Striped => run_striped_rank(rank, &comm, &storage, &cfg, input, job)?,
+        SortAlgo::Striped => run_striped_rank(rank, &tcp, &comm, &storage, &cfg, input, job)?,
     };
 
     // Ranks must not tear the mesh down while a slower peer still
     // depends on it (remote reads are done, but the final phases
-    // interleave); the block handler clears on return.
-    comm.barrier()?;
+    // interleave); the handlers clear on return. After a degraded
+    // striped completion a global barrier would wait on the dead rank
+    // forever, so synchronize over the live group only.
+    let dead = tcp.dead_peers();
+    if dead.iter().any(|&d| d) {
+        let members: Vec<usize> = (0..p).filter(|&r| !dead[r]).collect();
+        let sub = SubTransport::new(tcp.clone(), members)?;
+        Communicator::new(Box::new(sub)).barrier()?;
+    } else {
+        comm.barrier()?;
+    }
     Ok(report)
 }
 
@@ -354,16 +401,68 @@ fn run_canonical_rank(
 /// prefix sum of the directory's block counts (interior blocks of
 /// stitched merge output can be partial), and the directory is global,
 /// so ranks write disjoint ranges without further communication.
+///
+/// The sort runs with failure-recovery hooks wired to the transport:
+/// with `--replication f` (f > 0), a rank dying mid-merge is detected
+/// by the survivors' failure detector ([`TcpTransport`]'s reader
+/// threads), the survivors cut stale traffic with an epoch marker,
+/// regroup over a renumbered [`SubTransport`], re-route the dead
+/// rank's blocks to their replicas, and finish the sort degraded.
+///
+/// Failure-injection harness (read at merge start, used by the
+/// cluster tests): if `DEMSORT_MERGE_START_MARKER_DIR` is set, each
+/// rank drops a `merge-start-<rank>` file there when its merge phase
+/// begins (so a launcher can SIGKILL a specific rank at that exact
+/// point); if `DEMSORT_MERGE_START_STALL_MS` is set, each rank then
+/// stalls that long before merging (so the kill lands before any
+/// survivor enters the merge).
 fn run_striped_rank(
     rank: usize,
+    tcp: &TcpTransport,
     comm: &Communicator,
     storage: &ClusterStorage,
     cfg: &SortConfig,
     input: LocalInput,
     job: &JobConfig,
 ) -> Result<RankReport> {
-    let outcome =
-        striped_mergesort::<Record100>(comm, storage, cfg, input, job.machine.cores_per_pe, None)?;
+    let marker_dir = std::env::var_os("DEMSORT_MERGE_START_MARKER_DIR");
+    let stall_ms =
+        std::env::var("DEMSORT_MERGE_START_STALL_MS").ok().and_then(|s| s.parse::<u64>().ok());
+    let hooks = ResilientHooks {
+        dead_set: Box::new(|| tcp.dead_peers()),
+        subgroup: Box::new(move |members: &[usize]| {
+            // Epoch cut: discard every frame the doomed attempt left
+            // in flight, from every surviving member (self included —
+            // the self-channel FIFO got a marker too), then renumber.
+            tcp.advance_epoch(1)?;
+            for &m in members {
+                tcp.drain_to_epoch(m, 1)?;
+            }
+            let sub = SubTransport::new(tcp.clone(), members.to_vec())?;
+            Ok(Communicator::new(Box::new(sub)))
+        }),
+        on_merge_start: Some(Box::new(move |r| {
+            if let Some(dir) = &marker_dir {
+                let _ = std::fs::write(
+                    std::path::Path::new(dir).join(format!("merge-start-{r}")),
+                    b"1",
+                );
+            }
+            if let Some(ms) = stall_ms {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            true
+        })),
+    };
+    let outcome = striped_mergesort_resilient::<Record100>(
+        comm,
+        storage,
+        cfg,
+        input,
+        job.machine.cores_per_pe,
+        None,
+        Some(hooks),
+    )?;
 
     let run = &outcome.output;
     let mut offsets = Vec::with_capacity(run.counts.len());
@@ -694,6 +793,18 @@ pub fn summarize_outcomes(job: &JobConfig, outcomes: Vec<RankOutcome>) -> Result
 /// ship the job, and return the running cluster for collection (or
 /// failure injection).
 pub fn launch_workers(job: &JobConfig, worker_bin: &std::path::Path) -> Result<LaunchControl> {
+    launch_workers_env(job, worker_bin, &[])
+}
+
+/// [`launch_workers`] with extra environment variables set on every
+/// worker process — the failure-injection tests use this to arm the
+/// merge-start marker/stall harness (see [`run_rank`]'s striped path)
+/// without mutating the test process's own environment.
+pub fn launch_workers_env(
+    job: &JobConfig,
+    worker_bin: &std::path::Path,
+    envs: &[(&str, String)],
+) -> Result<LaunchControl> {
     job.validate()?;
     let p = job.machine.pes;
 
@@ -746,6 +857,7 @@ pub fn launch_workers(job: &JobConfig, worker_bin: &std::path::Path) -> Result<L
         let child = std::process::Command::new(worker_bin)
             .arg("--coordinator")
             .arg(coord_addr.to_string())
+            .envs(envs.iter().map(|(k, v)| (k, v)))
             .spawn()
             .map_err(|e| Error::io(format!("spawn {}: {e}", worker_bin.display())))?;
         ctl.children.push(child);
@@ -855,6 +967,10 @@ pub struct TcpJobCli {
     /// Which sorting algorithm the job runs (`--algo
     /// canonical|striped`).
     pub algorithm: SortAlgo,
+    /// Run-replication factor (`--replication`, striped only): how
+    /// many buddy-rank copies of every formed run block are stored,
+    /// i.e. how many rank deaths the merge phase can survive.
+    pub replication: usize,
     /// Explicit worker binary path (`--worker-bin`).
     pub worker_bin: Option<String>,
 }
@@ -869,6 +985,7 @@ impl Default for TcpJobCli {
             seed: None,
             comm_timeout_ms: 30_000,
             algorithm: SortAlgo::Canonical,
+            replication: 0,
             worker_bin: None,
         }
     }
@@ -884,6 +1001,8 @@ impl TcpJobCli {
          --seed S          algorithm seed\n  \
          --comm-timeout MS comm read timeout in ms (default 30000; alias --timeout-ms)\n  \
          --algo A          sorting algorithm: canonical (default) or striped\n  \
+         --replication F   store F buddy-rank replicas of every run block (striped only; \
+         default 0)\n  \
          --worker-bin PATH explicit demsort-worker binary";
 
     /// Consume `flag` if it is one of the shared job flags (pulling its
@@ -910,6 +1029,7 @@ impl TcpJobCli {
                 self.algorithm =
                     SortAlgo::parse(&next(flag)).unwrap_or_else(|e| cli_die(bin, &e.to_string()))
             }
+            "--replication" => self.replication = cli_parse(bin, &next(flag), "replication"),
             "--worker-bin" => self.worker_bin = Some(next(flag)),
             _ => return false,
         }
@@ -932,10 +1052,11 @@ impl TcpJobCli {
 
     /// Assemble the [`JobConfig`] for `input` → `output`.
     pub fn job(&self, input: &str, output: &str) -> JobConfig {
-        let algo = match self.seed {
-            Some(s) => AlgoConfig { seed: s, ..AlgoConfig::default() },
-            None => AlgoConfig::default(),
-        };
+        let mut algo = AlgoConfig::default();
+        if let Some(s) = self.seed {
+            algo.seed = s;
+        }
+        algo.replication = self.replication;
         JobConfig {
             input: input.to_string(),
             output: output.to_string(),
@@ -1175,6 +1296,8 @@ mod tests {
             "1500",
             "--algo",
             "striped",
+            "--replication",
+            "1",
         ]
         .iter()
         .map(|s| s.to_string());
@@ -1190,6 +1313,7 @@ mod tests {
         assert_eq!(job.algo.seed, 9);
         assert_eq!(job.read_timeout_ms, 1500);
         assert_eq!(job.algorithm, SortAlgo::Striped);
+        assert_eq!(job.algo.replication, 1);
         // The legacy alias still works.
         let mut args = ["--timeout-ms", "2500"].iter().map(|s| s.to_string());
         let flag = args.next().expect("flag");

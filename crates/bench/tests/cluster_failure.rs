@@ -10,10 +10,18 @@
 //!   error (what `demsort-launch` prints before exiting non-zero)
 //!   names that rank first.
 //!
+//! With `--replication 1` the contract strengthens from "survivors
+//! fail cleanly" to "survivors finish": a 4-process striped sort whose
+//! victim is SIGKILLed at merge start re-routes the dead rank's blocks
+//! to their buddy-rank replicas and produces output byte-identical to
+//! an undisturbed run (second test).
+//!
 //! Cargo builds the real `demsort-worker` binary for this test and
 //! exposes its path via `CARGO_BIN_EXE_demsort-worker`.
 
-use demsort_bench::procs::{launch_workers, summarize_outcomes, RankOutcome};
+use demsort_bench::procs::{
+    launch, launch_workers, launch_workers_env, summarize_outcomes, RankOutcome,
+};
 use demsort_types::{AlgoConfig, JobConfig, MachineConfig, Record as _, Record100, SortAlgo};
 use demsort_workloads::gensort_records;
 use std::io::Write;
@@ -122,6 +130,109 @@ fn sigkill_mid_sort_fails_every_survivor_cleanly_and_names_the_dead_rank() {
 
     drop(ctl); // reaps the surviving workers
     for p in [&input, &output] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// The tentpole pin: with `--replication 1`, killing a rank at the
+/// start of the merge phase no longer fails the job — the survivors
+/// detect the death, regroup, re-route the dead rank's blocks to their
+/// buddy replicas, and finish. The degraded output must be valsort-
+/// clean AND byte-identical to an undisturbed run of the same job.
+#[test]
+fn sigkill_mid_merge_with_replication_survivors_finish_byte_identical() {
+    const VICTIM: usize = 2;
+    let input = tmp_path("repl-input.dat");
+    let output_ref = tmp_path("repl-out-ref.dat");
+    let output = tmp_path("repl-out.dat");
+    write_gensort_input(&input);
+
+    let algo = AlgoConfig { replication: 1, ..AlgoConfig::default() };
+    let mut job = JobConfig {
+        input: input.to_string_lossy().into_owned(),
+        output: output_ref.to_string_lossy().into_owned(),
+        machine: MachineConfig {
+            pes: RANKS,
+            disks_per_pe: 2,
+            block_bytes: 1 << 10,
+            mem_bytes_per_pe: 16 << 10,
+            cores_per_pe: 1,
+        },
+        algo,
+        algorithm: SortAlgo::Striped,
+        read_timeout_ms: COMM_TIMEOUT_MS,
+    };
+    let worker = PathBuf::from(env!("CARGO_BIN_EXE_demsort-worker"));
+
+    // Undisturbed reference run (replication on, nobody dies).
+    let reference =
+        launch(&job, &worker).expect("undisturbed replicated striped sort must succeed");
+    assert_eq!(reference.report.elements as usize, RECORDS);
+    let ref_bytes = std::fs::read(&output_ref).expect("read reference output");
+    assert_eq!(ref_bytes.len(), RECORDS * Record100::BYTES);
+
+    // Failure run: arm the merge-start harness so every rank drops a
+    // marker file when it reaches the merge phase and then stalls,
+    // giving the launcher a deterministic window to SIGKILL the victim
+    // before any survivor has begun merging.
+    let marker_dir = tmp_path("repl-markers");
+    std::fs::create_dir_all(&marker_dir).expect("create marker dir");
+    job.output = output.to_string_lossy().into_owned();
+    let envs = [
+        ("DEMSORT_MERGE_START_MARKER_DIR", marker_dir.to_string_lossy().into_owned()),
+        ("DEMSORT_MERGE_START_STALL_MS", "1500".to_string()),
+    ];
+    let mut ctl = launch_workers_env(&job, &worker, &envs).expect("launch workers");
+
+    // Wait for the victim to reach its merge phase, then kill it inside
+    // the stall window.
+    let marker = marker_dir.join(format!("merge-start-{VICTIM}"));
+    let arm_deadline = Instant::now() + Duration::from_secs(120);
+    while !marker.exists() {
+        assert!(Instant::now() < arm_deadline, "victim never reached merge start");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    ctl.kill_rank(VICTIM).expect("SIGKILL the victim rank");
+
+    let outcomes = ctl.collect_outcomes();
+    eprintln!("outcomes: {outcomes:#?}");
+    assert_eq!(outcomes.len(), RANKS);
+    for (rank, outcome) in outcomes.iter().enumerate() {
+        if rank == VICTIM {
+            assert!(
+                matches!(outcome, RankOutcome::Vanished(_)),
+                "killed rank must vanish without a report: {outcome:?}"
+            );
+            continue;
+        }
+        // Every survivor COMPLETES the sort (a structured report, not a
+        // failure): the recovery path re-routed the dead rank's blocks
+        // to their replicas.
+        match outcome {
+            RankOutcome::Report(rep) => {
+                assert_eq!(rep.rank, rank);
+            }
+            other => panic!("surviving rank {rank} must finish the sort, got {other:?}"),
+        }
+    }
+
+    // Degraded output: valsort-clean (sorted, right cardinality) and
+    // byte-identical to the undisturbed run.
+    let out_bytes = std::fs::read(&output).expect("read degraded output");
+    assert_eq!(out_bytes.len(), RECORDS * Record100::BYTES, "degraded output is complete");
+    let mut prev: Option<Record100> = None;
+    for chunk in out_bytes.chunks_exact(Record100::BYTES) {
+        let rec = Record100::decode(chunk);
+        if let Some(p) = &prev {
+            assert!(p.key() <= rec.key(), "degraded output must be sorted");
+        }
+        prev = Some(rec);
+    }
+    assert_eq!(out_bytes, ref_bytes, "degraded output must be byte-identical to undisturbed run");
+
+    drop(ctl);
+    let _ = std::fs::remove_dir_all(&marker_dir);
+    for p in [&input, &output, &output_ref] {
         let _ = std::fs::remove_file(p);
     }
 }

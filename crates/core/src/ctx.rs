@@ -38,6 +38,17 @@ pub trait PendingBlock: Send {
     fn is_done(&self) -> bool;
 }
 
+/// A pending remote block *store*: resolves to the [`BlockId`] the
+/// serving rank's allocator assigned to the copy.
+pub trait PendingStore: Send {
+    /// Block until the serving rank acknowledges the store.
+    fn wait(self: Box<Self>) -> Result<BlockId>;
+
+    /// `true` once the acknowledgement has arrived (success or
+    /// failure).
+    fn is_done(&self) -> bool;
+}
+
 /// Issues asynchronous batched reads of blocks owned by a remote PE
 /// (multi-process mode: implemented over the transport's block-service
 /// channel). Requests are pipelined — all go out before any is waited
@@ -46,6 +57,17 @@ pub trait RemoteBlockService: Send + Sync {
     /// Issue reads of `ids` owned by rank `pe`; handles are returned
     /// in request order.
     fn fetch_blocks(&self, pe: usize, ids: &[BlockId]) -> Result<Vec<BlockFetch>>;
+
+    /// Issue stores of `(disk_hint, data)` blocks into rank `pe`'s
+    /// storage; handles are returned in request order and resolve to
+    /// the address `pe`'s allocator assigned. The default — for
+    /// read-only services predating run replication — refuses.
+    fn store_blocks(&self, pe: usize, blocks: &[(u32, &[u8])]) -> Result<Vec<BlockStore>> {
+        let _ = blocks;
+        Err(Error::io(format!(
+            "rank {pe}: this block service is read-only (no remote store support)"
+        )))
+    }
 }
 
 enum FetchState {
@@ -92,6 +114,63 @@ impl BlockFetch {
             FetchState::Remote(p) => p.is_done(),
         }
     }
+}
+
+enum StoreState {
+    /// Written through a local engine: the address is already
+    /// assigned, the engine write is (possibly) still in flight.
+    Local(BlockId, IoHandle),
+    /// In flight on the wire; the serving rank assigns the address.
+    Remote(Box<dyn PendingStore>),
+}
+
+/// One pending block store through [`ClusterStorage::store_blocks`],
+/// local or remote — the write-side counterpart of [`BlockFetch`].
+/// Resolves to the [`BlockId`] the owning rank's allocator assigned.
+#[must_use = "a BlockStore must be waited on, or the write outcome is unknown"]
+pub struct BlockStore(StoreState);
+
+impl BlockStore {
+    /// A store served by a local storage engine (address `id` already
+    /// assigned; `handle` is the engine write).
+    pub fn local(id: BlockId, handle: IoHandle) -> Self {
+        Self(StoreState::Local(id, handle))
+    }
+
+    /// A store in flight on a transport.
+    pub fn remote(pending: Box<dyn PendingStore>) -> Self {
+        Self(StoreState::Remote(pending))
+    }
+
+    /// Block until the write is durable at the owner; returns the
+    /// assigned address.
+    pub fn wait(self) -> Result<BlockId> {
+        match self.0 {
+            StoreState::Local(id, h) => h.wait().map(|_| id),
+            StoreState::Remote(p) => p.wait(),
+        }
+    }
+
+    /// `true` once the write has completed (success or failure).
+    pub fn is_done(&self) -> bool {
+        match &self.0 {
+            StoreState::Local(_, h) => h.is_done(),
+            StoreState::Remote(p) => p.is_done(),
+        }
+    }
+}
+
+/// Which path a [`ClusterStorage::store_blocks`] write took,
+/// classified by *ownership* (`owner != my_rank` is remote), not by
+/// deployment shape — in the in-process cluster a buddy's storage
+/// happens to share the address space, but the bytes still count as
+/// communication, exactly like [`FetchSource`] on the read side.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StoreTarget {
+    /// The caller's own disks.
+    LocalDisk,
+    /// Another PE's disks (communication charged to the caller).
+    RemoteDisk,
 }
 
 /// The storage view of one participant in the cluster.
@@ -193,6 +272,61 @@ impl ClusterStorage {
             Some(r) => r.fetch_blocks(rank, ids),
             None => Err(Error::io(format!(
                 "PE {rank}'s storage is remote and no remote block service is registered"
+            ))),
+        }
+    }
+
+    /// Issue asynchronous stores of `(disk_hint, data)` blocks into PE
+    /// `owner`'s storage, local or remote — the **write half** of the
+    /// location-transparent block service (run replication rides
+    /// this). The owner's allocator assigns every address (hints are
+    /// folded into its disk range), so replicas land round-robin
+    /// across the buddy's disks without two writers ever colliding on
+    /// a slot. Handles come back in request order; all stores are
+    /// issued (and, for remote owners, pipelined on the wire behind
+    /// one flush) before any is waited on.
+    ///
+    /// The returned [`StoreTarget`] classifies the write by ownership
+    /// relative to `my_rank` — a cross-PE store is
+    /// [`StoreTarget::RemoteDisk`] even in the in-process cluster,
+    /// where the buddy's storage shares the address space: counters
+    /// must not depend on the deployment shape.
+    ///
+    /// # Errors
+    /// [`Error::Config`] for an out-of-range owner; [`Error::Io`] if
+    /// the owner is remote and the block service is read-only.
+    /// Per-block failures surface from each [`BlockStore::wait`].
+    pub fn store_blocks(
+        &self,
+        my_rank: usize,
+        owner: usize,
+        blocks: &[(u32, &[u8])],
+    ) -> Result<(Vec<BlockStore>, StoreTarget)> {
+        if owner >= self.size {
+            return Err(Error::config(format!(
+                "rank {owner} out of range for {} ranks",
+                self.size
+            )));
+        }
+        let target =
+            if owner == my_rank { StoreTarget::LocalDisk } else { StoreTarget::RemoteDisk };
+        if self.is_local(owner) {
+            let pe = self.pe(owner);
+            let disks = pe.disks();
+            let engine = pe.engine();
+            let stores = blocks
+                .iter()
+                .map(|&(hint, data)| {
+                    let id = pe.alloc().alloc_on(hint as usize % disks);
+                    BlockStore::local(id, engine.write(id, data.to_vec().into_boxed_slice()))
+                })
+                .collect();
+            return Ok((stores, target));
+        }
+        match &self.remote {
+            Some(r) => Ok((r.store_blocks(owner, blocks)?, target)),
+            None => Err(Error::io(format!(
+                "PE {owner}'s storage is remote and no remote block service is registered"
             ))),
         }
     }
@@ -466,6 +600,88 @@ mod tests {
         assert_eq!(&*got[1], &[0u8, 1, 2][..]);
         // Out-of-range ranks are clean errors.
         assert!(cs.fetch_blocks(9, &ids).is_err());
+    }
+
+    #[test]
+    fn store_blocks_allocates_locally_and_classifies_by_owner() {
+        let (cs, _) = one_rank_view(1, 3);
+        let block_bytes = cs.pe(1).block_bytes();
+        let disks = cs.pe(1).disks();
+        let a = vec![0xA1u8; block_bytes];
+        let b = vec![0xB2u8; block_bytes];
+        // Store into the own rank: the local allocator assigns
+        // addresses on the hinted disks; ownership says LocalDisk.
+        let (stores, target) =
+            cs.store_blocks(1, 1, &[(0, a.as_slice()), (7, b.as_slice())]).expect("local stores");
+        assert_eq!(target, StoreTarget::LocalDisk);
+        let ids: Vec<BlockId> =
+            stores.into_iter().map(|s| s.wait().expect("local store")).collect();
+        assert_eq!(ids[0].disk, 0);
+        assert_eq!(ids[1].disk, (7 % disks) as u32);
+        assert_eq!(&cs.fetch_block(1, ids[0]).expect("read back")[..], &a[..]);
+        assert_eq!(&cs.fetch_block(1, ids[1]).expect("read back")[..], &b[..]);
+        // A cross-PE store through a read-only service is a clean
+        // error (FakeFetch takes the default), classified RemoteDisk
+        // before the refusal.
+        let err = match cs.store_blocks(1, 2, &[(0, a.as_slice())]) {
+            Ok(_) => panic!("read-only service must refuse"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, Error::Io(ref m) if m.contains("read-only")), "{err}");
+        // Out-of-range owners are clean config errors.
+        assert!(cs.store_blocks(1, 9, &[(0, a.as_slice())]).is_err());
+    }
+
+    /// Write-capable fake: acknowledges every store with a synthetic
+    /// address derived from the hint.
+    struct FakeStore;
+
+    struct ReadyStore(Result<BlockId>);
+
+    impl PendingStore for ReadyStore {
+        fn wait(self: Box<Self>) -> Result<BlockId> {
+            self.0
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    impl RemoteBlockService for FakeStore {
+        fn fetch_blocks(&self, _pe: usize, _ids: &[BlockId]) -> Result<Vec<BlockFetch>> {
+            Err(Error::io("fetch not under test"))
+        }
+        fn store_blocks(&self, pe: usize, blocks: &[(u32, &[u8])]) -> Result<Vec<BlockStore>> {
+            Ok(blocks
+                .iter()
+                .enumerate()
+                .map(|(i, &(hint, _))| {
+                    BlockStore::remote(Box::new(ReadyStore(Ok(BlockId::new(
+                        hint + pe as u32,
+                        i as u32,
+                    )))))
+                })
+                .collect())
+        }
+    }
+
+    #[test]
+    fn store_blocks_routes_remote_owners_through_the_service() {
+        let cfg = MachineConfig::tiny(3);
+        let st = PeStorage::with_backend(
+            cfg.disks_per_pe,
+            cfg.block_bytes,
+            DiskModel::paper(),
+            Arc::new(MemBackend::new(cfg.disks_per_pe)),
+        );
+        let cs = ClusterStorage::single(1, 3, st, Box::new(FakeStore));
+        let data = vec![0u8; cfg.block_bytes];
+        let (stores, target) = cs
+            .store_blocks(1, 2, &[(4, data.as_slice()), (5, data.as_slice())])
+            .expect("remote stores");
+        assert_eq!(target, StoreTarget::RemoteDisk);
+        let ids: Vec<BlockId> = stores.into_iter().map(|s| s.wait().expect("ack")).collect();
+        assert_eq!(ids, vec![BlockId::new(6, 0), BlockId::new(7, 1)]);
     }
 
     #[test]

@@ -42,7 +42,8 @@ pub mod validate;
 
 pub use canonical::{canonical_mergesort, sort_cluster, ClusterOutcome, PeOutcome};
 pub use ctx::{
-    BlockCache, BlockFetch, ClusterStorage, FetchSource, PendingBlock, RemoteBlockService,
+    BlockCache, BlockFetch, BlockStore, ClusterStorage, FetchSource, PendingBlock, PendingStore,
+    RemoteBlockService, StoreTarget,
 };
 pub use distselect::{dist_select_rank, dist_split};
 pub use merge::{merge_k, LoserTree};
@@ -50,6 +51,6 @@ pub use psort::parallel_sort;
 pub use selection::{multiway_select, SelectionResult};
 pub use seqsort::sort_in_node;
 pub use striped::{
-    read_striped, read_striped_blocks, striped_mergesort, striped_sort_cluster,
-    StripedClusterOutcome,
+    read_striped, read_striped_blocks, striped_mergesort, striped_mergesort_resilient,
+    striped_sort_cluster, ResilientHooks, StripedClusterOutcome,
 };

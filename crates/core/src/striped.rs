@@ -52,8 +52,11 @@ use crate::recio::records_per_block;
 use crate::runform::{ingest_input, LocalInput};
 use demsort_net::{chunked_alltoallv, run_cluster, Communicator, MPI_VOLUME_LIMIT};
 use demsort_storage::{duality_issue_order, BlockId, PeStorage};
-use demsort_types::{CpuCounters, Phase, PhaseStats, Record, Result, SortConfig, SortReport};
+use demsort_types::{
+    CommCounters, CpuCounters, Error, Phase, PhaseStats, Record, Result, SortConfig, SortReport,
+};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A globally striped sorted sequence: block `g` lives on PE
 /// `owners[g]` at `blocks[g]`, holding records
@@ -61,7 +64,8 @@ use std::sync::Arc;
 /// key (the prediction sequence).
 #[derive(Clone, Debug)]
 pub struct StripedRun<K> {
-    /// Owning PE per global block.
+    /// Owning PE per global block (**global** rank — stable across
+    /// survivor renumbering during rank-failure recovery).
     pub owners: Vec<u32>,
     /// Local block id per global block.
     pub blocks: Vec<BlockId>,
@@ -70,6 +74,15 @@ pub struct StripedRun<K> {
     /// Valid records per block (interior blocks of stitched merge
     /// output can be partial, so counts are explicit).
     pub counts: Vec<u32>,
+    /// Replica directory per global block: `(replica rank, block id)`
+    /// pairs in buddy order (replica `i` of a block owned by `o`
+    /// lives on rank `(o + i) mod P`). Empty unless the run was
+    /// replicated ([`AlgoConfig::replication`] ` > 0`) — merged
+    /// intermediate runs are never replicated; recovery re-derives
+    /// them from the initial runs.
+    ///
+    /// [`AlgoConfig::replication`]: demsort_types::AlgoConfig::replication
+    pub replicas: Vec<Vec<(u32, BlockId)>>,
     /// Total records.
     pub elems: u64,
 }
@@ -82,6 +95,7 @@ impl<K> StripedRun<K> {
             blocks: Vec::new(),
             first_keys: Vec::new(),
             counts: Vec::new(),
+            replicas: Vec::new(),
             elems: 0,
         }
     }
@@ -89,13 +103,31 @@ impl<K> StripedRun<K> {
 
 /// One step of the merge loop's fetch/merge interleaving, recorded in
 /// [`StripedOutcome::merge_events`]. Batch indices restart at 0 for
-/// each merge group (and each pass).
+/// each merge group, so events carry their pass and group — the
+/// trace is globally unambiguous even when a pass merges several
+/// groups or the sort takes several passes.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum MergeEvent {
-    /// Batch `b`'s block fetches were handed to the block service.
-    Issued(usize),
-    /// Batch `b`'s merged prefix finished its striped write.
-    Emitted(usize),
+    /// Batch `batch` of merge group `group` in pass `pass` had its
+    /// block fetches handed to the block service.
+    Issued {
+        /// Merge pass (0-based).
+        pass: usize,
+        /// Merge group within the pass (0-based).
+        group: usize,
+        /// Batch within the group (0-based).
+        batch: usize,
+    },
+    /// Batch `batch` of merge group `group` in pass `pass` finished
+    /// its merged prefix's striped write.
+    Emitted {
+        /// Merge pass (0-based).
+        pass: usize,
+        /// Merge group within the pass (0-based).
+        group: usize,
+        /// Batch within the group (0-based).
+        batch: usize,
+    },
 }
 
 /// Outcome of the striped sort on one PE.
@@ -118,6 +150,65 @@ pub struct StripedOutcome<R: Record> {
     pub merge_events: Vec<MergeEvent>,
 }
 
+/// The rank mapping a merge runs under. In the common case it is the
+/// identity (`globals[i] == i`); after a rank failure the survivors
+/// re-run the merge over a renumbered subgroup communicator, and this
+/// view translates between the subgroup's dense ranks (what `comm`
+/// speaks) and the global ranks recorded in run directories and used
+/// to address [`ClusterStorage`].
+struct RankView {
+    /// This rank's global rank (`storage.pe(my_global)` is ours).
+    my_global: usize,
+    /// Global rank of each communicator rank, strictly increasing.
+    globals: Vec<usize>,
+}
+
+impl RankView {
+    fn identity(me: usize, p: usize) -> Self {
+        Self { my_global: me, globals: (0..p).collect() }
+    }
+}
+
+/// Factory for a survivor communicator over the given (strictly
+/// increasing, global) member ranks — the `subgroup` hook of
+/// [`ResilientHooks`].
+pub type SubgroupFn<'a> = Box<dyn FnMut(&[usize]) -> Result<Communicator> + 'a>;
+
+/// Failure-recovery callbacks for
+/// [`striped_mergesort_resilient`]. The sort itself is
+/// transport-agnostic; these hooks supply the three things only the
+/// harness knows: who died, how the survivors regroup, and (for
+/// tests) a seam to abandon a rank at a deterministic point.
+pub struct ResilientHooks<'a> {
+    /// Failure-detector snapshot: `dead[r]` is true once rank `r` is
+    /// known dead (e.g. [`Transport::dead_peers`]). Polled after a
+    /// merge attempt fails with [`Error::Comm`].
+    ///
+    /// [`Transport::dead_peers`]: demsort_net::Transport::dead_peers
+    pub dead_set: Box<dyn Fn() -> Vec<bool> + 'a>,
+    /// Build a communicator over the given **global** ranks (strictly
+    /// increasing, containing this rank). The harness is responsible
+    /// for the epoch cut that makes the new group's channels clean
+    /// (e.g. [`Transport::advance_epoch`] + drain, then
+    /// [`SubTransport`]).
+    ///
+    /// [`Transport::advance_epoch`]: demsort_net::Transport::advance_epoch
+    /// [`SubTransport`]: demsort_net::SubTransport
+    pub subgroup: SubgroupFn<'a>,
+    /// Test seam, called with this rank's global rank when run
+    /// formation (and replication) is complete and merging is about
+    /// to start. Returning `false` makes this rank abandon the sort
+    /// with [`Error::Comm`] — the in-process stand-in for a killed
+    /// process (its transport endpoint drops, so peers see it dead).
+    pub on_merge_start: Option<Box<dyn Fn(usize) -> bool + 'a>>,
+}
+
+/// How long recovery waits for the failure detector to name a dead
+/// rank after a merge attempt dies with a communication error.
+const DEAD_SET_TIMEOUT: Duration = Duration::from_secs(10);
+/// Poll interval while waiting on the failure detector.
+const DEAD_SET_POLL: Duration = Duration::from_millis(20);
+
 /// Sort `input` into a globally striped output (Section III).
 /// Collective. `k_max` bounds the merge fan-in (`None` = `M/B`).
 ///
@@ -126,6 +217,10 @@ pub struct StripedOutcome<R: Record> {
 /// the sort itself, all of it in [`read_striped`] — goes through
 /// `storage`'s block service, so the identical call works on the
 /// in-process cluster and on a multi-process single-rank view.
+///
+/// Equivalent to [`striped_mergesort_resilient`] with no hooks: a
+/// rank failure surfaces as [`Error::Comm`] instead of triggering
+/// recovery.
 pub fn striped_mergesort<R: Record + Ord>(
     comm: &Communicator,
     storage: &ClusterStorage,
@@ -134,13 +229,58 @@ pub fn striped_mergesort<R: Record + Ord>(
     cores: usize,
     k_max: Option<usize>,
 ) -> Result<StripedOutcome<R>> {
+    striped_mergesort_resilient::<R>(comm, storage, cfg, input, cores, k_max, None)
+}
+
+/// [`striped_mergesort`] with rank-failure recovery.
+///
+/// With [`AlgoConfig::replication`]` = f > 0`, run formation stores
+/// `f` replicas of every formed run block on the owner's buddy ranks
+/// (replica `i` on rank `(owner + i) mod P`) through the write side
+/// of the block service, and the merge retains consumed initial-run
+/// blocks instead of freeing them. If a merge attempt then fails with
+/// [`Error::Comm`] and `hooks` are provided, the survivors: (1) poll
+/// `hooks.dead_set` until it names the dead rank(s); (2) regroup via
+/// `hooks.subgroup` and verify by an allgather that they agree on the
+/// membership; (3) re-route every dead rank's blocks to the first
+/// live replica; and (4) re-run the merge from the
+/// initial runs over the survivor communicator, completing degraded.
+/// The failover is recorded in the [`Phase::FinalMerge`] counters:
+/// each replica rank charges one message and one block of send volume
+/// per block it re-serves, and the survivor communicator's traffic is
+/// folded into the same phase. One recovery attempt is made; a second
+/// failure surfaces as the error it is.
+///
+/// With `f = 0` (the default) the data path is byte-for-byte the
+/// non-resilient sort: no stores, no retained blocks, no extra
+/// collectives, identical counters.
+///
+/// Degraded completion trades space for survival: blocks retained for
+/// a recovery that did happen are not reclaimed afterwards (the
+/// allocator high-water mark reflects that), and the output directory
+/// names only surviving ranks.
+///
+/// [`AlgoConfig::replication`]: demsort_types::AlgoConfig::replication
+#[allow(clippy::too_many_arguments)]
+pub fn striped_mergesort_resilient<R: Record + Ord>(
+    comm: &Communicator,
+    storage: &ClusterStorage,
+    cfg: &SortConfig,
+    input: LocalInput,
+    cores: usize,
+    k_max: Option<usize>,
+    mut hooks: Option<ResilientHooks<'_>>,
+) -> Result<StripedOutcome<R>> {
     let me = comm.rank();
+    let p = comm.size();
     let st = storage.pe(me);
     let rpb = records_per_block::<R>(st.block_bytes());
     let bpr = cfg.machine.mem_blocks_per_pe().max(1);
     let k_max = k_max.unwrap_or(cfg.machine.mem_blocks_per_pe() * cfg.machine.pes).max(2);
+    let f = cfg.algo.replication;
     let mut cpu = CpuCounters::default();
     let mut rec = PhaseRecorder::new(me, st.counters(), comm.counters());
+    let view = RankView::identity(me, p);
 
     // ---- Run formation with striped writes ----
     let full_blocks = (input.elems / rpb as u64) as usize;
@@ -173,32 +313,117 @@ pub fn striped_mergesort<R: Record + Ord>(
         rec.add_cpu(sort_cpu);
         // The run is canonically distributed in memory; write it
         // striped over all disks (one more communication).
-        runs.push(write_striped::<R>(comm, st, cfg, &sorted, 0)?);
+        runs.push(write_striped::<R>(comm, st, cfg, &view, &sorted, 0)?);
+    }
+    // ---- Run replication (replication factor f > 0) ----
+    if f > 0 {
+        for run in &mut runs {
+            replicate_run::<R::Key>(comm, storage, f, run, &mut rec)?;
+        }
     }
     rec.finish_phase(Phase::RunFormation, st.counters(), comm.counters());
 
-    // ---- Merge passes ----
-    let mut passes = 0;
-    let mut merge_events = Vec::new();
-    while runs.len() > 1 {
-        passes += 1;
-        let mut next: Vec<StripedRun<R::Key>> = Vec::new();
-        for group in runs.chunks(k_max) {
-            let (merged, pass_cpu) =
-                merge_striped_group::<R>(comm, storage, cfg, group, &mut merge_events)?;
-            cpu = cpu.merge(&pass_cpu);
-            rec.add_cpu(pass_cpu);
-            next.push(merged);
+    if let Some(hook) = hooks.as_ref().and_then(|h| h.on_merge_start.as_ref()) {
+        if !hook(me) {
+            return Err(Error::comm(format!(
+                "rank {me}: abandoning sort at merge start (failure harness)"
+            )));
         }
-        runs = next;
     }
+
+    // ---- Merge passes (one recovery attempt on rank death) ----
+    // With replication on, keep the initial run directories: they are
+    // what a recovery re-merges (with dead owners remapped to their
+    // replicas).
+    let recoverable = f > 0 && hooks.is_some();
+    let mut merge_events = Vec::new();
+    let attempt_runs = if recoverable { runs.clone() } else { std::mem::take(&mut runs) };
+    let attempt = run_merge_passes::<R>(
+        comm,
+        storage,
+        cfg,
+        &view,
+        attempt_runs,
+        k_max,
+        f == 0,
+        &mut merge_events,
+    );
+    let (output, passes, merge_cpu_total) = match attempt {
+        Ok(done) => done,
+        Err(err) if recoverable && matches!(err, Error::Comm(_)) => {
+            let hooks = hooks.as_mut().expect("recoverable implies hooks");
+            // (1) Wait for the failure detector to name the dead.
+            let deadline = Instant::now() + DEAD_SET_TIMEOUT;
+            let dead = loop {
+                let dead = (hooks.dead_set)();
+                if dead.iter().any(|&d| d) {
+                    break dead;
+                }
+                if Instant::now() >= deadline {
+                    return Err(Error::comm(format!(
+                        "merge failed ({err}) but the failure detector names no dead rank"
+                    )));
+                }
+                std::thread::sleep(DEAD_SET_POLL);
+            };
+            let members: Vec<usize> =
+                (0..p).filter(|&r| !dead.get(r).copied().unwrap_or(false)).collect();
+            if members.len() < 2 || !members.contains(&me) {
+                return Err(err);
+            }
+            // (2) Regroup the survivors.
+            let sub = (hooks.subgroup)(&members)?;
+            // (3) Agreement: every survivor must see the same
+            // membership, or the re-merge would deadlock on mismatched
+            // collectives. (Membership bitmask fits u64: P ≤ 64 holds
+            // for every configuration this crate drives; larger
+            // clusters would gather the member list itself.)
+            if p <= 64 {
+                let mask = members.iter().fold(0u64, |m, &r| m | (1u64 << r));
+                let masks = sub.allgather_u64(mask)?;
+                if masks.iter().any(|&m| m != mask) {
+                    return Err(Error::comm(format!(
+                        "survivors disagree on the dead set (masks {masks:x?})"
+                    )));
+                }
+            }
+            // (4) Re-route the dead ranks' blocks to their replicas
+            // and record the failover: each block this rank now
+            // re-serves is one message and one block of send volume.
+            let (remapped, served) = remap_runs(&runs, &dead, me)?;
+            if served > 0 {
+                rec.add_comm(CommCounters {
+                    messages: served,
+                    bytes_sent: served * st.block_bytes() as u64,
+                    ..CommCounters::default()
+                });
+            }
+            // (5) Re-merge from the initial runs over the survivors.
+            merge_events.clear();
+            let sub_view = RankView { my_global: me, globals: members };
+            let done = run_merge_passes::<R>(
+                &sub,
+                storage,
+                cfg,
+                &sub_view,
+                remapped,
+                k_max,
+                false,
+                &mut merge_events,
+            )?;
+            rec.add_comm(sub.counters());
+            done
+        }
+        Err(err) => return Err(err),
+    };
+    cpu = cpu.merge(&merge_cpu_total);
+    rec.add_cpu(merge_cpu_total);
     if passes > 0 {
         // `num_runs` is a collective maximum, so every rank records the
         // same phase set (the report shapes stay comparable).
         rec.finish_phase(Phase::FinalMerge, st.counters(), comm.counters());
     }
 
-    let output = runs.into_iter().next().unwrap_or_else(StripedRun::empty);
     Ok(StripedOutcome {
         output,
         runs: num_runs,
@@ -207,6 +432,168 @@ pub fn striped_mergesort<R: Record + Ord>(
         phases: rec.into_stats(),
         merge_events,
     })
+}
+
+/// Run the merge passes over `runs` until one run remains. Collective
+/// over `comm`; `view` maps its ranks to global ranks. Returns the
+/// final run, the pass count, and the merge CPU counters.
+#[allow(clippy::too_many_arguments)]
+fn run_merge_passes<R: Record + Ord>(
+    comm: &Communicator,
+    storage: &ClusterStorage,
+    cfg: &SortConfig,
+    view: &RankView,
+    mut runs: Vec<StripedRun<R::Key>>,
+    k_max: usize,
+    free_consumed: bool,
+    events: &mut Vec<MergeEvent>,
+) -> Result<(StripedRun<R::Key>, usize, CpuCounters)> {
+    let mut passes = 0;
+    let mut cpu = CpuCounters::default();
+    while runs.len() > 1 {
+        let pass = passes;
+        passes += 1;
+        let mut next: Vec<StripedRun<R::Key>> = Vec::new();
+        for (group_idx, group) in runs.chunks(k_max).enumerate() {
+            let (merged, pass_cpu) = merge_striped_group::<R>(
+                comm,
+                storage,
+                cfg,
+                view,
+                group,
+                pass,
+                group_idx,
+                free_consumed,
+                events,
+            )?;
+            cpu = cpu.merge(&pass_cpu);
+            next.push(merged);
+        }
+        runs = next;
+    }
+    Ok((runs.into_iter().next().unwrap_or_else(StripedRun::empty), passes, cpu))
+}
+
+/// Store `f` replicas of every block of `run` this rank owns on its
+/// buddy ranks — replica `i` of a block owned by `o` goes to rank
+/// `(o + i) mod P` — through the write side of the block service,
+/// then allgather the replica directory so every rank can fail over
+/// without communication. Charges the stores to `rec` as
+/// communication (one message and one block of send volume per stored
+/// replica on the sender; the mirror receive volume on the buddy).
+fn replicate_run<K>(
+    comm: &Communicator,
+    storage: &ClusterStorage,
+    f: usize,
+    run: &mut StripedRun<K>,
+    rec: &mut PhaseRecorder,
+) -> Result<()> {
+    let me = comm.rank();
+    let p = comm.size();
+    let block_bytes = storage.pe(me).block_bytes();
+
+    // Fetch this rank's blocks of the run once; fan the bytes out to
+    // each buddy.
+    let mine: Vec<usize> =
+        (0..run.blocks.len()).filter(|&g| run.owners[g] as usize == me).collect();
+    let ids: Vec<BlockId> = mine.iter().map(|&g| run.blocks[g]).collect();
+    let mut data: Vec<Box<[u8]>> = Vec::with_capacity(ids.len());
+    for fetch in storage.fetch_blocks(me, &ids)? {
+        data.push(fetch.wait()?);
+    }
+
+    // Directory entries this rank contributes: (g, replica index i,
+    // disk, slot) — the owner is already in the run directory and the
+    // replica rank is derived as (owner + i) mod P.
+    let mut entries: Vec<(u64, u32, BlockId)> = Vec::with_capacity(mine.len() * f);
+    for i in 1..=f {
+        let buddy = (me + i) % p;
+        let blocks: Vec<(u32, &[u8])> =
+            mine.iter().zip(&data).map(|(&g, d)| (run.blocks[g].disk, d.as_ref())).collect();
+        let (stores, _target) = storage.store_blocks(me, buddy, &blocks)?;
+        for (&g, store) in mine.iter().zip(stores) {
+            entries.push((g as u64, i as u32, store.wait()?));
+        }
+    }
+    let stored = (mine.len() * f) as u64;
+    let received = (1..=f)
+        .map(|i| {
+            let giver = (me + p - i) % p;
+            run.owners.iter().filter(|&&o| o as usize == giver).count() as u64
+        })
+        .sum::<u64>();
+    rec.add_comm(CommCounters {
+        messages: stored,
+        bytes_sent: stored * block_bytes as u64,
+        bytes_recv: received * block_bytes as u64,
+    });
+
+    // Allgather the replica directory.
+    let mut msg = Vec::with_capacity(entries.len() * 20);
+    for (g, i, id) in &entries {
+        msg.extend_from_slice(&g.to_le_bytes());
+        msg.extend_from_slice(&i.to_le_bytes());
+        msg.extend_from_slice(&id.disk.to_le_bytes());
+        msg.extend_from_slice(&id.slot.to_le_bytes());
+    }
+    let gathered = comm.allgather(msg)?;
+    run.replicas = vec![Vec::new(); run.blocks.len()];
+    let mut per_block: Vec<Vec<(u32, u32, BlockId)>> = vec![Vec::new(); run.blocks.len()];
+    for buf in &gathered {
+        let mut at = 0;
+        while at < buf.len() {
+            let g = u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes")) as usize;
+            let i = u32::from_le_bytes(buf[at + 8..at + 12].try_into().expect("4 bytes"));
+            let disk = u32::from_le_bytes(buf[at + 12..at + 16].try_into().expect("4 bytes"));
+            let slot = u32::from_le_bytes(buf[at + 16..at + 20].try_into().expect("4 bytes"));
+            let rank = ((run.owners[g] as usize + i as usize) % p) as u32;
+            per_block[g].push((i, rank, BlockId::new(disk, slot)));
+            at += 20;
+        }
+    }
+    for (g, mut reps) in per_block.into_iter().enumerate() {
+        reps.sort_unstable_by_key(|&(i, _, _)| i);
+        run.replicas[g] = reps.into_iter().map(|(_, rank, id)| (rank, id)).collect();
+    }
+    Ok(())
+}
+
+/// Re-route every block owned by a dead rank to its first live
+/// replica: the returned runs have `owners[g]`/`blocks[g]` rewritten
+/// to the replica's rank and block id. Also returns how many blocks
+/// rank `me` re-serves after the remap (the failover volume it
+/// records). Fails with [`Error::Comm`] if any dead-owned block has
+/// no live replica (every buddy also died).
+fn remap_runs<K: Clone>(
+    runs: &[StripedRun<K>],
+    dead: &[bool],
+    me: usize,
+) -> Result<(Vec<StripedRun<K>>, u64)> {
+    let mut served = 0u64;
+    let mut out = Vec::with_capacity(runs.len());
+    for (ri, run) in runs.iter().enumerate() {
+        let mut run = run.clone();
+        for g in 0..run.blocks.len() {
+            let owner = run.owners[g] as usize;
+            if !dead.get(owner).copied().unwrap_or(false) {
+                continue;
+            }
+            let Some(&(rank, id)) = run.replicas.get(g).and_then(|reps| {
+                reps.iter().find(|&&(r, _)| !dead.get(r as usize).copied().unwrap_or(false))
+            }) else {
+                return Err(Error::comm(format!(
+                    "run {ri} block {g}: owner rank {owner} is dead and no live replica exists"
+                )));
+            };
+            run.owners[g] = rank;
+            run.blocks[g] = id;
+            if rank as usize == me {
+                served += 1;
+            }
+        }
+        out.push(run);
+    }
+    Ok((out, served))
 }
 
 /// Write a canonically distributed sorted sequence (each PE holds its
@@ -219,17 +606,22 @@ pub fn striped_mergesort<R: Record + Ord>(
 /// run continues the striping where the previous piece left off
 /// instead of every piece resetting to disk 0 (which would skew the
 /// per-disk block counts).
+///
+/// `D` is the disk count of the *participating* ranks
+/// (`view.globals`): a degraded re-merge stripes over the survivors'
+/// disks only, and the directory records their global ranks.
 fn write_striped<R: Record>(
     comm: &Communicator,
     st: &PeStorage,
     cfg: &SortConfig,
+    view: &RankView,
     local: &[R],
     stripe_offset: u64,
 ) -> Result<StripedRun<R::Key>> {
     let p = comm.size();
     let me = comm.rank();
-    let d = cfg.machine.total_disks();
     let dpp = cfg.machine.disks_per_pe;
+    let d = dpp * view.globals.len();
     let rpb = records_per_block::<R>(st.block_bytes()) as u64;
 
     let n = comm.allreduce_sum(local.len() as u64)?;
@@ -314,6 +706,7 @@ fn write_striped<R: Record>(
         blocks: vec![BlockId::new(0, 0); tb],
         first_keys: Vec::with_capacity(tb),
         counts: vec![0; tb],
+        replicas: Vec::new(),
         elems: n,
     };
     let mut keys: Vec<Option<R::Key>> = vec![None; tb];
@@ -324,7 +717,7 @@ fn write_striped<R: Record>(
             let disk = u32::from_le_bytes(buf[at + 8..at + 12].try_into().expect("4 bytes"));
             let slot = u32::from_le_bytes(buf[at + 12..at + 16].try_into().expect("4 bytes"));
             let count = u32::from_le_bytes(buf[at + 16..at + 20].try_into().expect("4 bytes"));
-            run.owners[g] = pe as u32;
+            run.owners[g] = view.globals[pe] as u32;
             run.blocks[g] = BlockId::new(disk, slot);
             run.counts[g] = count;
             keys[g] = Some(R::decode(&buf[at + 20..at + 20 + R::BYTES]).key());
@@ -345,18 +738,29 @@ fn write_striped<R: Record>(
 /// instead of re-sorted, and the emitted prefix is redistributed with
 /// one exact-splitter exchange. Batch `b+1`'s fetches are issued
 /// before batch `b` is merged, so the reads overlap the merge and the
-/// exchange (recorded in `events`).
+/// exchange (recorded in `events`, tagged with `pass` and
+/// `group_idx`).
+///
+/// `free_consumed` controls whether fetched input blocks are released
+/// after consumption: the replicated sort keeps its initial runs on
+/// disk so a recovery can re-merge them.
+#[allow(clippy::too_many_arguments)]
 fn merge_striped_group<R: Record + Ord>(
     comm: &Communicator,
     storage: &ClusterStorage,
     cfg: &SortConfig,
+    view: &RankView,
     group: &[StripedRun<R::Key>],
+    pass: usize,
+    group_idx: usize,
+    free_consumed: bool,
     events: &mut Vec<MergeEvent>,
 ) -> Result<(StripedRun<R::Key>, CpuCounters)> {
-    let me = comm.rank();
+    let me = view.my_global;
     let st = storage.pe(me);
     let p = comm.size();
     let k = group.len();
+    let rpb = records_per_block::<R>(st.block_bytes());
 
     let mut cpu = CpuCounters::default();
 
@@ -409,7 +813,7 @@ fn merge_striped_group<R: Record + Ord>(
     let mut out_pieces: Vec<StripedRun<R::Key>> = Vec::new();
     let mut stripe_off = 0u64;
     let mut pending = if total_batches > 0 {
-        events.push(MergeEvent::Issued(0));
+        events.push(MergeEvent::Issued { pass, group: group_idx, batch: 0 });
         Some(issue_batch(0)?)
     } else {
         None
@@ -420,7 +824,7 @@ fn merge_striped_group<R: Record + Ord>(
         // merging batch b, so the disks prefetch while the CPUs merge
         // and the network exchanges.
         pending = if b + 1 < total_batches {
-            events.push(MergeEvent::Issued(b + 1));
+            events.push(MergeEvent::Issued { pass, group: group_idx, batch: b + 1 });
             Some(issue_batch(b + 1)?)
         } else {
             None
@@ -430,8 +834,12 @@ fn merge_striped_group<R: Record + Ord>(
             let buf = fetch.wait()?;
             R::decode_slice(&buf[..valid * R::BYTES], &mut sources[r]);
             // In-place: the slot is reusable once consumed; the
-            // backing bytes are only released on overwrite.
-            st.alloc().free(id);
+            // backing bytes are only released on overwrite — unless
+            // the run is an initial run of a replicated sort, which a
+            // recovery may need to re-read.
+            if free_consumed {
+                st.alloc().free(id);
+            }
         }
 
         // Threshold: smallest first key among not-yet-merged blocks.
@@ -459,6 +867,24 @@ fn merge_striped_group<R: Record + Ord>(
         for (s, cut) in sources.iter_mut().zip(cuts) {
             s.drain(..cut);
         }
+        if let Some(t) = &threshold {
+            // Carry bound (Section III): once block B_{i+1} of a run
+            // has been fetched, every element of B_i is ≤ B_{i+1}'s
+            // first key ≤ threshold — so only a run's last fetched
+            // block can hold elements *above* the threshold, and the
+            // carry beyond it is at most one block per run. Elements
+            // *equal* to the threshold legitimately accumulate (the
+            // cut is strict, so ties wait until the threshold moves
+            // past them — constant-key input carries them all).
+            for (r, s) in sources.iter().enumerate() {
+                let above = s.len() - s.partition_point(|x| x.key() <= *t);
+                assert!(
+                    above <= rpb,
+                    "run {r} of group {group_idx} (pass {pass}): {above} carried records \
+                     above the batch threshold exceed one block ({rpb})"
+                );
+            }
+        }
         cpu = cpu.merge(&merge_cpu(emit.len() as u64, k));
 
         // The emitted set is locally sorted; one exact-splitter
@@ -468,9 +894,9 @@ fn merge_striped_group<R: Record + Ord>(
         let (canon, exchange_cpu) = parallel_sort_presorted(comm, emit, CpuCounters::default())?;
         cpu = cpu.merge(&exchange_cpu);
 
-        let piece = write_striped::<R>(comm, st, cfg, &canon, stripe_off)?;
+        let piece = write_striped::<R>(comm, st, cfg, view, &canon, stripe_off)?;
         stripe_off += piece.blocks.len() as u64;
-        events.push(MergeEvent::Emitted(b));
+        events.push(MergeEvent::Emitted { pass, group: group_idx, batch: b });
         out_pieces.push(piece);
     }
     debug_assert!(
@@ -752,12 +1178,13 @@ mod tests {
         for o in &outcomes {
             assert_eq!(o.passes, 1);
             let ev = &o.merge_events;
-            let batches = ev.iter().filter(|e| matches!(e, MergeEvent::Emitted(_))).count();
+            let batches = ev.iter().filter(|e| matches!(e, MergeEvent::Emitted { .. })).count();
             assert!(batches >= 2, "config must force multiple merge batches, got {batches}");
             let pos = |want: MergeEvent| ev.iter().position(|e| *e == want).expect("event");
             for b in 0..batches - 1 {
                 assert!(
-                    pos(MergeEvent::Issued(b + 1)) < pos(MergeEvent::Emitted(b)),
+                    pos(MergeEvent::Issued { pass: 0, group: 0, batch: b + 1 })
+                        < pos(MergeEvent::Emitted { pass: 0, group: 0, batch: b }),
                     "batch {}'s fetches must be in flight before batch {b} emits: {ev:?}",
                     b + 1
                 );
@@ -773,7 +1200,8 @@ mod tests {
         let p = 2;
         let (_, outcomes, _) = sort_striped(p, 1200, InputSpec::Uniform, None);
         let o = &outcomes[0];
-        let pieces = o.merge_events.iter().filter(|e| matches!(e, MergeEvent::Emitted(_))).count();
+        let pieces =
+            o.merge_events.iter().filter(|e| matches!(e, MergeEvent::Emitted { .. })).count();
         assert!(pieces >= 2, "test must cover a multi-piece run, got {pieces} piece(s)");
         let cfg = SortConfig::new(MachineConfig::tiny(p), AlgoConfig::default()).expect("valid");
         let dpp = cfg.machine.disks_per_pe;
@@ -784,6 +1212,174 @@ mod tests {
         let (min, max) =
             (per_disk.iter().min().expect("disks"), per_disk.iter().max().expect("disks"));
         assert!(max - min <= 1, "stitched run must stripe evenly over all disks, got {per_disk:?}");
+    }
+
+    #[test]
+    fn merge_events_carry_pass_and_group_context() {
+        // Fan-in 2 over ≥3 runs: several merge groups and passes emit
+        // batches whose local indices restart at 0. The pass/group
+        // tags must keep the trace unambiguous — batch 0 of every
+        // (pass, group) appears exactly once.
+        let (_, outcomes, _) = sort_striped(2, 1200, InputSpec::Uniform, Some(2));
+        let o = &outcomes[0];
+        assert!(o.passes >= 2, "fan-in 2 over ≥3 runs needs ≥2 passes");
+        let passes_seen: std::collections::BTreeSet<usize> = o
+            .merge_events
+            .iter()
+            .map(|e| match e {
+                MergeEvent::Issued { pass, .. } | MergeEvent::Emitted { pass, .. } => *pass,
+            })
+            .collect();
+        assert_eq!(passes_seen.len(), o.passes, "every pass appears in the trace");
+        let mut zero_batches: std::collections::BTreeMap<(usize, usize), usize> =
+            std::collections::BTreeMap::new();
+        for e in &o.merge_events {
+            if let MergeEvent::Issued { pass, group, batch: 0 } = e {
+                *zero_batches.entry((*pass, *group)).or_insert(0) += 1;
+            }
+        }
+        assert!(zero_batches.len() >= 2, "trace must span several merge groups or passes");
+        assert!(
+            zero_batches.values().all(|&c| c == 1),
+            "batch 0 of each (pass, group) must be unique, got {zero_batches:?}"
+        );
+    }
+
+    #[test]
+    fn remap_reroutes_dead_owner_blocks_to_first_live_replica() {
+        let run = StripedRun::<u64> {
+            owners: vec![0, 1, 2],
+            blocks: vec![BlockId::new(0, 0), BlockId::new(0, 1), BlockId::new(0, 2)],
+            first_keys: vec![0, 10, 20],
+            counts: vec![5, 5, 5],
+            replicas: vec![
+                vec![(1, BlockId::new(1, 0))],
+                vec![(2, BlockId::new(1, 1))],
+                vec![(3, BlockId::new(1, 2))],
+            ],
+            elems: 15,
+        };
+        let dead = vec![false, true, false, false];
+        let (remapped, served) = remap_runs(std::slice::from_ref(&run), &dead, 2).expect("remap");
+        assert_eq!(remapped[0].owners, vec![0, 2, 2], "dead owner replaced by its replica");
+        assert_eq!(remapped[0].blocks[1], BlockId::new(1, 1), "replica's block id substituted");
+        assert_eq!(remapped[0].blocks[0], BlockId::new(0, 0), "live owners untouched");
+        assert_eq!(served, 1, "rank 2 re-serves exactly the dead rank's block");
+        // Owner and its only replica both dead → unrecoverable.
+        let dead = vec![false, true, true, false];
+        assert!(remap_runs(&[run], &dead, 0).is_err(), "no live replica must fail");
+    }
+
+    #[test]
+    fn replication_off_and_on_produce_identical_output() {
+        let p = 3;
+        let gen = |pe: usize, p: usize| generate_pe_input(InputSpec::Uniform, 21, pe, p, 700);
+        let plain_cfg =
+            SortConfig::new(MachineConfig::tiny(p), AlgoConfig::default()).expect("valid");
+        let plain = striped_sort_cluster::<Element16, _>(&plain_cfg, gen, None).expect("sort");
+        let algo = AlgoConfig { replication: 1, ..AlgoConfig::default() };
+        let repl_cfg = SortConfig::new(MachineConfig::tiny(p), algo).expect("valid");
+        let repl = striped_sort_cluster::<Element16, _>(&repl_cfg, gen, None).expect("sort");
+        let a = read_striped::<Element16>(&plain.storage, &plain.per_pe[0].output).expect("read");
+        let b = read_striped::<Element16>(&repl.storage, &repl.per_pe[0].output).expect("read");
+        assert_eq!(a, b, "replication must not perturb the sorted output");
+        // The replica stores are charged as run-formation communication.
+        let sent = |o: &StripedClusterOutcome<Element16>| {
+            o.per_pe.iter().map(|o| o.phases[0].1.comm.bytes_sent).sum::<u64>()
+        };
+        assert!(
+            sent(&repl) > sent(&plain),
+            "replica stores must show up in the run-formation comm counters"
+        );
+    }
+
+    #[test]
+    fn replicated_sort_survives_a_rank_death_at_merge_start() {
+        use demsort_net::{build_mesh, run_cluster_over, LocalTransport};
+        use std::sync::Mutex;
+        let p = 4;
+        let victim = 2usize;
+        let gen = |pe: usize, p: usize| generate_pe_input(InputSpec::Uniform, 21, pe, p, 700);
+
+        // Reference: the same input sorted undisturbed.
+        let plain_cfg =
+            SortConfig::new(MachineConfig::tiny(p), AlgoConfig::default()).expect("valid");
+        let plain = striped_sort_cluster::<Element16, _>(&plain_cfg, gen, None).expect("sort");
+        let want =
+            read_striped::<Element16>(&plain.storage, &plain.per_pe[0].output).expect("read");
+
+        let algo = AlgoConfig { replication: 1, ..AlgoConfig::default() };
+        let cfg = SortConfig::new(MachineConfig::tiny(p), algo).expect("valid");
+        let storage = ClusterStorage::new_mem(&cfg.machine);
+        // Pre-built survivor endpoints: the in-process stand-in for
+        // the epoch cut + subgroup regroup the TCP harness performs
+        // (rank `victim` dies, so {0, 1, 3} renumber as {0, 1, 2}).
+        let spare: Mutex<Vec<Option<Communicator>>> =
+            Mutex::new(build_mesh(p - 1).into_iter().map(Some).collect());
+
+        // The main mesh carries a receive timeout: a survivor that
+        // abandons a collective mid-round keeps its channels alive, so
+        // without a timeout its ring neighbour would block forever
+        // (the TCP transport's read timeout plays this role on the
+        // real cluster).
+        let comms: Vec<Communicator> =
+            LocalTransport::mesh_with_timeout(p, std::time::Duration::from_secs(2))
+                .into_iter()
+                .map(|t| Communicator::new(Box::new(t)))
+                .collect();
+        let (storage_ref, cfg_ref, spare_ref) = (&storage, &cfg, &spare);
+        let results: Vec<Result<StripedOutcome<Element16>>> =
+            run_cluster_over(comms, move |comm| {
+                let me = comm.rank();
+                let input = ingest_input(storage_ref.pe(me), &gen(me, p))?;
+                let hooks = ResilientHooks {
+                    dead_set: Box::new(move || {
+                        let mut dead = vec![false; p];
+                        dead[victim] = true;
+                        dead
+                    }),
+                    subgroup: Box::new(move |members: &[usize]| {
+                        assert_eq!(members, [0, 1, 3], "survivor membership");
+                        let idx = members.iter().position(|&r| r == me).expect("survivor");
+                        Ok(spare_ref.lock().expect("spare mesh")[idx]
+                            .take()
+                            .expect("subgroup built once per survivor"))
+                    }),
+                    on_merge_start: Some(Box::new(move |rank| rank != victim)),
+                };
+                striped_mergesort_resilient::<Element16>(
+                    &comm,
+                    storage_ref,
+                    cfg_ref,
+                    input,
+                    cfg_ref.machine.cores_per_pe,
+                    None,
+                    Some(hooks),
+                )
+            });
+
+        // The victim abandoned; every survivor finished degraded.
+        assert!(results[victim].is_err(), "victim must abandon at merge start");
+        let mut survivors = Vec::new();
+        for (r, res) in results.into_iter().enumerate() {
+            if r == victim {
+                continue;
+            }
+            let o = res.unwrap_or_else(|e| panic!("survivor {r} must finish degraded: {e}"));
+            assert!(
+                o.output.owners.iter().all(|&own| own as usize != victim),
+                "no output block may live on the dead rank"
+            );
+            survivors.push(o);
+        }
+        for o in &survivors {
+            assert_eq!(o.output.blocks.len(), survivors[0].output.blocks.len());
+            assert_eq!(o.output.elems, survivors[0].output.elems);
+        }
+        // Degraded output: byte-identical record stream to the
+        // undisturbed sort.
+        let got = read_striped::<Element16>(&storage, &survivors[0].output).expect("read");
+        assert_eq!(got, want, "degraded completion must reproduce the undisturbed output");
     }
 
     #[test]

@@ -35,7 +35,7 @@
 
 use crate::transport::Transport;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use demsort_types::{Error, Result};
+use demsort_types::{wire, Error, Result};
 use std::collections::HashMap;
 use std::io::{BufWriter, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -62,12 +62,25 @@ const READ_TICK: Duration = Duration::from_millis(100);
 const KIND_DATA: u8 = 0;
 const KIND_BLOCK_REQ: u8 = 1;
 const KIND_BLOCK_RESP: u8 = 2;
+const KIND_STORE_REQ: u8 = 3;
+const KIND_STORE_RESP: u8 = 4;
+const KIND_EPOCH: u8 = 5;
 
 /// Serves remote block-service requests from this rank's local
 /// storage: `(disk, slot) -> block bytes` (or a message for the
 /// requester). Runs on the reader thread of the requesting peer's
 /// connection, so serving never interrupts this rank's own phase.
 pub type BlockHandler = Arc<dyn Fn(u32, u32) -> std::result::Result<Vec<u8>, String> + Send + Sync>;
+
+/// Serves remote block-*store* requests into this rank's local
+/// storage: `(disk_hint, data) -> assigned (disk, slot)` (or a message
+/// for the requester). The serving rank allocates the slot itself —
+/// its allocator stays the single authority over its disks — and
+/// returns the assigned address, which the requester records (e.g. in
+/// a replica directory). Runs on the requesting peer's reader thread,
+/// like [`BlockHandler`].
+pub type StoreHandler =
+    Arc<dyn Fn(u32, &[u8]) -> std::result::Result<(u32, u32), String> + Send + Sync>;
 
 /// Tunables of the TCP transport.
 #[derive(Clone, Debug)]
@@ -149,6 +162,15 @@ fn frame_header(kind: u8, len: usize) -> [u8; 5] {
     h
 }
 
+/// Pack an assigned `(disk, slot)` store address into the 8-byte LE
+/// acknowledgement payload a [`WireStore`] decodes.
+fn encode_store_ack((disk, slot): (u32, u32)) -> Vec<u8> {
+    let mut ack = Vec::with_capacity(8);
+    ack.extend_from_slice(&disk.to_le_bytes());
+    ack.extend_from_slice(&slot.to_le_bytes());
+    ack
+}
+
 /// Completion slot of one in-flight block request: the reader thread
 /// that receives the matching response fills it and wakes the waiter.
 struct FetchSlot {
@@ -168,15 +190,36 @@ impl FetchSlot {
     }
 }
 
-/// The in-flight block requests of one endpoint, plus per-peer reader
-/// liveness. One lock covers both so a reader thread's exit sweep and
-/// new registrations serialize: a fetch is either swept (failed
+/// Which half of the block service an in-flight request belongs to —
+/// only the direction in its error messages differs (fetches read
+/// *from* the peer, stores write *to* it).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum BlockOp {
+    Fetch,
+    Store,
+}
+
+impl BlockOp {
+    /// `"block fetch from rank 3"` / `"block store to rank 3"`.
+    fn describe(self, peer: usize) -> String {
+        match self {
+            BlockOp::Fetch => format!("block fetch from rank {peer}"),
+            BlockOp::Store => format!("block store to rank {peer}"),
+        }
+    }
+}
+
+/// The in-flight block requests of one endpoint (fetches and stores
+/// share one id space and one table), plus per-peer reader liveness.
+/// One lock covers both so a reader thread's exit sweep and new
+/// registrations serialize: a request is either swept (failed
 /// immediately) or refused — never silently stranded to ride out the
 /// full read timeout against a peer that can no longer answer.
 struct PendingFetches {
-    /// Request id → (owning peer, completion slot). Responses carry
-    /// the id, so they may arrive on any schedule and in any order.
-    inflight: HashMap<u64, (usize, Arc<FetchSlot>)>,
+    /// Request id → (owning peer, operation, completion slot).
+    /// Responses carry the id, so they may arrive on any schedule and
+    /// in any order.
+    inflight: HashMap<u64, (usize, BlockOp, Arc<FetchSlot>)>,
     /// `true` once the peer's reader thread has exited (socket closed,
     /// protocol violation, teardown) — no response can arrive anymore.
     reader_gone: Vec<bool>,
@@ -192,6 +235,7 @@ type Pending = Mutex<PendingFetches>;
 pub struct WireFetch {
     id: u64,
     peer: usize,
+    op: BlockOp,
     slot: Arc<FetchSlot>,
     pending: Arc<Pending>,
     read_timeout: Duration,
@@ -215,8 +259,9 @@ impl WireFetch {
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 return Err(Error::comm(format!(
-                    "block fetch from rank {}: timed out after {:?}",
-                    self.peer, self.read_timeout
+                    "{}: timed out after {:?}",
+                    self.op.describe(self.peer),
+                    self.read_timeout
                 )));
             }
             let (g, _) = self.slot.cv.wait_timeout(guard, left).expect("fetch slot lock");
@@ -238,6 +283,54 @@ impl Drop for WireFetch {
     }
 }
 
+/// A pending remote block *store* issued by
+/// [`TcpTransport::store_blocks`] — the write-side sibling of
+/// [`WireFetch`]. Resolves to the `(disk, slot)` address the serving
+/// rank assigned. Dropping it without waiting abandons the request
+/// (the store may or may not have happened; a late response is
+/// discarded by id).
+#[must_use = "a WireStore must be waited on, or the write outcome is unknown"]
+pub struct WireStore(WireFetch);
+
+impl WireStore {
+    /// Block until the serving rank acknowledges the store; returns
+    /// the `(disk, slot)` it assigned to the copy.
+    ///
+    /// # Errors
+    /// [`Error::Comm`] if the serving rank disconnects or does not
+    /// answer within the timeout; [`Error::Io`] if it answered with a
+    /// storage error.
+    pub fn wait(self) -> Result<(u32, u32)> {
+        let peer = self.0.peer;
+        let bytes = self.0.wait()?;
+        let arr: [u8; 8] = bytes.as_slice().try_into().map_err(|_| {
+            Error::comm(format!(
+                "block store to rank {peer}: malformed {}-byte acknowledgement",
+                bytes.len()
+            ))
+        })?;
+        let disk = u32::from_le_bytes(arr[..4].try_into().expect("4 bytes"));
+        let slot = u32::from_le_bytes(arr[4..].try_into().expect("4 bytes"));
+        Ok((disk, slot))
+    }
+
+    /// `true` once the acknowledgement has arrived (success or
+    /// failure).
+    pub fn is_done(&self) -> bool {
+        self.0.is_done()
+    }
+}
+
+/// One entry of a per-source FIFO inbox: either an ordinary data frame
+/// or an **epoch marker** — the cut point a peer pushed through its
+/// FIFO with [`Transport::advance_epoch`]. Keeping markers inside the
+/// same queue preserves their exact position in the per-source order,
+/// which is what makes the cut deterministic.
+enum InboxMsg {
+    Data(Vec<u8>),
+    Epoch(u64),
+}
+
 struct Inner {
     rank: usize,
     size: usize,
@@ -245,14 +338,18 @@ struct Inner {
     /// `peers[j]` — `None` at `j == rank`.
     peers: Vec<Option<Arc<PeerLink>>>,
     /// Self-delivery queue feeding `inbox[rank]`.
-    self_tx: Sender<Vec<u8>>,
+    self_tx: Sender<InboxMsg>,
     /// Per-source FIFO data queues (mutex: receivers are single-
     /// consumer; contention is nil — one recv call at a time).
-    inbox: Vec<Mutex<Receiver<Vec<u8>>>>,
+    inbox: Vec<Mutex<Receiver<InboxMsg>>>,
+    /// Highest epoch marker consumed from each peer's FIFO (by `recv`
+    /// or [`Transport::drain_to_epoch`]).
+    epoch_seen: Vec<AtomicU64>,
     /// Block-service requests in flight, any number per peer.
     pending: Arc<Pending>,
     fetch_seq: AtomicU64,
     handler: Arc<RwLock<Option<BlockHandler>>>,
+    store_handler: Arc<RwLock<Option<StoreHandler>>>,
     shutdown: Arc<AtomicBool>,
     readers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -333,9 +430,10 @@ impl TcpTransport {
     ) -> Result<Self> {
         let mut peers: Vec<Option<Arc<PeerLink>>> = Vec::with_capacity(size);
         let mut inbox = Vec::with_capacity(size);
-        let (self_tx, self_rx) = unbounded::<Vec<u8>>();
+        let (self_tx, self_rx) = unbounded::<InboxMsg>();
         let mut self_rx = Some(self_rx);
         let handler: Arc<RwLock<Option<BlockHandler>>> = Arc::new(RwLock::new(None));
+        let store_handler: Arc<RwLock<Option<StoreHandler>>> = Arc::new(RwLock::new(None));
         let pending: Arc<Pending> = Arc::new(Mutex::new(PendingFetches {
             inflight: HashMap::new(),
             reader_gone: vec![false; size],
@@ -367,7 +465,7 @@ impl TcpTransport {
                 wire_sent: AtomicU64::new(0),
                 wire_recv: AtomicU64::new(0),
             });
-            let (data_tx, data_rx) = unbounded::<Vec<u8>>();
+            let (data_tx, data_rx) = unbounded::<InboxMsg>();
             let reader = ReaderCtx {
                 peer: j,
                 stream,
@@ -375,6 +473,7 @@ impl TcpTransport {
                 data_tx,
                 pending: Arc::clone(&pending),
                 handler: Arc::clone(&handler),
+                store_handler: Arc::clone(&store_handler),
                 shutdown: Arc::clone(&shutdown),
             };
             readers.push(
@@ -395,9 +494,11 @@ impl TcpTransport {
                 peers,
                 self_tx,
                 inbox,
+                epoch_seen: (0..size).map(|_| AtomicU64::new(0)).collect(),
                 pending,
                 fetch_seq: AtomicU64::new(0),
                 handler,
+                store_handler,
                 shutdown,
                 readers: Mutex::new(readers),
             }),
@@ -415,6 +516,18 @@ impl TcpTransport {
     /// breaking the handler's reference back to the storage.
     pub fn clear_block_handler(&self) {
         *self.inner.handler.write().expect("handler lock") = None;
+    }
+
+    /// Register the handler accepting remote block *stores* into this
+    /// rank's storage (run replication).
+    pub fn set_store_handler(&self, h: StoreHandler) {
+        *self.inner.store_handler.write().expect("store handler lock") = Some(h);
+    }
+
+    /// Drop the store handler (subsequent store requests get an error
+    /// reply).
+    pub fn clear_store_handler(&self) {
+        *self.inner.store_handler.write().expect("store handler lock") = None;
     }
 
     /// Issue a **batched, pipelined** read of `blocks` (as
@@ -436,7 +549,7 @@ impl TcpTransport {
             // Self-service: answer straight from the local handler.
             let handler = inner.handler.read().expect("handler lock").clone();
             for &(disk, slot) in blocks {
-                let fetch = self.register_fetch(pe);
+                let fetch = self.register_op(pe, BlockOp::Fetch);
                 let result = match &handler {
                     Some(h) => h(disk, slot).map_err(Error::io),
                     None => Err(Error::io("no block handler registered")),
@@ -448,7 +561,7 @@ impl TcpTransport {
         }
         let link = inner.peers[pe].as_ref().expect("peer link");
         for &(disk, slot) in blocks {
-            let fetch = self.register_fetch(pe);
+            let fetch = self.register_op(pe, BlockOp::Fetch);
             let mut req = [0u8; 16];
             req[..8].copy_from_slice(&fetch.id.to_le_bytes());
             req[8..12].copy_from_slice(&disk.to_le_bytes());
@@ -467,12 +580,61 @@ impl TcpTransport {
         fetches.pop().expect("one fetch issued").wait()
     }
 
+    /// Issue a **batched, pipelined** store of `blocks` (as
+    /// `(disk_hint, data)` pairs) into rank `pe`'s storage — the write
+    /// half of the block service, mirroring
+    /// [`fetch_blocks`](Self::fetch_blocks): every request goes onto
+    /// the wire behind a single flush, acknowledgements are matched by
+    /// request id, and the returned futures are in request order. The
+    /// serving rank allocates each copy itself (honouring `disk_hint`)
+    /// and answers with the assigned `(disk, slot)`.
+    ///
+    /// # Errors
+    /// [`Error::Comm`] if a request cannot be written to the peer.
+    /// Per-block failures (including timeouts) surface from each
+    /// [`WireStore::wait`].
+    pub fn store_blocks(&self, pe: usize, blocks: &[(u32, &[u8])]) -> Result<Vec<WireStore>> {
+        let inner = &*self.inner;
+        let mut stores = Vec::with_capacity(blocks.len());
+        if pe == inner.rank {
+            // Self-service: store straight through the local handler.
+            let handler = inner.store_handler.read().expect("store handler lock").clone();
+            for &(disk_hint, data) in blocks {
+                let store = self.register_op(pe, BlockOp::Store);
+                let result = match &handler {
+                    Some(h) => h(disk_hint, data).map_err(Error::io).map(encode_store_ack),
+                    None => Err(Error::io("no store handler registered")),
+                };
+                store.slot.complete(result);
+                stores.push(WireStore(store));
+            }
+            return Ok(stores);
+        }
+        let link = inner.peers[pe].as_ref().expect("peer link");
+        for &(disk_hint, data) in blocks {
+            let store = self.register_op(pe, BlockOp::Store);
+            let req = wire::encode_store_req(store.id, disk_hint, data);
+            link.write_frame(KIND_STORE_REQ, &req)?;
+            stores.push(WireStore(store));
+        }
+        link.flush()?;
+        Ok(stores)
+    }
+
+    /// Store one block into rank `pe`'s storage (a one-element
+    /// [`TcpTransport::store_blocks`] waited immediately); returns the
+    /// `(disk, slot)` the serving rank assigned.
+    pub fn store_block(&self, pe: usize, disk_hint: u32, data: &[u8]) -> Result<(u32, u32)> {
+        let mut stores = self.store_blocks(pe, &[(disk_hint, data)])?;
+        stores.pop().expect("one store issued").wait()
+    }
+
     /// Allocate a request id and register its completion slot. If the
-    /// peer's reader thread is already gone (dead peer), the fetch
+    /// peer's reader thread is already gone (dead peer), the request
     /// comes back pre-failed — registration and the reader's exit
-    /// sweep share one lock, so a fetch can never be stranded waiting
-    /// on a peer that will never answer.
-    fn register_fetch(&self, peer: usize) -> WireFetch {
+    /// sweep share one lock, so a request can never be stranded
+    /// waiting on a peer that will never answer.
+    fn register_op(&self, peer: usize, op: BlockOp) -> WireFetch {
         let inner = &*self.inner;
         let id = inner.fetch_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let slot = FetchSlot::new();
@@ -480,15 +642,17 @@ impl TcpTransport {
             let mut pending = inner.pending.lock().expect("pending fetches lock");
             if peer != inner.rank && pending.reader_gone[peer] {
                 slot.complete(Err(Error::comm(format!(
-                    "block fetch from rank {peer}: peer disconnected"
+                    "{}: peer disconnected",
+                    op.describe(peer)
                 ))));
             } else {
-                pending.inflight.insert(id, (peer, Arc::clone(&slot)));
+                pending.inflight.insert(id, (peer, op, Arc::clone(&slot)));
             }
         }
         WireFetch {
             id,
             peer,
+            op,
             slot,
             pending: Arc::clone(&inner.pending),
             read_timeout: inner.opts.read_timeout,
@@ -530,7 +694,7 @@ impl Transport for TcpTransport {
             return self
                 .inner
                 .self_tx
-                .send(frame.to_vec())
+                .send(InboxMsg::Data(frame.to_vec()))
                 .map_err(|_| Error::comm("send to self: loopback queue closed"));
         }
         self.inner.peers[to].as_ref().expect("peer link").write_frame(KIND_DATA, frame)
@@ -539,7 +703,17 @@ impl Transport for TcpTransport {
     fn recv(&self, from: usize) -> Result<Vec<u8>> {
         let rx = self.inner.inbox[from].lock().expect("inbox lock");
         match rx.recv_timeout(self.inner.opts.read_timeout) {
-            Ok(frame) => Ok(frame),
+            Ok(InboxMsg::Data(frame)) => Ok(frame),
+            Ok(InboxMsg::Epoch(e)) => {
+                // The peer cut its FIFO for recovery: the collective
+                // this recv belongs to is doomed anyway, so surface a
+                // clean failure (and record the watermark so a later
+                // drain does not wait for a marker already consumed).
+                self.inner.epoch_seen[from].fetch_max(e, Ordering::AcqRel);
+                Err(Error::comm(format!(
+                    "recv from rank {from}: peer advanced to recovery epoch {e}"
+                )))
+            }
             Err(RecvTimeoutError::Timeout) => Err(Error::comm(format!(
                 "recv from rank {from}: timed out after {:?}",
                 self.inner.opts.read_timeout
@@ -551,10 +725,77 @@ impl Transport for TcpTransport {
     }
 
     fn flush(&self) -> Result<()> {
+        // A link whose peer the failure detector already declared dead
+        // keeps its dirty flag (its last flush failed, and nothing can
+        // deliver those bytes anymore) — propagating that error here
+        // would poison every later collective, including a survivor
+        // sub-group's recovery traffic that never addresses the dead
+        // rank. Suppress it; a *live* peer's flush failure still fails
+        // the collective (and is how a death is first detected when
+        // the write side notices before the reader does).
+        let gone = self.inner.pending.lock().expect("pending fetches lock").reader_gone.clone();
         for p in self.inner.peers.iter().flatten() {
-            p.flush()?;
+            if let Err(e) = p.flush() {
+                if !gone.get(p.peer).copied().unwrap_or(false) {
+                    return Err(e);
+                }
+            }
         }
         Ok(())
+    }
+
+    fn dead_peers(&self) -> Vec<bool> {
+        self.inner.pending.lock().expect("pending fetches lock").reader_gone.clone()
+    }
+
+    fn advance_epoch(&self, epoch: u64) -> Result<()> {
+        let inner = &*self.inner;
+        let marker = epoch.to_le_bytes();
+        for link in inner.peers.iter().flatten() {
+            // A write to a dead peer errors — that is exactly the rank
+            // the epoch is cutting away; skip it and keep going so one
+            // death cannot block the cut reaching the survivors.
+            if link.write_frame(KIND_EPOCH, &marker).is_ok() {
+                let _ = link.flush();
+            }
+        }
+        inner
+            .self_tx
+            .send(InboxMsg::Epoch(epoch))
+            .map_err(|_| Error::comm("advance epoch: self loopback queue closed"))
+    }
+
+    fn drain_to_epoch(&self, from: usize, epoch: u64) -> Result<()> {
+        let inner = &*self.inner;
+        if inner.epoch_seen[from].load(Ordering::Acquire) >= epoch {
+            return Ok(());
+        }
+        let rx = inner.inbox[from].lock().expect("inbox lock");
+        loop {
+            // Re-check under the inbox lock: a racing recv may have
+            // consumed the marker and recorded the watermark.
+            if inner.epoch_seen[from].load(Ordering::Acquire) >= epoch {
+                return Ok(());
+            }
+            match rx.recv_timeout(inner.opts.read_timeout) {
+                Ok(InboxMsg::Data(_)) => {} // stale pre-epoch traffic: discard
+                Ok(InboxMsg::Epoch(e)) => {
+                    inner.epoch_seen[from].fetch_max(e, Ordering::AcqRel);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(Error::comm(format!(
+                        "drain to epoch {epoch} from rank {from}: timed out after {:?}",
+                        inner.opts.read_timeout
+                    )))
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(Error::comm(format!(
+                        "drain to epoch {epoch} from rank {from}: peer disconnected \
+                         before its epoch marker arrived"
+                    )))
+                }
+            }
+        }
     }
 }
 
@@ -566,9 +807,10 @@ struct ReaderCtx {
     peer: usize,
     stream: TcpStream,
     link: Arc<PeerLink>,
-    data_tx: Sender<Vec<u8>>,
+    data_tx: Sender<InboxMsg>,
     pending: Arc<Pending>,
     handler: Arc<RwLock<Option<BlockHandler>>>,
+    store_handler: Arc<RwLock<Option<StoreHandler>>>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -579,18 +821,23 @@ impl ReaderCtx {
         self.demux();
         // This reader is the only path a response from `peer` can
         // take: once it exits (socket closed, protocol violation,
-        // teardown), fail every fetch still in flight to the peer
+        // teardown), fail every request still in flight to the peer
         // immediately — waiters must not ride out the full read
         // timeout against a rank that can no longer answer — and mark
         // the peer so later registrations come back pre-failed.
         let mut p = pending.lock().expect("pending fetches lock");
         p.reader_gone[peer] = true;
-        let gone: Vec<u64> =
-            p.inflight.iter().filter(|(_, (owner, _))| *owner == peer).map(|(id, _)| *id).collect();
+        let gone: Vec<u64> = p
+            .inflight
+            .iter()
+            .filter(|(_, (owner, _, _))| *owner == peer)
+            .map(|(id, _)| *id)
+            .collect();
         for id in gone {
-            if let Some((_, slot)) = p.inflight.remove(&id) {
+            if let Some((_, op, slot)) = p.inflight.remove(&id) {
                 slot.complete(Err(Error::comm(format!(
-                    "block fetch from rank {peer}: peer disconnected"
+                    "{}: peer disconnected",
+                    op.describe(peer)
                 ))));
             }
         }
@@ -613,7 +860,7 @@ impl ReaderCtx {
             self.link.wire_recv.fetch_add((5 + len) as u64, Ordering::Relaxed);
             match kind {
                 KIND_DATA => {
-                    if self.data_tx.send(payload).is_err() {
+                    if self.data_tx.send(InboxMsg::Data(payload)).is_err() {
                         return; // endpoint dropped
                     }
                 }
@@ -633,16 +880,45 @@ impl ReaderCtx {
                         // The owner answered with a storage error.
                         Err(Error::io(String::from_utf8_lossy(&payload[9..]).into_owned()))
                     };
-                    // An unknown id is a response to an abandoned
-                    // (dropped or timed-out) fetch: discard it.
-                    let slot =
-                        self.pending.lock().expect("pending fetches lock").inflight.remove(&id);
-                    if let Some((_, slot)) = slot {
-                        slot.complete(resp);
+                    self.complete_by_id(id, resp);
+                }
+                KIND_STORE_REQ => {
+                    if self.serve_store(&payload).is_err() {
+                        return;
+                    }
+                }
+                KIND_STORE_RESP => {
+                    let Ok((id, reply)) = wire::decode_store_resp(&payload) else {
+                        return; // malformed acknowledgement: protocol violation
+                    };
+                    let resp = match reply {
+                        Ok(addr) => Ok(encode_store_ack(addr)),
+                        // The serving rank answered with a storage error.
+                        Err(msg) => Err(Error::io(msg)),
+                    };
+                    self.complete_by_id(id, resp);
+                }
+                KIND_EPOCH => {
+                    let Ok(bytes) = <[u8; 8]>::try_from(&payload[..]) else {
+                        return; // malformed epoch marker: protocol violation
+                    };
+                    let epoch = u64::from_le_bytes(bytes);
+                    if self.data_tx.send(InboxMsg::Epoch(epoch)).is_err() {
+                        return; // endpoint dropped
                     }
                 }
                 _ => return, // unknown frame kind: protocol violation
             }
+        }
+    }
+
+    /// Resolve the in-flight request `id` with `resp`. An unknown id
+    /// is a response to an abandoned (dropped or timed-out) request:
+    /// discard it.
+    fn complete_by_id(&self, id: u64, resp: Result<Vec<u8>>) {
+        let slot = self.pending.lock().expect("pending fetches lock").inflight.remove(&id);
+        if let Some((_, _, slot)) = slot {
+            slot.complete(resp);
         }
     }
 
@@ -673,6 +949,24 @@ impl ReaderCtx {
             }
         }
         self.link.write_frame(KIND_BLOCK_RESP, &resp)?;
+        self.link.flush()
+    }
+
+    /// Answer one block-*store* request from this peer: allocate a
+    /// slot in local storage (this rank's allocator is the single
+    /// authority over its disks), write the data, and acknowledge with
+    /// the assigned address.
+    fn serve_store(&self, req: &[u8]) -> Result<()> {
+        let (id, disk_hint, data) = wire::decode_store_req(req).map_err(|e| {
+            Error::comm(format!("malformed store request from rank {}: {e}", self.peer))
+        })?;
+        let handler = self.store_handler.read().expect("store handler lock").clone();
+        let reply: wire::StoreReply = match handler {
+            Some(h) => h(disk_hint, data),
+            None => Err("no store handler registered on remote rank".to_string()),
+        };
+        let resp = wire::encode_store_resp(id, &reply);
+        self.link.write_frame(KIND_STORE_RESP, &resp)?;
         self.link.flush()
     }
 
@@ -817,8 +1111,14 @@ pub fn bind_loopback() -> Result<(TcpListener, SocketAddr)> {
 
 /// Parse a rendezvous host file: one `host:port` per line (rank =
 /// line order), blank lines and `#` comments ignored.
+///
+/// Every line must resolve to a *distinct* address: two ranks sharing
+/// one `host:port` would both try to bind it and the mesh handshake
+/// would mis-assign their connections, so duplicates are rejected
+/// up front with [`Error::Config`] naming both lines.
 pub fn parse_hostfile(text: &str) -> Result<Vec<SocketAddr>> {
-    let mut addrs = Vec::new();
+    let mut addrs: Vec<SocketAddr> = Vec::new();
+    let mut lines: Vec<usize> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -827,9 +1127,20 @@ pub fn parse_hostfile(text: &str) -> Result<Vec<SocketAddr>> {
         let mut resolved = line
             .to_socket_addrs()
             .map_err(|e| Error::config(format!("hostfile line {}: {e}", lineno + 1)))?;
-        addrs.push(resolved.next().ok_or_else(|| {
+        let addr = resolved.next().ok_or_else(|| {
             Error::config(format!("hostfile line {} resolves to no address", lineno + 1))
-        })?);
+        })?;
+        if let Some(dup) = addrs.iter().position(|a| *a == addr) {
+            return Err(Error::config(format!(
+                "hostfile line {} duplicates rank {}'s address {addr} (line {}): \
+                 every rank needs its own host:port",
+                lineno + 1,
+                dup,
+                lines[dup] + 1
+            )));
+        }
+        addrs.push(addr);
+        lines.push(lineno);
     }
     if addrs.is_empty() {
         return Err(Error::config("hostfile contains no addresses"));
@@ -1152,6 +1463,233 @@ mod tests {
         assert_eq!(addrs[1].port(), 9001);
         assert!(parse_hostfile("").is_err(), "empty hostfile");
         assert!(parse_hostfile("not-an-address").is_err(), "garbage line");
+    }
+
+    #[test]
+    fn hostfile_rejects_duplicate_addresses_and_parses_non_loopback() {
+        // Two ranks on one host:port would fight over the bind and the
+        // handshake would mis-assign connections: reject up front,
+        // naming both offending lines.
+        let err = parse_hostfile("10.0.0.1:9000\n10.0.0.2:9000\n\n10.0.0.1:9000\n")
+            .expect_err("duplicate address");
+        assert!(
+            matches!(err, Error::Config(ref m) if m.contains("line 4") && m.contains("line 1")),
+            "{err}"
+        );
+        // Real cluster hostfiles carry non-loopback addresses; rank
+        // order and ports must survive parsing unchanged.
+        let addrs = parse_hostfile("10.1.2.3:7000\n10.1.2.4:7001\n").expect("parse");
+        assert_eq!(addrs.len(), 2);
+        assert!(!addrs[0].ip().is_loopback());
+        assert_eq!(addrs[0], SocketAddr::from(([10, 1, 2, 3], 7000)));
+        assert_eq!(addrs[1], SocketAddr::from(([10, 1, 2, 4], 7001)));
+        // Same host on distinct ports is fine (multi-PE per node).
+        assert!(parse_hostfile("10.1.2.3:7000\n10.1.2.3:7001\n").is_ok());
+    }
+
+    #[test]
+    fn mesh_over_non_loopback_addresses() {
+        // Find a routable non-loopback local IP (CI/container safe: a
+        // connected UDP socket does a route lookup, no packets move).
+        let probe = std::net::UdpSocket::bind("0.0.0.0:0").expect("udp bind");
+        let ip = match probe.connect("192.0.2.1:9").and_then(|()| probe.local_addr()) {
+            Ok(a) if !a.ip().is_loopback() => a.ip(),
+            // No non-loopback interface (fully isolated sandbox):
+            // nothing beyond the loopback tests to exercise.
+            _ => return,
+        };
+        let mut listeners = Vec::new();
+        let mut rendered = String::new();
+        for _ in 0..2 {
+            let l = TcpListener::bind((ip, 0)).expect("bind non-loopback");
+            let a = l.local_addr().expect("addr");
+            rendered.push_str(&format!("{a}\n"));
+            listeners.push(l);
+        }
+        // Round-trip through the hostfile path the launcher uses.
+        let addrs = parse_hostfile(&rendered).expect("parse");
+        assert!(!addrs[0].ip().is_loopback());
+        let l1 = listeners.pop().expect("listener 1");
+        let l0 = listeners.pop().expect("listener 0");
+        let addrs = &addrs;
+        let (t0, t1) = std::thread::scope(|s| {
+            let h0 = s.spawn(move || TcpTransport::connect_mesh(0, addrs, l0, fast_opts()));
+            let h1 = s.spawn(move || TcpTransport::connect_mesh(1, addrs, l1, fast_opts()));
+            (
+                h0.join().expect("thread 0").expect("mesh 0"),
+                h1.join().expect("thread 1").expect("mesh 1"),
+            )
+        });
+        t1.send(0, vec![0xEE]).expect("send");
+        t1.flush().expect("flush");
+        assert_eq!(t0.recv(1).expect("recv"), vec![0xEE]);
+    }
+
+    #[test]
+    fn block_store_round_trip_and_missing_handler() {
+        let mut mesh = loopback_mesh(2, fast_opts()).expect("mesh");
+        let t1 = mesh.pop().expect("rank 1");
+        let t0 = mesh.pop().expect("rank 0");
+        // No handler yet: the requester gets an error reply, not a hang.
+        let err = t0.store_block(1, 0, &[1, 2, 3]).expect_err("no handler");
+        assert!(err.to_string().contains("no store handler"), "{err}");
+        // Rank 1 accepts stores: its allocator assigns slots in
+        // arrival order on the hinted disk.
+        type StoredBlocks = Arc<Mutex<Vec<(u32, Vec<u8>)>>>;
+        let stored: StoredBlocks = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&stored);
+        t1.set_store_handler(Arc::new(move |hint, data| {
+            if hint > 3 {
+                return Err(format!("no such disk {hint}"));
+            }
+            let mut s = sink.lock().expect("sink lock");
+            s.push((hint, data.to_vec()));
+            Ok((hint, (s.len() - 1) as u32))
+        }));
+        assert_eq!(t0.store_block(1, 2, &[0xAA, 0xBB]).expect("store"), (2, 0));
+        assert_eq!(t0.store_block(1, 1, &[0xCC]).expect("store"), (1, 1));
+        let err = t0.store_block(1, 9, &[0]).expect_err("bad disk");
+        assert!(matches!(err, Error::Io(ref m) if m.contains("no such disk")), "{err}");
+        // Self-stores go through the same handler without the wire.
+        assert_eq!(t1.store_block(1, 3, &[0x01]).expect("self store"), (3, 2));
+        assert_eq!(
+            *stored.lock().expect("sink lock"),
+            vec![(2, vec![0xAA, 0xBB]), (1, vec![0xCC]), (3, vec![0x01])]
+        );
+    }
+
+    #[test]
+    fn batched_stores_pipeline_and_match_by_id() {
+        let mut mesh = loopback_mesh(2, fast_opts()).expect("mesh");
+        let t1 = mesh.pop().expect("rank 1");
+        let t0 = mesh.pop().expect("rank 0");
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        t1.set_store_handler(Arc::new(move |hint, data| {
+            if data.first() == Some(&13) {
+                return Err("payload 13 is cursed".to_string());
+            }
+            Ok((hint, c.fetch_add(1, Ordering::Relaxed) as u32))
+        }));
+        // One flush puts the whole batch on the wire; acknowledgements
+        // come back in request order even when waited in reverse.
+        let payloads: Vec<Vec<u8>> = (0..40u8).map(|i| vec![i, i ^ 0xFF]).collect();
+        let blocks: Vec<(u32, &[u8])> =
+            payloads.iter().enumerate().map(|(i, p)| ((i % 4) as u32, p.as_slice())).collect();
+        let stores = t0.store_blocks(1, &blocks).expect("issue batch");
+        assert_eq!(stores.len(), blocks.len());
+        let mut addrs: Vec<Option<(u32, u32)>> = (0..blocks.len()).map(|_| None).collect();
+        for (i, st) in stores.into_iter().enumerate().rev() {
+            if i == 13 {
+                let err = st.wait().expect_err("cursed payload");
+                assert!(err.to_string().contains("cursed"), "{err}");
+                addrs[i] = Some((u32::MAX, u32::MAX));
+            } else {
+                addrs[i] = Some(st.wait().expect("store"));
+            }
+        }
+        for (i, a) in addrs.iter().enumerate() {
+            if i == 13 {
+                continue;
+            }
+            // Requests are served in wire order, so the allocator's
+            // slot counter tracks the request index (skipping the
+            // failed store).
+            let expect_slot = if i < 13 { i } else { i - 1 } as u32;
+            assert_eq!(*a, Some(((i % 4) as u32, expect_slot)), "store {i}");
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 39);
+    }
+
+    #[test]
+    fn dead_peer_fails_stores_fast_not_after_timeout() {
+        let opts = TcpOptions { read_timeout: Duration::from_secs(30), ..fast_opts() };
+        let mut mesh = loopback_mesh(2, opts).expect("mesh");
+        let t1 = mesh.pop().expect("rank 1");
+        let t0 = mesh.pop().expect("rank 0");
+        drop(t1); // peer dies; no acknowledgement can ever arrive
+        let start = Instant::now();
+        let data = [7u8; 4];
+        let err = match t0.store_blocks(1, &[(0, &data[..]), (1, &data[..])]) {
+            Ok(stores) => {
+                let mut first_err = None;
+                for st in stores {
+                    if let Err(e) = st.wait() {
+                        first_err = Some(e);
+                        break;
+                    }
+                }
+                first_err.expect("dead peer must fail the store")
+            }
+            Err(e) => e,
+        };
+        assert!(matches!(err, Error::Comm(_)), "{err}");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "dead peer must fail stores promptly, took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn dead_peers_snapshot_reports_the_dead_rank() {
+        let mut mesh = loopback_mesh(3, fast_opts()).expect("mesh");
+        let t2 = mesh.pop().expect("rank 2");
+        let t1 = mesh.pop().expect("rank 1");
+        let t0 = mesh.pop().expect("rank 0");
+        assert_eq!(t0.dead_peers(), vec![false, false, false]);
+        drop(t1);
+        // Readers notice the closed sockets within a tick or two; both
+        // survivors converge on the same snapshot.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let d0 = t0.dead_peers();
+            let d2 = t2.dead_peers();
+            if d0 == vec![false, true, false] && d2 == vec![false, true, false] {
+                break;
+            }
+            assert!(Instant::now() < deadline, "rank 1 never reported dead: {d0:?} / {d2:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // The surviving pair still talks.
+        t2.send(0, vec![9]).expect("send");
+        t2.flush().expect("flush");
+        assert_eq!(t0.recv(2).expect("recv"), vec![9]);
+    }
+
+    #[test]
+    fn epoch_marker_cuts_stale_traffic_deterministically() {
+        let mut mesh = loopback_mesh(2, fast_opts()).expect("mesh");
+        let t1 = mesh.pop().expect("rank 1");
+        let t0 = mesh.pop().expect("rank 0");
+        // Rank 1 leaves stale pre-recovery traffic queued at rank 0,
+        // then cuts over and sends a recovery frame.
+        t1.send(0, vec![1]).expect("stale");
+        t1.send(0, vec![2]).expect("stale");
+        t1.advance_epoch(1).expect("epoch");
+        t1.send(0, vec![3]).expect("post-epoch");
+        t1.flush().expect("flush");
+        // Draining to the marker discards exactly the stale frames.
+        t0.drain_to_epoch(1, 1).expect("drain");
+        assert_eq!(t0.recv(1).expect("recv"), vec![3]);
+        // A watermark already reached makes the drain a no-op (it must
+        // not eat post-epoch data).
+        t1.send(0, vec![4]).expect("data");
+        t1.flush().expect("flush");
+        t0.drain_to_epoch(1, 1).expect("idempotent");
+        assert_eq!(t0.recv(1).expect("recv"), vec![4]);
+        // A recv that runs into a marker surfaces a clean Comm error
+        // and records the watermark for a later drain.
+        t1.advance_epoch(2).expect("epoch 2");
+        let err = t0.recv(1).expect_err("marker surfaces as Comm");
+        assert!(matches!(err, Error::Comm(ref m) if m.contains("epoch")), "{err}");
+        t0.drain_to_epoch(1, 2).expect("watermark already recorded");
+        // The marker also cuts the sender's own self FIFO.
+        t1.send(1, vec![5]).expect("self send");
+        t1.advance_epoch(3).expect("epoch 3");
+        t1.drain_to_epoch(1, 3).expect("self drain");
+        t1.send(1, vec![6]).expect("self send");
+        assert_eq!(t1.recv(1).expect("self recv"), vec![6]);
     }
 
     #[test]

@@ -129,6 +129,17 @@ pub struct AlgoConfig {
     /// Fraction of local memory the external all-to-all may use for its
     /// in-memory sub-operations (Section IV-C picks `k` accordingly).
     pub alltoall_mem_fraction: f64,
+    /// Number of extra copies kept of every formed run's blocks
+    /// (striped sort only). Copy `i` of a block owned by rank `o` lives
+    /// on the deterministic buddy rank `(o + i) mod P`, written through
+    /// the remote block-store protocol during run formation. `0` (the
+    /// default) disables replication — the sort is byte- and
+    /// counter-identical to a build without the feature. With
+    /// `replication ≥ 1` the merge phase can fail over to a replica and
+    /// finish the sort after up to `replication` rank deaths, at the
+    /// cost of retaining run blocks until the sort completes (the
+    /// in-place space bound grows by one run copy per replica).
+    pub replication: usize,
 }
 
 impl Default for AlgoConfig {
@@ -140,6 +151,7 @@ impl Default for AlgoConfig {
             overlap: true,
             seed: 0x5EED_CAFE,
             alltoall_mem_fraction: 0.5,
+            replication: 0,
         }
     }
 }
@@ -164,10 +176,20 @@ pub struct SortConfig {
 }
 
 impl SortConfig {
-    /// Bundle machine and algorithm configs, validating both.
+    /// Bundle machine and algorithm configs, validating both (including
+    /// cross-field constraints: every replica needs a distinct rank to
+    /// live on, so `replication < pes`).
     pub fn new(machine: MachineConfig, algo: AlgoConfig) -> Result<Self> {
         machine.validate()?;
         algo.validate()?;
+        if algo.replication >= machine.pes {
+            return Err(Error::config(format!(
+                "replication factor {} needs {} distinct ranks but the machine has only {} PEs",
+                algo.replication,
+                algo.replication + 1,
+                machine.pes
+            )));
+        }
         Ok(Self { machine, algo })
     }
 
@@ -247,10 +269,25 @@ pub struct JobConfig {
 }
 
 impl JobConfig {
-    /// Validate the embedded configs.
+    /// Validate the embedded configs (including cross-field
+    /// constraints: replication needs `replication < pes` spare ranks
+    /// and is only implemented for the striped sort).
     pub fn validate(&self) -> Result<()> {
         self.machine.validate()?;
         self.algo.validate()?;
+        if self.algo.replication >= self.machine.pes {
+            return Err(Error::config(format!(
+                "replication factor {} needs {} distinct ranks but the job has only {} PEs",
+                self.algo.replication,
+                self.algo.replication + 1,
+                self.machine.pes
+            )));
+        }
+        if self.algo.replication > 0 && self.algorithm != SortAlgo::Striped {
+            return Err(Error::config(
+                "run replication requires the striped algorithm (--algo striped)",
+            ));
+        }
         if self.read_timeout_ms == 0 {
             return Err(Error::config("read_timeout_ms must be > 0"));
         }
@@ -324,6 +361,29 @@ mod tests {
         assert_eq!(cfg.num_runs(m), 1);
         assert_eq!(cfg.num_runs(m + 1), 2);
         assert_eq!(cfg.num_runs(3 * m), 3);
+    }
+
+    #[test]
+    fn replication_needs_spare_ranks_and_striped_mode() {
+        let machine = MachineConfig::tiny(2);
+        let algo = AlgoConfig { replication: 2, ..AlgoConfig::default() };
+        let err = SortConfig::new(machine.clone(), algo.clone()).expect_err("2 replicas on 2 PEs");
+        assert!(matches!(err, Error::Config(m) if m.contains("replication")), "wrong error");
+
+        let mut job = JobConfig {
+            input: "in".into(),
+            output: "out".into(),
+            machine,
+            algo,
+            algorithm: SortAlgo::Striped,
+            read_timeout_ms: 1000,
+        };
+        assert!(job.validate().is_err(), "2 replicas on 2 PEs");
+        job.algo.replication = 1;
+        job.validate().expect("1 replica on 2 PEs is fine");
+        job.algorithm = SortAlgo::Canonical;
+        let err = job.validate().expect_err("replication is striped-only");
+        assert!(matches!(err, Error::Config(m) if m.contains("striped")), "wrong error");
     }
 
     #[test]

@@ -163,7 +163,8 @@ pub fn encode_algo(w: &mut WireWriter, a: &AlgoConfig) {
         .u64(a.selection_cache_blocks as u64)
         .bool(a.overlap)
         .u64(a.seed)
-        .f64(a.alltoall_mem_fraction);
+        .f64(a.alltoall_mem_fraction)
+        .u64(a.replication as u64);
 }
 
 /// Decode an [`AlgoConfig`].
@@ -175,6 +176,7 @@ pub fn decode_algo(r: &mut WireReader<'_>) -> Result<AlgoConfig> {
         overlap: r.bool()?,
         seed: r.u64()?,
         alltoall_mem_fraction: r.f64()?,
+        replication: r.u64()? as usize,
     })
 }
 
@@ -215,6 +217,90 @@ pub fn decode_job(buf: &[u8]) -> Result<JobConfig> {
         algorithm: algo_from_tag(r.u8()?)?,
         read_timeout_ms: r.u64()?,
     })
+}
+
+// -------------------------------------------------------------------
+// Block-store frame codecs (the write half of the block service)
+// -------------------------------------------------------------------
+
+/// Outcome of one remote block store, as carried by a response frame:
+/// the address the serving rank assigned (`Ok`) or its error message.
+pub type StoreReply = std::result::Result<(u32, u32), String>;
+
+/// Encode a block-store request payload: `[id][disk_hint][data]`.
+///
+/// `id` matches the response to the request (the store protocol is
+/// pipelined, like fetches); `disk_hint` asks the serving rank to place
+/// the copy on the same local disk index the original occupies, so a
+/// replica preserves the owner's striping. The data must be the last
+/// field — [`decode_store_req`] rejects any length mismatch.
+pub fn encode_store_req(id: u64, disk_hint: u32, data: &[u8]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u64(id).u32(disk_hint).u32(data.len() as u32);
+    let mut buf = w.finish();
+    buf.extend_from_slice(data);
+    buf
+}
+
+/// Decode a block-store request payload into `(id, disk_hint, data)`.
+///
+/// # Errors
+/// [`Error::Comm`] if the frame is truncated or the embedded data
+/// length does not match the bytes actually present — an oversized
+/// claim must fail before any allocation, and trailing garbage is a
+/// protocol violation, not padding.
+pub fn decode_store_req(buf: &[u8]) -> Result<(u64, u32, &[u8])> {
+    let mut r = WireReader::new(buf);
+    let id = r.u64()?;
+    let disk_hint = r.u32()?;
+    let len = r.u32()? as usize;
+    if r.remaining() != len {
+        return Err(Error::comm(format!(
+            "store request claims {len} data bytes but carries {}",
+            r.remaining()
+        )));
+    }
+    Ok((id, disk_hint, &buf[buf.len() - len..]))
+}
+
+/// Encode a block-store response payload: `[id][status]` followed by
+/// the assigned `[disk][slot]` (status 0) or an error string.
+pub fn encode_store_resp(id: u64, reply: &StoreReply) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u64(id);
+    match reply {
+        Ok((disk, slot)) => {
+            w.u8(0).u32(*disk).u32(*slot);
+        }
+        Err(msg) => {
+            w.u8(1).string(msg);
+        }
+    }
+    w.finish()
+}
+
+/// Decode a block-store response payload into `(id, reply)`.
+///
+/// # Errors
+/// [`Error::Comm`] on truncation, an unknown status byte, or trailing
+/// garbage after a well-formed reply.
+pub fn decode_store_resp(buf: &[u8]) -> Result<(u64, StoreReply)> {
+    let mut r = WireReader::new(buf);
+    let id = r.u64()?;
+    let reply = match r.u8()? {
+        0 => Ok((r.u32()?, r.u32()?)),
+        1 => Err(r.string()?),
+        other => {
+            return Err(Error::comm(format!("unknown store response status {other}")));
+        }
+    };
+    if r.remaining() != 0 {
+        return Err(Error::comm(format!(
+            "store response carries {} trailing bytes",
+            r.remaining()
+        )));
+    }
+    Ok((id, reply))
 }
 
 // -------------------------------------------------------------------
@@ -391,7 +477,7 @@ mod tests {
             input: "/tmp/in.dat".to_string(),
             output: "/tmp/out.dat".to_string(),
             machine: MachineConfig::tiny(4),
-            algo: AlgoConfig { seed: 42, sample_every: 7, ..AlgoConfig::default() },
+            algo: AlgoConfig { seed: 42, sample_every: 7, replication: 1, ..AlgoConfig::default() },
             algorithm: SortAlgo::Striped,
             read_timeout_ms: 12_345,
         };
@@ -447,6 +533,38 @@ mod tests {
         w.u64(0).u64(0).u64(0).u32(u32::MAX);
         let err = decode_rank_report(&w.finish()).expect_err("oversized phase count");
         assert!(matches!(err, Error::Comm(_)), "{err}");
+    }
+
+    #[test]
+    fn store_frames_roundtrip() {
+        let data = vec![7u8; 256];
+        let frame = encode_store_req(42, 1, &data);
+        let (id, hint, body) = decode_store_req(&frame).expect("decode");
+        assert_eq!((id, hint), (42, 1));
+        assert_eq!(body, &data[..]);
+
+        let ok: StoreReply = Ok((1, 99));
+        assert_eq!(decode_store_resp(&encode_store_resp(7, &ok)).expect("decode"), (7, ok));
+        let err: StoreReply = Err("disk full".into());
+        assert_eq!(decode_store_resp(&encode_store_resp(8, &err)).expect("decode"), (8, err));
+    }
+
+    #[test]
+    fn store_req_length_must_match_exactly() {
+        // Oversized claim: says 100 bytes, carries 3.
+        let mut w = WireWriter::new();
+        w.u64(1).u32(0).u32(100);
+        let mut buf = w.finish();
+        buf.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(decode_store_req(&buf), Err(Error::Comm(_))));
+        // Trailing garbage after a well-formed response.
+        let mut buf = encode_store_resp(1, &Ok((0, 0)));
+        buf.push(0xFF);
+        assert!(matches!(decode_store_resp(&buf), Err(Error::Comm(_))));
+        // Unknown status byte.
+        let mut w = WireWriter::new();
+        w.u64(1).u8(9);
+        assert!(matches!(decode_store_resp(&w.finish()), Err(Error::Comm(_))));
     }
 
     #[test]
@@ -548,6 +666,88 @@ mod tests {
                 let pos = pos % buf.len();
                 buf[pos] ^= flip;
                 let _ = decode_rank_report(&buf);
+            }
+        }
+    }
+
+    mod store_frame_paths {
+        //! Satellite of the write-capable block service PR: error paths
+        //! of the store frames, matching the fetch-frame suite above.
+        //! Truncated, oversized, and garbage frames must decode to
+        //! `Error::Comm` — never panic, never allocate on a claimed
+        //! (rather than actual) length.
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Arbitrary byte soup: the store decoders return, they
+            /// never panic.
+            #[test]
+            fn garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+                let _ = decode_store_req(&bytes);
+                let _ = decode_store_resp(&bytes);
+            }
+
+            /// Round trip over arbitrary ids, hints and payloads.
+            #[test]
+            fn store_req_roundtrips(
+                id in 0u64..=u64::MAX,
+                hint in 0u32..=u32::MAX,
+                data in prop::collection::vec(0u8..=255, 0..512),
+            ) {
+                let frame = encode_store_req(id, hint, &data);
+                let (i, h, d) = decode_store_req(&frame).expect("roundtrip");
+                prop_assert_eq!((i, h, d), (id, hint, &data[..]));
+            }
+
+            /// Every strict prefix of a valid request is `Error::Comm`
+            /// (the trailing-data length check also catches cuts inside
+            /// the payload).
+            #[test]
+            fn truncated_store_req_is_comm_error(cut in 0usize..10_000) {
+                let full = encode_store_req(9, 2, &[5u8; 64]);
+                let cut = cut % full.len(); // strict prefix
+                let err = decode_store_req(&full[..cut]).expect_err("truncated");
+                prop_assert!(matches!(err, Error::Comm(_)), "{err}");
+            }
+
+            /// Every strict prefix of a valid response is `Error::Comm`.
+            #[test]
+            fn truncated_store_resp_is_comm_error(cut in 0usize..10_000, ok in 0u8..=1) {
+                let reply: StoreReply =
+                    if ok == 1 { Ok((3, 77)) } else { Err("backend failed".into()) };
+                let full = encode_store_resp(11, &reply);
+                let cut = cut % full.len(); // strict prefix
+                let err = decode_store_resp(&full[..cut]).expect_err("truncated");
+                prop_assert!(matches!(err, Error::Comm(_)), "{err}");
+            }
+
+            /// A request whose length field claims more than the frame
+            /// carries is a capacity bomb — it must be a clean
+            /// `Error::Comm` before any allocation of the claimed size.
+            #[test]
+            fn oversized_store_claim_is_comm_error(claim in 1u32..=u32::MAX, carry in 0usize..64) {
+                let mut w = WireWriter::new();
+                w.u64(0).u32(0).u32(claim);
+                let mut buf = w.finish();
+                let carry = carry.min(claim as usize - 1);
+                buf.extend(std::iter::repeat_n(0u8, carry));
+                let err = decode_store_req(&buf).expect_err("oversized claim");
+                prop_assert!(matches!(err, Error::Comm(_)), "{err}");
+            }
+
+            /// Flipping any single byte of a valid frame either decodes
+            /// to *something* or fails cleanly — never a panic.
+            #[test]
+            fn store_bitflips_never_panic(pos in 0usize..10_000, flip in 1u8..=255) {
+                let mut req = encode_store_req(3, 1, &[9u8; 32]);
+                let pos_req = pos % req.len();
+                req[pos_req] ^= flip;
+                let _ = decode_store_req(&req);
+                let mut resp = encode_store_resp(3, &Err("x".into()));
+                let pos_resp = pos % resp.len();
+                resp[pos_resp] ^= flip;
+                let _ = decode_store_resp(&resp);
             }
         }
     }
