@@ -1,0 +1,106 @@
+//! `demsort-trace` — merge per-rank trace journals into one timeline.
+//!
+//! ```text
+//! demsort-trace DIR [--chrome FILE] [--quiet]
+//! ```
+//!
+//! Reads every `rank<K>.jsonl` journal a traced run (`demsort-launch
+//! --trace DIR`) left under `DIR`, validates each rank's invariants
+//! (monotone timestamps, every span closed exactly once, phases in
+//! algorithm order — see `validate_rank_journal`), and prints the
+//! merged chronological cluster timeline to stdout. `--chrome FILE`
+//! additionally writes a Chrome trace-format JSON array for
+//! `chrome://tracing` / [Perfetto](https://ui.perfetto.dev); `--quiet`
+//! suppresses the timeline (validate + export only).
+//!
+//! Exits non-zero — naming the offending rank — if any journal is
+//! unreadable or violates an invariant, so CI can gate on it.
+
+use demsort_types::trace::{
+    chrome_trace, merge_journals, read_journal, validate_rank_journal, TraceOp,
+};
+use std::path::PathBuf;
+
+fn main() {
+    let mut dir: Option<PathBuf> = None;
+    let mut chrome_out: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--chrome" => {
+                chrome_out =
+                    Some(PathBuf::from(args.next().unwrap_or_else(|| die("--chrome FILE"))))
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("demsort-trace DIR [--chrome FILE] [--quiet]");
+                return;
+            }
+            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
+            other if dir.is_none() => dir = Some(PathBuf::from(other)),
+            other => die(&format!("unexpected argument {other}")),
+        }
+    }
+    let dir = dir.unwrap_or_else(|| die("missing trace directory (see --help)"));
+
+    // Collect rank journals in rank order; holes are fine (a rank may
+    // have died before writing), absence of any journal is not.
+    let mut names: Vec<String> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().and_then(|e| e.file_name().into_string().ok()))
+            .filter(|n| n.starts_with("rank") && n.ends_with(".jsonl"))
+            .collect(),
+        Err(e) => die(&format!("read {}: {e}", dir.display())),
+    };
+    names.sort_by_key(|n| rank_of(n));
+    if names.is_empty() {
+        die(&format!("no rank*.jsonl journals under {}", dir.display()));
+    }
+
+    let mut per_rank = Vec::with_capacity(names.len());
+    for name in &names {
+        let path = dir.join(name);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| die(&format!("read {}: {e}", path.display())));
+        let records =
+            read_journal(&text).unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
+        validate_rank_journal(&records)
+            .unwrap_or_else(|e| die(&format!("{}: invariant violated: {e}", path.display())));
+        eprintln!("{}: {} records, invariants ok", path.display(), records.len());
+        per_rank.push(records);
+    }
+
+    let merged = merge_journals(per_rank);
+    if let Some(out) = chrome_out {
+        std::fs::write(&out, chrome_trace(&merged))
+            .unwrap_or_else(|e| die(&format!("write {}: {e}", out.display())));
+        eprintln!("wrote Chrome trace ({} events) to {}", merged.len(), out.display());
+    }
+    if quiet {
+        return;
+    }
+
+    // The timeline: one line per record, cluster-chronological. The
+    // per-rank clocks share no epoch, so cross-rank order is only as
+    // meaningful as the ranks' start skew — within a rank it is exact.
+    for r in &merged {
+        let (op, span) = match r.op {
+            TraceOp::Begin(id) => ("begin", format!(" [span {id}]")),
+            TraceOp::End(id) => ("end  ", format!(" [span {id}]")),
+            TraceOp::Instant => ("event", String::new()),
+        };
+        println!("{:>14.6}ms rank {:>2} {op} {}{span}", r.ts_ns as f64 / 1e6, r.rank, r.ev.label());
+    }
+}
+
+/// Sort key for `rank<K>.jsonl` names (lexicographic would put
+/// `rank10` before `rank2`).
+fn rank_of(name: &str) -> usize {
+    name.trim_start_matches("rank").trim_end_matches(".jsonl").parse().unwrap_or(usize::MAX)
+}
+
+fn die(msg: &str) -> ! {
+    demsort_bench::procs::cli_die("demsort-trace", msg)
+}

@@ -6,6 +6,7 @@
 //!                [--mem-mib M] [--block-kib K] [--disks D]
 //!                [--cores C] [--seed S] [--comm-timeout MS]
 //!                [--algo canonical|striped] [--replication F]
+//!                [--trace DIR]
 //! ```
 //!
 //! In **coordinator mode** the worker dials `demsort-launch`'s
@@ -24,7 +25,7 @@
 
 use demsort_bench::procs::{run_rank, run_worker};
 use demsort_net::tcp::parse_hostfile;
-use demsort_types::{AlgoConfig, JobConfig, MachineConfig, SortAlgo};
+use demsort_types::{AlgoConfig, JobConfig, MachineConfig, SortAlgo, Tracer};
 use std::net::TcpListener;
 
 fn main() {
@@ -41,6 +42,7 @@ fn main() {
     let mut timeout_ms = 30_000u64;
     let mut algorithm = SortAlgo::Canonical;
     let mut replication = 0usize;
+    let mut trace_dir: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -61,13 +63,15 @@ fn main() {
                 algorithm = SortAlgo::parse(&next("--algo")).unwrap_or_else(|e| die(&e.to_string()))
             }
             "--replication" => replication = parse(&next("--replication"), "replication"),
+            "--trace" => trace_dir = Some(next("--trace")),
             "--help" | "-h" => {
                 println!(
                     "demsort-worker --coordinator HOST:PORT\n\
                      demsort-worker --hostfile FILE --rank R --input IN --output OUT\n\
                      \x20              [--mem-mib M] [--block-kib K] [--disks D]\n\
                      \x20              [--cores C] [--seed S] [--comm-timeout MS]\n\
-                     \x20              [--algo canonical|striped] [--replication F]"
+                     \x20              [--algo canonical|striped] [--replication F]\n\
+                     \x20              [--trace DIR]"
                 );
                 return;
             }
@@ -107,8 +111,20 @@ fn main() {
                 algo,
                 algorithm,
                 read_timeout_ms: timeout_ms,
+                trace_dir: trace_dir.unwrap_or_default(),
             };
-            run_rank(rank, &addrs, listener, &job)
+            // No coordinator to stream progress to in hostfile mode —
+            // journals only.
+            let tracer = if job.trace_dir.is_empty() {
+                Tracer::off()
+            } else {
+                let dir = std::path::PathBuf::from(&job.trace_dir);
+                std::fs::create_dir_all(&dir)
+                    .unwrap_or_else(|e| die(&format!("create trace dir {}: {e}", job.trace_dir)));
+                Tracer::to_path(rank, &dir.join(format!("rank{rank}.jsonl")))
+                    .unwrap_or_else(|e| die(&e.to_string()))
+            };
+            run_rank(rank, &addrs, listener, &job, tracer)
         }
         _ => die("exactly one of --coordinator or --hostfile is required (see --help)"),
     };

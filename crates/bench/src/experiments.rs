@@ -10,6 +10,7 @@ use demsort_core::ctx::ClusterStorage;
 use demsort_core::runform::ingest_input;
 use demsort_core::striped::{striped_mergesort, striped_sort_cluster};
 use demsort_net::run_cluster;
+use demsort_types::json::Json;
 use demsort_types::{AlgoConfig, Element16, Phase, Record, Record100, SortConfig, SortReport};
 use demsort_workloads::{generate_pe_input, gensort_records, InputSpec};
 
@@ -27,7 +28,15 @@ fn phase_sweep(
 ) -> Table {
     let mut t = Table::new(
         title,
-        &["P", "run_formation_s", "selection_s", "alltoall_s", "final_merge_s", "total_s"],
+        &[
+            "P",
+            "run_formation_s",
+            "selection_s",
+            "alltoall_s",
+            "final_merge_s",
+            "host_wall_s",
+            "total_s",
+        ],
     );
     for &p in pes_list {
         let outcome = run_canonical(scale, p, spec, algo.clone());
@@ -35,12 +44,18 @@ fn phase_sweep(
         let phases = model.cluster_phases(&outcome.report);
         let get = |ph: Phase| phases.get(&ph).map(|t| t.wall_s).unwrap_or(0.0);
         let total: f64 = phases.values().map(|t| t.wall_s).sum();
+        // Measured host wall of this (unscaled) run — a phase ends when
+        // its slowest PE does, so take the per-phase max over PEs. A
+        // sanity signal next to the modeled paper-scale columns.
+        let wall_ns: u64 =
+            Phase::ALL.iter().map(|&ph| outcome.report.phase_max(ph, |s| s.cpu.host_wall_ns)).sum();
         t.row(vec![
             p.to_string(),
             secs(get(Phase::RunFormation)),
             secs(get(Phase::MultiwaySelection)),
             secs(get(Phase::AllToAll)),
             secs(get(Phase::FinalMerge)),
+            secs(wall_ns as f64 / 1e9),
             secs(total),
         ]);
     }
@@ -332,13 +347,11 @@ pub fn run_striped_report(scale: &ExpScale, pes: usize) -> SortReport {
         let comm0 = c.counters();
         let out = striped_mergesort::<Element16>(&c, storage_ref, &cfg2, input, 1, None)
             .expect("striped");
-        let mut stats = demsort_types::PhaseStats {
+        demsort_types::PhaseStats {
             io: st.counters().delta_since(&io0),
             comm: c.counters().delta_since(&comm0),
             cpu: out.cpu,
-        };
-        stats.cpu.host_wall_ns = 0;
-        stats
+        }
     });
     let elements = (local_n * pes) as u64;
     let mut report = SortReport::new(pes, elements, Element16::BYTES, 0);
@@ -353,22 +366,15 @@ pub fn run_striped_report(scale: &ExpScale, pes: usize) -> SortReport {
 /// Repeatable striped-sort benchmark: measured wall-clock records/s,
 /// per phase and total, with each replication factor in
 /// `replications` — emitted as machine-readable JSON (the CI smoke
-/// step writes it to `BENCH_striped.json`). The same seed, input, and
-/// machine shape are used for every factor, so consecutive runs (and
-/// runs across commits) measure exactly the same work and the
-/// replication column isolates the cost of storing buddy-rank copies
-/// of every run block during run formation.
+/// step writes it to `BENCH_striped.json`), built on the shared
+/// escape-correct [`Json`] emitter the trace journals use. The same
+/// seed, input, and machine shape are used for every factor, so
+/// consecutive runs (and runs across commits) measure exactly the same
+/// work and the replication column isolates the cost of storing
+/// buddy-rank copies of every run block during run formation.
 pub fn bench_striped_json(scale: &ExpScale, pes: usize, replications: &[usize]) -> String {
-    fn phase_key(p: Phase) -> &'static str {
-        match p {
-            Phase::RunFormation => "run_formation",
-            Phase::MultiwaySelection => "multiway_selection",
-            Phase::AllToAll => "all_to_all",
-            Phase::FinalMerge => "final_merge",
-        }
-    }
     let local_n = scale.elems_per_pe();
-    let mut entries = Vec::new();
+    let mut runs_json = Vec::new();
     for &f in replications {
         let algo = AlgoConfig { replication: f, ..AlgoConfig::default() };
         let cfg = SortConfig::new(scale.machine(pes), algo).expect("valid config");
@@ -383,7 +389,7 @@ pub fn bench_striped_json(scale: &ExpScale, pes: usize, replications: &[usize]) 
         let records = outcome.per_pe.first().map_or(0, |o| o.output.elems);
         // A phase ends when its slowest PE does: throughput is bounded
         // by the per-phase maximum over PEs of measured host wall time.
-        let mut phases = String::new();
+        let mut phases = Vec::new();
         for &phase in Phase::ALL.iter() {
             let ns = outcome
                 .per_pe
@@ -397,30 +403,31 @@ pub fn bench_striped_json(scale: &ExpScale, pes: usize, replications: &[usize]) 
                 continue;
             }
             let s = ns as f64 / 1e9;
-            if !phases.is_empty() {
-                phases.push_str(", ");
-            }
-            phases.push_str(&format!(
-                "\"{}\": {{\"wall_s\": {:.6}, \"records_per_s\": {:.0}}}",
-                phase_key(phase),
-                s,
-                records as f64 / s
+            phases.push((
+                phase.key().to_string(),
+                Json::Obj(vec![
+                    ("wall_s".into(), Json::Num(s)),
+                    ("records_per_s".into(), Json::Uint((records as f64 / s) as u64)),
+                ]),
             ));
         }
-        entries.push(format!(
-            "    {{\"replication\": {f}, \"wall_s\": {:.6}, \"records_per_s\": {:.0}, \
-             \"phases\": {{{phases}}}}}",
-            wall_s,
-            records as f64 / wall_s
-        ));
+        runs_json.push(Json::Obj(vec![
+            ("replication".into(), Json::Uint(f as u64)),
+            ("wall_s".into(), Json::Num(wall_s)),
+            ("records_per_s".into(), Json::Uint((records as f64 / wall_s) as u64)),
+            ("phases".into(), Json::Obj(phases)),
+        ]));
     }
-    format!(
-        "{{\n  \"bench\": \"striped\",\n  \"pes\": {pes},\n  \"records\": {},\n  \
-         \"record_bytes\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
-        local_n as u64 * pes as u64,
-        Element16::BYTES,
-        entries.join(",\n")
-    )
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::str("striped")),
+        ("pes".into(), Json::Uint(pes as u64)),
+        ("records".into(), Json::Uint(local_n as u64 * pes as u64)),
+        ("record_bytes".into(), Json::Uint(Element16::BYTES as u64)),
+        ("runs".into(), Json::Arr(runs_json)),
+    ]);
+    let mut out = doc.to_string();
+    out.push('\n');
+    out
 }
 
 /// NOW-Sort baseline vs CANONICALMERGESORT on uniform and skewed
@@ -645,16 +652,23 @@ mod tests {
     #[test]
     fn bench_striped_json_is_machine_readable_and_covers_both_factors() {
         let s = bench_striped_json(&smoke(), 3, &[0, 1]);
-        // Shape pins: both replication factors, both striped phases,
-        // positive rates, balanced braces (parseable by any JSON
-        // consumer without a parser dependency here).
-        assert!(s.contains("\"replication\": 0"), "{s}");
-        assert!(s.contains("\"replication\": 1"), "{s}");
-        assert!(s.contains("\"run_formation\""), "{s}");
-        assert!(s.contains("\"final_merge\""), "{s}");
-        assert!(s.contains("\"records_per_s\""), "{s}");
-        assert!(!s.contains("\"records_per_s\": 0,"), "rates must be positive: {s}");
-        assert_eq!(s.matches('{').count(), s.matches('}').count(), "balanced JSON braces: {s}");
+        // Shape pins, now through the shared parser: both replication
+        // factors, both striped phases, positive rates.
+        let doc = Json::parse(s.trim()).expect("BENCH output parses");
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("striped"), "{s}");
+        let runs = doc.get("runs").and_then(Json::as_arr).expect("runs array");
+        let reps: Vec<u64> =
+            runs.iter().filter_map(|r| r.get("replication").and_then(Json::as_u64)).collect();
+        assert_eq!(reps, [0, 1], "{s}");
+        for run in runs {
+            let rate = run.get("records_per_s").and_then(Json::as_f64).expect("rate");
+            assert!(rate > 0.0, "rates must be positive: {s}");
+            let phases = run.get("phases").expect("phases object");
+            for key in ["run_formation", "final_merge"] {
+                let ph = phases.get(key).unwrap_or_else(|| panic!("phase {key} present: {s}"));
+                assert!(ph.get("wall_s").and_then(Json::as_f64).unwrap_or(0.0) > 0.0, "{s}");
+            }
+        }
     }
 
     #[test]

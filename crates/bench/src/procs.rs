@@ -29,9 +29,18 @@
 //!
 //! | tag | direction | body |
 //! |---|---|---|
-//! | `JOIN`   | worker → launcher | mesh listener address, worker pid |
-//! | `ASSIGN` | launcher → worker | rank, address table, job config |
-//! | `REPORT` | worker → launcher | [`RankReport`] (success *or* structured failure) |
+//! | `JOIN`     | worker → launcher | mesh listener address, worker pid |
+//! | `ASSIGN`   | launcher → worker | rank, address table, job config |
+//! | `REPORT`   | worker → launcher | [`RankReport`] (success *or* structured failure) |
+//! | `PROGRESS` | worker → launcher | [`ProgressFrame`] (tracing runs only) |
+//!
+//! With tracing on ([`JobConfig::trace_dir`] non-empty), each worker
+//! appends a JSONL event journal to `<trace_dir>/rank<K>.jsonl` and
+//! streams coarse [`ProgressFrame`]s (phase, batch `b`/`of`, bytes
+//! moved) over its coordinator connection, which the launcher renders
+//! as live per-rank status lines while it polls for reports. Progress
+//! rides the unmetered control socket, so the sort's communication
+//! counters are untouched.
 //!
 //! Workers can alternatively rendezvous without a coordinator from a
 //! host file (`demsort-worker --hostfile`), each binding its listed
@@ -50,12 +59,12 @@ use demsort_net::tcp::{bind_loopback, TcpOptions, TcpTransport, WireFetch, WireS
 use demsort_net::{Communicator, SubTransport, Transport as _};
 use demsort_storage::{BlockId, DiskModel, MemBackend, PeStorage};
 use demsort_types::wire::{
-    decode_job, decode_rank_report, encode_job, encode_rank_report, RankReport, WireReader,
-    WireWriter,
+    decode_job, decode_progress, decode_rank_report, encode_job, encode_progress,
+    encode_rank_report, RankReport, WireReader, WireWriter,
 };
 use demsort_types::{
-    ranks, AlgoConfig, Error, JobConfig, MachineConfig, Record as _, Record100, Result, SortAlgo,
-    SortConfig, SortReport,
+    ranks, AlgoConfig, Error, JobConfig, MachineConfig, ProgressFrame, Record as _, Record100,
+    Result, SortAlgo, SortConfig, SortReport, Tracer,
 };
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -66,6 +75,7 @@ use std::time::{Duration, Instant};
 const TAG_JOIN: u8 = 1;
 const TAG_ASSIGN: u8 = 2;
 const TAG_REPORT: u8 = 3;
+const TAG_PROGRESS: u8 = 4;
 
 /// Upper bound on a coordinator message (reports are tiny).
 const MAX_CTRL_MSG: usize = 64 << 20;
@@ -202,10 +212,33 @@ pub fn run_worker(coordinator: &str) -> Result<RankReport> {
     }
     let job = decode_job(&r.bytes()?)?;
 
+    // With tracing on, the journal goes to the shared trace directory
+    // and coarse progress frames ride this control connection back to
+    // the launcher. Progress is best-effort: a write error must not
+    // fail the sort, so the callback swallows it.
+    let tracer = if job.trace_dir.is_empty() {
+        Tracer::off()
+    } else {
+        let dir = std::path::PathBuf::from(&job.trace_dir);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| Error::io(format!("create trace dir {}: {e}", job.trace_dir)))?;
+        let t = Tracer::to_path(rank, &dir.join(format!("rank{rank}.jsonl")))?;
+        match ctrl.try_clone() {
+            Ok(stream) => {
+                let stream = std::sync::Mutex::new(stream);
+                t.with_progress(Box::new(move |f: &ProgressFrame| {
+                    let mut s = stream.lock().expect("progress stream lock");
+                    let _ = write_msg(&mut s, TAG_PROGRESS, &encode_progress(f));
+                }))
+            }
+            Err(_) => t,
+        }
+    };
+
     // Run the rank. Errors (a dead peer surfacing as Error::Comm from
     // a collective, storage faults, bad input) come back as plain
     // Results — the panic-translating unwind shim is gone.
-    match run_rank(rank, &addrs, listener, &job) {
+    match run_rank(rank, &addrs, listener, &job, tracer) {
         Ok(report) => {
             write_msg(&mut ctrl, TAG_REPORT, &encode_rank_report(&report))?;
             Ok(report)
@@ -221,11 +254,16 @@ pub fn run_worker(coordinator: &str) -> Result<RankReport> {
 /// Run one rank of `job` over an established rendezvous: build the TCP
 /// mesh, sort this rank's shard, write the canonical output slice.
 /// Shared by the coordinator and hostfile bootstrap paths.
+///
+/// `tracer` is threaded through the transport, the block service and
+/// the communicator so a traced run journals every layer under one
+/// rank/clock; pass [`Tracer::off`] for an untraced run.
 pub fn run_rank(
     rank: usize,
     addrs: &[SocketAddr],
     listener: TcpListener,
     job: &JobConfig,
+    tracer: Tracer,
 ) -> Result<RankReport> {
     job.validate()?;
     let p = job.machine.pes;
@@ -242,6 +280,7 @@ pub fn run_rank(
         ..TcpOptions::default()
     };
     let tcp = TcpTransport::connect_mesh(rank, addrs, listener, opts)?;
+    tcp.set_tracer(tracer.clone());
 
     // One rank's storage: same in-memory multi-disk engine as the
     // in-process cluster, so counters are comparable run-for-run.
@@ -251,7 +290,13 @@ pub fn run_rank(
         DiskModel::paper(),
         Arc::new(MemBackend::new(job.machine.disks_per_pe)),
     );
-    let storage = ClusterStorage::single(rank, p, st, Box::new(TcpBlockService(tcp.clone())));
+    let storage = ClusterStorage::single_traced(
+        rank,
+        p,
+        st,
+        Box::new(TcpBlockService(tcp.clone())),
+        tracer.clone(),
+    );
 
     // Serve peers' block-service reads (selection probes, striped
     // remote reads) and writes (run replication) out of this rank's
@@ -308,7 +353,8 @@ pub fn run_rank(
     drop(bytes);
 
     // The SPMD sort — identical code path to the in-process cluster.
-    let comm = Communicator::new(Box::new(tcp.clone()));
+    let mut comm = Communicator::new(Box::new(tcp.clone()));
+    comm.set_tracer(tracer.clone());
     let cfg = SortConfig::new(job.machine.clone(), job.algo.clone())?;
     let input = ingest_input(storage.pe(rank), &recs)?;
     drop(recs);
@@ -332,6 +378,12 @@ pub fn run_rank(
     } else {
         comm.barrier()?;
     }
+
+    // The job is done: detach the tracer before teardown so the mesh
+    // closing under the reader threads isn't journalled as a wave of
+    // peer deaths, then flush what the rank actually recorded.
+    tcp.set_tracer(Tracer::off());
+    tracer.flush();
     Ok(report)
 }
 
@@ -690,16 +742,37 @@ impl LaunchControl {
                 if outcomes[rank].is_some() {
                     continue;
                 }
-                match progress[rank].pump(conn) {
-                    Pump::Pending => open += 1,
-                    Pump::Done(TAG_REPORT, body) => {
-                        outcomes[rank] = Some(classify_report(rank, &body));
+                // Inner loop: several progress frames may be queued
+                // ahead of the report; drain them all this round.
+                loop {
+                    match progress[rank].pump(conn) {
+                        Pump::Pending => {
+                            open += 1;
+                            break;
+                        }
+                        Pump::Done(TAG_PROGRESS, body) => {
+                            // Live status from a traced worker. Frames
+                            // are cosmetic: a malformed one is dropped,
+                            // never fatal.
+                            if let Ok(f) = decode_progress(&body) {
+                                print_progress(&f);
+                            }
+                            progress[rank] = MsgProgress::new();
+                        }
+                        Pump::Done(TAG_REPORT, body) => {
+                            outcomes[rank] = Some(classify_report(rank, &body));
+                            break;
+                        }
+                        Pump::Done(tag, _) => {
+                            outcomes[rank] =
+                                Some(RankOutcome::Vanished(format!("unexpected tag {tag}")));
+                            break;
+                        }
+                        Pump::Closed(msg) => {
+                            outcomes[rank] = Some(RankOutcome::Vanished(msg));
+                            break;
+                        }
                     }
-                    Pump::Done(tag, _) => {
-                        outcomes[rank] =
-                            Some(RankOutcome::Vanished(format!("unexpected tag {tag}")));
-                    }
-                    Pump::Closed(msg) => outcomes[rank] = Some(RankOutcome::Vanished(msg)),
                 }
             }
             if open == 0 {
@@ -741,6 +814,20 @@ impl LaunchControl {
         }
         Ok(outcome)
     }
+}
+
+/// Render one live worker progress frame on the launcher's stderr,
+/// e.g. `[rank 2] final merge 3/12 (24.0 MiB moved)`. Stderr keeps the
+/// machine-readable report on stdout clean.
+fn print_progress(f: &ProgressFrame) {
+    let mib = f.bytes as f64 / (1024.0 * 1024.0);
+    eprintln!(
+        "[rank {}] {} {}/{} ({mib:.1} MiB moved)",
+        f.rank,
+        f.phase.name(),
+        f.batch,
+        f.batches
+    );
 }
 
 impl Drop for LaunchControl {
@@ -973,6 +1060,10 @@ pub struct TcpJobCli {
     pub replication: usize,
     /// Explicit worker binary path (`--worker-bin`).
     pub worker_bin: Option<String>,
+    /// Trace directory (`--trace DIR`): when set, every rank appends a
+    /// JSONL event journal `rank<K>.jsonl` under it and streams live
+    /// progress frames to the launcher. Empty/`None` disables tracing.
+    pub trace_dir: Option<String>,
 }
 
 impl Default for TcpJobCli {
@@ -987,6 +1078,7 @@ impl Default for TcpJobCli {
             algorithm: SortAlgo::Canonical,
             replication: 0,
             worker_bin: None,
+            trace_dir: None,
         }
     }
 }
@@ -1003,7 +1095,9 @@ impl TcpJobCli {
          --algo A          sorting algorithm: canonical (default) or striped\n  \
          --replication F   store F buddy-rank replicas of every run block (striped only; \
          default 0)\n  \
-         --worker-bin PATH explicit demsort-worker binary";
+         --worker-bin PATH explicit demsort-worker binary\n  \
+         --trace DIR       write per-rank JSONL event journals under DIR and stream live \
+         progress";
 
     /// Consume `flag` if it is one of the shared job flags (pulling its
     /// value from `args`); returns `false` for flags the bin must
@@ -1031,6 +1125,7 @@ impl TcpJobCli {
             }
             "--replication" => self.replication = cli_parse(bin, &next(flag), "replication"),
             "--worker-bin" => self.worker_bin = Some(next(flag)),
+            "--trace" => self.trace_dir = Some(next(flag)),
             _ => return false,
         }
         true
@@ -1064,6 +1159,7 @@ impl TcpJobCli {
             algo,
             algorithm: self.algorithm,
             read_timeout_ms: self.comm_timeout_ms,
+            trace_dir: self.trace_dir.clone().unwrap_or_default(),
         }
     }
 
@@ -1230,6 +1326,7 @@ mod tests {
             algo: demsort_types::AlgoConfig::default(),
             algorithm: SortAlgo::default(),
             read_timeout_ms: 1000,
+            trace_dir: String::new(),
         };
         // Rejected before any worker spawns (the bogus worker path is
         // never exercised) and before the output truncate.
@@ -1250,8 +1347,9 @@ mod tests {
             algo: demsort_types::AlgoConfig::default(),
             algorithm: SortAlgo::default(),
             read_timeout_ms: 1000,
+            trace_dir: String::new(),
         };
-        let err = run_rank(0, &[], listener, &job).expect_err("empty address table");
+        let err = run_rank(0, &[], listener, &job, Tracer::off()).expect_err("empty address table");
         assert!(err.to_string().contains("address table"), "{err}");
     }
 
@@ -1264,6 +1362,7 @@ mod tests {
             algo: demsort_types::AlgoConfig::default(),
             algorithm: SortAlgo::default(),
             read_timeout_ms: 1000,
+            trace_dir: String::new(),
         };
         let outcomes = vec![
             RankOutcome::Failed("communication error: recv from rank 1: timed out".into()),

@@ -69,6 +69,7 @@ fn sigkill_mid_sort_fails_every_survivor_cleanly_and_names_the_dead_rank() {
         algo: AlgoConfig::default(),
         algorithm: SortAlgo::default(),
         read_timeout_ms: COMM_TIMEOUT_MS,
+        trace_dir: String::new(),
     };
     let worker = PathBuf::from(env!("CARGO_BIN_EXE_demsort-worker"));
 
@@ -161,6 +162,7 @@ fn sigkill_mid_merge_with_replication_survivors_finish_byte_identical() {
         algo,
         algorithm: SortAlgo::Striped,
         read_timeout_ms: COMM_TIMEOUT_MS,
+        trace_dir: String::new(),
     };
     let worker = PathBuf::from(env!("CARGO_BIN_EXE_demsort-worker"));
 

@@ -100,6 +100,7 @@ fn four_rank_striped_tcp_launch_matches_in_process_run() {
         algo: AlgoConfig::default(),
         algorithm: SortAlgo::Striped,
         read_timeout_ms: 60_000,
+        trace_dir: String::new(),
     };
     let worker = PathBuf::from(env!("CARGO_BIN_EXE_demsort-worker"));
     let tcp = launch(&job, &worker).expect("striped tcp launch");

@@ -107,6 +107,7 @@ fn four_rank_tcp_launch_matches_in_process_run() {
         algo: AlgoConfig::default(),
         algorithm: SortAlgo::Canonical,
         read_timeout_ms: 60_000,
+        trace_dir: String::new(),
     };
     let worker = PathBuf::from(env!("CARGO_BIN_EXE_demsort-worker"));
     let tcp = launch(&job, &worker).expect("tcp launch");
@@ -181,6 +182,7 @@ fn launch_surfaces_worker_failure() {
         algo: AlgoConfig::default(),
         algorithm: SortAlgo::Canonical,
         read_timeout_ms: 10_000,
+        trace_dir: String::new(),
     };
     let worker = PathBuf::from(env!("CARGO_BIN_EXE_demsort-worker"));
     let err = launch(&job, &worker).expect_err("bad input must fail the launch");

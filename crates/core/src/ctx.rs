@@ -20,9 +20,10 @@
 //! requester as communication.
 
 use demsort_storage::{Backend, BlockId, DiskModel, IoHandle, MemBackend, PeStorage};
+use demsort_types::trace::TraceEv;
 use demsort_types::{
     CommCounters, CpuCounters, Error, IoCounters, MachineConfig, Phase, PhaseStats, Result,
-    SortConfig, SortReport,
+    SortConfig, SortReport, Tracer,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -187,6 +188,12 @@ pub struct ClusterStorage {
     base_rank: usize,
     pes: Vec<PeStorage>,
     remote: Option<Box<dyn RemoteBlockService>>,
+    /// Journals block-service traffic ([`TraceEv::Fetch`] /
+    /// [`TraceEv::Store`]) and feeds the progress byte meter. Off by
+    /// default; the single-rank view installs it via
+    /// [`ClusterStorage::single_traced`]. Journal writes bypass the
+    /// metered storage path, so tracing never perturbs the counters.
+    tracer: Tracer,
 }
 
 impl ClusterStorage {
@@ -210,7 +217,7 @@ impl ClusterStorage {
                 )
             })
             .collect();
-        Arc::new(Self { size: pes.len(), base_rank: 0, pes, remote: None })
+        Arc::new(Self { size: pes.len(), base_rank: 0, pes, remote: None, tracer: Tracer::off() })
     }
 
     /// Single-rank view for a worker process: `rank`'s own storage plus
@@ -222,8 +229,23 @@ impl ClusterStorage {
         storage: PeStorage,
         remote: Box<dyn RemoteBlockService>,
     ) -> Arc<Self> {
+        Self::single_traced(rank, size, storage, remote, Tracer::off())
+    }
+
+    /// [`ClusterStorage::single`] with a trace sink: every batch of
+    /// fetches and stores issued through this view is journalled as a
+    /// [`TraceEv::Fetch`] / [`TraceEv::Store`] instant carrying the
+    /// owning rank and locality, and the moved bytes feed the tracer's
+    /// progress byte meter.
+    pub fn single_traced(
+        rank: usize,
+        size: usize,
+        storage: PeStorage,
+        remote: Box<dyn RemoteBlockService>,
+        tracer: Tracer,
+    ) -> Arc<Self> {
         assert!(rank < size, "rank {rank} out of range for {size} ranks");
-        Arc::new(Self { size, base_rank: rank, pes: vec![storage], remote: Some(remote) })
+        Arc::new(Self { size, base_rank: rank, pes: vec![storage], remote: Some(remote), tracer })
     }
 
     /// `true` if rank `rank`'s storage lives in this view.
@@ -263,6 +285,14 @@ impl ClusterStorage {
     pub fn fetch_blocks(&self, rank: usize, ids: &[BlockId]) -> Result<Vec<BlockFetch>> {
         if rank >= self.size {
             return Err(Error::config(format!("rank {rank} out of range for {} ranks", self.size)));
+        }
+        if self.tracer.enabled() && !ids.is_empty() {
+            self.tracer.instant(TraceEv::Fetch {
+                owner: rank,
+                blocks: ids.len(),
+                remote: !self.is_local(rank),
+            });
+            self.tracer.add_bytes((ids.len() * self.block_bytes_hint()) as u64);
         }
         if self.is_local(rank) {
             let engine = self.pe(rank).engine();
@@ -310,6 +340,14 @@ impl ClusterStorage {
         }
         let target =
             if owner == my_rank { StoreTarget::LocalDisk } else { StoreTarget::RemoteDisk };
+        if self.tracer.enabled() && !blocks.is_empty() {
+            self.tracer.instant(TraceEv::Store {
+                owner,
+                blocks: blocks.len(),
+                remote: target == StoreTarget::RemoteDisk,
+            });
+            self.tracer.add_bytes(blocks.iter().map(|&(_, d)| d.len() as u64).sum());
+        }
         if self.is_local(owner) {
             let pe = self.pe(owner);
             let disks = pe.disks();
@@ -377,6 +415,13 @@ impl ClusterStorage {
         let source =
             if owner == my_rank { FetchSource::LocalDisk } else { FetchSource::RemoteDisk };
         Ok((data, source))
+    }
+
+    /// Block size the byte meter charges per fetched block (uniform
+    /// across the cluster by construction — every PE is built from the
+    /// same [`MachineConfig`]).
+    fn block_bytes_hint(&self) -> usize {
+        self.pes.first().map_or(0, PeStorage::block_bytes)
     }
 
     /// Number of PEs in the cluster (`P`, not the local count).
@@ -600,6 +645,40 @@ mod tests {
         assert_eq!(&*got[1], &[0u8, 1, 2][..]);
         // Out-of-range ranks are clean errors.
         assert!(cs.fetch_blocks(9, &ids).is_err());
+    }
+
+    #[test]
+    fn traced_view_journals_block_service_traffic() {
+        let cfg = MachineConfig::tiny(3);
+        let st = PeStorage::with_backend(
+            cfg.disks_per_pe,
+            cfg.block_bytes,
+            DiskModel::paper(),
+            Arc::new(MemBackend::new(cfg.disks_per_pe)),
+        );
+        let id = st.alloc().alloc_striped();
+        st.engine()
+            .write_sync(id, vec![7u8; cfg.block_bytes].into_boxed_slice())
+            .expect("write local block");
+        let tracer = Tracer::to_buffer(1);
+        let cs = ClusterStorage::single_traced(1, 3, st, Box::new(FakeFetch), tracer.clone());
+        cs.fetch_block(1, id).expect("local fetch");
+        cs.fetch_block(2, BlockId::new(0, 0)).expect("remote fetch");
+        let data = vec![0xC3u8; cs.pe(1).block_bytes()];
+        let (stores, _) = cs.store_blocks(1, 1, &[(0, data.as_slice())]).expect("local store");
+        for s in stores {
+            s.wait().expect("store lands");
+        }
+        let evs: Vec<TraceEv> = tracer.drain().into_iter().map(|r| r.ev).collect();
+        assert_eq!(
+            evs,
+            vec![
+                TraceEv::Fetch { owner: 1, blocks: 1, remote: false },
+                TraceEv::Fetch { owner: 2, blocks: 1, remote: true },
+                TraceEv::Store { owner: 1, blocks: 1, remote: false },
+            ],
+            "one instant per block-service batch, locality by ownership"
+        );
     }
 
     #[test]

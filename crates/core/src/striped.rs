@@ -39,8 +39,9 @@
 //! fetches asynchronously in the duality-optimal prefetch order
 //! ([`duality_issue_order`], Appendix A), and the fetches for batch
 //! `k+1` are issued **before** batch `k` is merged (double-buffered
-//! prefetch — [`StripedOutcome::merge_events`] records the
-//! interleaving), so the reads overlap the merge and the exchange.
+//! prefetch — the communicator's [`Tracer`] journals the
+//! interleaving as [`TraceEv::MergeIssued`] /
+//! [`TraceEv::MergeEmitted`] events), so the reads overlap the merge and the exchange.
 //! [`read_striped`] reconstructs the output from *any single rank* —
 //! blocks owned by peers are fetched over the wire in pipelined
 //! per-owner batches.
@@ -54,6 +55,7 @@ use demsort_net::{chunked_alltoallv, run_cluster, Communicator, MPI_VOLUME_LIMIT
 use demsort_storage::{duality_issue_order, BlockId, PeStorage};
 use demsort_types::{
     CommCounters, CpuCounters, Error, Phase, PhaseStats, Record, Result, SortConfig, SortReport,
+    TraceEv, Tracer,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -101,35 +103,6 @@ impl<K> StripedRun<K> {
     }
 }
 
-/// One step of the merge loop's fetch/merge interleaving, recorded in
-/// [`StripedOutcome::merge_events`]. Batch indices restart at 0 for
-/// each merge group, so events carry their pass and group — the
-/// trace is globally unambiguous even when a pass merges several
-/// groups or the sort takes several passes.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub enum MergeEvent {
-    /// Batch `batch` of merge group `group` in pass `pass` had its
-    /// block fetches handed to the block service.
-    Issued {
-        /// Merge pass (0-based).
-        pass: usize,
-        /// Merge group within the pass (0-based).
-        group: usize,
-        /// Batch within the group (0-based).
-        batch: usize,
-    },
-    /// Batch `batch` of merge group `group` in pass `pass` finished
-    /// its merged prefix's striped write.
-    Emitted {
-        /// Merge pass (0-based).
-        pass: usize,
-        /// Merge group within the pass (0-based).
-        group: usize,
-        /// Batch within the group (0-based).
-        batch: usize,
-    },
-}
-
 /// Outcome of the striped sort on one PE.
 pub struct StripedOutcome<R: Record> {
     /// The globally striped sorted output (identical on every PE).
@@ -143,11 +116,14 @@ pub struct StripedOutcome<R: Record> {
     /// Per-phase measured counters: run formation (striped writes
     /// included), then — when merging happened — the merge passes
     /// under [`Phase::FinalMerge`].
+    ///
+    /// The fetch/merge interleaving of the merge passes is journalled
+    /// through the communicator's [`Tracer`] as
+    /// [`TraceEv::MergeIssued`] / [`TraceEv::MergeEmitted`]
+    /// events: overlap means `Issued(b+1)` precedes `Emitted(b)` (the
+    /// next batch's reads are in flight while the current batch
+    /// merges).
     pub phases: Vec<(Phase, PhaseStats)>,
-    /// Fetch/merge interleaving trace of the merge passes: overlap
-    /// means `Issued(b+1)` precedes `Emitted(b)` (the next batch's
-    /// reads are in flight while the current batch merges).
-    pub merge_events: Vec<MergeEvent>,
 }
 
 /// The rank mapping a merge runs under. In the common case it is the
@@ -281,8 +257,15 @@ pub fn striped_mergesort_resilient<R: Record + Ord>(
     let mut cpu = CpuCounters::default();
     let mut rec = PhaseRecorder::new(me, st.counters(), comm.counters());
     let view = RankView::identity(me, p);
+    // Phase spans delimit the same intervals the recorder attributes
+    // counters to; the merge loop journals its fetch/merge
+    // interleaving through the same tracer.
+    let tr = comm.tracer().clone();
+    let pev = |ph: Phase| TraceEv::Phase { phase: ph };
 
     // ---- Run formation with striped writes ----
+    tr.progress(Phase::RunFormation, 0, 1);
+    let span = tr.begin(pev(Phase::RunFormation));
     let full_blocks = (input.elems / rpb as u64) as usize;
     let tail = (input.elems % rpb as u64) as usize;
     let local_groups = full_blocks.div_ceil(bpr).max(usize::from(tail > 0));
@@ -290,6 +273,7 @@ pub fn striped_mergesort_resilient<R: Record + Ord>(
 
     let mut runs: Vec<StripedRun<R::Key>> = Vec::with_capacity(num_runs);
     for j in 0..num_runs {
+        tr.progress(Phase::RunFormation, j as u64, num_runs as u64);
         let lo = (j * bpr).min(full_blocks);
         let hi = ((j + 1) * bpr).min(full_blocks);
         let mut data: Vec<R> = Vec::with_capacity((hi - lo + 1) * rpb);
@@ -322,6 +306,7 @@ pub fn striped_mergesort_resilient<R: Record + Ord>(
         }
     }
     rec.finish_phase(Phase::RunFormation, st.counters(), comm.counters());
+    tr.end(span, pev(Phase::RunFormation));
 
     if let Some(hook) = hooks.as_ref().and_then(|h| h.on_merge_start.as_ref()) {
         if !hook(me) {
@@ -336,18 +321,15 @@ pub fn striped_mergesort_resilient<R: Record + Ord>(
     // what a recovery re-merges (with dead owners remapped to their
     // replicas).
     let recoverable = f > 0 && hooks.is_some();
-    let mut merge_events = Vec::new();
+    let merge_span = if num_runs > 1 {
+        tr.progress(Phase::FinalMerge, 0, 1);
+        tr.begin(pev(Phase::FinalMerge))
+    } else {
+        0
+    };
     let attempt_runs = if recoverable { runs.clone() } else { std::mem::take(&mut runs) };
-    let attempt = run_merge_passes::<R>(
-        comm,
-        storage,
-        cfg,
-        &view,
-        attempt_runs,
-        k_max,
-        f == 0,
-        &mut merge_events,
-    );
+    let attempt =
+        run_merge_passes::<R>(comm, storage, cfg, &view, attempt_runs, k_max, f == 0, &tr);
     let (output, passes, merge_cpu_total) = match attempt {
         Ok(done) => done,
         Err(err) if recoverable && matches!(err, Error::Comm(_)) => {
@@ -399,18 +381,12 @@ pub fn striped_mergesort_resilient<R: Record + Ord>(
                 });
             }
             // (5) Re-merge from the initial runs over the survivors.
-            merge_events.clear();
+            // The journal keeps the aborted attempt's events — the
+            // peer-death instant separates the attempts, so the trace
+            // shows the failover rather than hiding it.
             let sub_view = RankView { my_global: me, globals: members };
-            let done = run_merge_passes::<R>(
-                &sub,
-                storage,
-                cfg,
-                &sub_view,
-                remapped,
-                k_max,
-                false,
-                &mut merge_events,
-            )?;
+            let done =
+                run_merge_passes::<R>(&sub, storage, cfg, &sub_view, remapped, k_max, false, &tr)?;
             rec.add_comm(sub.counters());
             done
         }
@@ -423,15 +399,9 @@ pub fn striped_mergesort_resilient<R: Record + Ord>(
         // same phase set (the report shapes stay comparable).
         rec.finish_phase(Phase::FinalMerge, st.counters(), comm.counters());
     }
+    tr.end(merge_span, pev(Phase::FinalMerge));
 
-    Ok(StripedOutcome {
-        output,
-        runs: num_runs,
-        passes,
-        cpu,
-        phases: rec.into_stats(),
-        merge_events,
-    })
+    Ok(StripedOutcome { output, runs: num_runs, passes, cpu, phases: rec.into_stats() })
 }
 
 /// Run the merge passes over `runs` until one run remains. Collective
@@ -446,7 +416,7 @@ fn run_merge_passes<R: Record + Ord>(
     mut runs: Vec<StripedRun<R::Key>>,
     k_max: usize,
     free_consumed: bool,
-    events: &mut Vec<MergeEvent>,
+    tracer: &Tracer,
 ) -> Result<(StripedRun<R::Key>, usize, CpuCounters)> {
     let mut passes = 0;
     let mut cpu = CpuCounters::default();
@@ -464,7 +434,7 @@ fn run_merge_passes<R: Record + Ord>(
                 pass,
                 group_idx,
                 free_consumed,
-                events,
+                tracer,
             )?;
             cpu = cpu.merge(&pass_cpu);
             next.push(merged);
@@ -738,7 +708,8 @@ fn write_striped<R: Record>(
 /// instead of re-sorted, and the emitted prefix is redistributed with
 /// one exact-splitter exchange. Batch `b+1`'s fetches are issued
 /// before batch `b` is merged, so the reads overlap the merge and the
-/// exchange (recorded in `events`, tagged with `pass` and
+/// exchange (journalled through `tracer` as [`TraceEv::MergeIssued`] /
+/// [`TraceEv::MergeEmitted`] events tagged with `pass` and
 /// `group_idx`).
 ///
 /// `free_consumed` controls whether fetched input blocks are released
@@ -754,7 +725,7 @@ fn merge_striped_group<R: Record + Ord>(
     pass: usize,
     group_idx: usize,
     free_consumed: bool,
-    events: &mut Vec<MergeEvent>,
+    tracer: &Tracer,
 ) -> Result<(StripedRun<R::Key>, CpuCounters)> {
     let me = view.my_global;
     let st = storage.pe(me);
@@ -812,8 +783,14 @@ fn merge_striped_group<R: Record + Ord>(
     let mut sources: Vec<Vec<R>> = vec![Vec::new(); k];
     let mut out_pieces: Vec<StripedRun<R::Key>> = Vec::new();
     let mut stripe_off = 0u64;
+    let ev_issued = |batch: usize| TraceEv::MergeIssued {
+        pass,
+        group: group_idx,
+        batch,
+        batches: total_batches,
+    };
     let mut pending = if total_batches > 0 {
-        events.push(MergeEvent::Issued { pass, group: group_idx, batch: 0 });
+        tracer.instant(ev_issued(0));
         Some(issue_batch(0)?)
     } else {
         None
@@ -824,7 +801,7 @@ fn merge_striped_group<R: Record + Ord>(
         // merging batch b, so the disks prefetch while the CPUs merge
         // and the network exchanges.
         pending = if b + 1 < total_batches {
-            events.push(MergeEvent::Issued { pass, group: group_idx, batch: b + 1 });
+            tracer.instant(ev_issued(b + 1));
             Some(issue_batch(b + 1)?)
         } else {
             None
@@ -896,7 +873,13 @@ fn merge_striped_group<R: Record + Ord>(
 
         let piece = write_striped::<R>(comm, st, cfg, view, &canon, stripe_off)?;
         stripe_off += piece.blocks.len() as u64;
-        events.push(MergeEvent::Emitted { pass, group: group_idx, batch: b });
+        tracer.instant(TraceEv::MergeEmitted {
+            pass,
+            group: group_idx,
+            batch: b,
+            batches: total_batches,
+        });
+        tracer.progress(Phase::FinalMerge, (b + 1) as u64, total_batches as u64);
         out_pieces.push(piece);
     }
     debug_assert!(
@@ -1066,6 +1049,38 @@ mod tests {
         (got, outcome.per_pe, outcome.storage)
     }
 
+    /// [`sort_striped`] with a per-rank buffer tracer on the
+    /// communicator: returns each rank's outcome alongside its drained
+    /// journal, so tests pin the merge interleaving from the trace.
+    fn sort_striped_traced(
+        p: usize,
+        local_n: usize,
+        spec: InputSpec,
+        k_max: Option<usize>,
+    ) -> Vec<(StripedOutcome<Element16>, Vec<demsort_types::TraceRecord>)> {
+        let cfg = SortConfig::new(MachineConfig::tiny(p), AlgoConfig::default()).expect("valid");
+        let storage = ClusterStorage::new_mem(&cfg.machine);
+        let storage_ref = &storage;
+        let results: Vec<Result<(StripedOutcome<Element16>, Vec<demsort_types::TraceRecord>)>> =
+            run_cluster(p, move |mut comm| {
+                let tracer = Tracer::to_buffer(comm.rank());
+                comm.set_tracer(tracer.clone());
+                let st = storage_ref.pe(comm.rank());
+                let input =
+                    ingest_input(st, &generate_pe_input(spec, 21, comm.rank(), p, local_n))?;
+                let o = striped_mergesort::<Element16>(
+                    &comm,
+                    storage_ref,
+                    &cfg,
+                    input,
+                    cfg.machine.cores_per_pe,
+                    k_max,
+                )?;
+                Ok((o, tracer.drain()))
+            });
+        results.into_iter().map(|r| r.expect("traced sort")).collect()
+    }
+
     fn check(p: usize, local_n: usize, spec: InputSpec, k_max: Option<usize>) {
         let (got, outcomes, _storage) = sort_striped(p, local_n, spec, k_max);
         let mut reference = generate_all(spec, 21, p, local_n);
@@ -1174,18 +1189,17 @@ mod tests {
         // Multi-batch single-pass merge: the trace must show batch
         // b+1's fetches handed to the block service before batch b's
         // piece is written — the fetch/merge overlap of Section IV-E.
-        let (_, outcomes, _) = sort_striped(2, 1200, InputSpec::Uniform, None);
-        for o in &outcomes {
+        for (o, recs) in &sort_striped_traced(2, 1200, InputSpec::Uniform, None) {
             assert_eq!(o.passes, 1);
-            let ev = &o.merge_events;
-            let batches = ev.iter().filter(|e| matches!(e, MergeEvent::Emitted { .. })).count();
+            let evs: Vec<TraceEv> = recs.iter().map(|r| r.ev.clone()).collect();
+            let batches = evs.iter().filter(|e| matches!(e, TraceEv::MergeEmitted { .. })).count();
             assert!(batches >= 2, "config must force multiple merge batches, got {batches}");
-            let pos = |want: MergeEvent| ev.iter().position(|e| *e == want).expect("event");
+            let pos = |want: TraceEv| evs.iter().position(|e| *e == want).expect("event");
             for b in 0..batches - 1 {
                 assert!(
-                    pos(MergeEvent::Issued { pass: 0, group: 0, batch: b + 1 })
-                        < pos(MergeEvent::Emitted { pass: 0, group: 0, batch: b }),
-                    "batch {}'s fetches must be in flight before batch {b} emits: {ev:?}",
+                    pos(TraceEv::MergeIssued { pass: 0, group: 0, batch: b + 1, batches })
+                        < pos(TraceEv::MergeEmitted { pass: 0, group: 0, batch: b, batches }),
+                    "batch {}'s fetches must be in flight before batch {b} emits: {evs:?}",
                     b + 1
                 );
             }
@@ -1198,10 +1212,9 @@ mod tests {
         // each piece continues the round-robin striping where the
         // previous left off, so per-disk block counts differ by ≤ 1.
         let p = 2;
-        let (_, outcomes, _) = sort_striped(p, 1200, InputSpec::Uniform, None);
-        let o = &outcomes[0];
-        let pieces =
-            o.merge_events.iter().filter(|e| matches!(e, MergeEvent::Emitted { .. })).count();
+        let traced = sort_striped_traced(p, 1200, InputSpec::Uniform, None);
+        let (o, recs) = &traced[0];
+        let pieces = recs.iter().filter(|r| matches!(r.ev, TraceEv::MergeEmitted { .. })).count();
         assert!(pieces >= 2, "test must cover a multi-piece run, got {pieces} piece(s)");
         let cfg = SortConfig::new(MachineConfig::tiny(p), AlgoConfig::default()).expect("valid");
         let dpp = cfg.machine.disks_per_pe;
@@ -1220,21 +1233,23 @@ mod tests {
         // batches whose local indices restart at 0. The pass/group
         // tags must keep the trace unambiguous — batch 0 of every
         // (pass, group) appears exactly once.
-        let (_, outcomes, _) = sort_striped(2, 1200, InputSpec::Uniform, Some(2));
-        let o = &outcomes[0];
+        let traced = sort_striped_traced(2, 1200, InputSpec::Uniform, Some(2));
+        let (o, recs) = &traced[0];
         assert!(o.passes >= 2, "fan-in 2 over ≥3 runs needs ≥2 passes");
-        let passes_seen: std::collections::BTreeSet<usize> = o
-            .merge_events
+        let passes_seen: std::collections::BTreeSet<usize> = recs
             .iter()
-            .map(|e| match e {
-                MergeEvent::Issued { pass, .. } | MergeEvent::Emitted { pass, .. } => *pass,
+            .filter_map(|r| match &r.ev {
+                TraceEv::MergeIssued { pass, .. } | TraceEv::MergeEmitted { pass, .. } => {
+                    Some(*pass)
+                }
+                _ => None,
             })
             .collect();
         assert_eq!(passes_seen.len(), o.passes, "every pass appears in the trace");
         let mut zero_batches: std::collections::BTreeMap<(usize, usize), usize> =
             std::collections::BTreeMap::new();
-        for e in &o.merge_events {
-            if let MergeEvent::Issued { pass, group, batch: 0 } = e {
+        for r in recs {
+            if let TraceEv::MergeIssued { pass, group, batch: 0, .. } = &r.ev {
                 *zero_batches.entry((*pass, *group)).or_insert(0) += 1;
             }
         }

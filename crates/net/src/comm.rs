@@ -38,7 +38,8 @@
 //! reused buffer.
 
 use crate::transport::Transport;
-use demsort_types::{CommCounters, Error, Result};
+use demsort_types::trace::TraceEv;
+use demsort_types::{CommCounters, Error, Result, Tracer};
 use std::cell::Cell;
 
 /// Per-peer traffic cells (interior mutability: the communicator is
@@ -57,13 +58,37 @@ struct PeerMeter {
 pub struct Communicator {
     transport: Box<dyn Transport>,
     peers: Vec<PeerMeter>,
+    tracer: Tracer,
 }
 
 impl Communicator {
     /// Wrap a transport endpoint into a communicator.
     pub fn new(transport: Box<dyn Transport>) -> Self {
         let peers = (0..transport.size()).map(|_| PeerMeter::default()).collect();
-        Self { transport, peers }
+        Self { transport, peers, tracer: Tracer::off() }
+    }
+
+    /// Attach a tracer: every collective is recorded as an enter/exit
+    /// span in this rank's journal. Trace output does not touch the
+    /// transport, so tracing never changes the metered traffic.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// This rank's tracer handle (the off tracer unless
+    /// [`set_tracer`](Self::set_tracer) was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Record `f` as a collective span, closing it on both the success
+    /// and the error path.
+    fn traced<T>(&self, name: &'static str, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        let ev = || TraceEv::Collective { name: std::borrow::Cow::Borrowed(name) };
+        let span = self.tracer.begin(ev());
+        let out = f();
+        self.tracer.end(span, ev());
+        out
     }
 
     /// This PE's rank (`0..size`).
@@ -175,15 +200,17 @@ impl Communicator {
     /// [`Error::Comm`](demsort_types::Error) if any round's partner is
     /// dead or silent past the receive timeout.
     pub fn barrier(&self) -> Result<()> {
-        let mut dist = 1;
-        while dist < self.size() {
-            let to = (self.rank() + dist) % self.size();
-            let from = (self.rank() + self.size() - dist) % self.size();
-            self.send_bytes(to, &[])?;
-            let _ = self.recv(from)?;
-            dist <<= 1;
-        }
-        Ok(())
+        self.traced("barrier", || {
+            let mut dist = 1;
+            while dist < self.size() {
+                let to = (self.rank() + dist) % self.size();
+                let from = (self.rank() + self.size() - dist) % self.size();
+                self.send_bytes(to, &[])?;
+                let _ = self.recv(from)?;
+                dist <<= 1;
+            }
+            Ok(())
+        })
     }
 
     /// Broadcast `msg` from `root` to everyone (binomial tree,
@@ -198,27 +225,30 @@ impl Communicator {
     /// [`Error::Comm`](demsort_types::Error) if a tree parent or child
     /// is unreachable.
     pub fn broadcast(&self, root: usize, msg: Vec<u8>) -> Result<Vec<u8>> {
-        let size = self.size();
-        let vrank = (self.rank() + size - root) % size;
-        let data = if vrank == 0 {
-            msg
-        } else {
-            let parent_v = vrank & (vrank - 1);
-            self.recv((parent_v + root) % size)?
-        };
-        let child_bit_limit = if vrank == 0 { size } else { vrank & vrank.wrapping_neg() };
-        let mut b = 1;
-        while b < child_bit_limit {
-            let child_v = vrank + b;
-            if child_v < size {
-                self.send_bytes((child_v + root) % size, &data)?;
+        self.traced("broadcast", || {
+            let size = self.size();
+            let vrank = (self.rank() + size - root) % size;
+            let data = if vrank == 0 {
+                msg
+            } else {
+                let parent_v = vrank & (vrank - 1);
+                self.recv((parent_v + root) % size)?
+            };
+            let child_bit_limit = if vrank == 0 { size } else { vrank & vrank.wrapping_neg() };
+            let mut b = 1;
+            while b < child_bit_limit {
+                let child_v = vrank + b;
+                if child_v < size {
+                    self.send_bytes((child_v + root) % size, &data)?;
+                }
+                b <<= 1;
             }
-            b <<= 1;
-        }
-        // The root and interior tree nodes end the collective on a
-        // send: flush so children never wait on locally parked frames.
-        self.transport.flush()?;
-        Ok(data)
+            // The root and interior tree nodes end the collective on a
+            // send: flush so children never wait on locally parked
+            // frames.
+            self.transport.flush()?;
+            Ok(data)
+        })
     }
 
     /// Gather everyone's `msg` at `root`; non-roots get an empty vec.
@@ -228,22 +258,24 @@ impl Communicator {
     /// contributor (or a non-root cannot reach the root).
     #[allow(clippy::needless_range_loop)] // rank loop skips self by index
     pub fn gather(&self, root: usize, msg: Vec<u8>) -> Result<Vec<Vec<u8>>> {
-        if self.rank() == root {
-            let mut out = vec![Vec::new(); self.size()];
-            out[root] = msg;
-            for i in 0..self.size() {
-                if i != root {
-                    out[i] = self.recv(i)?;
+        self.traced("gather", || {
+            if self.rank() == root {
+                let mut out = vec![Vec::new(); self.size()];
+                out[root] = msg;
+                for i in 0..self.size() {
+                    if i != root {
+                        out[i] = self.recv(i)?;
+                    }
                 }
+                Ok(out)
+            } else {
+                self.send(root, msg)?;
+                // Non-roots end the collective on a send: flush so the
+                // root never waits on locally parked frames.
+                self.transport.flush()?;
+                Ok(Vec::new())
             }
-            Ok(out)
-        } else {
-            self.send(root, msg)?;
-            // Non-roots end the collective on a send: flush so the
-            // root never waits on locally parked frames.
-            self.transport.flush()?;
-            Ok(Vec::new())
-        }
+        })
     }
 
     /// Allgather: everyone receives everyone's message, indexed by rank.
@@ -252,20 +284,22 @@ impl Communicator {
     /// [`Error::Comm`](demsort_types::Error) if a ring neighbour dies
     /// mid-collective.
     pub fn allgather(&self, msg: Vec<u8>) -> Result<Vec<Vec<u8>>> {
-        // Simple ring: P-1 rounds, each forwarding one original.
-        let size = self.size();
-        let mut out = vec![Vec::new(); size];
-        out[self.rank()] = msg;
-        for round in 1..size {
-            let to = (self.rank() + 1) % size;
-            let from = (self.rank() + size - 1) % size;
-            // forward the message that originated `round-1` hops back
-            let orig = (self.rank() + size - (round - 1)) % size;
-            self.send_bytes(to, &out[orig])?;
-            let recv_orig = (self.rank() + size - round) % size;
-            out[recv_orig] = self.recv(from)?;
-        }
-        Ok(out)
+        self.traced("allgather", || {
+            // Simple ring: P-1 rounds, each forwarding one original.
+            let size = self.size();
+            let mut out = vec![Vec::new(); size];
+            out[self.rank()] = msg;
+            for round in 1..size {
+                let to = (self.rank() + 1) % size;
+                let from = (self.rank() + size - 1) % size;
+                // forward the message that originated `round-1` hops back
+                let orig = (self.rank() + size - (round - 1)) % size;
+                self.send_bytes(to, &out[orig])?;
+                let recv_orig = (self.rank() + size - round) % size;
+                out[recv_orig] = self.recv(from)?;
+            }
+            Ok(out)
+        })
     }
 
     /// Allgather of one `u64` per PE (stack-encoded ring — no
@@ -275,18 +309,20 @@ impl Communicator {
     /// [`Error::Comm`](demsort_types::Error) on a dead ring neighbour
     /// or a malformed (non-8-byte) control frame.
     pub fn allgather_u64(&self, x: u64) -> Result<Vec<u64>> {
-        let size = self.size();
-        let mut out = vec![0u64; size];
-        out[self.rank()] = x;
-        for round in 1..size {
-            let to = (self.rank() + 1) % size;
-            let from = (self.rank() + size - 1) % size;
-            let orig = (self.rank() + size - (round - 1)) % size;
-            self.send_u64(to, out[orig])?;
-            let recv_orig = (self.rank() + size - round) % size;
-            out[recv_orig] = self.recv_u64(from)?;
-        }
-        Ok(out)
+        self.traced("allgather_u64", || {
+            let size = self.size();
+            let mut out = vec![0u64; size];
+            out[self.rank()] = x;
+            for round in 1..size {
+                let to = (self.rank() + 1) % size;
+                let from = (self.rank() + size - 1) % size;
+                let orig = (self.rank() + size - (round - 1)) % size;
+                self.send_u64(to, out[orig])?;
+                let recv_orig = (self.rank() + size - round) % size;
+                out[recv_orig] = self.recv_u64(from)?;
+            }
+            Ok(out)
+        })
     }
 
     /// Allreduce of a `u64` with an associative, commutative `op`.
@@ -343,20 +379,22 @@ impl Communicator {
     #[allow(clippy::needless_range_loop)] // rank loop skips self by index
     pub fn alltoallv(&self, msgs: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>> {
         assert_eq!(msgs.len(), self.size(), "need exactly one message per PE");
-        let mut out = vec![Vec::new(); self.size()];
-        for (j, m) in msgs.into_iter().enumerate() {
-            if j == self.rank() {
-                out[j] = m; // self-delivery without the transport round-trip
-            } else {
-                self.send(j, m)?;
+        self.traced("alltoallv", || {
+            let mut out = vec![Vec::new(); self.size()];
+            for (j, m) in msgs.into_iter().enumerate() {
+                if j == self.rank() {
+                    out[j] = m; // self-delivery without the transport round-trip
+                } else {
+                    self.send(j, m)?;
+                }
             }
-        }
-        for i in 0..self.size() {
-            if i != self.rank() {
-                out[i] = self.recv(i)?;
+            for i in 0..self.size() {
+                if i != self.rank() {
+                    out[i] = self.recv(i)?;
+                }
             }
-        }
-        Ok(out)
+            Ok(out)
+        })
     }
 }
 
@@ -554,6 +592,40 @@ mod tests {
             assert_eq!(c.bytes_sent, 50);
             assert_eq!(c.bytes_recv, 50);
             assert_eq!(c.messages, 1);
+        }
+    }
+
+    #[test]
+    fn collectives_emit_enter_exit_spans() {
+        use demsort_types::trace::{validate_rank_journal, TraceEv};
+        use demsort_types::Tracer;
+        let results = run_cluster(3, |mut c| {
+            let rank = c.rank();
+            c.set_tracer(Tracer::to_buffer(rank));
+            c.barrier().expect("barrier");
+            let _ = c.allreduce_sum(1).expect("sum");
+            (c.tracer().clone().drain(), c.counters())
+        });
+        // Same job untraced: tracing must not change the metered traffic.
+        let untraced = run_cluster(3, |c| {
+            c.barrier().expect("barrier");
+            let _ = c.allreduce_sum(1).expect("sum");
+            c.counters()
+        });
+        for (rank, (recs, counters)) in results.into_iter().enumerate() {
+            assert_eq!(counters, untraced[rank], "rank {rank} metering changed");
+            validate_rank_journal(&recs).expect("valid journal");
+            assert!(recs.iter().all(|r| r.rank == rank));
+            let names: Vec<String> = recs
+                .iter()
+                .filter_map(|r| match (&r.op, &r.ev) {
+                    (demsort_types::trace::TraceOp::Begin(_), TraceEv::Collective { name }) => {
+                        Some(name.to_string())
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(names, vec!["barrier".to_string(), "allgather_u64".to_string()]);
         }
     }
 

@@ -35,7 +35,8 @@
 
 use crate::transport::Transport;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use demsort_types::{wire, Error, Result};
+use demsort_types::trace::TraceEv;
+use demsort_types::{wire, Error, Result, Tracer};
 use std::collections::HashMap;
 use std::io::{BufWriter, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -352,6 +353,9 @@ struct Inner {
     store_handler: Arc<RwLock<Option<StoreHandler>>>,
     shutdown: Arc<AtomicBool>,
     readers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Trace sink shared with the reader threads (they record peer
+    /// deaths); `Tracer::off()` until [`TcpTransport::set_tracer`].
+    tracer: Arc<Mutex<Tracer>>,
 }
 
 impl Drop for Inner {
@@ -439,6 +443,7 @@ impl TcpTransport {
             reader_gone: vec![false; size],
         }));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let tracer: Arc<Mutex<Tracer>> = Arc::new(Mutex::new(Tracer::off()));
         let mut readers = Vec::with_capacity(size.saturating_sub(1));
 
         for (j, stream) in streams.into_iter().enumerate() {
@@ -475,6 +480,7 @@ impl TcpTransport {
                 handler: Arc::clone(&handler),
                 store_handler: Arc::clone(&store_handler),
                 shutdown: Arc::clone(&shutdown),
+                tracer: Arc::clone(&tracer),
             };
             readers.push(
                 std::thread::Builder::new()
@@ -501,8 +507,18 @@ impl TcpTransport {
                 store_handler,
                 shutdown,
                 readers: Mutex::new(readers),
+                tracer,
             }),
         })
+    }
+
+    /// Install the trace sink for this endpoint. Reader threads record
+    /// [`TraceEv::PeerDead`] through it when a peer's connection drops,
+    /// and [`Transport::advance_epoch`] records the epoch cut. Pass
+    /// [`Tracer::off`] to disable again (e.g. before teardown, so the
+    /// deliberate close of peer sockets is not journalled as deaths).
+    pub fn set_tracer(&self, t: Tracer) {
+        *self.inner.tracer.lock().expect("tracer lock") = t;
     }
 
     /// Register the handler serving this rank's blocks to remote
@@ -750,6 +766,7 @@ impl Transport for TcpTransport {
 
     fn advance_epoch(&self, epoch: u64) -> Result<()> {
         let inner = &*self.inner;
+        inner.tracer.lock().expect("tracer lock").instant(TraceEv::EpochAdvance { epoch });
         let marker = epoch.to_le_bytes();
         for link in inner.peers.iter().flatten() {
             // A write to a dead peer errors — that is exactly the rank
@@ -812,13 +829,22 @@ struct ReaderCtx {
     handler: Arc<RwLock<Option<BlockHandler>>>,
     store_handler: Arc<RwLock<Option<StoreHandler>>>,
     shutdown: Arc<AtomicBool>,
+    tracer: Arc<Mutex<Tracer>>,
 }
 
 impl ReaderCtx {
     fn run(self) {
         let peer = self.peer;
         let pending = Arc::clone(&self.pending);
+        let shutdown = Arc::clone(&self.shutdown);
+        let tracer = Arc::clone(&self.tracer);
         self.demux();
+        // Journal the death first — but only when the connection broke
+        // on its own; a deliberate local teardown closes every socket
+        // and is not a failure-detector verdict.
+        if !shutdown.load(Ordering::Acquire) {
+            tracer.lock().expect("tracer lock").instant(TraceEv::PeerDead { peer });
+        }
         // This reader is the only path a response from `peer` can
         // take: once it exits (socket closed, protocol violation,
         // teardown), fail every request still in flight to the peer

@@ -266,6 +266,11 @@ pub struct JobConfig {
     /// Transport receive timeout: how long a rank waits on a silent
     /// peer before declaring the job dead.
     pub read_timeout_ms: u64,
+    /// Directory for per-rank trace journals (empty = tracing off).
+    /// Each worker appends [`crate::trace`] records to
+    /// `<trace_dir>/rank<K>.jsonl` and streams coarse progress frames
+    /// to the launcher; the directory must exist on every worker host.
+    pub trace_dir: String,
 }
 
 impl JobConfig {
@@ -308,6 +313,7 @@ mod tests {
             algo: AlgoConfig::default(),
             algorithm: SortAlgo::default(),
             read_timeout_ms: 1000,
+            trace_dir: String::new(),
         };
         job.validate().expect("valid");
         job.read_timeout_ms = 0;
@@ -377,6 +383,7 @@ mod tests {
             algo,
             algorithm: SortAlgo::Striped,
             read_timeout_ms: 1000,
+            trace_dir: String::new(),
         };
         assert!(job.validate().is_err(), "2 replicas on 2 PEs");
         job.algo.replication = 1;

@@ -38,6 +38,27 @@ impl Phase {
             Phase::FinalMerge => "Final merge",
         }
     }
+
+    /// Stable snake_case key used in machine-readable output (trace
+    /// journals, `BENCH_striped.json`).
+    pub fn key(&self) -> &'static str {
+        match self {
+            Phase::RunFormation => "run_formation",
+            Phase::MultiwaySelection => "multiway_selection",
+            Phase::AllToAll => "all_to_all",
+            Phase::FinalMerge => "final_merge",
+        }
+    }
+
+    /// Inverse of [`Phase::key`].
+    pub fn from_key(s: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.key() == s)
+    }
+
+    /// Position of this phase in [`Phase::ALL`] (algorithm order).
+    pub fn index(&self) -> usize {
+        Phase::ALL.iter().position(|p| p == self).expect("phase in ALL")
+    }
 }
 
 impl std::fmt::Display for Phase {
@@ -220,6 +241,13 @@ impl SortReport {
     /// Sum of a metric over all PEs for one phase.
     pub fn phase_total(&self, phase: Phase, f: impl Fn(&PhaseStats) -> u64) -> u64 {
         (0..self.pes).map(|pe| f(&self.get(pe, phase))).sum()
+    }
+
+    /// Maximum of a metric over all PEs for one phase — the right
+    /// aggregation for wall time, where a phase ends when its slowest
+    /// PE does.
+    pub fn phase_max(&self, phase: Phase, f: impl Fn(&PhaseStats) -> u64) -> u64 {
+        (0..self.pes).map(|pe| f(&self.get(pe, phase))).max().unwrap_or(0)
     }
 
     /// Total bytes of input (`N · element_bytes`).

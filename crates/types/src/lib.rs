@@ -23,11 +23,14 @@ pub mod config;
 pub mod counters;
 pub mod error;
 pub mod fmtsize;
+pub mod json;
 pub mod ranks;
 pub mod record;
+pub mod trace;
 pub mod wire;
 
 pub use config::{AlgoConfig, JobConfig, MachineConfig, SortAlgo, SortConfig};
 pub use counters::{CommCounters, CpuCounters, IoCounters, Phase, PhaseStats, SortReport};
 pub use error::{Error, Result};
 pub use record::{Element16, Key, Key10, Record, Record100};
+pub use trace::{ProgressFrame, TraceEv, TraceRecord, Tracer};

@@ -11,6 +11,7 @@
 use crate::config::{AlgoConfig, JobConfig, MachineConfig, SortAlgo};
 use crate::counters::{CommCounters, CpuCounters, IoCounters, Phase, PhaseStats};
 use crate::error::{Error, Result};
+use crate::trace::ProgressFrame;
 
 /// Append-only encoder over a byte buffer.
 #[derive(Default)]
@@ -203,6 +204,7 @@ pub fn encode_job(job: &JobConfig) -> Vec<u8> {
     encode_algo(&mut w, &job.algo);
     w.u8(algo_tag(job.algorithm));
     w.u64(job.read_timeout_ms);
+    w.string(&job.trace_dir);
     w.finish()
 }
 
@@ -216,7 +218,44 @@ pub fn decode_job(buf: &[u8]) -> Result<JobConfig> {
         algo: decode_algo(&mut r)?,
         algorithm: algo_from_tag(r.u8()?)?,
         read_timeout_ms: r.u64()?,
+        trace_dir: r.string()?,
     })
+}
+
+// -------------------------------------------------------------------
+// Progress frame codec (worker -> launcher live status)
+// -------------------------------------------------------------------
+
+/// Encode a [`ProgressFrame`]: `[rank][phase][batch][batches][bytes]`.
+///
+/// Workers stream these over the coordinator control connection while
+/// the sort runs so the launcher can render live per-rank status.
+pub fn encode_progress(f: &ProgressFrame) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u32(f.rank as u32).u8(f.phase.index() as u8).u64(f.batch).u64(f.batches).u64(f.bytes);
+    w.finish()
+}
+
+/// Decode a [`ProgressFrame`].
+///
+/// # Errors
+/// [`Error::Comm`] on truncation, an unknown phase tag, or trailing
+/// garbage.
+pub fn decode_progress(buf: &[u8]) -> Result<ProgressFrame> {
+    let mut r = WireReader::new(buf);
+    let rank = r.u32()? as usize;
+    let tag = r.u8()? as usize;
+    let phase = *Phase::ALL
+        .get(tag)
+        .ok_or_else(|| Error::comm(format!("unknown phase tag {tag} in progress frame")))?;
+    let frame = ProgressFrame { rank, phase, batch: r.u64()?, batches: r.u64()?, bytes: r.u64()? };
+    if r.remaining() != 0 {
+        return Err(Error::comm(format!(
+            "progress frame carries {} trailing bytes",
+            r.remaining()
+        )));
+    }
+    Ok(frame)
 }
 
 // -------------------------------------------------------------------
@@ -480,6 +519,7 @@ mod tests {
             algo: AlgoConfig { seed: 42, sample_every: 7, replication: 1, ..AlgoConfig::default() },
             algorithm: SortAlgo::Striped,
             read_timeout_ms: 12_345,
+            trace_dir: "/tmp/trace".to_string(),
         };
         let decoded = decode_job(&encode_job(&job)).expect("decode");
         assert_eq!(decoded.input, job.input);
@@ -488,6 +528,40 @@ mod tests {
         assert_eq!(decoded.algo, job.algo);
         assert_eq!(decoded.algorithm, SortAlgo::Striped);
         assert_eq!(decoded.read_timeout_ms, 12_345);
+        assert_eq!(decoded.trace_dir, "/tmp/trace");
+    }
+
+    #[test]
+    fn progress_frames_roundtrip_and_reject_garbage() {
+        for phase in Phase::ALL {
+            let f = ProgressFrame { rank: 3, phase, batch: 5, batches: 9, bytes: 1 << 40 };
+            assert_eq!(decode_progress(&encode_progress(&f)).expect("decode"), f);
+        }
+        // Unknown phase tag.
+        let mut w = WireWriter::new();
+        w.u32(0).u8(9).u64(0).u64(0).u64(0);
+        assert!(matches!(decode_progress(&w.finish()), Err(Error::Comm(_))));
+        // Trailing garbage.
+        let mut buf = encode_progress(&ProgressFrame {
+            rank: 0,
+            phase: Phase::RunFormation,
+            batch: 0,
+            batches: 0,
+            bytes: 0,
+        });
+        buf.push(0);
+        assert!(matches!(decode_progress(&buf), Err(Error::Comm(_))));
+        // Truncation.
+        let full = encode_progress(&ProgressFrame {
+            rank: 0,
+            phase: Phase::FinalMerge,
+            batch: 1,
+            batches: 2,
+            bytes: 3,
+        });
+        for cut in 0..full.len() {
+            assert!(matches!(decode_progress(&full[..cut]), Err(Error::Comm(_))), "cut {cut}");
+        }
     }
 
     #[test]
@@ -596,6 +670,7 @@ mod tests {
                 algo: AlgoConfig::default(),
                 algorithm: SortAlgo::default(),
                 read_timeout_ms: 1234,
+                trace_dir: "/tmp/trace".into(),
             }
         }
 
