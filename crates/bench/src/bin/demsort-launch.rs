@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! demsort-launch [--ranks P] [--mem-mib M] [--block-kib K] [--disks D]
-//!                [--seed S] [--comm-timeout MS] [--worker-bin PATH]
-//!                INPUT OUTPUT
+//!                [--seed S] [--comm-timeout MS] [--cores C]
+//!                [--worker-bin PATH] INPUT OUTPUT
 //! ```
 //!
 //! Spawns `P` `demsort-worker` processes, rendezvouses them over a

@@ -129,16 +129,22 @@ fn main() {
     if want("baseline-skew") {
         emit("baseline_skew", experiments::baseline_skew(&args.scale, args.single_pes));
     }
-    // Machine-readable throughput benchmark (not a paper table): JSON
-    // to stdout and to OUT/BENCH_striped.json, replication off and on.
+    // Machine-readable throughput benchmarks (not paper tables): JSON
+    // to stdout and to OUT/BENCH_striped.json (replication off and on)
+    // plus OUT/BENCH_merge_parallel.json (in-node cores sweep).
     let mut bench_emitted = false;
     if want("bench-striped") {
-        let json = experiments::bench_striped_json(&args.scale, args.single_pes, &[0, 1]);
-        print!("{json}");
-        if let Err(e) = std::fs::create_dir_all(&args.out)
-            .and_then(|()| std::fs::write(args.out.join("BENCH_striped.json"), &json))
+        let striped = experiments::bench_striped_json(&args.scale, args.single_pes, &[0, 1]);
+        let par =
+            experiments::bench_merge_parallel_json(&args.scale, args.single_pes, &[1, 2, 4, 8]);
+        for (name, json) in [("BENCH_striped.json", &striped), ("BENCH_merge_parallel.json", &par)]
         {
-            eprintln!("warning: could not write {}/BENCH_striped.json: {e}", args.out.display());
+            print!("{json}");
+            if let Err(e) = std::fs::create_dir_all(&args.out)
+                .and_then(|()| std::fs::write(args.out.join(name), json))
+            {
+                eprintln!("warning: could not write {}/{name}: {e}", args.out.display());
+            }
         }
         bench_emitted = true;
     }

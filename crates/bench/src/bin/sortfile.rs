@@ -3,8 +3,8 @@
 //! ```text
 //! sortfile [--transport local|tcp] [--algo canonical|striped]
 //!          [--pes P] [--mem-mib M] [--block-kib K] [--disks D]
-//!          [--seed S] [--comm-timeout MS] [--worker-bin PATH]
-//!          INPUT OUTPUT
+//!          [--seed S] [--comm-timeout MS] [--cores C]
+//!          [--worker-bin PATH] INPUT OUTPUT
 //! ```
 //!
 //! The file is split evenly over `P` PEs and sorted; OUTPUT is

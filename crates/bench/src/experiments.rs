@@ -8,7 +8,7 @@ use demsort_core::baselines::nowsort;
 use demsort_core::canonical::{sort_cluster, ClusterOutcome};
 use demsort_core::ctx::ClusterStorage;
 use demsort_core::runform::ingest_input;
-use demsort_core::striped::{striped_mergesort, striped_sort_cluster};
+use demsort_core::striped::{striped_mergesort, striped_sort_cluster, StripedOutcome};
 use demsort_net::run_cluster;
 use demsort_types::json::Json;
 use demsort_types::{AlgoConfig, Element16, Phase, Record, Record100, SortConfig, SortReport};
@@ -387,39 +387,89 @@ pub fn bench_striped_json(scale: &ExpScale, pes: usize, replications: &[usize]) 
         .expect("striped sort");
         let wall_s = started.elapsed().as_secs_f64();
         let records = outcome.per_pe.first().map_or(0, |o| o.output.elems);
-        // A phase ends when its slowest PE does: throughput is bounded
-        // by the per-phase maximum over PEs of measured host wall time.
-        let mut phases = Vec::new();
-        for &phase in Phase::ALL.iter() {
-            let ns = outcome
-                .per_pe
-                .iter()
-                .flat_map(|o| &o.phases)
-                .filter(|(p, _)| *p == phase)
-                .map(|(_, s)| s.cpu.host_wall_ns)
-                .max()
-                .unwrap_or(0);
-            if ns == 0 {
-                continue;
-            }
-            let s = ns as f64 / 1e9;
-            phases.push((
-                phase.key().to_string(),
-                Json::Obj(vec![
-                    ("wall_s".into(), Json::Num(s)),
-                    ("records_per_s".into(), Json::Uint((records as f64 / s) as u64)),
-                ]),
-            ));
-        }
         runs_json.push(Json::Obj(vec![
             ("replication".into(), Json::Uint(f as u64)),
             ("wall_s".into(), Json::Num(wall_s)),
             ("records_per_s".into(), Json::Uint((records as f64 / wall_s) as u64)),
-            ("phases".into(), Json::Obj(phases)),
+            ("phases".into(), Json::Obj(striped_phase_rates(&outcome.per_pe, records))),
         ]));
     }
     let doc = Json::Obj(vec![
         ("bench".into(), Json::str("striped")),
+        ("pes".into(), Json::Uint(pes as u64)),
+        ("records".into(), Json::Uint(local_n as u64 * pes as u64)),
+        ("record_bytes".into(), Json::Uint(Element16::BYTES as u64)),
+        ("runs".into(), Json::Arr(runs_json)),
+    ]);
+    let mut out = doc.to_string();
+    out.push('\n');
+    out
+}
+
+/// Per-phase wall time and throughput of a striped cluster run. A
+/// phase ends when its slowest PE does: throughput is bounded by the
+/// per-phase maximum over PEs of measured host wall time.
+fn striped_phase_rates(per_pe: &[StripedOutcome<Element16>], records: u64) -> Vec<(String, Json)> {
+    let mut phases = Vec::new();
+    for &phase in Phase::ALL.iter() {
+        let ns = per_pe
+            .iter()
+            .flat_map(|o| &o.phases)
+            .filter(|(p, _)| *p == phase)
+            .map(|(_, s)| s.cpu.host_wall_ns)
+            .max()
+            .unwrap_or(0);
+        if ns == 0 {
+            continue;
+        }
+        let s = ns as f64 / 1e9;
+        phases.push((
+            phase.key().to_string(),
+            Json::Obj(vec![
+                ("wall_s".into(), Json::Num(s)),
+                ("records_per_s".into(), Json::Uint((records as f64 / s) as u64)),
+            ]),
+        ));
+    }
+    phases
+}
+
+/// Repeatable in-node parallel-merge benchmark: the striped sort at
+/// each thread count in `cores_list`, same seed, input, and machine
+/// shape, so the cores column isolates the intra-rank parallel batch
+/// merge (and parallel batch decode) — emitted as machine-readable
+/// JSON (the CI bench step writes it to `BENCH_merge_parallel.json`).
+/// `split_probes` counts the multisequence-selection probes that split
+/// each batch across threads: 0 at `cores = 1` and deterministic for a
+/// given shape, so a splitter regression shows up as a counter diff,
+/// not just timing drift.
+pub fn bench_merge_parallel_json(scale: &ExpScale, pes: usize, cores_list: &[usize]) -> String {
+    let local_n = scale.elems_per_pe();
+    let mut runs_json = Vec::new();
+    for &cores in cores_list {
+        let s = ExpScale { sim_cores: cores, ..scale.clone() };
+        let cfg = SortConfig::new(s.machine(pes), AlgoConfig::default()).expect("valid config");
+        let started = std::time::Instant::now();
+        let outcome = striped_sort_cluster::<Element16, _>(
+            &cfg,
+            |pe, p| generate_pe_input(InputSpec::Uniform, 0xBE6C_57A1, pe, p, local_n),
+            None,
+        )
+        .expect("striped sort");
+        let wall_s = started.elapsed().as_secs_f64();
+        let records = outcome.per_pe.first().map_or(0, |o| o.output.elems);
+        let split_probes: u64 =
+            outcome.per_pe.iter().flat_map(|o| &o.phases).map(|(_, st)| st.cpu.split_probes).sum();
+        runs_json.push(Json::Obj(vec![
+            ("cores".into(), Json::Uint(cores as u64)),
+            ("wall_s".into(), Json::Num(wall_s)),
+            ("records_per_s".into(), Json::Uint((records as f64 / wall_s) as u64)),
+            ("split_probes".into(), Json::Uint(split_probes)),
+            ("phases".into(), Json::Obj(striped_phase_rates(&outcome.per_pe, records))),
+        ]));
+    }
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::str("merge_parallel")),
         ("pes".into(), Json::Uint(pes as u64)),
         ("records".into(), Json::Uint(local_n as u64 * pes as u64)),
         ("record_bytes".into(), Json::Uint(Element16::BYTES as u64)),
@@ -667,6 +717,29 @@ mod tests {
             for key in ["run_formation", "final_merge"] {
                 let ph = phases.get(key).unwrap_or_else(|| panic!("phase {key} present: {s}"));
                 assert!(ph.get("wall_s").and_then(Json::as_f64).unwrap_or(0.0) > 0.0, "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn bench_merge_parallel_json_sweeps_cores_and_counts_split_probes() {
+        let s = bench_merge_parallel_json(&smoke(), 3, &[1, 2]);
+        let doc = Json::parse(s.trim()).expect("BENCH output parses");
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("merge_parallel"), "{s}");
+        let runs = doc.get("runs").and_then(Json::as_arr).expect("runs array");
+        let cores: Vec<u64> =
+            runs.iter().filter_map(|r| r.get("cores").and_then(Json::as_u64)).collect();
+        assert_eq!(cores, [1, 2], "{s}");
+        let probes: Vec<u64> =
+            runs.iter().filter_map(|r| r.get("split_probes").and_then(Json::as_u64)).collect();
+        assert_eq!(probes[0], 0, "cores=1 performs no split selection: {s}");
+        assert!(probes[1] > 0, "cores=2 must split batches across threads: {s}");
+        for run in runs {
+            let rate = run.get("records_per_s").and_then(Json::as_f64).expect("rate");
+            assert!(rate > 0.0, "rates must be positive: {s}");
+            let phases = run.get("phases").expect("phases object");
+            for key in ["run_formation", "final_merge"] {
+                assert!(phases.get(key).is_some(), "phase {key} present: {s}");
             }
         }
     }

@@ -1058,6 +1058,9 @@ pub struct TcpJobCli {
     /// many buddy-rank copies of every formed run block are stored,
     /// i.e. how many rank deaths the merge phase can survive.
     pub replication: usize,
+    /// Intra-rank merge/sort threads (`--cores`). Defaults to the
+    /// host's parallelism split evenly across the local ranks.
+    pub cores: Option<usize>,
     /// Explicit worker binary path (`--worker-bin`).
     pub worker_bin: Option<String>,
     /// Trace directory (`--trace DIR`): when set, every rank appends a
@@ -1077,6 +1080,7 @@ impl Default for TcpJobCli {
             comm_timeout_ms: 30_000,
             algorithm: SortAlgo::Canonical,
             replication: 0,
+            cores: None,
             worker_bin: None,
             trace_dir: None,
         }
@@ -1095,6 +1099,8 @@ impl TcpJobCli {
          --algo A          sorting algorithm: canonical (default) or striped\n  \
          --replication F   store F buddy-rank replicas of every run block (striped only; \
          default 0)\n  \
+         --cores C         merge/sort threads per rank (default: host parallelism / local \
+         ranks)\n  \
          --worker-bin PATH explicit demsort-worker binary\n  \
          --trace DIR       write per-rank JSONL event journals under DIR and stream live \
          progress";
@@ -1124,6 +1130,7 @@ impl TcpJobCli {
                     SortAlgo::parse(&next(flag)).unwrap_or_else(|e| cli_die(bin, &e.to_string()))
             }
             "--replication" => self.replication = cli_parse(bin, &next(flag), "replication"),
+            "--cores" => self.cores = Some(cli_parse(bin, &next(flag), "cores")),
             "--worker-bin" => self.worker_bin = Some(next(flag)),
             "--trace" => self.trace_dir = Some(next(flag)),
             _ => return false,
@@ -1139,8 +1146,11 @@ impl TcpJobCli {
             disks_per_pe: self.disks,
             block_bytes: self.block_kib << 10,
             mem_bytes_per_pe: self.mem_mib << 20,
-            cores_per_pe: std::thread::available_parallelism()
-                .map_or(1, |c| c.get() / self.ranks.max(1))
+            cores_per_pe: self
+                .cores
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(1, |c| c.get() / self.ranks.max(1))
+                })
                 .max(1),
         }
     }
@@ -1397,6 +1407,8 @@ mod tests {
             "striped",
             "--replication",
             "1",
+            "--cores",
+            "2",
         ]
         .iter()
         .map(|s| s.to_string());
@@ -1413,6 +1425,11 @@ mod tests {
         assert_eq!(job.read_timeout_ms, 1500);
         assert_eq!(job.algorithm, SortAlgo::Striped);
         assert_eq!(job.algo.replication, 1);
+        assert_eq!(job.machine.cores_per_pe, 2, "--cores overrides the derived default");
+        // Without --cores the default splits the host over the ranks.
+        let derived = TcpJobCli { ranks: 3, ..TcpJobCli::default() }.machine().cores_per_pe;
+        let host = std::thread::available_parallelism().map_or(1, |c| c.get());
+        assert_eq!(derived, (host / 3).max(1));
         // The legacy alias still works.
         let mut args = ["--timeout-ms", "2500"].iter().map(|s| s.to_string());
         let flag = args.next().expect("flag");

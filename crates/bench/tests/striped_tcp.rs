@@ -53,7 +53,11 @@ fn write_gensort_input(path: &Path) {
 
 /// The in-process reference: `sortfile --algo striped` in miniature.
 fn striped_in_process(input: &Path, output: &Path) -> SortReport {
-    let cfg = SortConfig::new(test_machine(), AlgoConfig::default()).expect("valid");
+    striped_in_process_on(input, output, test_machine())
+}
+
+fn striped_in_process_on(input: &Path, output: &Path, machine: MachineConfig) -> SortReport {
+    let cfg = SortConfig::new(machine, AlgoConfig::default()).expect("valid");
     let input_path = input.to_path_buf();
     let outcome = striped_sort_cluster::<Record100, _>(
         &cfg,
@@ -159,6 +163,7 @@ fn four_rank_striped_tcp_launch_matches_in_process_run() {
                 ("sort_work", |c| c.sort_work),
                 ("elements_merged", |c| c.elements_merged),
                 ("merge_work", |c| c.merge_work),
+                ("split_probes", |c| c.split_probes),
             ] {
                 assert_eq!(f(&t.cpu), f(&l.cpu), "cpu {name} (pe {pe}, {phase})");
             }
@@ -190,6 +195,81 @@ fn four_rank_striped_tcp_launch_matches_in_process_run() {
     }
 
     for p in [&input, &out_tcp, &out_local] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// The in-node parallel batch merge must be invisible in the output
+/// and in every deterministic counter: running the striped sort with
+/// `cores_per_pe = 4` — on both transports — produces the exact bytes
+/// of the `cores = 1` run, charges the same merge-phase comparison
+/// bound, and books its split-selection probes in their own counter,
+/// identically across transports.
+#[test]
+fn parallel_merge_cores_4_is_byte_identical_to_cores_1_on_both_transports() {
+    let input = tmp_path("par-input.dat");
+    let out_seq = tmp_path("par-out-seq.dat");
+    let out_tcp = tmp_path("par-out-tcp.dat");
+    let out_local = tmp_path("par-out-local.dat");
+    write_gensort_input(&input);
+
+    // cores = 1 in-process run: the sequential baseline.
+    let seq_report = striped_in_process(&input, &out_seq);
+
+    // cores = 4 on both transports.
+    let machine4 = MachineConfig { cores_per_pe: 4, ..test_machine() };
+    let job = JobConfig {
+        input: input.to_string_lossy().into_owned(),
+        output: out_tcp.to_string_lossy().into_owned(),
+        machine: machine4.clone(),
+        algo: AlgoConfig::default(),
+        algorithm: SortAlgo::Striped,
+        read_timeout_ms: 60_000,
+        trace_dir: String::new(),
+    };
+    let worker = PathBuf::from(env!("CARGO_BIN_EXE_demsort-worker"));
+    let tcp = launch(&job, &worker).expect("striped tcp launch (cores = 4)");
+    let local_report = striped_in_process_on(&input, &out_local, machine4);
+
+    let seq_bytes = std::fs::read(&out_seq).expect("read cores=1 output");
+    assert_eq!(seq_bytes.len(), RECORDS * Record100::BYTES);
+    let tcp_bytes = std::fs::read(&out_tcp).expect("read tcp output");
+    let local_bytes = std::fs::read(&out_local).expect("read local output");
+    assert_eq!(tcp_bytes, seq_bytes, "cores=4 tcp output must equal the cores=1 output");
+    assert_eq!(local_bytes, seq_bytes, "cores=4 local output must equal the cores=1 output");
+
+    // Splitting the batch across threads must not change the total
+    // comparison charge: per-thread merges sum to the sequential
+    // n·(⌈log2 R⌉ + ⌈log2 P⌉) bound, and batches are still never
+    // re-sorted.
+    let n = RECORDS as u64;
+    assert!(tcp.report.runs > 1, "test must exercise the merge phase (R > 1)");
+    for (name, report) in [("seq", &seq_report), ("tcp", &tcp.report), ("local", &local_report)] {
+        assert_eq!(
+            report.phase_total(Phase::FinalMerge, |s| s.cpu.sort_work),
+            0,
+            "{name}: merge phase must not sort"
+        );
+        assert_eq!(
+            report.phase_total(Phase::FinalMerge, |s| s.cpu.merge_work),
+            merge_work(n, report.runs) + merge_work(n, RANKS),
+            "{name}: parallel merge comparisons must sum to the sequential bound, R = {}",
+            report.runs
+        );
+    }
+
+    // Split-selection work is accounted separately and is a pure
+    // function of the batch shapes, so it is transport-invariant.
+    let probes = |r: &SortReport| r.phase_total(Phase::FinalMerge, |s| s.cpu.split_probes);
+    assert_eq!(probes(&seq_report), 0, "cores=1 performs no split selection");
+    assert!(probes(&tcp.report) > 0, "cores=4 must split batches across threads");
+    assert_eq!(
+        probes(&tcp.report),
+        probes(&local_report),
+        "split selection must be deterministic across transports"
+    );
+
+    for p in [&input, &out_seq, &out_tcp, &out_local] {
         let _ = std::fs::remove_file(p);
     }
 }

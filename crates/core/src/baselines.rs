@@ -111,7 +111,7 @@ pub fn nowsort<R: Record + Ord>(
             fragments: vec![MergeFragment::Received { run: fr.run, elems: fr.elems }],
         })
         .collect();
-    let (output, merge_cpu) = final_merge::<R>(st, inputs)?;
+    let (output, merge_cpu) = final_merge::<R>(st, inputs, cores)?;
     rec.add_cpu(merge_cpu);
     rec.finish_phase(Phase::FinalMerge, st.counters(), comm.counters());
 

@@ -112,7 +112,7 @@ pub fn canonical_mergesort<R: Record + Ord>(
     // ---- Phase 3: final local merge ----
     tr.progress(Phase::FinalMerge, 0, 1);
     let span = tr.begin(pev(Phase::FinalMerge));
-    let (output, merge_cpu) = final_merge::<R>(st, outcome.merge_inputs)?;
+    let (output, merge_cpu) = final_merge::<R>(st, outcome.merge_inputs, cores)?;
     rec.add_cpu(merge_cpu);
     for b in outcome.stragglers {
         st.free_block(b);

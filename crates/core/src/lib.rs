@@ -46,7 +46,7 @@ pub use ctx::{
     RemoteBlockService, StoreTarget,
 };
 pub use distselect::{dist_select_rank, dist_split};
-pub use merge::{merge_k, LoserTree};
+pub use merge::{merge_k, par_merge_k_below_into, par_merge_k_into, LoserTree, ParMerge};
 pub use psort::parallel_sort;
 pub use selection::{multiway_select, SelectionResult};
 pub use seqsort::sort_in_node;

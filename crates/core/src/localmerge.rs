@@ -14,21 +14,23 @@
 //! read-ahead plus write-behind windows.
 
 use crate::alltoall::{MergeFragment, MergeInput};
-use crate::merge::{merge_cpu, LoserTree};
+use crate::merge::{merge_cpu, par_merge_k_below_into, par_merge_k_into, LoserTree};
 use crate::recio::{ChainedReader, FinishedRun, RecordRunReader, RecordRunWriter};
 use demsort_storage::PeStorage;
 use demsort_types::{CpuCounters, Record, Result};
 
-/// Merge the per-run fragment chains into the final output run.
+/// Merge the per-run fragment chains into the final output run, using
+/// up to `cores` threads for the batch merges.
 ///
 /// Returns the output run (with prediction keys, no samples) and the
 /// CPU counters of the merge.
 pub fn final_merge<R: Record + Ord>(
     st: &PeStorage,
     inputs: Vec<MergeInput>,
+    cores: usize,
 ) -> Result<(FinishedRun<R>, CpuCounters)> {
     let mut writer = RecordRunWriter::<R>::new(st, 0);
-    let (total, cpu) = merge_into::<R>(st, inputs, |rec| writer.push(rec))?;
+    let (total, cpu) = merge_into::<R>(st, inputs, cores, |rec| writer.push(rec))?;
     let out = writer.finish()?;
     debug_assert_eq!(out.elems, total, "merge must preserve the element count");
     Ok((out, cpu))
@@ -38,9 +40,16 @@ pub fn final_merge<R: Record + Ord>(
 /// `deliver` instead of writing a run — the pipelined-sorting hook
 /// (Section VII: "the output is not written to disk but fed into a
 /// postprocessor that requires its input in sorted order").
+///
+/// With `cores = 1` the merge streams record-at-a-time through a loser
+/// tree; with more cores it buffers a few blocks per chain and merges
+/// each batch with the in-node parallel merge (strictly below the
+/// smallest unread key, like the striped batch merge), delivering the
+/// same records in the same order either way.
 pub fn merge_into<R: Record + Ord>(
     st: &PeStorage,
     inputs: Vec<MergeInput>,
+    cores: usize,
     mut deliver: impl FnMut(R) -> Result<()>,
 ) -> Result<(u64, CpuCounters)> {
     let total: u64 = inputs.iter().map(MergeInput::elems).sum();
@@ -74,17 +83,75 @@ pub fn merge_into<R: Record + Ord>(
         })
         .collect();
 
-    let mut heads = Vec::with_capacity(k);
-    for c in chains.iter_mut() {
-        heads.push(c.next_rec()?);
-    }
-    let mut tree = LoserTree::new(heads);
-    while let Some(w) = tree.winner() {
-        let next = chains[w].next_rec()?;
-        deliver(tree.replace_winner(next))?;
+    if cores <= 1 {
+        let mut heads = Vec::with_capacity(k);
+        for c in chains.iter_mut() {
+            heads.push(c.next_rec()?);
+        }
+        let mut tree = LoserTree::new(heads);
+        while let Some(w) = tree.winner() {
+            let next = chains[w].next_rec()?;
+            deliver(tree.replace_winner(next))?;
+        }
+        return Ok((total, merge_cpu(total, k)));
     }
 
-    Ok((total, merge_cpu(total, k)))
+    // Batched parallel path: keep a few blocks per chain buffered plus
+    // one lookahead record, merge everything strictly below the
+    // smallest lookahead key with the in-node parallel merge, repeat.
+    // Ties with the threshold stay buffered until the threshold moves
+    // past them (same carry rule as the striped batch merge), which
+    // keeps the emitted order identical to the streaming tree's.
+    let rpb = (st.block_bytes() / R::BYTES).max(1);
+    let mut target = rpb * 4;
+    let mut bufs: Vec<Vec<R>> = (0..k).map(|_| Vec::new()).collect();
+    let mut ahead: Vec<Option<R>> = Vec::with_capacity(k);
+    for c in chains.iter_mut() {
+        ahead.push(c.next_rec()?);
+    }
+    let mut split_probes = 0u64;
+    loop {
+        for i in 0..k {
+            while bufs[i].len() < target {
+                match ahead[i].take() {
+                    Some(r) => {
+                        bufs[i].push(r);
+                        ahead[i] = chains[i].next_rec()?;
+                    }
+                    None => break,
+                }
+            }
+        }
+        let threshold: Option<R::Key> = ahead.iter().flatten().map(Record::key).min();
+        let views: Vec<&[R]> = bufs.iter().map(|b| b.as_slice()).collect();
+        let mut emit: Vec<R> = Vec::new();
+        let pm = match &threshold {
+            Some(t) => par_merge_k_below_into(&views, |x| x.key() < *t, cores, &mut emit),
+            None => par_merge_k_into(&views, cores, &mut emit),
+        };
+        drop(views);
+        split_probes += pm.split_probes;
+        for (buf, cut) in bufs.iter_mut().zip(pm.cuts) {
+            buf.drain(..cut);
+        }
+        let emitted = emit.len();
+        for rec in emit.drain(..) {
+            deliver(rec)?;
+        }
+        if threshold.is_none() {
+            break;
+        }
+        // A run of threshold ties can fill every live buffer without
+        // any record strictly below it; widen the window until the
+        // tying chains drain and the threshold moves on.
+        if emitted == 0 {
+            target *= 2;
+        }
+    }
+
+    let mut cpu = merge_cpu(total, k);
+    cpu.split_probes = split_probes;
+    Ok((total, cpu))
 }
 
 #[cfg(test)]
@@ -134,7 +201,7 @@ mod tests {
                 fragments: vec![MergeFragment::Received { run: f1.run, elems: f1.elems }],
             },
         ];
-        let (out, cpu) = final_merge::<Element16>(&st, inputs).expect("merge");
+        let (out, cpu) = final_merge::<Element16>(&st, inputs, 1).expect("merge");
         assert_eq!(out.elems, 80);
         assert_eq!(cpu.elements_merged, 80);
         assert_eq!(cpu.merge_work, 80, "2-way merge: 1 comparison per element");
@@ -157,7 +224,7 @@ mod tests {
             MergeInput { fragments: vec![MergeFragment::Received { run: a.run, elems: a.elems }] },
             MergeInput { fragments: vec![MergeFragment::Received { run: b.run, elems: b.elems }] },
         ];
-        let (out, _) = final_merge::<Element16>(&st, inputs).expect("merge");
+        let (out, _) = final_merge::<Element16>(&st, inputs, 1).expect("merge");
         // Inputs freed, output allocated: net usage unchanged.
         assert_eq!(st.alloc().in_use(), before, "inputs recycled into output");
         // Peak stays within input + windows (not input + full output).
@@ -173,15 +240,53 @@ mod tests {
     #[test]
     fn empty_and_single_inputs() {
         let st = storage(64);
-        let (out, _) = final_merge::<Element16>(&st, Vec::new()).expect("merge");
+        let (out, _) = final_merge::<Element16>(&st, Vec::new(), 1).expect("merge");
         assert_eq!(out.elems, 0);
 
         let a = write_records(&st, &elems(0..5, 1)).expect("write");
         let inputs =
             vec![MergeInput { fragments: vec![MergeFragment::Received { run: a.run, elems: 5 }] }];
-        let (out, _) = final_merge::<Element16>(&st, inputs).expect("merge");
+        let (out, _) = final_merge::<Element16>(&st, inputs, 1).expect("merge");
         assert_eq!(out.elems, 5);
         let got = crate::recio::read_records::<Element16>(&st, &out.run, 5).expect("read");
         assert_eq!(got, elems(0..5, 1));
+    }
+
+    #[test]
+    fn parallel_merge_matches_streaming_merge() {
+        // Small blocks force many refill rounds; heavy duplicates (key
+        // mod 7) exercise the threshold-tie carry of the batched path.
+        let run = |cores: usize| {
+            let st = storage(64);
+            let runs: Vec<_> = (0..3)
+                .map(|r| {
+                    let mut recs: Vec<Element16> = (0..500u64)
+                        .map(|i| Element16::new((i * 3 + r) % 7, r * 1000 + i))
+                        .collect();
+                    recs.sort_unstable();
+                    write_records(&st, &recs).expect("write")
+                })
+                .collect();
+            let inputs: Vec<MergeInput> = runs
+                .into_iter()
+                .map(|f| MergeInput {
+                    fragments: vec![MergeFragment::Received { run: f.run, elems: f.elems }],
+                })
+                .collect();
+            let mut got = Vec::new();
+            let (total, cpu) = merge_into::<Element16>(&st, inputs, cores, |rec| {
+                got.push(rec);
+                Ok(())
+            })
+            .expect("merge");
+            assert_eq!(total, 1500);
+            (got, cpu)
+        };
+        let (seq, seq_cpu) = run(1);
+        let (par, par_cpu) = run(4);
+        assert_eq!(par, seq, "parallel local merge must be byte-identical");
+        assert_eq!(par_cpu.merge_work, seq_cpu.merge_work, "same n · ⌈log2 R⌉ charge");
+        assert_eq!(seq_cpu.split_probes, 0, "streaming path never splits");
+        assert!(par_cpu.split_probes > 0, "parallel path accounts its split probes");
     }
 }

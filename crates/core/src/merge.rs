@@ -170,6 +170,156 @@ pub fn merge_k_below_into<T: Ord + Copy>(
     cuts
 }
 
+/// Outcome of an in-node parallel k-way merge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParMerge {
+    /// Per-source consumed positions (the prefix cut of each source,
+    /// same meaning as the return of [`merge_k_below_into`]).
+    pub cuts: Vec<usize>,
+    /// Selection probes spent splitting the sources into per-thread
+    /// ranges (0 when the merge collapsed to one thread).
+    pub split_probes: u64,
+    /// Emitted-range length per merge thread; the ranges partition the
+    /// output in order, so the lengths sum to the emitted total.
+    pub range_lens: Vec<usize>,
+}
+
+/// [`merge_k_into`] on up to `cores` threads: split the sources into
+/// `cores` balanced disjoint output ranges with exact multisequence
+/// selection ([`crate::selection::multiway_split_counted`] — the same
+/// machinery the in-node sort uses) and merge each range concurrently,
+/// directly into a disjoint slice of `out`'s spare capacity.
+///
+/// The output is byte-identical to the sequential merge for every
+/// `cores`: the selection partitions by the (key, source) total order,
+/// which is exactly the order the loser tree emits. Comparison work is
+/// linear in elements, so per-thread merge comparisons sum to the same
+/// `n · ⌈log2 k⌉` a single thread would spend; only the split probes
+/// are new, and they are reported separately.
+pub fn par_merge_k_into<T: Ord + Copy + Send + Sync>(
+    seqs: &[&[T]],
+    cores: usize,
+    out: &mut Vec<T>,
+) -> ParMerge {
+    par_merge_k_traced(seqs, cores, out, |_, _, _, _| 0, |_, _, _, _, _| {})
+}
+
+/// [`merge_k_below_into`] on up to `cores` threads (see
+/// [`par_merge_k_into`]); returns the per-source cuts in
+/// [`ParMerge::cuts`].
+pub fn par_merge_k_below_into<T: Ord + Copy + Send + Sync>(
+    seqs: &[&[T]],
+    below: impl Fn(&T) -> bool,
+    cores: usize,
+    out: &mut Vec<T>,
+) -> ParMerge {
+    par_merge_k_below_traced(seqs, below, cores, out, |_, _, _, _| 0, |_, _, _, _, _| {})
+}
+
+/// [`par_merge_k_below_into`] with per-thread span hooks (the striped
+/// merge journals each range as a `merge_par` trace span): `begin` runs
+/// on the merging thread right before its range merge as
+/// `begin(thread, threads, len, total)` and returns an id; `end` runs
+/// right after with the same arguments plus that id. The single-thread
+/// collapse still fires one `(0, 1, total, total)` pair, so a traced
+/// merge always journals a complete thread set.
+pub fn par_merge_k_below_traced<T: Ord + Copy + Send + Sync>(
+    seqs: &[&[T]],
+    below: impl Fn(&T) -> bool,
+    cores: usize,
+    out: &mut Vec<T>,
+    begin: impl Fn(usize, usize, usize, usize) -> u64 + Sync,
+    end: impl Fn(u64, usize, usize, usize, usize) + Sync,
+) -> ParMerge {
+    let cuts: Vec<usize> = seqs.iter().map(|s| s.partition_point(|x| below(x))).collect();
+    let prefixes: Vec<&[T]> = seqs.iter().zip(&cuts).map(|(s, &c)| &s[..c]).collect();
+    let mut pm = par_merge_k_traced(&prefixes, cores, out, begin, end);
+    pm.cuts = cuts;
+    pm
+}
+
+/// [`par_merge_k_into`] with per-thread span hooks.
+pub fn par_merge_k_traced<T: Ord + Copy + Send + Sync>(
+    seqs: &[&[T]],
+    cores: usize,
+    out: &mut Vec<T>,
+    begin: impl Fn(usize, usize, usize, usize) -> u64 + Sync,
+    end: impl Fn(u64, usize, usize, usize, usize) + Sync,
+) -> ParMerge {
+    let total: usize = seqs.iter().map(|s| s.len()).sum();
+    let full: Vec<usize> = seqs.iter().map(|s| s.len()).collect();
+    let cores = cores.max(1).min(total.max(1));
+    if cores == 1 || total < 2 * cores {
+        let id = begin(0, 1, total, total);
+        merge_k_into(seqs, out);
+        end(id, 0, 1, total, total);
+        return ParMerge { cuts: full, split_probes: 0, range_lens: vec![total] };
+    }
+
+    // Exact splitters at the cores − 1 balanced global ranks. In-memory
+    // sequences never fail a probe, so the Result is vacuous here.
+    let mut views: Vec<&[T]> = seqs.to_vec();
+    let (ranges, split_probes) = crate::selection::multiway_split_counted(&mut views, cores)
+        .expect("in-memory selection is infallible");
+    let range_lens: Vec<usize> =
+        ranges.windows(2).map(|w| w[1].iter().zip(&w[0]).map(|(b, a)| b - a).sum()).collect();
+
+    out.reserve(total);
+    let base = out.len();
+    {
+        let spare = &mut out.spare_capacity_mut()[..total];
+        let (begin, end) = (&begin, &end);
+        std::thread::scope(|s| {
+            let mut spare_rest = spare;
+            for (t, w) in ranges.windows(2).enumerate() {
+                let len = range_lens[t];
+                let (slot, tail) = spare_rest.split_at_mut(len);
+                spare_rest = tail;
+                let pieces: Vec<&[T]> =
+                    seqs.iter().enumerate().map(|(i, sq)| &sq[w[0][i]..w[1][i]]).collect();
+                s.spawn(move || {
+                    let id = begin(t, cores, len, total);
+                    merge_k_into_uninit(&pieces, slot);
+                    end(id, t, cores, len, total);
+                });
+            }
+        });
+        // SAFETY: every slot of the spare capacity was initialized by
+        // exactly one merge task (the range lengths sum to `total` and
+        // each task fills its slot completely).
+        unsafe { out.set_len(base + total) };
+    }
+    ParMerge { cuts: full, split_probes, range_lens }
+}
+
+/// [`merge_k_into`] writing into an uninitialized output slice (one
+/// thread's disjoint range of the shared emit buffer). Initializes
+/// every slot; `slot.len()` must equal the sources' total length.
+fn merge_k_into_uninit<T: Ord + Copy>(seqs: &[&[T]], slot: &mut [std::mem::MaybeUninit<T>]) {
+    debug_assert_eq!(seqs.iter().map(|s| s.len()).sum::<usize>(), slot.len());
+    match seqs.len() {
+        0 => {}
+        1 => {
+            for (dst, src) in slot.iter_mut().zip(seqs[0]) {
+                dst.write(*src);
+            }
+        }
+        _ => {
+            let mut pos = vec![0usize; seqs.len()];
+            let heads: Vec<Option<T>> = seqs.iter().map(|s| s.first().copied()).collect();
+            let mut lt = LoserTree::new(heads);
+            let mut filled = 0;
+            while let Some(w) = lt.winner() {
+                pos[w] += 1;
+                let next = seqs[w].get(pos[w]).copied();
+                slot[filled].write(lt.replace_winner(next));
+                filled += 1;
+            }
+            debug_assert_eq!(filled, slot.len());
+        }
+    }
+}
+
 /// Two-way merge fast path (no tree overhead).
 fn merge_2_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
     let (mut i, mut j) = (0, 0);
@@ -376,6 +526,132 @@ mod tests {
             let mut recombined = head;
             merge_k_into(&tails, &mut recombined);
             prop_assert_eq!(recombined, merge_k(&refs));
+        }
+    }
+
+    #[test]
+    fn par_merge_collapses_to_one_span_on_tiny_input() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let spans = AtomicUsize::new(0);
+        let mut out = Vec::new();
+        let pm = par_merge_k_traced(
+            &[&[1u32, 3][..], &[2u32][..]],
+            8,
+            &mut out,
+            |t, n, len, total| {
+                assert_eq!((t, n, len, total), (0, 1, 3, 3));
+                spans.fetch_add(1, Ordering::Relaxed);
+                7
+            },
+            |id, t, n, len, total| {
+                assert_eq!((id, t, n, len, total), (7, 0, 1, 3, 3));
+                spans.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(pm.range_lens, vec![3]);
+        assert_eq!(pm.split_probes, 0, "single-thread collapse must not probe");
+        assert_eq!(spans.load(Ordering::Relaxed), 2, "collapse still journals thread 0");
+    }
+
+    #[test]
+    fn par_merge_spans_partition_the_batch() {
+        use std::sync::Mutex;
+        let seqs: Vec<Vec<u32>> = (0..5).map(|i| (0..200).map(|j| j * 5 + i).collect()).collect();
+        let refs: Vec<&[u32]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let opened = Mutex::new(Vec::new());
+        let mut out = Vec::new();
+        let pm = par_merge_k_traced(
+            &refs,
+            4,
+            &mut out,
+            |t, n, len, total| {
+                opened.lock().unwrap().push((t, n, len, total));
+                t as u64 + 1
+            },
+            |id, t, _, _, _| assert_eq!(id, t as u64 + 1),
+        );
+        assert_eq!(out, (0..1000).collect::<Vec<u32>>());
+        let mut opened = opened.into_inner().unwrap();
+        opened.sort_unstable();
+        assert_eq!(opened.len(), 4);
+        for (t, (thread, threads, len, total)) in opened.iter().enumerate() {
+            assert_eq!((*thread, *threads, *total), (t, 4, 1000));
+            assert_eq!(*len, pm.range_lens[t]);
+        }
+        assert_eq!(pm.range_lens.iter().sum::<usize>(), 1000);
+        assert!(pm.split_probes > 0, "a real split must account its probes");
+    }
+
+    proptest! {
+        /// The parallel merge is byte-identical to the sequential one
+        /// for any thread count, and its cuts match too.
+        #[test]
+        fn par_merge_below_matches_sequential(
+            seqs in prop::collection::vec(prop::collection::vec(0u32..60, 0..40), 1..7),
+            bound in prop::option::of(0u32..60),
+            cores in 1usize..7,
+        ) {
+            let sorted_seqs: Vec<Vec<u32>> = seqs.iter().cloned().map(sorted).collect();
+            let refs: Vec<&[u32]> = sorted_seqs.iter().map(|s| s.as_slice()).collect();
+            let below = |x: &u32| bound.is_none_or(|b| *x < b);
+            let mut seq_out = Vec::new();
+            let seq_cuts = merge_k_below_into(&refs, below, &mut seq_out);
+            let mut par_out = Vec::new();
+            let pm = par_merge_k_below_into(&refs, below, cores, &mut par_out);
+            prop_assert_eq!(&par_out, &seq_out);
+            prop_assert_eq!(&pm.cuts, &seq_cuts);
+            prop_assert_eq!(pm.range_lens.iter().sum::<usize>(), seq_out.len());
+        }
+
+        /// The multisequence split behind the parallel merge yields
+        /// disjoint, exhaustive, balanced ranges on arbitrary run
+        /// shapes — duplicates, empty runs, carry tails and all.
+        #[test]
+        fn multiway_split_ranges_are_disjoint_exhaustive_balanced(
+            seqs in prop::collection::vec(prop::collection::vec(0u32..25, 0..50), 1..8),
+            parts in 1usize..7,
+        ) {
+            let sorted_seqs: Vec<Vec<u32>> = seqs.iter().cloned().map(sorted).collect();
+            let mut views: Vec<&[u32]> =
+                sorted_seqs.iter().map(|s| s.as_slice()).collect();
+            let total: usize = views.iter().map(|v| v.len()).sum();
+            let (cuts, probes) =
+                crate::selection::multiway_split_counted(&mut views, parts).unwrap();
+            prop_assert_eq!(cuts.len(), parts + 1);
+            prop_assert!(cuts[0].iter().all(|&c| c == 0), "first cut must open every run");
+            for (i, v) in views.iter().enumerate() {
+                prop_assert_eq!(cuts[parts][i], v.len(), "last cut must close every run");
+                for w in cuts.windows(2) {
+                    prop_assert!(w[0][i] <= w[1][i], "cuts must be monotone per run");
+                }
+            }
+            // Disjoint + exhaustive: per-part sizes sum to the total;
+            // balanced: each part holds an exact ⌊·⌋/⌈·⌉ share.
+            let mut seen = 0usize;
+            for (p, w) in cuts.windows(2).enumerate() {
+                let size: usize = w[1].iter().zip(&w[0]).map(|(b, a)| b - a).sum();
+                let lo = (p + 1) * total / parts - p * total / parts;
+                prop_assert_eq!(size, lo, "part {} is unbalanced", p);
+                seen += size;
+            }
+            prop_assert_eq!(seen, total);
+            if parts == 1 {
+                prop_assert_eq!(probes, 0);
+            }
+            // Exactness: part boundaries split the (key, run) total
+            // order, so merging parts independently and concatenating
+            // equals the global merge.
+            let mut cat = Vec::new();
+            for w in cuts.windows(2) {
+                let pieces: Vec<&[u32]> = views
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| &v[w[0][i]..w[1][i]])
+                    .collect();
+                merge_k_into(&pieces, &mut cat);
+            }
+            prop_assert_eq!(cat, merge_k(&views));
         }
     }
 

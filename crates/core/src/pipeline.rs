@@ -107,7 +107,7 @@ where
     let all_splitters = exchange_splitters(comm, &splitters)?;
     let outcome = external_alltoall::<R>(comm, st, cfg, &dir, &all_splitters)?;
     let mut delivered = 0u64;
-    let (_, _cpu) = merge_into::<R>(st, outcome.merge_inputs, |rec| {
+    let (_, _cpu) = merge_into::<R>(st, outcome.merge_inputs, cores, |rec| {
         delivered += 1;
         sink(rec)
     })?;

@@ -20,7 +20,7 @@
 //! global ranks `⌊i·N/P⌋ .. ⌊(i+1)·N/P⌋`.
 
 use crate::distselect::dist_split;
-use crate::merge::{merge_cpu, merge_k_into};
+use crate::merge::{merge_cpu, par_merge_k_into};
 use crate::seqsort::sort_in_node;
 use demsort_net::{chunked_alltoallv, Communicator, MPI_VOLUME_LIMIT};
 use demsort_types::{CpuCounters, Record, Result};
@@ -40,7 +40,7 @@ pub fn parallel_sort<R: Record + Ord>(
     cores: usize,
 ) -> Result<(Vec<R>, CpuCounters)> {
     let cpu = sort_in_node(&mut data, cores);
-    parallel_sort_presorted(comm, data, cpu)
+    parallel_sort_presorted(comm, data, cores, cpu)
 }
 
 /// [`parallel_sort`] for data that is already locally sorted (used by
@@ -48,13 +48,15 @@ pub fn parallel_sort<R: Record + Ord>(
 /// blocks are sorted as they arrive from disk and merged afterwards).
 ///
 /// `cpu` carries the counters of however the local sort was achieved;
-/// the splitter/exchange/merge counters are added to it.
+/// the splitter/exchange/merge counters are added to it. The final
+/// P-way merge of the received pieces runs on up to `cores` threads.
 ///
 /// # Errors
 /// See [`parallel_sort`].
 pub fn parallel_sort_presorted<R: Record + Ord>(
     comm: &Communicator,
     data: Vec<R>,
+    cores: usize,
     mut cpu: CpuCounters,
 ) -> Result<(Vec<R>, CpuCounters)> {
     debug_assert!(data.windows(2).all(|w| w[0] <= w[1]), "input must be locally sorted");
@@ -91,9 +93,10 @@ pub fn parallel_sort_presorted<R: Record + Ord>(
     let views: Vec<&[R]> = pieces.iter().map(|p| p.as_slice()).collect();
     let total: usize = views.iter().map(|v| v.len()).sum();
     let mut out = Vec::with_capacity(total);
-    merge_k_into(&views, &mut out);
+    let pm = par_merge_k_into(&views, cores, &mut out);
 
     cpu = cpu.merge(&merge_cpu(out.len() as u64, comm.size()));
+    cpu.split_probes += pm.split_probes;
     Ok((out, cpu))
 }
 

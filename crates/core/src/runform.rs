@@ -27,7 +27,7 @@
 //! * **In-place** — input blocks are freed as they are read; slice
 //!   writes reuse them.
 
-use crate::merge::{merge_k_into, merge_work};
+use crate::merge::{merge_work, par_merge_k_into};
 use crate::psort::{parallel_sort, parallel_sort_presorted};
 use crate::recio::{records_per_block, FinishedRun, RecordRunWriter};
 use crate::seqsort::sort_in_node;
@@ -117,7 +117,7 @@ pub fn form_runs<R: Record + Ord>(
 
         // Globally sort run j (CPU + communication, overlapping disk).
         let (slice, sort_cpu) = if single_run {
-            parallel_sort_presorted(comm, data, CpuCounters::default())?
+            parallel_sort_presorted(comm, data, cores, CpuCounters::default())?
         } else {
             parallel_sort(comm, data, cores)?
         };
@@ -211,9 +211,10 @@ fn collect_group<R: Record + Ord>(
     let views: Vec<&[R]> = sorted_blocks.iter().map(|b| b.as_slice()).collect();
     let total: usize = views.iter().map(|v| v.len()).sum();
     let mut data = Vec::with_capacity(total);
-    merge_k_into(&views, &mut data);
+    let pm = par_merge_k_into(&views, cores, &mut data);
     cpu.elements_merged += total as u64;
     cpu.merge_work += merge_work(total as u64, views.len());
+    cpu.split_probes += pm.split_probes;
     Ok((data, cpu))
 }
 

@@ -282,16 +282,33 @@ pub fn multiway_select_from<S: SortedSeq>(
 /// # Errors
 /// Propagates the first failed [`SortedSeq::key_at`] probe.
 pub fn multiway_split<S: SortedSeq>(seqs: &mut [S], parts: usize) -> Result<Vec<Vec<usize>>> {
+    multiway_split_counted(seqs, parts).map(|(cuts, _)| cuts)
+}
+
+/// [`multiway_split`] that also reports the selection probes spent on
+/// the splitters — the price of parallelizing a merge, accounted in
+/// [`CpuCounters::split_probes`](demsort_types::CpuCounters) so the
+/// merge-comparison bound stays thread-count-independent.
+///
+/// # Errors
+/// Propagates the first failed [`SortedSeq::key_at`] probe.
+pub fn multiway_split_counted<S: SortedSeq>(
+    seqs: &mut [S],
+    parts: usize,
+) -> Result<(Vec<Vec<usize>>, u64)> {
     assert!(parts > 0);
     let total: u64 = seqs.iter().map(|s| s.len() as u64).sum();
+    let mut probes = 0u64;
     let mut cuts = Vec::with_capacity(parts + 1);
     cuts.push(vec![0; seqs.len()]);
     for p in 1..parts {
         let r = (p as u128 * total as u128 / parts as u128) as u64;
-        cuts.push(multiway_select(seqs, r)?.positions);
+        let sel = multiway_select(seqs, r)?;
+        probes += sel.probes;
+        cuts.push(sel.positions);
     }
     cuts.push(seqs.iter().map(|s| s.len()).collect());
-    Ok(cuts)
+    Ok((cuts, probes))
 }
 
 #[cfg(test)]

@@ -14,8 +14,7 @@
 //! For `cores = 1` both steps collapse to a plain sort, so PEs without
 //! intra-node parallelism pay nothing.
 
-use crate::merge::{merge_k_into, merge_work};
-use crate::selection::{multiway_split, KeyedSlice};
+use crate::merge::{merge_work, par_merge_k_into};
 use demsort_types::CpuCounters;
 
 /// Sort `data` in place using up to `cores` threads; returns the CPU
@@ -53,45 +52,18 @@ pub fn sort_in_node<T: Ord + Copy + Send + Sync>(data: &mut [T], cores: usize) -
         });
     }
 
-    // Phase 2: exact splitters over the sorted chunks. In-memory
-    // sequences never fail a probe, so the Result is vacuous here.
+    // Phases 2 + 3: exact splitters over the sorted chunks, then merge
+    // each output range in parallel into a scratch buffer and copy
+    // back — the shared in-node parallel merge does both.
     let chunks: Vec<&[T]> = data.chunks(chunk).collect();
-    let mut views: Vec<KeyedSlice<'_, T, T, _>> =
-        chunks.iter().map(|c| KeyedSlice::new(c, |t: &T| *t)).collect();
-    let cuts = multiway_split(&mut views, cores).expect("in-memory selection is infallible");
-
-    // Phase 3: merge each output range in parallel into a scratch
-    // buffer, then copy back. Part `p` covers a contiguous range of the
-    // output whose size is the sum of its per-chunk cut widths.
     let mut out: Vec<T> = Vec::with_capacity(data.len());
-    {
-        let spare = out.spare_capacity_mut();
-        std::thread::scope(|s| {
-            let mut spare_rest = spare;
-            for w in cuts.windows(2) {
-                let size: usize = w[1].iter().zip(&w[0]).map(|(b, a)| b - a).sum();
-                let (slot, tail) = spare_rest.split_at_mut(size);
-                spare_rest = tail;
-                let pieces: Vec<&[T]> =
-                    chunks.iter().enumerate().map(|(i, c)| &c[w[0][i]..w[1][i]]).collect();
-                s.spawn(move || {
-                    let mut local = Vec::with_capacity(size);
-                    merge_k_into(&pieces, &mut local);
-                    debug_assert_eq!(local.len(), size);
-                    for (dst, src) in slot.iter_mut().zip(local) {
-                        dst.write(src);
-                    }
-                });
-            }
-        });
-        // SAFETY: every slot of the spare capacity was initialized by
-        // exactly one merge task (the ranges partition 0..len).
-        unsafe { out.set_len(data.len()) };
-    }
+    let pm = par_merge_k_into(&chunks, cores, &mut out);
+    drop(chunks);
     data.copy_from_slice(&out);
 
     counters.elements_merged = n;
     counters.merge_work = merge_work(n, cores);
+    counters.split_probes = pm.split_probes;
     counters.host_wall_ns = started.elapsed().as_nanos() as u64;
     counters
 }

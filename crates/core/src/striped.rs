@@ -47,7 +47,7 @@
 //! per-owner batches.
 
 use crate::ctx::{assemble_report, BlockFetch, ClusterStorage, PhaseRecorder};
-use crate::merge::{merge_cpu, merge_k_below_into, merge_k_into};
+use crate::merge::{merge_cpu, par_merge_k_below_traced, par_merge_k_traced};
 use crate::psort::{parallel_sort, parallel_sort_presorted};
 use crate::recio::records_per_block;
 use crate::runform::{ingest_input, LocalInput};
@@ -329,7 +329,7 @@ pub fn striped_mergesort_resilient<R: Record + Ord>(
     };
     let attempt_runs = if recoverable { runs.clone() } else { std::mem::take(&mut runs) };
     let attempt =
-        run_merge_passes::<R>(comm, storage, cfg, &view, attempt_runs, k_max, f == 0, &tr);
+        run_merge_passes::<R>(comm, storage, cfg, &view, attempt_runs, k_max, cores, f == 0, &tr);
     let (output, passes, merge_cpu_total) = match attempt {
         Ok(done) => done,
         Err(err) if recoverable && matches!(err, Error::Comm(_)) => {
@@ -385,8 +385,9 @@ pub fn striped_mergesort_resilient<R: Record + Ord>(
             // peer-death instant separates the attempts, so the trace
             // shows the failover rather than hiding it.
             let sub_view = RankView { my_global: me, globals: members };
-            let done =
-                run_merge_passes::<R>(&sub, storage, cfg, &sub_view, remapped, k_max, false, &tr)?;
+            let done = run_merge_passes::<R>(
+                &sub, storage, cfg, &sub_view, remapped, k_max, cores, false, &tr,
+            )?;
             rec.add_comm(sub.counters());
             done
         }
@@ -415,6 +416,7 @@ fn run_merge_passes<R: Record + Ord>(
     view: &RankView,
     mut runs: Vec<StripedRun<R::Key>>,
     k_max: usize,
+    cores: usize,
     free_consumed: bool,
     tracer: &Tracer,
 ) -> Result<(StripedRun<R::Key>, usize, CpuCounters)> {
@@ -433,6 +435,7 @@ fn run_merge_passes<R: Record + Ord>(
                 group,
                 pass,
                 group_idx,
+                cores,
                 free_consumed,
                 tracer,
             )?;
@@ -724,6 +727,7 @@ fn merge_striped_group<R: Record + Ord>(
     group: &[StripedRun<R::Key>],
     pass: usize,
     group_idx: usize,
+    cores: usize,
     free_consumed: bool,
     tracer: &Tracer,
 ) -> Result<(StripedRun<R::Key>, CpuCounters)> {
@@ -807,15 +811,41 @@ fn merge_striped_group<R: Record + Ord>(
             None
         };
 
-        for (r, id, valid, fetch) in current {
-            let buf = fetch.wait()?;
-            R::decode_slice(&buf[..valid * R::BYTES], &mut sources[r]);
-            // In-place: the slot is reusable once consumed; the
-            // backing bytes are only released on overwrite — unless
-            // the run is an initial run of a replicated sort, which a
-            // recovery may need to re-read.
-            if free_consumed {
-                st.alloc().free(id);
+        if cores > 1 {
+            // Batch block decode, parallelized like the merge: wait the
+            // fetches in issue order (the transport requires it), then
+            // decode each run's blocks on its own thread. A run's
+            // blocks append in prediction order either way, so every
+            // source stays sorted and byte-identical to `cores = 1`.
+            let mut per_run: Vec<Vec<(Box<[u8]>, usize)>> = vec![Vec::new(); k];
+            for (r, id, valid, fetch) in current {
+                per_run[r].push((fetch.wait()?, valid));
+                if free_consumed {
+                    st.alloc().free(id);
+                }
+            }
+            std::thread::scope(|s| {
+                for (src, bufs) in sources.iter_mut().zip(&per_run) {
+                    if !bufs.is_empty() {
+                        s.spawn(move || {
+                            for (buf, valid) in bufs {
+                                R::decode_slice(&buf[..valid * R::BYTES], src);
+                            }
+                        });
+                    }
+                }
+            });
+        } else {
+            for (r, id, valid, fetch) in current {
+                let buf = fetch.wait()?;
+                R::decode_slice(&buf[..valid * R::BYTES], &mut sources[r]);
+                // In-place: the slot is reusable once consumed; the
+                // backing bytes are only released on overwrite — unless
+                // the run is an initial run of a replicated sort, which
+                // a recovery may need to re-read.
+                if free_consumed {
+                    st.alloc().free(id);
+                }
             }
         }
 
@@ -831,17 +861,42 @@ fn merge_striped_group<R: Record + Ord>(
 
         // Merge (don't sort) the per-run prefixes below the threshold;
         // the suffixes stay buffered as the next batch's carry tails.
+        // The batch merge runs on up to `cores` threads (exact-split
+        // ranges into disjoint slices of the emit buffer), each range
+        // journalled as a `merge_par` span; output and cuts are
+        // byte-identical to `cores = 1`.
         let mut emit: Vec<R> = Vec::new();
         let views: Vec<&[R]> = sources.iter().map(|s| s.as_slice()).collect();
-        let cuts = match &threshold {
-            Some(t) => merge_k_below_into(&views, |x| x.key() < *t, &mut emit),
-            None => {
-                merge_k_into(&views, &mut emit);
-                views.iter().map(|v| v.len()).collect()
-            }
+        let span_begin = |thread, threads, len, total| {
+            tracer.begin(TraceEv::MergePar {
+                pass,
+                group: group_idx,
+                batch: b,
+                thread,
+                threads,
+                len,
+                total,
+            })
+        };
+        let span_end = |id, thread, threads, len, total| {
+            tracer.end(
+                id,
+                TraceEv::MergePar { pass, group: group_idx, batch: b, thread, threads, len, total },
+            )
+        };
+        let pm = match &threshold {
+            Some(t) => par_merge_k_below_traced(
+                &views,
+                |x| x.key() < *t,
+                cores,
+                &mut emit,
+                span_begin,
+                span_end,
+            ),
+            None => par_merge_k_traced(&views, cores, &mut emit, span_begin, span_end),
         };
         drop(views);
-        for (s, cut) in sources.iter_mut().zip(cuts) {
+        for (s, cut) in sources.iter_mut().zip(pm.cuts) {
             s.drain(..cut);
         }
         if let Some(t) = &threshold {
@@ -863,12 +918,14 @@ fn merge_striped_group<R: Record + Ord>(
             }
         }
         cpu = cpu.merge(&merge_cpu(emit.len() as u64, k));
+        cpu.split_probes += pm.split_probes;
 
         // The emitted set is locally sorted; one exact-splitter
         // exchange (selection + all-to-all + P-way merge — no local
         // sort) makes it canonically distributed for the striped
         // write.
-        let (canon, exchange_cpu) = parallel_sort_presorted(comm, emit, CpuCounters::default())?;
+        let (canon, exchange_cpu) =
+            parallel_sort_presorted(comm, emit, cores, CpuCounters::default())?;
         cpu = cpu.merge(&exchange_cpu);
 
         let piece = write_striped::<R>(comm, st, cfg, view, &canon, stripe_off)?;
@@ -1258,6 +1315,93 @@ mod tests {
             zero_batches.values().all(|&c| c == 1),
             "batch 0 of each (pass, group) must be unique, got {zero_batches:?}"
         );
+    }
+
+    #[test]
+    fn parallel_batch_merge_is_byte_identical_and_journals_thread_ranges() {
+        // The same input sorted with cores = 1 and cores = 4: records,
+        // merge comparisons, and split-selection determinism must all
+        // match, and the cores = 4 journal must carry valid `merge_par`
+        // thread-range spans (complete per-batch sets summing to the
+        // batch size — validate_rank_journal enforces both).
+        let p = 2;
+        let local_n = 1200;
+        let run = |cores: usize| {
+            let cfg =
+                SortConfig::new(MachineConfig::tiny(p), AlgoConfig::default()).expect("valid");
+            let storage = ClusterStorage::new_mem(&cfg.machine);
+            let storage_ref = &storage;
+            let cfg_ref = &cfg;
+            let results: Vec<Result<(StripedOutcome<Element16>, Vec<demsort_types::TraceRecord>)>> =
+                run_cluster(p, move |mut comm| {
+                    let tracer = Tracer::to_buffer(comm.rank());
+                    comm.set_tracer(tracer.clone());
+                    let st = storage_ref.pe(comm.rank());
+                    let input = ingest_input(
+                        st,
+                        &generate_pe_input(InputSpec::Uniform, 21, comm.rank(), p, local_n),
+                    )?;
+                    let o = striped_mergesort::<Element16>(
+                        &comm,
+                        storage_ref,
+                        cfg_ref,
+                        input,
+                        cores,
+                        None,
+                    )?;
+                    Ok((o, tracer.drain()))
+                });
+            let per_pe: Vec<_> = results.into_iter().map(|r| r.expect("sort")).collect();
+            let got = read_striped::<Element16>(&storage, &per_pe[0].0.output).expect("read");
+            (got, per_pe)
+        };
+        let (seq, seq_pe) = run(1);
+        let (par, par_pe) = run(4);
+        assert_eq!(par, seq, "cores = 4 output must be byte-identical to cores = 1");
+        let merge_phase = |o: &StripedOutcome<Element16>| {
+            o.phases
+                .iter()
+                .find(|(ph, _)| *ph == Phase::FinalMerge)
+                .map(|(_, s)| s.cpu)
+                .expect("merge phase recorded")
+        };
+        for ((so, _), (po, precs)) in seq_pe.iter().zip(&par_pe) {
+            let (sm, pm) = (merge_phase(so), merge_phase(po));
+            assert_eq!(
+                pm.merge_work, sm.merge_work,
+                "per-thread merge comparisons must sum to the single-thread bound"
+            );
+            assert_eq!(pm.sort_work, 0, "parallel batches are merged, never re-sorted");
+            assert_eq!(pm.elements_merged, sm.elements_merged);
+            assert!(pm.split_probes > 0, "parallel merge must account split probes");
+            assert_eq!(sm.split_probes, 0, "cores = 1 never splits");
+            demsort_types::trace::validate_rank_journal(precs).expect("valid journal");
+            let spans: Vec<(usize, usize)> = precs
+                .iter()
+                .filter_map(|r| match (&r.op, &r.ev) {
+                    (
+                        demsort_types::trace::TraceOp::Begin(_),
+                        TraceEv::MergePar { thread, threads, .. },
+                    ) => Some((*thread, *threads)),
+                    _ => None,
+                })
+                .collect();
+            assert!(!spans.is_empty(), "cores = 4 merge must journal merge_par spans");
+            assert!(
+                spans.iter().any(|&(_, threads)| threads > 1),
+                "at least one batch must actually fan out, got {spans:?}"
+            );
+        }
+        // Split selection is deterministic: both ranks of the parallel
+        // run charge probes, and identical runs charge identically.
+        let (_, par_pe2) = run(4);
+        for ((a, _), (b, _)) in par_pe.iter().zip(&par_pe2) {
+            assert_eq!(
+                merge_phase(a).split_probes,
+                merge_phase(b).split_probes,
+                "split probes deterministic"
+            );
+        }
     }
 
     #[test]

@@ -164,6 +164,11 @@ pub struct CpuCounters {
     /// Sum over merge calls of `elements · ⌈log2 k⌉` — the comparison
     /// count proxy for merging.
     pub merge_work: u64,
+    /// Sequence probes spent by multiway *split* selections (the range
+    /// splitters of the in-node parallel merge). Kept separate from
+    /// `merge_work` so the `n · ⌈log2 k⌉` merge-comparison bound stays
+    /// exact regardless of how many threads the merge ran on.
+    pub split_probes: u64,
     /// Wall-clock nanoseconds actually spent on this phase on the host
     /// machine (sanity signal; the cost model uses the work counters).
     pub host_wall_ns: u64,
@@ -177,6 +182,7 @@ impl CpuCounters {
             sort_work: self.sort_work + other.sort_work,
             elements_merged: self.elements_merged + other.elements_merged,
             merge_work: self.merge_work + other.merge_work,
+            split_probes: self.split_probes + other.split_probes,
             host_wall_ns: self.host_wall_ns + other.host_wall_ns,
         }
     }

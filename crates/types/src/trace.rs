@@ -88,6 +88,24 @@ pub enum TraceEv {
         /// Total batches in the group.
         batches: usize,
     },
+    /// One thread's output range of the in-node parallel batch merge
+    /// (span; each merge batch emits one per merge thread).
+    MergePar {
+        /// Merge pass.
+        pass: usize,
+        /// Run group within the pass.
+        group: usize,
+        /// Batch index within the group.
+        batch: usize,
+        /// Merge thread index within the batch (0-based).
+        thread: usize,
+        /// Number of merge threads the batch ran on.
+        threads: usize,
+        /// Records this thread merged (its output range length).
+        len: usize,
+        /// Records the whole batch emitted (Σ `len` over its threads).
+        total: usize,
+    },
     /// The failure detector declared a peer dead (event).
     PeerDead {
         /// The dead peer's rank.
@@ -110,6 +128,7 @@ impl TraceEv {
             TraceEv::Store { .. } => "store",
             TraceEv::MergeIssued { .. } => "merge_issued",
             TraceEv::MergeEmitted { .. } => "merge_emitted",
+            TraceEv::MergePar { .. } => "merge_par",
             TraceEv::PeerDead { .. } => "peer_dead",
             TraceEv::EpochAdvance { .. } => "epoch_advance",
         }
@@ -132,6 +151,9 @@ impl TraceEv {
             TraceEv::MergeEmitted { pass, group, batch, batches } => {
                 format!("emitted pass={pass} group={group} batch={batch}/{batches}")
             }
+            TraceEv::MergePar { pass, group, batch, thread, threads, len, .. } => {
+                format!("merge pass={pass} group={group} batch={batch} thread={thread}/{threads} len={len}")
+            }
             TraceEv::PeerDead { peer } => format!("peer {peer} declared dead"),
             TraceEv::EpochAdvance { epoch } => format!("epoch -> {epoch}"),
         }
@@ -153,6 +175,15 @@ impl TraceEv {
                 out.push(("group".into(), u(*group)));
                 out.push(("batch".into(), u(*batch)));
                 out.push(("batches".into(), u(*batches)));
+            }
+            TraceEv::MergePar { pass, group, batch, thread, threads, len, total } => {
+                out.push(("pass".into(), u(*pass)));
+                out.push(("group".into(), u(*group)));
+                out.push(("batch".into(), u(*batch)));
+                out.push(("thread".into(), u(*thread)));
+                out.push(("threads".into(), u(*threads)));
+                out.push(("len".into(), u(*len)));
+                out.push(("total".into(), u(*total)));
             }
             TraceEv::PeerDead { peer } => out.push(("peer".into(), u(*peer))),
             TraceEv::EpochAdvance { epoch } => out.push(("epoch".into(), Json::Uint(*epoch))),
@@ -194,6 +225,15 @@ impl TraceEv {
                     TraceEv::MergeEmitted { pass, group, batch, batches }
                 }
             }
+            "merge_par" => TraceEv::MergePar {
+                pass: us("pass")?,
+                group: us("group")?,
+                batch: us("batch")?,
+                thread: us("thread")?,
+                threads: us("threads")?,
+                len: us("len")?,
+                total: us("total")?,
+            },
             "peer_dead" => TraceEv::PeerDead { peer: us("peer")? },
             "epoch_advance" => TraceEv::EpochAdvance { epoch: num("epoch")? },
             other => return Err(Error::validation(format!("unknown trace event kind {other:?}"))),
@@ -471,8 +511,11 @@ pub fn read_journal(text: &str) -> Result<Vec<TraceRecord>> {
 
 /// Check one rank's journal invariants: a single emitting rank,
 /// monotone timestamps, every span closed exactly once by an `end` of
-/// the same event kind, and phase spans opening in algorithm order
-/// ([`Phase::ALL`], possibly skipping phases).
+/// the same event kind, phase spans opening in algorithm order
+/// ([`Phase::ALL`], possibly skipping phases), and parallel-merge
+/// spans forming, per merge batch, a complete set of thread ranges
+/// (`thread` = 0..`threads`, each opened once) whose lengths sum to
+/// the batch's emitted `total`.
 ///
 /// # Errors
 /// [`Error::Validation`] describing the first violated invariant.
@@ -481,9 +524,49 @@ pub fn validate_rank_journal(records: &[TraceRecord]) -> Result<()> {
     let mut closed: Vec<u64> = Vec::new();
     let mut last_ts = 0u64;
     let mut last_phase: Option<usize> = None;
+    // (pass, group, batch) -> accumulating thread-range set. A key can
+    // recur (a degraded re-merge restarts pass numbering), so each set
+    // is checked and cleared the moment it completes.
+    // Each entry records one opened thread range: (thread, threads, len, total).
+    #[allow(clippy::type_complexity)]
+    let mut par: std::collections::BTreeMap<
+        (usize, usize, usize),
+        Vec<(usize, usize, usize, usize)>,
+    > = std::collections::BTreeMap::new();
     let rank = records.first().map(|r| r.rank);
     for (i, r) in records.iter().enumerate() {
         let at = |msg: String| Error::validation(format!("record {i}: {msg}"));
+        if let TraceEv::MergePar { pass, group, batch, thread, threads, len, total } = &r.ev {
+            if matches!(r.op, TraceOp::Begin(_)) {
+                let set = par.entry((*pass, *group, *batch)).or_default();
+                if set.iter().any(|(t, _, _, _)| t == thread) {
+                    return Err(at(format!(
+                        "merge_par batch ({pass},{group},{batch}) opened thread {thread} twice"
+                    )));
+                }
+                if set.iter().any(|&(_, th, _, to)| th != *threads || to != *total) {
+                    return Err(at(format!(
+                        "merge_par batch ({pass},{group},{batch}) disagrees on threads/total"
+                    )));
+                }
+                if *thread >= *threads {
+                    return Err(at(format!(
+                        "merge_par thread {thread} out of range for {threads} threads"
+                    )));
+                }
+                set.push((*thread, *threads, *len, *total));
+                if set.len() == *threads {
+                    let sum: usize = set.iter().map(|&(_, _, l, _)| l).sum();
+                    if sum != *total {
+                        return Err(at(format!(
+                            "merge_par batch ({pass},{group},{batch}) thread ranges sum to \
+                             {sum}, batch emitted {total}"
+                        )));
+                    }
+                    par.remove(&(*pass, *group, *batch));
+                }
+            }
+        }
         if Some(r.rank) != rank {
             return Err(at(format!("rank {} in a journal for rank {:?}", r.rank, rank)));
         }
@@ -529,6 +612,12 @@ pub fn validate_rank_journal(records: &[TraceRecord]) -> Result<()> {
     }
     if let Some((id, kind)) = open.first() {
         return Err(Error::validation(format!("span {id} ({kind}) never closed")));
+    }
+    if let Some(((pass, group, batch), set)) = par.iter().next() {
+        return Err(Error::validation(format!(
+            "merge_par batch ({pass},{group},{batch}) opened only {} of its thread ranges",
+            set.len()
+        )));
     }
     Ok(())
 }
@@ -594,6 +683,15 @@ mod tests {
             TraceEv::Store { owner: 0, blocks: 4, remote: false },
             TraceEv::MergeIssued { pass: 0, group: 1, batch: 2, batches: 6 },
             TraceEv::MergeEmitted { pass: 1, group: 0, batch: 5, batches: 6 },
+            TraceEv::MergePar {
+                pass: 0,
+                group: 1,
+                batch: 2,
+                thread: 1,
+                threads: 4,
+                len: 40,
+                total: 160,
+            },
             TraceEv::PeerDead { peer: 2 },
             TraceEv::EpochAdvance { epoch: 7 },
         ]
@@ -728,6 +826,86 @@ mod tests {
         ])
         .expect_err("mixed ranks");
         assert!(matches!(err, Error::Validation(ref m) if m.contains("rank")), "{err}");
+    }
+
+    #[test]
+    fn merge_par_thread_ranges_must_cover_the_batch() {
+        let span = |ts_ns, id, op, thread, len| TraceRecord {
+            rank: 0,
+            ts_ns,
+            op: match op {
+                0 => TraceOp::Begin(id),
+                _ => TraceOp::End(id),
+            },
+            ev: TraceEv::MergePar {
+                pass: 0,
+                group: 0,
+                batch: 3,
+                thread,
+                threads: 2,
+                len,
+                total: 10,
+            },
+        };
+        // Complete set summing to the total: valid (threads overlap in
+        // time, as real merge threads do).
+        validate_rank_journal(&[
+            span(1, 1, 0, 0, 6),
+            span(2, 2, 0, 1, 4),
+            span(3, 2, 1, 1, 4),
+            span(4, 1, 1, 0, 6),
+        ])
+        .expect("complete batch");
+        // Lengths that do not sum to the batch total.
+        let err = validate_rank_journal(&[
+            span(1, 1, 0, 0, 6),
+            span(2, 2, 0, 1, 5),
+            span(3, 2, 1, 1, 5),
+            span(4, 1, 1, 0, 6),
+        ])
+        .expect_err("bad sum");
+        assert!(matches!(err, Error::Validation(ref m) if m.contains("sum to")), "{err}");
+        // A thread index opened twice within one batch.
+        let err = validate_rank_journal(&[
+            span(1, 1, 0, 0, 6),
+            span(2, 2, 0, 0, 4),
+            span(3, 2, 1, 0, 4),
+            span(4, 1, 1, 0, 6),
+        ])
+        .expect_err("dup thread");
+        assert!(matches!(err, Error::Validation(ref m) if m.contains("twice")), "{err}");
+        // A batch that never opens its full thread set.
+        let err = validate_rank_journal(&[span(1, 1, 0, 0, 6), span(2, 1, 1, 0, 6)])
+            .expect_err("incomplete");
+        assert!(matches!(err, Error::Validation(ref m) if m.contains("only 1")), "{err}");
+        // A re-merged batch may reuse the same (pass, group, batch) key
+        // with a different shape, as long as each set completes.
+        let redo = |ts_ns, id, op, thread, len| TraceRecord {
+            rank: 0,
+            ts_ns,
+            op: match op {
+                0 => TraceOp::Begin(id),
+                _ => TraceOp::End(id),
+            },
+            ev: TraceEv::MergePar {
+                pass: 0,
+                group: 0,
+                batch: 3,
+                thread,
+                threads: 1,
+                len,
+                total: len,
+            },
+        };
+        validate_rank_journal(&[
+            span(1, 1, 0, 0, 6),
+            span(2, 2, 0, 1, 4),
+            span(3, 2, 1, 1, 4),
+            span(4, 1, 1, 0, 6),
+            redo(5, 3, 0, 0, 9),
+            redo(6, 3, 1, 0, 9),
+        ])
+        .expect("re-merge with a fresh complete set");
     }
 
     #[test]

@@ -378,6 +378,7 @@ pub fn encode_phase_stats(w: &mut WireWriter, phase: Phase, s: &PhaseStats) {
         .u64(s.cpu.sort_work)
         .u64(s.cpu.elements_merged)
         .u64(s.cpu.merge_work)
+        .u64(s.cpu.split_probes)
         .u64(s.cpu.host_wall_ns);
 }
 
@@ -397,6 +398,7 @@ pub fn decode_phase_stats(r: &mut WireReader<'_>) -> Result<(Phase, PhaseStats)>
         sort_work: r.u64()?,
         elements_merged: r.u64()?,
         merge_work: r.u64()?,
+        split_probes: r.u64()?,
         host_wall_ns: r.u64()?,
     };
     Ok((phase, PhaseStats { io, comm, cpu }))
