@@ -18,16 +18,19 @@ use demsort_bench::table::Table;
 use demsort_bench::ExpScale;
 use std::path::PathBuf;
 
-const USAGE: &str = "repro [EXPERIMENT] [--smoke] [--pes P1,P2,...] [--out DIR]
+const USAGE: &str = "repro [EXPERIMENT] [--smoke] [--pes P1,P2,...] [--records N] [--out DIR]
 
 EXPERIMENT: fig2 | fig3 | fig4 | fig5 | fig6 | sortbench |
             ablate-selection | ablate-overlap | ablate-runlength |
             ablate-prefetch | striped-vs-canonical | baseline-skew |
             bench-striped | all (default)
 
---smoke     run at the fast smoke scale (CI-sized, same shapes)
---pes       override the cluster-size sweep
---out DIR   CSV output directory (default: results/)";
+--smoke      run at the fast smoke scale (CI-sized, same shapes)
+--pes        override the cluster-size sweep
+--records N  bench-striped: total records to sort (default: the scale's
+             data volume; without --smoke the default is doubled so the
+             final merge runs long enough to time meaningfully)
+--out DIR    CSV output directory (default: results/)";
 
 struct Args {
     experiment: String,
@@ -35,6 +38,8 @@ struct Args {
     pes_list: Vec<usize>,
     fig3_pes: usize,
     single_pes: usize,
+    records: Option<u64>,
+    smoke: bool,
     out: PathBuf,
 }
 
@@ -45,6 +50,7 @@ fn parse_args() -> Args {
     let mut pes_overridden = false;
     let mut out = PathBuf::from("results");
     let mut smoke = false;
+    let mut records: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -60,6 +66,10 @@ fn parse_args() -> Args {
                     .map(|s| s.trim().parse().expect("--pes values must be integers"))
                     .collect();
                 pes_overridden = true;
+            }
+            "--records" => {
+                let v = args.next().expect("--records needs a count");
+                records = Some(v.trim().parse().expect("--records must be an integer"));
             }
             "--out" => out = PathBuf::from(args.next().expect("--out needs a directory")),
             "--help" | "-h" => {
@@ -78,7 +88,24 @@ fn parse_args() -> Args {
     }
     let fig3_pes = if smoke { 8 } else { 32 };
     let single_pes = if smoke { 4 } else { 16 };
-    Args { experiment, scale, pes_list, fig3_pes, single_pes, out }
+    Args { experiment, scale, pes_list, fig3_pes, single_pes, records, smoke, out }
+}
+
+/// The scale the throughput benchmarks run at: `--records` pins the
+/// total record count exactly; otherwise the full (non-smoke) scale is
+/// doubled so the final merge's wall time is long enough to time
+/// meaningfully.
+fn bench_scale(args: &Args, pes: usize) -> ExpScale {
+    let mut scale = args.scale.clone();
+    match args.records {
+        Some(r) => {
+            let per_pe = (r as usize).div_ceil(pes).max(1);
+            scale.data_bytes_per_pe = per_pe * 16; // Element16
+        }
+        None if !args.smoke => scale.data_bytes_per_pe *= 2,
+        None => {}
+    }
+    scale
 }
 
 fn main() {
@@ -134,9 +161,9 @@ fn main() {
     // plus OUT/BENCH_merge_parallel.json (in-node cores sweep).
     let mut bench_emitted = false;
     if want("bench-striped") {
-        let striped = experiments::bench_striped_json(&args.scale, args.single_pes, &[0, 1]);
-        let par =
-            experiments::bench_merge_parallel_json(&args.scale, args.single_pes, &[1, 2, 4, 8]);
+        let scale = bench_scale(&args, args.single_pes);
+        let striped = experiments::bench_striped_json(&scale, args.single_pes, &[0, 1]);
+        let par = experiments::bench_merge_parallel_json(&scale, args.single_pes, &[1, 2, 4, 8]);
         for (name, json) in [("BENCH_striped.json", &striped), ("BENCH_merge_parallel.json", &par)]
         {
             print!("{json}");

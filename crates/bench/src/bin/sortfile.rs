@@ -30,7 +30,7 @@ use demsort_bench::procs::{launch_and_report, TcpJobCli};
 use demsort_core::canonical::sort_cluster;
 use demsort_core::recio::read_records;
 use demsort_core::striped::{read_striped_blocks, striped_sort_cluster};
-use demsort_types::{AlgoConfig, MachineConfig, Record as _, Record100, SortAlgo, SortConfig};
+use demsort_types::{Record as _, Record100, SortAlgo, SortConfig};
 use std::io::{Read, Seek, SeekFrom, Write};
 
 fn main() {
@@ -62,10 +62,17 @@ fn main() {
     };
 
     match transport.as_str() {
-        "local" => match cli.algorithm {
-            SortAlgo::Canonical => sort_local(cli.machine(), input, output),
-            SortAlgo::Striped => sort_local_striped(cli.machine(), input, output),
-        },
+        "local" => {
+            // The same job config the TCP path would ship, validated the
+            // same way (bad --pool-blocks etc. die with the config error).
+            let job = cli.job(input, output);
+            let cfg =
+                SortConfig::new(job.machine, job.algo).unwrap_or_else(|e| die(&e.to_string()));
+            match cli.algorithm {
+                SortAlgo::Canonical => sort_local(cfg, input, output),
+                SortAlgo::Striped => sort_local_striped(cfg, input, output),
+            }
+        }
         "tcp" => {
             let job = cli.job(input, output);
             let worker = cli.worker(BIN);
@@ -98,14 +105,13 @@ fn shard_loader(input: &str) -> (usize, impl Fn(usize, usize) -> Vec<Record100> 
 }
 
 /// The in-process cluster: one thread per PE over the channel mesh.
-fn sort_local(machine: MachineConfig, input: &str, output: &str) {
+fn sort_local(cfg: SortConfig, input: &str, output: &str) {
     let (total_records, load) = shard_loader(input);
-    let pes = machine.pes;
+    let pes = cfg.machine.pes;
     eprintln!(
         "sorting {total_records} records on {pes} in-process PEs ({} each)",
-        demsort_types::fmtsize::fmt_bytes(machine.mem_bytes_per_pe as u64)
+        demsort_types::fmtsize::fmt_bytes(cfg.machine.mem_bytes_per_pe as u64)
     );
-    let cfg = SortConfig::new(machine, AlgoConfig::default()).expect("valid config");
     let outcome = sort_cluster::<Record100, _>(&cfg, load).unwrap_or_else(|e| {
         eprintln!("sortfile: {e}");
         std::process::exit(1);
@@ -135,14 +141,13 @@ fn sort_local(machine: MachineConfig, input: &str, output: &str) {
 
 /// The in-process striped sort (Section III): globally striped output
 /// read back through the cluster block service in block order.
-fn sort_local_striped(machine: MachineConfig, input: &str, output: &str) {
+fn sort_local_striped(cfg: SortConfig, input: &str, output: &str) {
     let (total_records, load) = shard_loader(input);
-    let pes = machine.pes;
+    let pes = cfg.machine.pes;
     eprintln!(
         "striped-sorting {total_records} records on {pes} in-process PEs ({} each)",
-        demsort_types::fmtsize::fmt_bytes(machine.mem_bytes_per_pe as u64)
+        demsort_types::fmtsize::fmt_bytes(cfg.machine.mem_bytes_per_pe as u64)
     );
-    let cfg = SortConfig::new(machine, AlgoConfig::default()).expect("valid config");
     let outcome = striped_sort_cluster::<Record100, _>(&cfg, load, None).unwrap_or_else(|e| {
         eprintln!("sortfile: {e}");
         std::process::exit(1);

@@ -373,24 +373,76 @@ pub fn run_striped_report(scale: &ExpScale, pes: usize) -> SortReport {
 /// work and the replication column isolates the cost of storing
 /// buddy-rank copies of every run block during run formation.
 pub fn bench_striped_json(scale: &ExpScale, pes: usize, replications: &[usize]) -> String {
+    bench_striped_json_reps(scale, pes, replications, BENCH_REPS)
+}
+
+/// Repetitions each benchmark configuration runs; the reported wall
+/// time is the median, so one noisy rep cannot move the headline rate.
+pub const BENCH_REPS: usize = 3;
+
+/// Median of `xs` (mean of the middle two for even lengths).
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Pool counters summed over PEs, as a JSON object.
+fn pool_json<R: Record>(per_pe: &[StripedOutcome<R>]) -> Json {
+    let sum = |f: &dyn Fn(&demsort_types::PoolCounters) -> u64| -> u64 {
+        per_pe.iter().map(|o| f(&o.pool)).sum()
+    };
+    Json::Obj(vec![
+        ("hits".into(), Json::Uint(sum(&|p| p.hits))),
+        ("misses".into(), Json::Uint(sum(&|p| p.misses))),
+        ("recycled".into(), Json::Uint(sum(&|p| p.recycled))),
+        ("discarded".into(), Json::Uint(sum(&|p| p.discarded))),
+        ("copied_bytes".into(), Json::Uint(sum(&|p| p.copied_bytes))),
+    ])
+}
+
+/// [`bench_striped_json`] with an explicit repetition count (tests use
+/// 1 to stay fast; the default is [`BENCH_REPS`]).
+pub fn bench_striped_json_reps(
+    scale: &ExpScale,
+    pes: usize,
+    replications: &[usize],
+    reps: usize,
+) -> String {
     let local_n = scale.elems_per_pe();
     let mut runs_json = Vec::new();
     for &f in replications {
         let algo = AlgoConfig { replication: f, ..AlgoConfig::default() };
         let cfg = SortConfig::new(scale.machine(pes), algo).expect("valid config");
-        let started = std::time::Instant::now();
-        let outcome = striped_sort_cluster::<Element16, _>(
-            &cfg,
-            |pe, p| generate_pe_input(InputSpec::Uniform, 0xBE6C_57A1, pe, p, local_n),
-            None,
-        )
-        .expect("striped sort");
-        let wall_s = started.elapsed().as_secs_f64();
+        let mut walls = Vec::with_capacity(reps);
+        let mut last = None;
+        for _ in 0..reps.max(1) {
+            let started = std::time::Instant::now();
+            let outcome = striped_sort_cluster::<Element16, _>(
+                &cfg,
+                |pe, p| generate_pe_input(InputSpec::Uniform, 0xBE6C_57A1, pe, p, local_n),
+                None,
+            )
+            .expect("striped sort");
+            walls.push(started.elapsed().as_secs_f64());
+            last = Some(outcome);
+        }
+        let outcome = last.expect("at least one rep");
+        let wall_s = median(&mut walls);
         let records = outcome.per_pe.first().map_or(0, |o| o.output.elems);
         runs_json.push(Json::Obj(vec![
             ("replication".into(), Json::Uint(f as u64)),
+            ("reps".into(), Json::Uint(walls.len() as u64)),
             ("wall_s".into(), Json::Num(wall_s)),
             ("records_per_s".into(), Json::Uint((records as f64 / wall_s) as u64)),
+            ("pool".into(), pool_json(&outcome.per_pe)),
             ("phases".into(), Json::Obj(striped_phase_rates(&outcome.per_pe, records))),
         ]));
     }
@@ -444,27 +496,46 @@ fn striped_phase_rates(per_pe: &[StripedOutcome<Element16>], records: u64) -> Ve
 /// given shape, so a splitter regression shows up as a counter diff,
 /// not just timing drift.
 pub fn bench_merge_parallel_json(scale: &ExpScale, pes: usize, cores_list: &[usize]) -> String {
+    bench_merge_parallel_json_reps(scale, pes, cores_list, BENCH_REPS)
+}
+
+/// [`bench_merge_parallel_json`] with an explicit repetition count.
+pub fn bench_merge_parallel_json_reps(
+    scale: &ExpScale,
+    pes: usize,
+    cores_list: &[usize],
+    reps: usize,
+) -> String {
     let local_n = scale.elems_per_pe();
     let mut runs_json = Vec::new();
     for &cores in cores_list {
         let s = ExpScale { sim_cores: cores, ..scale.clone() };
         let cfg = SortConfig::new(s.machine(pes), AlgoConfig::default()).expect("valid config");
-        let started = std::time::Instant::now();
-        let outcome = striped_sort_cluster::<Element16, _>(
-            &cfg,
-            |pe, p| generate_pe_input(InputSpec::Uniform, 0xBE6C_57A1, pe, p, local_n),
-            None,
-        )
-        .expect("striped sort");
-        let wall_s = started.elapsed().as_secs_f64();
+        let mut walls = Vec::with_capacity(reps);
+        let mut last = None;
+        for _ in 0..reps.max(1) {
+            let started = std::time::Instant::now();
+            let outcome = striped_sort_cluster::<Element16, _>(
+                &cfg,
+                |pe, p| generate_pe_input(InputSpec::Uniform, 0xBE6C_57A1, pe, p, local_n),
+                None,
+            )
+            .expect("striped sort");
+            walls.push(started.elapsed().as_secs_f64());
+            last = Some(outcome);
+        }
+        let outcome = last.expect("at least one rep");
+        let wall_s = median(&mut walls);
         let records = outcome.per_pe.first().map_or(0, |o| o.output.elems);
         let split_probes: u64 =
             outcome.per_pe.iter().flat_map(|o| &o.phases).map(|(_, st)| st.cpu.split_probes).sum();
         runs_json.push(Json::Obj(vec![
             ("cores".into(), Json::Uint(cores as u64)),
+            ("reps".into(), Json::Uint(walls.len() as u64)),
             ("wall_s".into(), Json::Num(wall_s)),
             ("records_per_s".into(), Json::Uint((records as f64 / wall_s) as u64)),
             ("split_probes".into(), Json::Uint(split_probes)),
+            ("pool".into(), pool_json(&outcome.per_pe)),
             ("phases".into(), Json::Obj(striped_phase_rates(&outcome.per_pe, records))),
         ]));
     }
@@ -701,9 +772,9 @@ mod tests {
 
     #[test]
     fn bench_striped_json_is_machine_readable_and_covers_both_factors() {
-        let s = bench_striped_json(&smoke(), 3, &[0, 1]);
+        let s = bench_striped_json_reps(&smoke(), 3, &[0, 1], 1);
         // Shape pins, now through the shared parser: both replication
-        // factors, both striped phases, positive rates.
+        // factors, both striped phases, positive rates, pool counters.
         let doc = Json::parse(s.trim()).expect("BENCH output parses");
         assert_eq!(doc.get("bench").and_then(Json::as_str), Some("striped"), "{s}");
         let runs = doc.get("runs").and_then(Json::as_arr).expect("runs array");
@@ -713,6 +784,12 @@ mod tests {
         for run in runs {
             let rate = run.get("records_per_s").and_then(Json::as_f64).expect("rate");
             assert!(rate > 0.0, "rates must be positive: {s}");
+            assert_eq!(run.get("reps").and_then(Json::as_u64), Some(1), "{s}");
+            let pool = run.get("pool").expect("pool counters object");
+            assert!(
+                pool.get("hits").and_then(Json::as_u64).unwrap_or(0) > 0,
+                "a striped sort must recycle buffers through the pool: {s}"
+            );
             let phases = run.get("phases").expect("phases object");
             for key in ["run_formation", "final_merge"] {
                 let ph = phases.get(key).unwrap_or_else(|| panic!("phase {key} present: {s}"));
@@ -723,7 +800,7 @@ mod tests {
 
     #[test]
     fn bench_merge_parallel_json_sweeps_cores_and_counts_split_probes() {
-        let s = bench_merge_parallel_json(&smoke(), 3, &[1, 2]);
+        let s = bench_merge_parallel_json_reps(&smoke(), 3, &[1, 2], 1);
         let doc = Json::parse(s.trim()).expect("BENCH output parses");
         assert_eq!(doc.get("bench").and_then(Json::as_str), Some("merge_parallel"), "{s}");
         let runs = doc.get("runs").and_then(Json::as_arr).expect("runs array");
@@ -733,10 +810,15 @@ mod tests {
         let probes: Vec<u64> =
             runs.iter().filter_map(|r| r.get("split_probes").and_then(Json::as_u64)).collect();
         assert_eq!(probes[0], 0, "cores=1 performs no split selection: {s}");
-        assert!(probes[1] > 0, "cores=2 must split batches across threads: {s}");
+        assert_eq!(
+            probes[1], 0,
+            "smoke-scale batches sit below PAR_MERGE_MIN_PER_THREAD, so cores=2 \
+             must take the sequential path with zero split probes: {s}"
+        );
         for run in runs {
             let rate = run.get("records_per_s").and_then(Json::as_f64).expect("rate");
             assert!(rate > 0.0, "rates must be positive: {s}");
+            assert!(run.get("pool").is_some(), "pool counters present: {s}");
             let phases = run.get("phases").expect("phases object");
             for key in ["run_formation", "final_merge"] {
                 assert!(phases.get(key).is_some(), "phase {key} present: {s}");

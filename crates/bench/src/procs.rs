@@ -283,12 +283,20 @@ pub fn run_rank(
     tcp.set_tracer(tracer.clone());
 
     // One rank's storage: same in-memory multi-disk engine as the
-    // in-process cluster, so counters are comparable run-for-run.
-    let st = PeStorage::with_backend(
+    // in-process cluster, so counters are comparable run-for-run. The
+    // block-buffer pool is shared with the transport so wire frames
+    // recycle the same buffers the disk path uses.
+    let pool = demsort_types::BufferPool::new(
+        job.machine.block_bytes,
+        job.algo.effective_pool_blocks(&job.machine),
+    );
+    tcp.set_buffer_pool(pool.clone());
+    let st = PeStorage::with_backend_pool(
         job.machine.disks_per_pe,
         job.machine.block_bytes,
         DiskModel::paper(),
         Arc::new(MemBackend::new(job.machine.disks_per_pe)),
+        pool,
     );
     let storage = ClusterStorage::single_traced(
         rank,
@@ -1061,6 +1069,12 @@ pub struct TcpJobCli {
     /// Intra-rank merge/sort threads (`--cores`). Defaults to the
     /// host's parallelism split evenly across the local ranks.
     pub cores: Option<usize>,
+    /// Block-buffer pool capacity in blocks (`--pool-blocks`): how many
+    /// recycled block buffers each rank's data plane keeps. `0` (the
+    /// default) derives the capacity from the memory budget
+    /// ([`MachineConfig::mem_blocks_per_pe`]); explicit values below
+    /// the prefetch+carry minimum are rejected at job validation.
+    pub pool_blocks: usize,
     /// Explicit worker binary path (`--worker-bin`).
     pub worker_bin: Option<String>,
     /// Trace directory (`--trace DIR`): when set, every rank appends a
@@ -1081,6 +1095,7 @@ impl Default for TcpJobCli {
             algorithm: SortAlgo::Canonical,
             replication: 0,
             cores: None,
+            pool_blocks: 0,
             worker_bin: None,
             trace_dir: None,
         }
@@ -1101,6 +1116,8 @@ impl TcpJobCli {
          default 0)\n  \
          --cores C         merge/sort threads per rank (default: host parallelism / local \
          ranks)\n  \
+         --pool-blocks N   block-buffer pool capacity per rank in blocks (default: derived \
+         from --mem-mib)\n  \
          --worker-bin PATH explicit demsort-worker binary\n  \
          --trace DIR       write per-rank JSONL event journals under DIR and stream live \
          progress";
@@ -1131,6 +1148,7 @@ impl TcpJobCli {
             }
             "--replication" => self.replication = cli_parse(bin, &next(flag), "replication"),
             "--cores" => self.cores = Some(cli_parse(bin, &next(flag), "cores")),
+            "--pool-blocks" => self.pool_blocks = cli_parse(bin, &next(flag), "pool-blocks"),
             "--worker-bin" => self.worker_bin = Some(next(flag)),
             "--trace" => self.trace_dir = Some(next(flag)),
             _ => return false,
@@ -1162,6 +1180,7 @@ impl TcpJobCli {
             algo.seed = s;
         }
         algo.replication = self.replication;
+        algo.pool_blocks = self.pool_blocks;
         JobConfig {
             input: input.to_string(),
             output: output.to_string(),
@@ -1409,6 +1428,8 @@ mod tests {
             "1",
             "--cores",
             "2",
+            "--pool-blocks",
+            "12",
         ]
         .iter()
         .map(|s| s.to_string());
@@ -1426,6 +1447,8 @@ mod tests {
         assert_eq!(job.algorithm, SortAlgo::Striped);
         assert_eq!(job.algo.replication, 1);
         assert_eq!(job.machine.cores_per_pe, 2, "--cores overrides the derived default");
+        assert_eq!(job.algo.pool_blocks, 12, "--pool-blocks reaches the algo config");
+        assert_eq!(job.algo.effective_pool_blocks(&job.machine), 12);
         // Without --cores the default splits the host over the ranks.
         let derived = TcpJobCli { ranks: 3, ..TcpJobCli::default() }.machine().cores_per_pe;
         let host = std::thread::available_parallelism().map_or(1, |c| c.get());

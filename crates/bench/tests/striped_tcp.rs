@@ -53,11 +53,16 @@ fn write_gensort_input(path: &Path) {
 
 /// The in-process reference: `sortfile --algo striped` in miniature.
 fn striped_in_process(input: &Path, output: &Path) -> SortReport {
-    striped_in_process_on(input, output, test_machine())
+    striped_in_process_on(input, output, test_machine(), AlgoConfig::default())
 }
 
-fn striped_in_process_on(input: &Path, output: &Path, machine: MachineConfig) -> SortReport {
-    let cfg = SortConfig::new(machine, AlgoConfig::default()).expect("valid");
+fn striped_in_process_on(
+    input: &Path,
+    output: &Path,
+    machine: MachineConfig,
+    algo: AlgoConfig,
+) -> SortReport {
+    let cfg = SortConfig::new(machine, algo).expect("valid");
     let input_path = input.to_path_buf();
     let outcome = striped_sort_cluster::<Record100, _>(
         &cfg,
@@ -216,20 +221,24 @@ fn parallel_merge_cores_4_is_byte_identical_to_cores_1_on_both_transports() {
     // cores = 1 in-process run: the sequential baseline.
     let seq_report = striped_in_process(&input, &out_seq);
 
-    // cores = 4 on both transports.
+    // cores = 4 on both transports. Batches at this scale sit below
+    // the engine's per-thread minimum, so the run pins
+    // `par_merge_min_per_thread: 1` (on both transports — the knob is
+    // wire-encoded) to keep the multi-thread fan-out under test.
     let machine4 = MachineConfig { cores_per_pe: 4, ..test_machine() };
+    let algo4 = AlgoConfig { par_merge_min_per_thread: 1, ..AlgoConfig::default() };
     let job = JobConfig {
         input: input.to_string_lossy().into_owned(),
         output: out_tcp.to_string_lossy().into_owned(),
         machine: machine4.clone(),
-        algo: AlgoConfig::default(),
+        algo: algo4.clone(),
         algorithm: SortAlgo::Striped,
         read_timeout_ms: 60_000,
         trace_dir: String::new(),
     };
     let worker = PathBuf::from(env!("CARGO_BIN_EXE_demsort-worker"));
     let tcp = launch(&job, &worker).expect("striped tcp launch (cores = 4)");
-    let local_report = striped_in_process_on(&input, &out_local, machine4);
+    let local_report = striped_in_process_on(&input, &out_local, machine4, algo4);
 
     let seq_bytes = std::fs::read(&out_seq).expect("read cores=1 output");
     assert_eq!(seq_bytes.len(), RECORDS * Record100::BYTES);
@@ -272,4 +281,52 @@ fn parallel_merge_cores_4_is_byte_identical_to_cores_1_on_both_transports() {
     for p in [&input, &out_seq, &out_tcp, &out_local] {
         let _ = std::fs::remove_file(p);
     }
+}
+
+/// Buffer-pool steady state: the data plane warms its pool up and then
+/// recycles. With a pool sized to the working set (`--pool-blocks 64`),
+/// doubling the sorted volume must roughly double the hit count (more
+/// blocks through the same buffers) while misses — which track peak
+/// in-flight buffers, not data volume — grow sublinearly and the miss
+/// *rate* falls: allocation pressure does not scale with N.
+#[test]
+fn buffer_pool_misses_plateau_after_warmup() {
+    let totals = |records: usize| {
+        let algo = AlgoConfig { pool_blocks: 64, ..AlgoConfig::default() };
+        let cfg = SortConfig::new(test_machine(), algo).expect("valid");
+        let outcome = striped_sort_cluster::<Record100, _>(
+            &cfg,
+            move |pe, p| {
+                let shard = demsort_types::ranks::owned_range(pe, p, records as u64);
+                gensort_records(7, shard.start, (shard.end - shard.start) as usize)
+            },
+            None,
+        )
+        .expect("in-process striped sort");
+        outcome
+            .per_pe
+            .iter()
+            .fold(demsort_types::PoolCounters::default(), |acc, o| acc.merge(&o.pool))
+    };
+    let warm = totals(RECORDS);
+    let big = totals(2 * RECORDS);
+    assert!(warm.hits > 0, "a striped sort must recycle buffers through the pool: {warm:?}");
+    assert!(
+        warm.hits > 5 * warm.misses,
+        "steady-state gets must be recycled, not allocated: {warm:?}"
+    );
+    assert_eq!(warm.discarded, 0, "a pool sized to the working set never overflows: {warm:?}");
+    assert_eq!(big.discarded, 0, "a pool sized to the working set never overflows: {big:?}");
+    assert!(big.hits > warm.hits, "pool traffic must grow with the data volume: {big:?}");
+    assert!(
+        big.misses < 2 * warm.misses,
+        "misses track peak in-flight buffers — doubling N must not double them: \
+         {warm:?} vs {big:?}"
+    );
+    // The miss rate itself falls as the sort grows: warmup amortises.
+    let rate = |c: &demsort_types::PoolCounters| c.misses as f64 / (c.hits + c.misses) as f64;
+    assert!(
+        rate(&big) < rate(&warm),
+        "the miss rate must fall as warmup amortises: {warm:?} vs {big:?}"
+    );
 }

@@ -390,9 +390,14 @@ fn write_fragment<R: Record>(st: &PeStorage, payload: &[u8], elems: u64) -> Resu
     let rpb = records_per_block::<R>(block_bytes);
     let mut w = RunWriter::new(st);
     for chunk in payload.chunks(rpb * R::BYTES) {
-        let mut block = vec![0u8; block_bytes];
+        // Stage each block in a pooled buffer (recycled once its write
+        // retires); recycled buffers keep stale bytes, so zero the tail
+        // past the chunk.
+        let mut block = st.pool().get();
         block[..chunk.len()].copy_from_slice(chunk);
-        w.push_block(block.into_boxed_slice())?;
+        block[chunk.len()..].fill(0);
+        st.pool().add_copied(chunk.len() as u64);
+        w.push_block(block)?;
     }
     let mut run = w.finish()?;
     run.bytes = run.blocks.len() as u64 * block_bytes as u64;

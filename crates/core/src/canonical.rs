@@ -153,7 +153,8 @@ where
     G: Fn(usize, usize) -> Vec<R> + Send + Sync,
 {
     let p = cfg.machine.pes;
-    let storage = ClusterStorage::new_mem(&cfg.machine);
+    let storage =
+        ClusterStorage::new_mem_sized(&cfg.machine, cfg.algo.effective_pool_blocks(&cfg.machine));
     let storage_ref = &storage;
     let gen = &gen;
     let results: Vec<Result<PeOutcome<R>>> = run_cluster(p, move |comm| {

@@ -202,18 +202,39 @@ impl ClusterStorage {
         Self::with_backends(cfg, |c| Arc::new(MemBackend::new(c.disks_per_pe)))
     }
 
+    /// [`ClusterStorage::new_mem`] with an explicit per-PE block-buffer
+    /// pool capacity — what the sort entrypoints use to honor
+    /// [`demsort_types::AlgoConfig::pool_blocks`]; `new_mem` itself
+    /// always applies the auto policy.
+    pub fn new_mem_sized(cfg: &MachineConfig, pool_blocks: usize) -> Arc<Self> {
+        Self::build(cfg, pool_blocks, |c| Arc::new(MemBackend::new(c.disks_per_pe)))
+    }
+
     /// Storage with a custom backend per PE (files, fault injection).
     pub fn with_backends(
         cfg: &MachineConfig,
+        make: impl FnMut(&MachineConfig) -> Arc<dyn Backend>,
+    ) -> Arc<Self> {
+        // Each PE gets a buffer pool sized to its memory budget (the
+        // auto policy of `AlgoConfig::effective_pool_blocks`), so the
+        // steady-state data plane recycles instead of allocating.
+        let pool_blocks = cfg.mem_blocks_per_pe().max(cfg.min_pool_blocks());
+        Self::build(cfg, pool_blocks, make)
+    }
+
+    fn build(
+        cfg: &MachineConfig,
+        pool_blocks: usize,
         mut make: impl FnMut(&MachineConfig) -> Arc<dyn Backend>,
     ) -> Arc<Self> {
         let pes: Vec<PeStorage> = (0..cfg.pes)
             .map(|_| {
-                PeStorage::with_backend(
+                PeStorage::with_backend_pool(
                     cfg.disks_per_pe,
                     cfg.block_bytes,
                     DiskModel::paper(),
                     make(cfg),
+                    demsort_types::BufferPool::new(cfg.block_bytes, pool_blocks),
                 )
             })
             .collect();
@@ -352,11 +373,24 @@ impl ClusterStorage {
             let pe = self.pe(owner);
             let disks = pe.disks();
             let engine = pe.engine();
+            let pool = pe.pool();
             let stores = blocks
                 .iter()
                 .map(|&(hint, data)| {
                     let id = pe.alloc().alloc_on(hint as usize % disks);
-                    BlockStore::local(id, engine.write(id, data.to_vec().into_boxed_slice()))
+                    // Stage the write in a pooled buffer (recycled when
+                    // the write retires) when the payload is exactly one
+                    // block; odd-sized payloads fall back to a fresh
+                    // allocation.
+                    let staged: Box<[u8]> = if data.len() == pool.buf_bytes() {
+                        let mut buf = pool.get();
+                        buf.copy_from_slice(data);
+                        buf
+                    } else {
+                        data.to_vec().into_boxed_slice()
+                    };
+                    pool.add_copied(data.len() as u64);
+                    BlockStore::local(id, engine.write(id, staged))
                 })
                 .collect();
             return Ok((stores, target));
@@ -410,7 +444,15 @@ impl ClusterStorage {
             return Ok((data, FetchSource::Cache));
         }
         let block = self.fetch_block(owner, id)?;
-        let data: Arc<[u8]> = Arc::from(block);
+        // The cache shares blocks by `Arc`, which needs one copy into
+        // the refcounted allocation; the fetch buffer itself goes back
+        // to the pool.
+        let data: Arc<[u8]> = Arc::from(&block[..]);
+        if self.is_local(my_rank) {
+            let pool = self.pe(my_rank).pool();
+            pool.add_copied(block.len() as u64);
+            pool.put(block);
+        }
         cache.put(owner, id, Arc::clone(&data));
         let source =
             if owner == my_rank { FetchSource::LocalDisk } else { FetchSource::RemoteDisk };

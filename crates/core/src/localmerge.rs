@@ -287,6 +287,10 @@ mod tests {
         assert_eq!(par, seq, "parallel local merge must be byte-identical");
         assert_eq!(par_cpu.merge_work, seq_cpu.merge_work, "same n · ⌈log2 R⌉ charge");
         assert_eq!(seq_cpu.split_probes, 0, "streaming path never splits");
-        assert!(par_cpu.split_probes > 0, "parallel path accounts its split probes");
+        assert_eq!(
+            par_cpu.split_probes, 0,
+            "batches this small sit below PAR_MERGE_MIN_PER_THREAD — the \
+             parallel path must fall back to the sequential merge, probe-free"
+        );
     }
 }

@@ -204,6 +204,25 @@ pub fn par_merge_k_into<T: Ord + Copy + Send + Sync>(
     par_merge_k_traced(seqs, cores, out, |_, _, _, _| 0, |_, _, _, _, _| {})
 }
 
+/// [`par_merge_k_into`] with an explicit per-thread minimum (see
+/// [`PAR_MERGE_MIN_PER_THREAD`]; 0 selects the auto policy, tests pass
+/// 1 to force parallelism on small inputs).
+pub fn par_merge_k_into_with_min<T: Ord + Copy + Send + Sync>(
+    seqs: &[&[T]],
+    cores: usize,
+    min_per_thread: usize,
+    out: &mut Vec<T>,
+) -> ParMerge {
+    par_merge_k_traced_with_min(
+        seqs,
+        cores,
+        min_per_thread,
+        out,
+        |_, _, _, _| 0,
+        |_, _, _, _, _| {},
+    )
+}
+
 /// [`merge_k_below_into`] on up to `cores` threads (see
 /// [`par_merge_k_into`]); returns the per-source cuts in
 /// [`ParMerge::cuts`].
@@ -214,6 +233,28 @@ pub fn par_merge_k_below_into<T: Ord + Copy + Send + Sync>(
     out: &mut Vec<T>,
 ) -> ParMerge {
     par_merge_k_below_traced(seqs, below, cores, out, |_, _, _, _| 0, |_, _, _, _, _| {})
+}
+
+/// [`par_merge_k_below_into`] with an explicit per-thread minimum.
+pub fn par_merge_k_below_into_with_min<T: Ord + Copy + Send + Sync>(
+    seqs: &[&[T]],
+    below: impl Fn(&T) -> bool,
+    cores: usize,
+    min_per_thread: usize,
+    out: &mut Vec<T>,
+) -> ParMerge {
+    let cuts: Vec<usize> = seqs.iter().map(|s| s.partition_point(|x| below(x))).collect();
+    let prefixes: Vec<&[T]> = seqs.iter().zip(&cuts).map(|(s, &c)| &s[..c]).collect();
+    let mut pm = par_merge_k_traced_with_min(
+        &prefixes,
+        cores,
+        min_per_thread,
+        out,
+        |_, _, _, _| 0,
+        |_, _, _, _, _| {},
+    );
+    pm.cuts = cuts;
+    pm
 }
 
 /// [`par_merge_k_below_into`] with per-thread span hooks (the striped
@@ -238,6 +279,41 @@ pub fn par_merge_k_below_traced<T: Ord + Copy + Send + Sync>(
     pm
 }
 
+/// [`par_merge_k_below_traced`] with an explicit per-thread minimum.
+pub fn par_merge_k_below_traced_with_min<T: Ord + Copy + Send + Sync>(
+    seqs: &[&[T]],
+    below: impl Fn(&T) -> bool,
+    cores: usize,
+    min_per_thread: usize,
+    out: &mut Vec<T>,
+    begin: impl Fn(usize, usize, usize, usize) -> u64 + Sync,
+    end: impl Fn(u64, usize, usize, usize, usize) + Sync,
+) -> ParMerge {
+    let cuts: Vec<usize> = seqs.iter().map(|s| s.partition_point(|x| below(x))).collect();
+    let prefixes: Vec<&[T]> = seqs.iter().zip(&cuts).map(|(s, &c)| &s[..c]).collect();
+    let mut pm = par_merge_k_traced_with_min(&prefixes, cores, min_per_thread, out, begin, end);
+    pm.cuts = cuts;
+    pm
+}
+
+/// Minimum records per merge thread before the parallel merge engages.
+///
+/// Splitting a batch costs `O(k · cores · log²)` selection probes plus
+/// thread spawns — pure overhead the sequential merge does not pay. On
+/// small batches (a memory-bounded striped merge at smoke scale) that
+/// overhead dwarfs the merge itself and made `cores=8` slower than
+/// `cores=1`; below this floor per thread, the extra threads cannot win.
+/// The auto policy (`min_per_thread == 0` on the `_with_min` variants,
+/// and every default entry point) scales the thread count down to
+/// `total / PAR_MERGE_MIN_PER_THREAD` (collapsing to the sequential
+/// path, with zero split probes, when that is 1) and additionally caps
+/// it at the host's available parallelism — a configured `cores` above
+/// what the machine can actually run in parallel only time-slices the
+/// same comparisons and can never win. An explicit `min_per_thread ≥ 1`
+/// is manual scheduling: the floor is taken literally and the host cap
+/// does not apply (tests pass 1 to force fan-out on any host).
+pub const PAR_MERGE_MIN_PER_THREAD: usize = 8192;
+
 /// [`par_merge_k_into`] with per-thread span hooks.
 pub fn par_merge_k_traced<T: Ord + Copy + Send + Sync>(
     seqs: &[&[T]],
@@ -246,9 +322,34 @@ pub fn par_merge_k_traced<T: Ord + Copy + Send + Sync>(
     begin: impl Fn(usize, usize, usize, usize) -> u64 + Sync,
     end: impl Fn(u64, usize, usize, usize, usize) + Sync,
 ) -> ParMerge {
+    par_merge_k_traced_with_min(seqs, cores, 0, out, begin, end)
+}
+
+/// [`par_merge_k_traced`] with an explicit per-thread minimum: at most
+/// `total / min_per_thread` threads are used (at least one), so a
+/// too-small batch takes the sequential path with zero split probes.
+/// `min_per_thread == 0` selects the auto policy
+/// ([`PAR_MERGE_MIN_PER_THREAD`] plus the host-parallelism cap); an
+/// explicit minimum is taken literally with no host cap.
+pub fn par_merge_k_traced_with_min<T: Ord + Copy + Send + Sync>(
+    seqs: &[&[T]],
+    cores: usize,
+    min_per_thread: usize,
+    out: &mut Vec<T>,
+    begin: impl Fn(usize, usize, usize, usize) -> u64 + Sync,
+    end: impl Fn(u64, usize, usize, usize, usize) + Sync,
+) -> ParMerge {
     let total: usize = seqs.iter().map(|s| s.len()).sum();
     let full: Vec<usize> = seqs.iter().map(|s| s.len()).collect();
-    let cores = cores.max(1).min(total.max(1));
+    let host_cap = match min_per_thread {
+        0 => std::thread::available_parallelism().map_or(usize::MAX, |n| n.get()),
+        _ => usize::MAX,
+    };
+    let min = match min_per_thread {
+        0 => PAR_MERGE_MIN_PER_THREAD,
+        m => m,
+    };
+    let cores = (total / min).clamp(1, cores.max(1).min(host_cap)).min(total.max(1));
     if cores == 1 || total < 2 * cores {
         let id = begin(0, 1, total, total);
         merge_k_into(seqs, out);
@@ -561,9 +662,10 @@ mod tests {
         let refs: Vec<&[u32]> = seqs.iter().map(|s| s.as_slice()).collect();
         let opened = Mutex::new(Vec::new());
         let mut out = Vec::new();
-        let pm = par_merge_k_traced(
+        let pm = par_merge_k_traced_with_min(
             &refs,
             4,
+            1,
             &mut out,
             |t, n, len, total| {
                 opened.lock().unwrap().push((t, n, len, total));
@@ -598,7 +700,7 @@ mod tests {
             let mut seq_out = Vec::new();
             let seq_cuts = merge_k_below_into(&refs, below, &mut seq_out);
             let mut par_out = Vec::new();
-            let pm = par_merge_k_below_into(&refs, below, cores, &mut par_out);
+            let pm = par_merge_k_below_into_with_min(&refs, below, cores, 1, &mut par_out);
             prop_assert_eq!(&par_out, &seq_out);
             prop_assert_eq!(&pm.cuts, &seq_cuts);
             prop_assert_eq!(pm.range_lens.iter().sum::<usize>(), seq_out.len());
@@ -652,6 +754,21 @@ mod tests {
                 merge_k_into(&pieces, &mut cat);
             }
             prop_assert_eq!(cat, merge_k(&views));
+        }
+    }
+
+    #[test]
+    fn below_threshold_batches_merge_sequentially() {
+        // 1000 records < PAR_MERGE_MIN_PER_THREAD: the default entry
+        // points must not pay for a split, whatever the core count.
+        let seqs: Vec<Vec<u32>> = (0..4).map(|i| (0..250).map(|j| j * 4 + i).collect()).collect();
+        let refs: Vec<&[u32]> = seqs.iter().map(|s| s.as_slice()).collect();
+        for cores in [1, 2, 8] {
+            let mut out = Vec::new();
+            let pm = par_merge_k_into(&refs, cores, &mut out);
+            assert_eq!(out, (0..1000).collect::<Vec<u32>>());
+            assert_eq!(pm.split_probes, 0, "below-threshold batch must not probe (cores {cores})");
+            assert_eq!(pm.range_lens, vec![1000]);
         }
     }
 

@@ -47,13 +47,14 @@ pub struct Sample<R> {
 /// Streaming writer of a record-aligned sorted run.
 pub struct RecordRunWriter<'a, R: Record> {
     inner: RunWriter<'a>,
+    st: &'a PeStorage,
     buf: Vec<R>,
     rpb: usize,
     elems: u64,
     sample_every: usize,
     samples: Vec<Sample<R>>,
     block_first_keys: Vec<R::Key>,
-    scratch: Vec<u8>,
+    block_bytes: usize,
 }
 
 impl<'a, R: Record> RecordRunWriter<'a, R> {
@@ -69,13 +70,14 @@ impl<'a, R: Record> RecordRunWriter<'a, R> {
         let rpb = records_per_block::<R>(st.block_bytes());
         Self {
             inner: RunWriter::with_window(st, window.max(st.disks())),
+            st,
             buf: Vec::with_capacity(rpb),
             rpb,
             elems: 0,
             sample_every,
             samples: Vec::new(),
             block_first_keys: Vec::new(),
-            scratch: vec![0u8; st.block_bytes()],
+            block_bytes: st.block_bytes(),
         }
     }
 
@@ -104,10 +106,16 @@ impl<'a, R: Record> RecordRunWriter<'a, R> {
     }
 
     fn flush_block(&mut self) -> Result<()> {
-        self.scratch.fill(0);
-        R::encode_slice(&self.buf, &mut self.scratch);
+        // Encode straight into a pooled block (recycled once its write
+        // retires) instead of cloning a scratch buffer per block.
+        // Recycled buffers keep their previous contents, so only the
+        // tail past the encoded records needs zeroing.
+        let mut block = self.st.pool().get();
+        R::encode_slice(&self.buf, &mut block);
+        block[self.buf.len() * R::BYTES..].fill(0);
+        self.st.pool().add_copied((self.buf.len() * R::BYTES) as u64);
         self.buf.clear();
-        self.inner.push_block(self.scratch.clone().into_boxed_slice())
+        self.inner.push_block(block)
     }
 
     /// Records written so far.
@@ -123,7 +131,7 @@ impl<'a, R: Record> RecordRunWriter<'a, R> {
         let mut run = self.inner.finish()?;
         // The writer zero-pads partial tails; logical length is in
         // elements, so normalize the byte length to the aligned layout.
-        run.bytes = run.blocks.len() as u64 * self.scratch.len() as u64;
+        run.bytes = run.blocks.len() as u64 * self.block_bytes as u64;
         Ok(FinishedRun {
             run,
             elems: self.elems,
@@ -241,6 +249,8 @@ impl<'a, R: Record> RecordRunReader<'a, R> {
             let in_block = (self.end_elem.min((block_idx as u64 + 1) * self.rpb as u64)
                 - block_start) as usize;
             R::decode_slice(&data[..in_block * R::BYTES], &mut self.current);
+            self.st.pool().add_copied((in_block * R::BYTES) as u64);
+            self.st.pool().put(data);
             self.current_pos = (self.next_elem - block_start) as usize;
             if self.free_after_read {
                 self.st.free_block(self.run.blocks[block_idx]);

@@ -7,21 +7,46 @@
 //! every element right of any splitter (under a total order that breaks
 //! key ties by sequence index, making the partition unique).
 //!
-//! The algorithm is the paper's: approximate splitter positions move in
-//! halving steps. Starting from step size `s = 2^⌈log2 M⌉`:
+//! Two search strategies share the entry points, picked by how much
+//! positional information the caller brings:
 //!
-//! 1. while fewer than `r` elements are left of the splitters, advance
+//! **Cold starts** ([`multiway_select`], or [`multiway_select_from`]
+//! with all-zero positions and a full-width step) run a deterministic
+//! pivot search: pick the middle element of the widest undecided
+//! splitter range as the pivot, rank it globally with one binary search
+//! per sequence (under the total order that breaks key ties by sequence
+//! index, then position), and shrink every sequence's range toward the
+//! rank-`r` boundary. Every round narrows *all* `R` ranges — `O(R log
+//! M)` probes per round, `O(log M)` effective rounds — which is what
+//! makes `R > 2` cold selections cheap; greedy single-splitter walks
+//! (the refinement below) move only one boundary per round and
+//! degenerate to `Θ(n)` one-element repairs from a cold start.
+//!
+//! **Warm starts** (sample-initialized external selection, Appendix B)
+//! refine the paper's way: approximate splitter positions move in
+//! halving steps starting from the sample spacing `s = K`:
+//!
+//! 1. until *more* than `r` elements are left of the splitters, advance
 //!    the splitter whose *head* (next element right of it) is smallest;
 //! 2. while more than `r` elements are left, retreat the splitter whose
 //!    *tail* (last element left of it) is largest;
 //! 3. halve `s` and repeat until `s = 1`, then run steps 1–2 once more.
 //!
+//! The up phase deliberately *overshoots* `r` (the paper: "increased by
+//! `s` until the number of elements to the left of the splitters becomes
+//! larger than `r`"): each advance-past/retreat-back wiggle at step `s`
+//! re-sorts the boundary at granularity `s`, so every halving round
+//! refines the partition even when the count already equals `r`.
+//! Stopping at `count == r` instead would freeze all remaining rounds
+//! whenever a coarse advance lands exactly on the rank (routine when
+//! lengths and ranks share a power-of-two factor) and leave the entire
+//! split to the one-element-at-a-time repair pass below.
+//!
 //! After the `s = 1` round the count is exactly `r`; a final exchange
-//! pass repairs any residual misordering between left and right sets
-//! (possible when a coarse round happened to land on count `r` and the
-//! while-loops never fired). Each exchange strictly shrinks the set of
-//! cross-pairs, so termination is immediate in practice and guaranteed
-//! in theory.
+//! pass repairs any residual misordering between left and right sets.
+//! Each exchange strictly shrinks the set of cross-pairs, so termination
+//! is immediate when the start was within the sample spacing of the
+//! answer — the warm start's contract.
 //!
 //! Probing a sequence is **fallible**: external selection
 //! ([`crate::extselect`]) reads blocks that may live on a remote PE's
@@ -130,9 +155,89 @@ impl<T, K: Ord + Copy, F: Fn(&T) -> K> SortedSeq for KeyedSlice<'_, T, K, F> {
 pub fn multiway_select<S: SortedSeq>(seqs: &mut [S], r: u64) -> Result<SelectionResult> {
     let total: u64 = seqs.iter().map(|s| s.len() as u64).sum();
     assert!(r <= total, "rank {r} > total {total}");
-    let max_len = seqs.iter().map(|s| s.len()).max().unwrap_or(0);
-    let init = vec![0usize; seqs.len()];
-    multiway_select_from(seqs, r, init, max_len.next_power_of_two().max(1))
+    multiway_select_pivot(seqs, r)
+}
+
+/// Cold-start selection by deterministic pivoting (see the module doc):
+/// each round ranks the middle element of the widest undecided splitter
+/// range and clamps every sequence's range toward the boundary.
+fn multiway_select_pivot<S: SortedSeq>(seqs: &mut [S], r: u64) -> Result<SelectionResult> {
+    let n = seqs.len();
+    let full: Vec<usize> = seqs.iter().map(|s| s.len()).collect();
+    let total: u64 = full.iter().map(|&l| l as u64).sum();
+    if r == 0 {
+        return Ok(SelectionResult { positions: vec![0; n], probes: 0 });
+    }
+    if r == total {
+        return Ok(SelectionResult { positions: full, probes: 0 });
+    }
+    // Invariant: the true splitter of sequence `i` lies in
+    // `lo[i]..=hi[i]` (the left set — the `r` smallest under the
+    // (key, seq, pos) total order — is unique, so the splitters are
+    // too).
+    let mut lo = vec![0usize; n];
+    let mut hi = full;
+    let mut probes = 0u64;
+    // Pivot from the widest undecided range: ranking it halves that
+    // range, so rounds are logarithmic in the longest sequence.
+    while let Some(j) = (0..n).filter(|&i| hi[i] > lo[i]).max_by_key(|&i| hi[i] - lo[i]) {
+        let m = lo[j] + (hi[j] - lo[j]) / 2;
+        probes += 1;
+        let k = seqs[j].key_at(m)?;
+        // Global rank of the pivot element (k, j, m): elements of `j`
+        // before position `m` (keys < k plus equal keys at earlier
+        // positions), plus each other sequence's prefix that precedes
+        // (k, j) under the tie-break — found by binary search.
+        let mut c = vec![0usize; n];
+        c[j] = m;
+        let mut rank = m as u64;
+        for i in 0..n {
+            if i == j {
+                continue;
+            }
+            let (mut a, mut b) = (0usize, seqs[i].len());
+            while a < b {
+                let mid = a + (b - a) / 2;
+                probes += 1;
+                let ke = seqs[i].key_at(mid)?;
+                if ke < k || (ke == k && i < j) {
+                    a = mid + 1;
+                } else {
+                    b = mid;
+                }
+            }
+            c[i] = a;
+            rank += a as u64;
+        }
+        match rank.cmp(&r) {
+            // Exactly r elements precede the pivot: the left set is
+            // precisely those elements, so `c` is the exact partition.
+            std::cmp::Ordering::Equal => return Ok(SelectionResult { positions: c, probes }),
+            std::cmp::Ordering::Less => {
+                // The pivot is among the r smallest, hence so is every
+                // element before it: splitters sit at or past `c` (past
+                // the pivot itself in sequence `j`).
+                for i in 0..n {
+                    lo[i] = lo[i].max(c[i]);
+                }
+                lo[j] = lo[j].max(m + 1);
+            }
+            std::cmp::Ordering::Greater => {
+                // The pivot is not among the r smallest, so nothing at
+                // or after it is: splitters sit at or before `c`.
+                for i in 0..n {
+                    hi[i] = hi[i].min(c[i]);
+                }
+                hi[j] = hi[j].min(m);
+            }
+        }
+    }
+    debug_assert_eq!(
+        lo.iter().map(|&p| p as u64).sum::<u64>(),
+        r,
+        "empty ranges must pin the exact rank"
+    );
+    Ok(SelectionResult { positions: lo, probes })
 }
 
 /// Selection with explicit initial positions and step size — the entry
@@ -151,6 +256,14 @@ pub fn multiway_select_from<S: SortedSeq>(
     assert_eq!(pos.len(), seqs.len());
     for (p, s) in pos.iter().zip(seqs.iter()) {
         assert!(*p <= s.len(), "initial position out of range");
+    }
+    // All-zero positions at full-width step carry no warm-start
+    // information (external selection with sampling disabled lands
+    // here): route to the pivot search, which stays probe-logarithmic
+    // without a warm start.
+    let max_len = seqs.iter().map(|s| s.len()).max().unwrap_or(0);
+    if init_step >= max_len && pos.iter().all(|&p| p == 0) {
+        return multiway_select_pivot(seqs, r);
     }
     let mut probes = 0u64;
     let mut count: u64 = pos.iter().map(|&p| p as u64).sum();
@@ -187,8 +300,10 @@ pub fn multiway_select_from<S: SortedSeq>(
     loop {
         // Advance the splitter with the smallest head until count > r
         // (paper: "increased by s until the number of elements to the
-        // left of the splitters becomes larger than r").
-        while count < r {
+        // left of the splitters becomes larger than r"). The overshoot
+        // is load-bearing: landing exactly on r at a coarse step must
+        // not stall the refinement (see the module doc).
+        while count <= r {
             let mut best: Option<(S::Key, usize)> = None;
             for (i, s) in seqs.iter_mut().enumerate() {
                 let at = (pos[i] < s.len()).then_some(pos[i]);

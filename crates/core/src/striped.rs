@@ -47,7 +47,7 @@
 //! per-owner batches.
 
 use crate::ctx::{assemble_report, BlockFetch, ClusterStorage, PhaseRecorder};
-use crate::merge::{merge_cpu, par_merge_k_below_traced, par_merge_k_traced};
+use crate::merge::{merge_cpu, par_merge_k_below_traced_with_min, par_merge_k_traced_with_min};
 use crate::psort::{parallel_sort, parallel_sort_presorted};
 use crate::recio::records_per_block;
 use crate::runform::{ingest_input, LocalInput};
@@ -124,6 +124,11 @@ pub struct StripedOutcome<R: Record> {
     /// next batch's reads are in flight while the current batch
     /// merges).
     pub phases: Vec<(Phase, PhaseStats)>,
+    /// Cumulative buffer-pool counters of this PE's data plane at the
+    /// end of the sort. Diagnostics only: the hit/miss split depends on
+    /// worker timing, so it is never part of the pinned identity
+    /// surface (unlike `cpu` and `phases`).
+    pub pool: demsort_types::PoolCounters,
 }
 
 /// The rank mapping a merge runs under. In the common case it is the
@@ -291,6 +296,8 @@ pub fn striped_mergesort_resilient<R: Record + Ord>(
         for (h, valid) in handles {
             let buf = h.wait()?;
             R::decode_slice(&buf[..valid * R::BYTES], &mut data);
+            st.pool().add_copied((valid * R::BYTES) as u64);
+            st.pool().put(buf);
         }
         let (sorted, sort_cpu) = parallel_sort(comm, data, cores)?;
         cpu = cpu.merge(&sort_cpu);
@@ -402,7 +409,19 @@ pub fn striped_mergesort_resilient<R: Record + Ord>(
     }
     tr.end(merge_span, pev(Phase::FinalMerge));
 
-    Ok(StripedOutcome { output, runs: num_runs, passes, cpu, phases: rec.into_stats() })
+    // Checkpoint the buffer-pool counters: in steady state the journal
+    // shows hits climbing while misses stay flat (diagnostics only —
+    // hit/miss splits are timing-dependent, never an identity surface).
+    let pc = st.pool().counters();
+    tr.instant(TraceEv::PoolStats {
+        hits: pc.hits,
+        misses: pc.misses,
+        recycled: pc.recycled,
+        discarded: pc.discarded,
+        copied_bytes: pc.copied_bytes,
+    });
+
+    Ok(StripedOutcome { output, runs: num_runs, passes, cpu, phases: rec.into_stats(), pool: pc })
 }
 
 /// Run the merge passes over `runs` until one run remains. Collective
@@ -627,6 +646,7 @@ fn write_striped<R: Record>(
     let mut mine: std::collections::BTreeMap<u64, (Vec<u8>, usize)> =
         std::collections::BTreeMap::new();
     let block_bytes = st.block_bytes();
+    let mut assembled_bytes = 0u64;
     for buf in &received {
         let mut at = 0usize;
         while at < buf.len() {
@@ -636,13 +656,23 @@ fn write_striped<R: Record>(
             let count =
                 u32::from_le_bytes(buf[at + 12..at + 16].try_into().expect("4 bytes")) as usize;
             let bytes = count * R::BYTES;
-            let entry = mine.entry(g).or_insert_with(|| (vec![0u8; block_bytes], 0));
+            // Assemble into a pooled block: `get_vec` hands back an
+            // empty vec with one block of capacity, and resizing from
+            // zero zero-fills it, so partially covered tails stay
+            // deterministically padded.
+            let entry = mine.entry(g).or_insert_with(|| {
+                let mut v = st.pool().get_vec();
+                v.resize(block_bytes, 0);
+                (v, 0)
+            });
             entry.0[within * R::BYTES..within * R::BYTES + bytes]
                 .copy_from_slice(&buf[at + 16..at + 16 + bytes]);
             entry.1 += count;
+            assembled_bytes += bytes as u64;
             at += 16 + bytes;
         }
     }
+    st.pool().add_copied(assembled_bytes);
 
     // Write assembled blocks to the designated local disk and collect
     // (g, block id, first key) for the directory.
@@ -658,7 +688,8 @@ fn write_striped<R: Record>(
         triples.push((g, id, first, expect as u32));
     }
     for h in pending {
-        h.wait()?;
+        // The write worker hands the staged buffer back; recycle it.
+        st.pool().put(h.wait()?);
     }
 
     // Allgather the directory (every PE learns the whole striped run).
@@ -825,11 +856,13 @@ fn merge_striped_group<R: Record + Ord>(
                 }
             }
             std::thread::scope(|s| {
-                for (src, bufs) in sources.iter_mut().zip(&per_run) {
+                for (src, bufs) in sources.iter_mut().zip(per_run) {
                     if !bufs.is_empty() {
                         s.spawn(move || {
                             for (buf, valid) in bufs {
                                 R::decode_slice(&buf[..valid * R::BYTES], src);
+                                st.pool().add_copied((valid * R::BYTES) as u64);
+                                st.pool().put(buf);
                             }
                         });
                     }
@@ -839,6 +872,8 @@ fn merge_striped_group<R: Record + Ord>(
             for (r, id, valid, fetch) in current {
                 let buf = fetch.wait()?;
                 R::decode_slice(&buf[..valid * R::BYTES], &mut sources[r]);
+                st.pool().add_copied((valid * R::BYTES) as u64);
+                st.pool().put(buf);
                 // In-place: the slot is reusable once consumed; the
                 // backing bytes are only released on overwrite — unless
                 // the run is an initial run of a replicated sort, which
@@ -884,16 +919,27 @@ fn merge_striped_group<R: Record + Ord>(
                 TraceEv::MergePar { pass, group: group_idx, batch: b, thread, threads, len, total },
             )
         };
+        // 0 = the engine's auto policy (per-thread floor + host cap);
+        // an explicit knob value forces that floor on any host.
+        let min_per_thread = cfg.algo.par_merge_min_per_thread;
         let pm = match &threshold {
-            Some(t) => par_merge_k_below_traced(
+            Some(t) => par_merge_k_below_traced_with_min(
                 &views,
                 |x| x.key() < *t,
                 cores,
+                min_per_thread,
                 &mut emit,
                 span_begin,
                 span_end,
             ),
-            None => par_merge_k_traced(&views, cores, &mut emit, span_begin, span_end),
+            None => par_merge_k_traced_with_min(
+                &views,
+                cores,
+                min_per_thread,
+                &mut emit,
+                span_begin,
+                span_end,
+            ),
         };
         drop(views);
         for (s, cut) in sources.iter_mut().zip(pm.cuts) {
@@ -1055,7 +1101,8 @@ where
     G: Fn(usize, usize) -> Vec<R> + Send + Sync,
 {
     let p = cfg.machine.pes;
-    let storage = ClusterStorage::new_mem(&cfg.machine);
+    let storage =
+        ClusterStorage::new_mem_sized(&cfg.machine, cfg.algo.effective_pool_blocks(&cfg.machine));
     let storage_ref = &storage;
     let gen = &gen;
     let results: Vec<Result<StripedOutcome<R>>> = run_cluster(p, move |comm| {
@@ -1327,8 +1374,11 @@ mod tests {
         let p = 2;
         let local_n = 1200;
         let run = |cores: usize| {
-            let cfg =
-                SortConfig::new(MachineConfig::tiny(p), AlgoConfig::default()).expect("valid");
+            // Tiny inputs sit below the engagement threshold; force the
+            // fan-out so the byte-identity and journal pins stay
+            // meaningful at test scale.
+            let algo = AlgoConfig { par_merge_min_per_thread: 1, ..AlgoConfig::default() };
+            let cfg = SortConfig::new(MachineConfig::tiny(p), algo).expect("valid");
             let storage = ClusterStorage::new_mem(&cfg.machine);
             let storage_ref = &storage;
             let cfg_ref = &cfg;

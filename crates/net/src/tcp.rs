@@ -36,9 +36,9 @@
 use crate::transport::Transport;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use demsort_types::trace::TraceEv;
-use demsort_types::{wire, Error, Result, Tracer};
+use demsort_types::{wire, BufferPool, Error, Result, Tracer};
 use std::collections::HashMap;
-use std::io::{BufWriter, ErrorKind, Read, Write};
+use std::io::{BufWriter, ErrorKind, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -128,21 +128,52 @@ struct PeerLink {
 
 impl PeerLink {
     fn write_frame(&self, kind: u8, payload: &[u8]) -> Result<()> {
-        if payload.len() > MAX_FRAME {
+        self.write_frame_parts(kind, &[payload])
+    }
+
+    /// Write one frame whose payload is the concatenation of `parts`,
+    /// gather-style: header and parts go through `write_vectored`
+    /// straight into the buffered writer — the frame is never glued
+    /// into an intermediate buffer. Wire metering is identical to
+    /// [`write_frame`](Self::write_frame) of the concatenated payload.
+    fn write_frame_parts(&self, kind: u8, parts: &[&[u8]]) -> Result<()> {
+        let len: usize = parts.iter().map(|p| p.len()).sum();
+        if len > MAX_FRAME {
             return Err(Error::comm(format!(
-                "send to rank {}: frame of {} bytes exceeds the wire limit ({MAX_FRAME}); \
+                "send to rank {}: frame of {len} bytes exceeds the wire limit ({MAX_FRAME}); \
                  split the message (chunked_alltoallv) before sending",
-                self.peer,
-                payload.len()
+                self.peer
             )));
         }
         let mut w = self.writer.lock().expect("writer lock");
-        let header = frame_header(kind, payload.len());
-        w.write_all(&header)
-            .and_then(|()| w.write_all(payload))
-            .map_err(|e| Error::comm(format!("send to rank {}: write failed: {e}", self.peer)))?;
+        let header = frame_header(kind, len);
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(parts.len() + 1);
+        slices.push(IoSlice::new(&header));
+        // Zero-length slices are skipped: a fully-written vectored call
+        // must leave the slice list empty, and `advance_slices` only
+        // drops slices it advances *through*.
+        slices.extend(parts.iter().filter(|p| !p.is_empty()).map(|p| IoSlice::new(p)));
+        let mut slices = &mut slices[..];
+        while !slices.is_empty() {
+            match w.write_vectored(slices) {
+                Ok(0) => {
+                    return Err(Error::comm(format!(
+                        "send to rank {}: connection closed mid-frame",
+                        self.peer
+                    )));
+                }
+                Ok(n) => IoSlice::advance_slices(&mut slices, n),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => {
+                    return Err(Error::comm(format!(
+                        "send to rank {}: write failed: {e}",
+                        self.peer
+                    )));
+                }
+            }
+        }
         self.dirty.store(true, Ordering::Release);
-        self.wire_sent.fetch_add((header.len() + payload.len()) as u64, Ordering::Relaxed);
+        self.wire_sent.fetch_add((header.len() + len) as u64, Ordering::Relaxed);
         Ok(())
     }
 
@@ -356,6 +387,11 @@ struct Inner {
     /// Trace sink shared with the reader threads (they record peer
     /// deaths); `Tracer::off()` until [`TcpTransport::set_tracer`].
     tracer: Arc<Mutex<Tracer>>,
+    /// Block-buffer pool shared with reader threads: block-service
+    /// responses land in recycled buffers and served blocks are
+    /// returned here after their vectored send. `None` until
+    /// [`TcpTransport::set_buffer_pool`].
+    pool: Arc<RwLock<Option<BufferPool>>>,
 }
 
 impl Drop for Inner {
@@ -444,6 +480,7 @@ impl TcpTransport {
         }));
         let shutdown = Arc::new(AtomicBool::new(false));
         let tracer: Arc<Mutex<Tracer>> = Arc::new(Mutex::new(Tracer::off()));
+        let pool: Arc<RwLock<Option<BufferPool>>> = Arc::new(RwLock::new(None));
         let mut readers = Vec::with_capacity(size.saturating_sub(1));
 
         for (j, stream) in streams.into_iter().enumerate() {
@@ -481,6 +518,7 @@ impl TcpTransport {
                 store_handler: Arc::clone(&store_handler),
                 shutdown: Arc::clone(&shutdown),
                 tracer: Arc::clone(&tracer),
+                pool: Arc::clone(&pool),
             };
             readers.push(
                 std::thread::Builder::new()
@@ -508,8 +546,18 @@ impl TcpTransport {
                 shutdown,
                 readers: Mutex::new(readers),
                 tracer,
+                pool,
             }),
         })
+    }
+
+    /// Install the block-buffer pool for this endpoint. Reader threads
+    /// then receive block-service response payloads of exactly the
+    /// pool's buffer size into recycled buffers (zero-copy receive),
+    /// and the block server recycles served blocks after their
+    /// vectored send.
+    pub fn set_buffer_pool(&self, pool: BufferPool) {
+        *self.inner.pool.write().expect("pool lock") = Some(pool);
     }
 
     /// Install the trace sink for this endpoint. Reader threads record
@@ -629,8 +677,14 @@ impl TcpTransport {
         let link = inner.peers[pe].as_ref().expect("peer link");
         for &(disk_hint, data) in blocks {
             let store = self.register_op(pe, BlockOp::Store);
-            let req = wire::encode_store_req(store.id, disk_hint, data);
-            link.write_frame(KIND_STORE_REQ, &req)?;
+            // Gather-write the request: the 16-byte `[id][hint][len]`
+            // prefix (the layout of `wire::encode_store_req`) plus the
+            // block itself, never glued into one buffer.
+            let mut prefix = [0u8; 16];
+            prefix[..8].copy_from_slice(&store.id.to_le_bytes());
+            prefix[8..12].copy_from_slice(&disk_hint.to_le_bytes());
+            prefix[12..16].copy_from_slice(&(data.len() as u32).to_le_bytes());
+            link.write_frame_parts(KIND_STORE_REQ, &[&prefix, data])?;
             stores.push(WireStore(store));
         }
         link.flush()?;
@@ -702,6 +756,15 @@ impl Transport for TcpTransport {
     }
 
     fn send(&self, to: usize, frame: Vec<u8>) -> Result<()> {
+        if to == self.inner.rank {
+            // Self-delivery moves the owned frame into the loopback
+            // queue — no copy.
+            return self
+                .inner
+                .self_tx
+                .send(InboxMsg::Data(frame))
+                .map_err(|_| Error::comm("send to self: loopback queue closed"));
+        }
         self.send_bytes(to, &frame)
     }
 
@@ -714,6 +777,21 @@ impl Transport for TcpTransport {
                 .map_err(|_| Error::comm("send to self: loopback queue closed"));
         }
         self.inner.peers[to].as_ref().expect("peer link").write_frame(KIND_DATA, frame)
+    }
+
+    fn send_vectored(&self, to: usize, parts: &[&[u8]]) -> Result<()> {
+        if to == self.inner.rank {
+            let mut frame = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+            for p in parts {
+                frame.extend_from_slice(p);
+            }
+            return self
+                .inner
+                .self_tx
+                .send(InboxMsg::Data(frame))
+                .map_err(|_| Error::comm("send to self: loopback queue closed"));
+        }
+        self.inner.peers[to].as_ref().expect("peer link").write_frame_parts(KIND_DATA, parts)
     }
 
     fn recv(&self, from: usize) -> Result<Vec<u8>> {
@@ -830,6 +908,7 @@ struct ReaderCtx {
     store_handler: Arc<RwLock<Option<StoreHandler>>>,
     shutdown: Arc<AtomicBool>,
     tracer: Arc<Mutex<Tracer>>,
+    pool: Arc<RwLock<Option<BufferPool>>>,
 }
 
 impl ReaderCtx {
@@ -878,6 +957,35 @@ impl ReaderCtx {
             }
             let kind = header[0];
             let len = u32::from_le_bytes(header[1..5].try_into().expect("4 bytes")) as usize;
+            if kind == KIND_BLOCK_RESP {
+                // Split receive: the 9-byte `[id][status]` prefix lands
+                // on the stack, the body straight into its final buffer
+                // (a recycled pool buffer when the size matches) — the
+                // decode buffer *is* the handed-off buffer, no `to_vec`.
+                if len < 9 {
+                    return; // malformed response: protocol violation
+                }
+                let mut prefix = [0u8; 9];
+                match self.read_full(&mut prefix) {
+                    ReadOutcome::Ok => {}
+                    ReadOutcome::Closed | ReadOutcome::Shutdown => return,
+                }
+                let mut body = self.body_buf(len - 9);
+                match self.read_full(&mut body) {
+                    ReadOutcome::Ok => {}
+                    ReadOutcome::Closed | ReadOutcome::Shutdown => return,
+                }
+                self.link.wire_recv.fetch_add((5 + len) as u64, Ordering::Relaxed);
+                let id = u64::from_le_bytes(prefix[..8].try_into().expect("8 bytes"));
+                let resp = if prefix[8] == 0 {
+                    Ok(body)
+                } else {
+                    // The owner answered with a storage error.
+                    Err(Error::io(String::from_utf8_lossy(&body).into_owned()))
+                };
+                self.complete_by_id(id, resp);
+                continue;
+            }
             let mut payload = vec![0u8; len];
             match self.read_full(&mut payload) {
                 ReadOutcome::Ok => {}
@@ -894,19 +1002,6 @@ impl ReaderCtx {
                     if self.serve_block(&payload).is_err() {
                         return;
                     }
-                }
-                KIND_BLOCK_RESP => {
-                    if payload.len() < 9 {
-                        return;
-                    }
-                    let id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
-                    let resp = if payload[8] == 0 {
-                        Ok(payload[9..].to_vec())
-                    } else {
-                        // The owner answered with a storage error.
-                        Err(Error::io(String::from_utf8_lossy(&payload[9..]).into_owned()))
-                    };
-                    self.complete_by_id(id, resp);
                 }
                 KIND_STORE_REQ => {
                     if self.serve_store(&payload).is_err() {
@@ -938,6 +1033,19 @@ impl ReaderCtx {
         }
     }
 
+    /// A buffer of exactly `len` bytes for an incoming response body:
+    /// a recycled pool buffer when the transport has a pool of that
+    /// size, a fresh allocation otherwise. Contents are garbage; the
+    /// caller must fill it completely.
+    fn body_buf(&self, len: usize) -> Vec<u8> {
+        if let Some(pool) = self.pool.read().expect("pool lock").as_ref() {
+            if pool.buf_bytes() == len {
+                return pool.get().into_vec();
+            }
+        }
+        vec![0u8; len]
+    }
+
     /// Resolve the in-flight request `id` with `resp`. An unknown id
     /// is a response to an abandoned (dropped or timed-out) request:
     /// discard it.
@@ -962,19 +1070,24 @@ impl ReaderCtx {
             Some(h) => h(disk, slot),
             None => Err("no block handler registered on remote rank".to_string()),
         };
-        let mut resp = Vec::with_capacity(9 + result.as_ref().map_or(0, Vec::len));
-        resp.extend_from_slice(&id.to_le_bytes());
-        match &result {
+        // Gather-write the `[id][status]` prefix and the body without
+        // assembling an intermediate response buffer; the served block
+        // is recycled into the pool afterwards.
+        let mut prefix = [0u8; 9];
+        prefix[..8].copy_from_slice(&id.to_le_bytes());
+        match result {
             Ok(data) => {
-                resp.push(0);
-                resp.extend_from_slice(data);
+                prefix[8] = 0;
+                self.link.write_frame_parts(KIND_BLOCK_RESP, &[&prefix, &data])?;
+                if let Some(pool) = self.pool.read().expect("pool lock").as_ref() {
+                    pool.put_vec(data);
+                }
             }
             Err(msg) => {
-                resp.push(1);
-                resp.extend_from_slice(msg.as_bytes());
+                prefix[8] = 1;
+                self.link.write_frame_parts(KIND_BLOCK_RESP, &[&prefix, msg.as_bytes()])?;
             }
         }
-        self.link.write_frame(KIND_BLOCK_RESP, &resp)?;
         self.link.flush()
     }
 

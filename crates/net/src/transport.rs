@@ -54,6 +54,22 @@ pub trait Transport: Send {
         self.send(to, frame.to_vec())
     }
 
+    /// Queue one frame assembled from `parts` (gather-write).
+    ///
+    /// The frame delivered to `to` is the concatenation of the parts —
+    /// receivers cannot tell it from a contiguous [`send`](Self::send).
+    /// Wire transports (TCP) override this with a vectored write so a
+    /// header-plus-payload frame never gets glued into an intermediate
+    /// buffer; the default concatenates for in-process transports that
+    /// hand an owned `Vec` across threads.
+    fn send_vectored(&self, to: usize, parts: &[&[u8]]) -> Result<()> {
+        let mut frame = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+        for p in parts {
+            frame.extend_from_slice(p);
+        }
+        self.send(to, frame)
+    }
+
     /// Receive the next frame from `from` (blocking, FIFO per source).
     ///
     /// Returns [`Error::Comm`](demsort_types::Error) if the peer
@@ -181,6 +197,10 @@ impl<T: Transport> Transport for SubTransport<T> {
 
     fn send_bytes(&self, to: usize, frame: &[u8]) -> Result<()> {
         self.inner.send_bytes(self.members[to], frame)
+    }
+
+    fn send_vectored(&self, to: usize, parts: &[&[u8]]) -> Result<()> {
+        self.inner.send_vectored(self.members[to], parts)
     }
 
     fn recv(&self, from: usize) -> Result<Vec<u8>> {
@@ -314,6 +334,17 @@ mod tests {
         assert_eq!(t1.recv(0).expect("recv"), vec![1]);
         assert_eq!(t1.recv(0).expect("recv"), vec![2]);
         assert_eq!(t0.recv(0).expect("self recv"), vec![9]);
+    }
+
+    #[test]
+    fn send_vectored_concatenates_parts() {
+        let mut mesh = LocalTransport::mesh(2);
+        let t1 = mesh.pop().expect("rank 1");
+        let t0 = mesh.pop().expect("rank 0");
+        t0.send_vectored(1, &[&[1, 2], &[], &[3]]).expect("send");
+        t0.send(1, vec![1, 2, 3]).expect("send");
+        assert_eq!(t1.recv(0).expect("recv"), vec![1, 2, 3]);
+        assert_eq!(t1.recv(0).expect("recv"), vec![1, 2, 3], "indistinguishable from send");
     }
 
     #[test]

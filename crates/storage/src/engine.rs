@@ -15,7 +15,7 @@ use crate::backend::Backend;
 use crate::block::BlockId;
 use crate::disk::{DiskModel, DiskStats};
 use crossbeam::channel::{unbounded, Sender};
-use demsort_types::{IoCounters, Result};
+use demsort_types::{BufferPool, IoCounters, Result};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -93,17 +93,39 @@ pub struct IoEngine {
     workers: Vec<JoinHandle<()>>,
     stats: Arc<Vec<DiskStats>>,
     block_bytes: usize,
+    pool: BufferPool,
 }
 
 impl IoEngine {
-    /// Spawn one worker per disk over the shared `backend`.
+    /// Spawn one worker per disk over the shared `backend`, with a
+    /// default-sized buffer pool (the prefetch+carry minimum of two
+    /// buffers per disk plus two spares).
     pub fn new(
         disks: usize,
         block_bytes: usize,
         model: DiskModel,
         backend: Arc<dyn Backend>,
     ) -> Self {
+        let pool = BufferPool::new(block_bytes, 2 * disks + 2);
+        Self::with_pool(disks, block_bytes, model, backend, pool)
+    }
+
+    /// Spawn workers over `backend` drawing read buffers from `pool`.
+    ///
+    /// The pool's buffer size must equal `block_bytes`; reads pop a
+    /// recycled buffer (or allocate on a pool miss) and hand it to the
+    /// caller through the [`IoHandle`], so callers that return buffers
+    /// via [`BufferPool::put`] make the steady-state read path
+    /// allocation-free.
+    pub fn with_pool(
+        disks: usize,
+        block_bytes: usize,
+        model: DiskModel,
+        backend: Arc<dyn Backend>,
+        pool: BufferPool,
+    ) -> Self {
         assert!(disks > 0, "need at least one disk");
+        assert_eq!(pool.buf_bytes(), block_bytes, "pool buffer size must match block size");
         let stats: Arc<Vec<DiskStats>> =
             Arc::new((0..disks).map(|_| DiskStats::default()).collect());
         let mut queues = Vec::with_capacity(disks);
@@ -114,6 +136,7 @@ impl IoEngine {
             let backend = Arc::clone(&backend);
             let stats = Arc::clone(&stats);
             let model = model.clone();
+            let pool = pool.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("demsort-disk-{disk}"))
@@ -121,7 +144,10 @@ impl IoEngine {
                         while let Ok(req) = rx.recv() {
                             match req {
                                 Request::Read { slot, state } => {
-                                    let mut buf = vec![0u8; block_bytes].into_boxed_slice();
+                                    // Recycled buffers keep stale bytes;
+                                    // the backend fills the whole block
+                                    // on success and errors otherwise.
+                                    let mut buf = pool.get();
                                     let res = backend.read(disk, slot, &mut buf);
                                     stats[disk].record_read(
                                         block_bytes,
@@ -147,12 +173,19 @@ impl IoEngine {
                     .expect("spawn disk worker"),
             );
         }
-        Self { queues, workers, stats, block_bytes }
+        Self { queues, workers, stats, block_bytes, pool }
     }
 
     /// Block size in bytes.
     pub fn block_bytes(&self) -> usize {
         self.block_bytes
+    }
+
+    /// The block-buffer pool read buffers are drawn from. Callers done
+    /// with a buffer return it here ([`BufferPool::put`]) so subsequent
+    /// reads reuse it instead of allocating.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     /// Number of disks.
@@ -336,6 +369,20 @@ mod tests {
         let h = IoHandle::ready(vec![3u8; 4].into_boxed_slice());
         assert!(h.is_done());
         assert_eq!(&h.wait().expect("ready")[..], &[3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn read_buffers_recycle_through_the_pool() {
+        let e = engine(1, 32);
+        e.write_sync(BlockId::new(0, 0), vec![9u8; 32].into_boxed_slice()).expect("write");
+        let first = e.read_sync(BlockId::new(0, 0)).expect("read");
+        let misses_after_first = e.pool().counters().misses;
+        e.pool().put(first);
+        let second = e.read_sync(BlockId::new(0, 0)).expect("read");
+        assert_eq!(&second[..], &[9u8; 32][..]);
+        let c = e.pool().counters();
+        assert_eq!(c.misses, misses_after_first, "second read must reuse the returned buffer");
+        assert!(c.hits >= 1);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::backend::{Backend, MemBackend};
 use crate::block::BlockId;
 use crate::disk::DiskModel;
 use crate::engine::{IoEngine, IoHandle};
-use demsort_types::{Error, IoCounters, MachineConfig, Result};
+use demsort_types::{BufferPool, Error, IoCounters, MachineConfig, Result};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -30,12 +30,28 @@ pub struct PeStorage {
 
 impl PeStorage {
     /// In-memory storage shaped by `cfg` (the default for experiments).
+    /// The buffer pool is sized to the PE's memory budget in blocks.
     pub fn new_mem(cfg: &MachineConfig) -> Self {
-        let backend: Arc<dyn Backend> = Arc::new(MemBackend::new(cfg.disks_per_pe));
-        Self::with_backend(cfg.disks_per_pe, cfg.block_bytes, DiskModel::paper(), backend)
+        Self::new_mem_with_pool_blocks(cfg, cfg.mem_blocks_per_pe())
     }
 
-    /// Storage over an arbitrary backend (files, fault injection, ...).
+    /// In-memory storage with an explicit pool capacity (the resolved
+    /// `pool_blocks` of a validated config); clamped to the machine's
+    /// prefetch+carry minimum.
+    pub fn new_mem_with_pool_blocks(cfg: &MachineConfig, pool_blocks: usize) -> Self {
+        let backend: Arc<dyn Backend> = Arc::new(MemBackend::new(cfg.disks_per_pe));
+        let pool = BufferPool::new(cfg.block_bytes, pool_blocks.max(cfg.min_pool_blocks()));
+        Self::with_backend_pool(
+            cfg.disks_per_pe,
+            cfg.block_bytes,
+            DiskModel::paper(),
+            backend,
+            pool,
+        )
+    }
+
+    /// Storage over an arbitrary backend (files, fault injection, ...),
+    /// with the engine's default-sized buffer pool.
     pub fn with_backend(
         disks: usize,
         block_bytes: usize,
@@ -49,9 +65,30 @@ impl PeStorage {
         }
     }
 
+    /// Storage over an arbitrary backend drawing block buffers from
+    /// `pool`.
+    pub fn with_backend_pool(
+        disks: usize,
+        block_bytes: usize,
+        model: DiskModel,
+        backend: Arc<dyn Backend>,
+        pool: BufferPool,
+    ) -> Self {
+        Self {
+            engine: IoEngine::with_pool(disks, block_bytes, model, Arc::clone(&backend), pool),
+            alloc: BlockAllocator::new(disks),
+            backend,
+        }
+    }
+
     /// The async I/O engine.
     pub fn engine(&self) -> &IoEngine {
         &self.engine
+    }
+
+    /// The PE's block-buffer pool (shared with the engine's readers).
+    pub fn pool(&self) -> &BufferPool {
+        self.engine.pool()
     }
 
     /// The block allocator.
@@ -128,7 +165,7 @@ impl<'a> RunWriter<'a> {
     pub fn with_window(st: &'a PeStorage, write_behind: usize) -> Self {
         Self {
             st,
-            buf: Vec::with_capacity(st.block_bytes()),
+            buf: st.pool().get_vec(),
             pending: VecDeque::new(),
             write_behind: write_behind.max(1),
             blocks: Vec::new(),
@@ -139,7 +176,9 @@ impl<'a> RunWriter<'a> {
     fn retire_until(&mut self, max_pending: usize) -> Result<()> {
         while self.pending.len() > max_pending {
             let h = self.pending.pop_front().expect("nonempty");
-            h.wait()?;
+            // The engine hands the written buffer back; recycle it so
+            // the next flush reuses it instead of allocating.
+            self.st.pool().put(h.wait()?);
         }
         Ok(())
     }
@@ -148,7 +187,7 @@ impl<'a> RunWriter<'a> {
         debug_assert!(!self.buf.is_empty());
         let b = self.st.block_bytes();
         self.buf.resize(b, 0); // zero-pad a partial tail block
-        let data = std::mem::replace(&mut self.buf, Vec::with_capacity(b)).into_boxed_slice();
+        let data = std::mem::replace(&mut self.buf, self.st.pool().get_vec()).into_boxed_slice();
         let id = self.st.alloc.alloc_striped();
         self.blocks.push(id);
         self.pending.push_back(self.st.engine.write(id, data));
@@ -199,6 +238,12 @@ impl<'a> RunWriter<'a> {
             self.flush_block()?;
         }
         self.retire_until(0)?;
+        // Hand the (now idle) staging buffer back to the pool; resize
+        // to full length first so the Vec → Box conversion is free.
+        let b = self.st.block_bytes();
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.resize(b, 0);
+        self.st.pool().put_vec(buf);
         Ok(Run { blocks: std::mem::take(&mut self.blocks), bytes: self.bytes })
     }
 }
@@ -266,10 +311,14 @@ impl<'a> RunReader<'a> {
     }
 
     /// Read the whole remaining run into one buffer (valid bytes only).
+    /// Block buffers are recycled into the PE's pool as they drain;
+    /// the bytes copied out are charged to the pool's copy meter.
     pub fn read_to_end(&mut self) -> Result<Vec<u8>> {
         let mut out = Vec::with_capacity(self.run.bytes as usize);
         while let Some((block, valid)) = self.next_block()? {
             out.extend_from_slice(&block[..valid]);
+            self.st.pool().add_copied(valid as u64);
+            self.st.pool().put(block);
         }
         Ok(out)
     }
@@ -383,6 +432,23 @@ mod tests {
         let run = w.finish().expect("finish");
         let mut r = RunReader::with_options(&st, run, 1, false);
         assert_eq!(r.read_to_end().expect("read"), data);
+    }
+
+    #[test]
+    fn run_io_reaches_pool_steady_state() {
+        // After warmup, a write→read→write cycle must stop allocating:
+        // writer buffers retire into the pool, reads draw from it.
+        let st = storage(2, 32);
+        let data: Vec<u8> = (0..32 * 40).map(|i| (i % 97) as u8).collect();
+        let run = write_run(&st, &data).expect("warmup write");
+        assert_eq!(read_run(&st, &run).expect("warmup read"), data);
+        free_run(&st, &run);
+        let warm = st.pool().counters();
+        let run2 = write_run(&st, &data).expect("steady write");
+        assert_eq!(read_run(&st, &run2).expect("steady read"), data);
+        let steady = st.pool().counters();
+        assert_eq!(steady.misses, warm.misses, "steady-state run I/O must not allocate");
+        assert!(steady.hits > warm.hits);
     }
 
     #[test]

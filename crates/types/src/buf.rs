@@ -1,0 +1,339 @@
+//! Recycled block-buffer pool: the allocation-free data plane.
+//!
+//! Steady-state sorting moves a bounded working set of block-sized
+//! buffers between the disks, the merge loop, and the wire. Allocating
+//! a fresh `Box<[u8]>` for every block read and every received frame
+//! makes the allocator — not the disks — the hot path. A [`BufferPool`]
+//! keeps a bounded free list of exact-size buffers that the I/O engine,
+//! the block cache, and the TCP transport share: a buffer's life cycle
+//! is *disk → decode → pool → wire → pool → disk*, with the pool as the
+//! rendezvous point.
+//!
+//! The pool is deliberately dumb:
+//!
+//! * [`BufferPool::get`] pops a recycled buffer or allocates a fresh
+//!   zeroed one (a *miss*). Recycled buffers keep their previous
+//!   contents — every consumer overwrites the whole block.
+//! * [`BufferPool::put`] recycles a buffer **iff** it is exactly
+//!   [`BufferPool::buf_bytes`] long and the free list is below
+//!   capacity; anything else is dropped and counted as *discarded*, so
+//!   a foreign-sized buffer can never poison the pool.
+//!
+//! Counters ([`PoolCounters`]) are cumulative and lock-free; they feed
+//! the bench JSON and the trace journals. They are *not* part of the
+//! transport-deterministic [`IoCounters`](crate::IoCounters) /
+//! [`CommCounters`](crate::CommCounters) surfaces: hit/miss splits
+//! depend on thread interleaving (concurrent disk workers race on the
+//! free list), so they must never enter the byte-identity pins.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cumulative pool statistics (monotone counters, racy snapshots).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// `get` calls served from the free list.
+    pub hits: u64,
+    /// `get` calls that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// `put` calls that returned a buffer to the free list.
+    pub recycled: u64,
+    /// `put` calls dropped (wrong size or pool full).
+    pub discarded: u64,
+    /// Bytes memcpy'd on paths that could not hand a buffer over
+    /// zero-copy (cache insertion, undersized frames, ...).
+    pub copied_bytes: u64,
+}
+
+impl PoolCounters {
+    /// Field-wise sum (for aggregating per-PE pools).
+    pub fn merge(&self, other: &PoolCounters) -> PoolCounters {
+        PoolCounters {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            recycled: self.recycled + other.recycled,
+            discarded: self.discarded + other.discarded,
+            copied_bytes: self.copied_bytes + other.copied_bytes,
+        }
+    }
+}
+
+struct PoolInner {
+    buf_bytes: usize,
+    capacity: usize,
+    free: Mutex<Vec<Box<[u8]>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recycled: AtomicU64,
+    discarded: AtomicU64,
+    copied_bytes: AtomicU64,
+}
+
+/// A bounded free list of exact-size block buffers, shared by every
+/// layer that moves blocks (cheap to clone: an `Arc` under the hood).
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("buf_bytes", &self.inner.buf_bytes)
+            .field("capacity", &self.inner.capacity)
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// A pool of up to `capacity` buffers of exactly `buf_bytes` bytes.
+    /// Nothing is preallocated; the pool fills as buffers retire.
+    pub fn new(buf_bytes: usize, capacity: usize) -> BufferPool {
+        assert!(buf_bytes > 0, "pool buffers must be non-empty");
+        BufferPool {
+            inner: Arc::new(PoolInner {
+                buf_bytes,
+                capacity: capacity.max(1),
+                free: Mutex::new(Vec::new()),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                recycled: AtomicU64::new(0),
+                discarded: AtomicU64::new(0),
+                copied_bytes: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The fixed buffer size this pool recycles.
+    pub fn buf_bytes(&self) -> usize {
+        self.inner.buf_bytes
+    }
+
+    /// Maximum number of buffers the free list holds.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Pop a recycled buffer, or allocate a fresh zeroed one (a miss).
+    /// The returned buffer is always exactly [`buf_bytes`](Self::buf_bytes)
+    /// long; a recycled buffer keeps its previous contents.
+    pub fn get(&self) -> Box<[u8]> {
+        let popped = self.inner.free.lock().expect("pool free list lock").pop();
+        match popped {
+            Some(buf) => {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                vec![0u8; self.inner.buf_bytes].into_boxed_slice()
+            }
+        }
+    }
+
+    /// Pop a recycled buffer as an empty `Vec` with exactly
+    /// [`buf_bytes`](Self::buf_bytes) of capacity — for callers that
+    /// assemble a block incrementally. `Box<[u8]> → Vec` is free.
+    pub fn get_vec(&self) -> Vec<u8> {
+        let mut v = self.get().into_vec();
+        v.clear();
+        v
+    }
+
+    /// Return a buffer to the free list. Recycles **iff** the buffer is
+    /// exactly [`buf_bytes`](Self::buf_bytes) long and the pool has
+    /// room; otherwise the buffer is dropped and counted as discarded.
+    pub fn put(&self, buf: Box<[u8]>) {
+        if buf.len() != self.inner.buf_bytes {
+            self.inner.discarded.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut free = self.inner.free.lock().expect("pool free list lock");
+        if free.len() < self.inner.capacity {
+            free.push(buf);
+            drop(free);
+            self.inner.recycled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            drop(free);
+            self.inner.discarded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Return a `Vec` buffer. Only recycled when `len == capacity ==`
+    /// [`buf_bytes`](Self::buf_bytes) — the `Vec → Box<[u8]>`
+    /// conversion is free exactly then; anything else is discarded
+    /// rather than paying a reallocation to "save" it.
+    pub fn put_vec(&self, buf: Vec<u8>) {
+        if buf.len() == buf.capacity() && buf.len() == self.inner.buf_bytes {
+            self.put(buf.into_boxed_slice());
+        } else {
+            self.inner.discarded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Meter `bytes` of memcpy traffic on a path that could not move a
+    /// buffer zero-copy.
+    pub fn add_copied(&self, bytes: u64) {
+        self.inner.copied_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Buffers currently parked on the free list.
+    pub fn available(&self) -> usize {
+        self.inner.free.lock().expect("pool free list lock").len()
+    }
+
+    /// Snapshot the cumulative counters.
+    pub fn counters(&self) -> PoolCounters {
+        PoolCounters {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            recycled: self.inner.recycled.load(Ordering::Relaxed),
+            discarded: self.inner.discarded.load(Ordering::Relaxed),
+            copied_bytes: self.inner.copied_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn miss_then_hit_roundtrip() {
+        let pool = BufferPool::new(64, 4);
+        let a = pool.get();
+        assert_eq!(a.len(), 64);
+        assert!(a.iter().all(|&b| b == 0), "fresh buffers are zeroed");
+        pool.put(a);
+        let b = pool.get();
+        assert_eq!(b.len(), 64);
+        let c = pool.counters();
+        assert_eq!((c.hits, c.misses, c.recycled, c.discarded), (1, 1, 1, 0));
+    }
+
+    #[test]
+    fn wrong_size_and_overflow_are_discarded() {
+        let pool = BufferPool::new(32, 2);
+        pool.put(vec![0u8; 31].into_boxed_slice()); // wrong size
+        pool.put(vec![0u8; 32].into_boxed_slice());
+        pool.put(vec![0u8; 32].into_boxed_slice());
+        pool.put(vec![0u8; 32].into_boxed_slice()); // pool full
+        let c = pool.counters();
+        assert_eq!(c.recycled, 2);
+        assert_eq!(c.discarded, 2);
+        assert_eq!(pool.available(), 2);
+    }
+
+    #[test]
+    fn vec_interface_recycles_only_exact_buffers() {
+        let pool = BufferPool::new(16, 4);
+        let v = pool.get_vec();
+        assert_eq!((v.len(), v.capacity()), (0, 16));
+        let mut v = v;
+        v.resize(16, 7);
+        pool.put_vec(v); // len == cap == buf_bytes: recycled
+        pool.put_vec(vec![1u8; 8]); // short: discarded
+        let mut oversized = Vec::with_capacity(32);
+        oversized.resize(16, 0);
+        pool.put_vec(oversized); // len != cap: discarded, no realloc
+        let c = pool.counters();
+        assert_eq!(c.recycled, 1);
+        assert_eq!(c.discarded, 2);
+    }
+
+    #[test]
+    fn recycled_buffers_keep_contents_until_overwritten() {
+        let pool = BufferPool::new(8, 1);
+        let mut a = pool.get();
+        a.copy_from_slice(&[9u8; 8]);
+        pool.put(a);
+        let b = pool.get();
+        assert_eq!(&b[..], &[9u8; 8], "pool does not scrub; consumers overwrite");
+    }
+
+    #[test]
+    fn copied_bytes_meter_accumulates() {
+        let pool = BufferPool::new(8, 1);
+        pool.add_copied(100);
+        pool.add_copied(28);
+        assert_eq!(pool.counters().copied_bytes, 128);
+    }
+
+    #[test]
+    fn clones_share_one_free_list() {
+        let pool = BufferPool::new(8, 4);
+        let clone = pool.clone();
+        clone.put(vec![0u8; 8].into_boxed_slice());
+        assert_eq!(pool.available(), 1);
+        let _ = pool.get();
+        assert_eq!(pool.counters().hits, 1);
+        assert_eq!(clone.counters().hits, 1, "counters are shared too");
+    }
+
+    proptest! {
+        /// Recycle invariants: buffers handed out concurrently-ish are
+        /// never aliased (writing through one never shows through
+        /// another), and every buffer keeps the exact pool size.
+        #[test]
+        fn outstanding_buffers_never_alias(
+            buf_bytes in 1usize..128,
+            capacity in 1usize..8,
+            churn in 0usize..32,
+        ) {
+            let pool = BufferPool::new(buf_bytes, capacity);
+            // Churn the free list so later gets are recycled buffers.
+            for _ in 0..churn {
+                let b = pool.get();
+                pool.put(b);
+            }
+            let mut a = pool.get();
+            let mut b = pool.get();
+            prop_assert_eq!(a.len(), buf_bytes);
+            prop_assert_eq!(b.len(), buf_bytes);
+            a.fill(0xAA);
+            b.fill(0x55);
+            prop_assert!(a.iter().all(|&x| x == 0xAA), "buffer A aliased by B");
+            prop_assert!(b.iter().all(|&x| x == 0x55), "buffer B aliased by A");
+            pool.put(a);
+            pool.put(b);
+        }
+
+        /// Capacity invariants: the free list never exceeds the
+        /// configured capacity and counters balance (`recycled =
+        /// available + re-issued hits`).
+        #[test]
+        fn free_list_bounded_by_capacity(
+            capacity in 1usize..6,
+            puts in 0usize..16,
+        ) {
+            let pool = BufferPool::new(8, capacity);
+            for _ in 0..puts {
+                pool.put(vec![0u8; 8].into_boxed_slice());
+            }
+            prop_assert!(pool.available() <= capacity);
+            let c = pool.counters();
+            prop_assert_eq!(c.recycled + c.discarded, puts as u64);
+            prop_assert_eq!(c.recycled as usize, pool.available());
+        }
+
+        /// A buffer that round-trips through the pool preserves its
+        /// capacity: `get` after `put` hands back a full-size buffer
+        /// regardless of churn order.
+        #[test]
+        fn roundtrip_preserves_size(buf_bytes in 1usize..256, rounds in 1usize..10) {
+            let pool = BufferPool::new(buf_bytes, 2);
+            for _ in 0..rounds {
+                let v = pool.get_vec();
+                prop_assert_eq!(v.capacity(), buf_bytes);
+                let mut v = v;
+                v.resize(buf_bytes, 1);
+                pool.put_vec(v);
+            }
+            let c = pool.counters();
+            prop_assert_eq!(c.misses, 1, "steady state allocates exactly once");
+            prop_assert_eq!(c.hits, rounds as u64 - 1);
+        }
+    }
+}

@@ -79,6 +79,13 @@ impl MachineConfig {
         self.mem_bytes_per_pe / self.block_bytes
     }
 
+    /// Smallest viable block-buffer pool: double-buffered prefetch on
+    /// every disk plus a carry block and one spare. A pool below this
+    /// thrashes (every steady-state `get` misses), so configs reject it.
+    pub fn min_pool_blocks(&self) -> usize {
+        2 * self.disks_per_pe + 2
+    }
+
     /// Check the configuration is internally consistent.
     pub fn validate(&self) -> Result<()> {
         if self.pes == 0 {
@@ -140,6 +147,23 @@ pub struct AlgoConfig {
     /// cost of retaining run blocks until the sort completes (the
     /// in-place space bound grows by one run copy per replica).
     pub replication: usize,
+    /// Capacity of the recycled block-buffer pool, in blocks. `0`
+    /// (the default) derives the capacity from the machine's memory
+    /// budget ([`MachineConfig::mem_blocks_per_pe`]); an explicit value
+    /// below [`MachineConfig::min_pool_blocks`] is rejected at config
+    /// validation. The pool bounds steady-state allocation only — it
+    /// never changes what is read, written, or sent.
+    pub pool_blocks: usize,
+    /// Minimum records each merge thread must receive before the batch
+    /// merge fans out; batches below `2 ×` this take the sequential
+    /// path (no split probes). `0` (the default) uses the engine's
+    /// built-in threshold and additionally caps merge threads at the
+    /// host's available parallelism (oversubscribed threads only
+    /// time-slice the same comparisons); an explicit value is taken
+    /// literally with no host cap — tests set `1` to force parallelism
+    /// on tiny inputs. Purely a CPU-scheduling knob — output bytes and
+    /// I/O are identical at every value.
+    pub par_merge_min_per_thread: usize,
 }
 
 impl Default for AlgoConfig {
@@ -152,6 +176,8 @@ impl Default for AlgoConfig {
             seed: 0x5EED_CAFE,
             alltoall_mem_fraction: 0.5,
             replication: 0,
+            pool_blocks: 0,
+            par_merge_min_per_thread: 0,
         }
     }
 }
@@ -164,6 +190,29 @@ impl AlgoConfig {
         }
         Ok(())
     }
+
+    /// The pool capacity this config yields on `machine`: the explicit
+    /// [`pool_blocks`](Self::pool_blocks), or the memory budget in
+    /// blocks when auto (`0`), never below the prefetch+carry minimum.
+    pub fn effective_pool_blocks(&self, machine: &MachineConfig) -> usize {
+        let blocks =
+            if self.pool_blocks == 0 { machine.mem_blocks_per_pe() } else { self.pool_blocks };
+        blocks.max(machine.min_pool_blocks())
+    }
+}
+
+/// Reject an explicit pool capacity below the machine's prefetch+carry
+/// minimum (`0` = auto is always fine).
+fn validate_pool_blocks(algo: &AlgoConfig, machine: &MachineConfig) -> Result<()> {
+    if algo.pool_blocks != 0 && algo.pool_blocks < machine.min_pool_blocks() {
+        return Err(Error::config(format!(
+            "pool_blocks {} is below the prefetch+carry minimum of {} \
+             (2 per disk for double-buffered prefetch, plus carry and spare)",
+            algo.pool_blocks,
+            machine.min_pool_blocks()
+        )));
+    }
+    Ok(())
 }
 
 /// Complete configuration for one sorting job.
@@ -182,6 +231,7 @@ impl SortConfig {
     pub fn new(machine: MachineConfig, algo: AlgoConfig) -> Result<Self> {
         machine.validate()?;
         algo.validate()?;
+        validate_pool_blocks(&algo, &machine)?;
         if algo.replication >= machine.pes {
             return Err(Error::config(format!(
                 "replication factor {} needs {} distinct ranks but the machine has only {} PEs",
@@ -280,6 +330,7 @@ impl JobConfig {
     pub fn validate(&self) -> Result<()> {
         self.machine.validate()?;
         self.algo.validate()?;
+        validate_pool_blocks(&self.algo, &self.machine)?;
         if self.algo.replication >= self.machine.pes {
             return Err(Error::config(format!(
                 "replication factor {} needs {} distinct ranks but the job has only {} PEs",
@@ -391,6 +442,36 @@ mod tests {
         job.algorithm = SortAlgo::Canonical;
         let err = job.validate().expect_err("replication is striped-only");
         assert!(matches!(err, Error::Config(m) if m.contains("striped")), "wrong error");
+    }
+
+    #[test]
+    fn pool_blocks_below_minimum_is_a_config_error() {
+        let machine = MachineConfig::tiny(2); // 2 disks -> minimum 6
+        assert_eq!(machine.min_pool_blocks(), 6);
+        let algo = AlgoConfig { pool_blocks: 5, ..AlgoConfig::default() };
+        let err = SortConfig::new(machine.clone(), algo.clone()).expect_err("too small");
+        assert!(matches!(err, Error::Config(m) if m.contains("pool_blocks")), "wrong error");
+        let mut job = JobConfig {
+            input: "in".into(),
+            output: "out".into(),
+            machine: machine.clone(),
+            algo,
+            algorithm: SortAlgo::Striped,
+            read_timeout_ms: 1000,
+            trace_dir: String::new(),
+        };
+        assert!(matches!(job.validate(), Err(Error::Config(m)) if m.contains("pool_blocks")));
+        job.algo.pool_blocks = 6;
+        job.validate().expect("at the minimum is fine");
+        job.algo.pool_blocks = 0;
+        job.validate().expect("auto is always fine");
+        // Auto derives from the memory budget; explicit values pass through.
+        assert_eq!(
+            job.algo.effective_pool_blocks(&machine),
+            machine.mem_blocks_per_pe().max(machine.min_pool_blocks())
+        );
+        job.algo.pool_blocks = 9;
+        assert_eq!(job.algo.effective_pool_blocks(&machine), 9);
     }
 
     #[test]

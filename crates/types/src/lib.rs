@@ -19,6 +19,7 @@
 //! * rank arithmetic for the canonical output format (PE `i` holds the
 //!   elements of global ranks `i·N/P .. (i+1)·N/P`).
 
+pub mod buf;
 pub mod config;
 pub mod counters;
 pub mod error;
@@ -29,6 +30,7 @@ pub mod record;
 pub mod trace;
 pub mod wire;
 
+pub use buf::{BufferPool, PoolCounters};
 pub use config::{AlgoConfig, JobConfig, MachineConfig, SortAlgo, SortConfig};
 pub use counters::{CommCounters, CpuCounters, IoCounters, Phase, PhaseStats, SortReport};
 pub use error::{Error, Result};

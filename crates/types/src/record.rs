@@ -50,6 +50,7 @@ impl Key for u32 {
 
 /// The SortBenchmark 10-byte key, ordered lexicographically.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct Key10(pub [u8; 10]);
 
 impl Key for Key10 {
@@ -122,6 +123,7 @@ pub trait Record: Copy + Send + Sync + 'static {
 /// "The element size is (only) 16 bytes with 64-bit keys. This makes
 /// internal computation efficiency as important as high I/O throughput."
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[repr(C)]
 pub struct Element16 {
     /// 64-bit sort key.
     pub key: u64,
@@ -129,6 +131,10 @@ pub struct Element16 {
     /// so permutation checks can detect duplication or loss.
     pub payload: u64,
 }
+
+// The slab codecs below cast &[Element16] to bytes: the struct must
+// stay exactly two packed u64s.
+const _: () = assert!(std::mem::size_of::<Element16>() == 16);
 
 impl Element16 {
     /// Construct from key and payload.
@@ -181,17 +187,70 @@ impl Record for Element16 {
     fn with_key(key: u64) -> Self {
         Self { key, payload: 0 }
     }
+
+    /// Block-at-a-time path: on little-endian targets the in-memory
+    /// layout (`repr(C)`, two packed LE `u64`s) equals the wire format,
+    /// so the whole slab is one memcpy.
+    fn encode_slice(recs: &[Self], out: &mut [u8]) {
+        assert!(out.len() >= recs.len() * Self::BYTES, "output buffer too small");
+        if cfg!(target_endian = "little") {
+            let bytes = recs.len() * Self::BYTES;
+            // SAFETY: Element16 is repr(C) with two u64 fields and no
+            // padding (size asserted at compile time); on little-endian
+            // its bytes are exactly the wire encoding.
+            let src = unsafe { std::slice::from_raw_parts(recs.as_ptr().cast::<u8>(), bytes) };
+            out[..bytes].copy_from_slice(src);
+        } else {
+            for (r, chunk) in recs.iter().zip(out.chunks_exact_mut(Self::BYTES)) {
+                r.encode(chunk);
+            }
+        }
+    }
+
+    /// Block-at-a-time path: one memcpy into the vector's spare
+    /// capacity on little-endian targets (every bit pattern is a valid
+    /// `Element16`).
+    fn decode_slice(buf: &[u8], out: &mut Vec<Self>) {
+        debug_assert_eq!(buf.len() % Self::BYTES, 0, "partial record in buffer");
+        let n = buf.len() / Self::BYTES;
+        if cfg!(target_endian = "little") {
+            out.reserve(n);
+            let len = out.len();
+            // SAFETY: same layout argument as encode_slice; the
+            // destination is freshly reserved, fully written before
+            // set_len, and any u128 bit pattern is a valid Element16.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    buf.as_ptr(),
+                    out.as_mut_ptr().add(len).cast::<u8>(),
+                    n * Self::BYTES,
+                );
+                out.set_len(len + n);
+            }
+        } else {
+            out.reserve(n);
+            for chunk in buf.chunks_exact(Self::BYTES) {
+                out.push(Self::decode(chunk));
+            }
+        }
+    }
 }
 
 /// SortBenchmark record: 10-byte key, 90-byte payload, 100 bytes total
 /// ("This setting considers 100-byte elements with a 10-byte key").
 #[derive(Copy, Clone)]
+#[repr(C)]
 pub struct Record100 {
     /// The 10-byte lexicographic key.
     pub key: Key10,
     /// The remaining 90 bytes of the record.
     pub payload: [u8; 90],
 }
+
+// The slab codecs below cast &[Record100] to bytes: key and payload
+// must stay contiguous with no padding.
+const _: () = assert!(std::mem::size_of::<Record100>() == 100);
+const _: () = assert!(std::mem::align_of::<Record100>() == 1);
 
 impl Record100 {
     /// Construct from key and payload.
@@ -257,6 +316,37 @@ impl Record for Record100 {
     #[inline]
     fn with_key(key: Key10) -> Self {
         Self { key, payload: [0u8; 90] }
+    }
+
+    /// Block-at-a-time path: the record is 100 contiguous bytes
+    /// (`repr(C)`, align 1) in wire order on every target, so the slab
+    /// is one endian-independent memcpy.
+    fn encode_slice(recs: &[Self], out: &mut [u8]) {
+        assert!(out.len() >= recs.len() * Self::BYTES, "output buffer too small");
+        let bytes = recs.len() * Self::BYTES;
+        // SAFETY: Record100 is repr(C) of [u8; 10] + [u8; 90] with no
+        // padding (size and alignment asserted at compile time).
+        let src = unsafe { std::slice::from_raw_parts(recs.as_ptr().cast::<u8>(), bytes) };
+        out[..bytes].copy_from_slice(src);
+    }
+
+    /// Block-at-a-time path: one memcpy into the vector's spare
+    /// capacity (every byte pattern is a valid `Record100`).
+    fn decode_slice(buf: &[u8], out: &mut Vec<Self>) {
+        debug_assert_eq!(buf.len() % Self::BYTES, 0, "partial record in buffer");
+        let n = buf.len() / Self::BYTES;
+        out.reserve(n);
+        let len = out.len();
+        // SAFETY: same layout argument as encode_slice; the destination
+        // is freshly reserved and fully written before set_len.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                buf.as_ptr(),
+                out.as_mut_ptr().add(len).cast::<u8>(),
+                n * Self::BYTES,
+            );
+            out.set_len(len + n);
+        }
     }
 }
 
@@ -335,5 +425,77 @@ mod tests {
         let recs = [Element16::new(1, 2); 4];
         let mut buf = vec![0u8; 3 * Element16::BYTES];
         Element16::encode_slice(&recs, &mut buf);
+    }
+
+    /// The per-record reference paths the slab codecs must match.
+    fn encode_each<R: Record>(recs: &[R]) -> Vec<u8> {
+        let mut out = vec![0u8; recs.len() * R::BYTES];
+        for (r, chunk) in recs.iter().zip(out.chunks_exact_mut(R::BYTES)) {
+            r.encode(chunk);
+        }
+        out
+    }
+
+    fn decode_each<R: Record>(buf: &[u8]) -> Vec<R> {
+        buf.chunks_exact(R::BYTES).map(R::decode).collect()
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Slab encode/decode ≡ per-record encode/decode for the
+        /// 16-byte element, at every length (including the 0- and
+        /// partial-tail-block sizes recio produces) and with slack in
+        /// the output buffer (a zero-padded tail block).
+        #[test]
+        fn element16_slab_matches_per_record(
+            raw in prop::collection::vec(0u64..=u64::MAX, 0..200),
+            slack in 0usize..48,
+        ) {
+            let recs: Vec<Element16> =
+                raw.into_iter().map(|k| Element16::new(k, k.wrapping_mul(0x9E37_79B9))).collect();
+            let reference = encode_each(&recs);
+            let mut slab = vec![0u8; reference.len() + slack];
+            Element16::encode_slice(&recs, &mut slab);
+            prop_assert_eq!(&slab[..reference.len()], &reference[..]);
+            prop_assert!(slab[reference.len()..].iter().all(|&b| b == 0));
+            // Decode appends after existing elements.
+            let mut out = vec![Element16::new(7, 7)];
+            Element16::decode_slice(&reference, &mut out);
+            prop_assert_eq!(out[0], Element16::new(7, 7));
+            prop_assert_eq!(&out[1..], &recs[..]);
+            prop_assert_eq!(decode_each::<Element16>(&reference), recs);
+        }
+
+        /// Same equivalence for the 100-byte SortBenchmark record.
+        #[test]
+        fn record100_slab_matches_per_record(
+            raw in prop::collection::vec(0u64..=u64::MAX, 0..40),
+            slack in 0usize..100,
+        ) {
+            // Expand each seed into a full 100-byte record so every
+            // byte position (key and payload) varies across cases.
+            let recs: Vec<Record100> = raw
+                .iter()
+                .map(|&seed| {
+                    let mut bytes = [0u8; 100];
+                    for (i, b) in bytes.iter_mut().enumerate() {
+                        *b = (seed
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add(i as u64)
+                            >> 24) as u8;
+                    }
+                    Record100::decode(&bytes)
+                })
+                .collect();
+            let reference = encode_each(&recs);
+            let mut slab = vec![0u8; reference.len() + slack];
+            Record100::encode_slice(&recs, &mut slab);
+            prop_assert_eq!(&slab[..reference.len()], &reference[..]);
+            let mut out = Vec::new();
+            Record100::decode_slice(&reference, &mut out);
+            prop_assert_eq!(&out[..], &recs[..]);
+            prop_assert_eq!(decode_each::<Record100>(&reference), recs);
+        }
     }
 }

@@ -106,6 +106,22 @@ pub enum TraceEv {
         /// Records the whole batch emitted (Σ `len` over its threads).
         total: usize,
     },
+    /// Cumulative buffer-pool counters at a checkpoint, typically the
+    /// end of a phase or the whole sort (event). Hit/miss splits are
+    /// timing-dependent, so this is diagnostics — never a pinned
+    /// identity surface.
+    PoolStats {
+        /// Pool gets served from the free list.
+        hits: u64,
+        /// Pool gets that allocated fresh.
+        misses: u64,
+        /// Buffers returned to the free list.
+        recycled: u64,
+        /// Returned buffers dropped (wrong size or pool full).
+        discarded: u64,
+        /// Bytes memcpy'd on non-zero-copy paths.
+        copied_bytes: u64,
+    },
     /// The failure detector declared a peer dead (event).
     PeerDead {
         /// The dead peer's rank.
@@ -129,6 +145,7 @@ impl TraceEv {
             TraceEv::MergeIssued { .. } => "merge_issued",
             TraceEv::MergeEmitted { .. } => "merge_emitted",
             TraceEv::MergePar { .. } => "merge_par",
+            TraceEv::PoolStats { .. } => "pool",
             TraceEv::PeerDead { .. } => "peer_dead",
             TraceEv::EpochAdvance { .. } => "epoch_advance",
         }
@@ -153,6 +170,12 @@ impl TraceEv {
             }
             TraceEv::MergePar { pass, group, batch, thread, threads, len, .. } => {
                 format!("merge pass={pass} group={group} batch={batch} thread={thread}/{threads} len={len}")
+            }
+            TraceEv::PoolStats { hits, misses, recycled, discarded, copied_bytes } => {
+                format!(
+                    "pool hits={hits} misses={misses} recycled={recycled} \
+                     discarded={discarded} copied={copied_bytes}B"
+                )
             }
             TraceEv::PeerDead { peer } => format!("peer {peer} declared dead"),
             TraceEv::EpochAdvance { epoch } => format!("epoch -> {epoch}"),
@@ -184,6 +207,13 @@ impl TraceEv {
                 out.push(("threads".into(), u(*threads)));
                 out.push(("len".into(), u(*len)));
                 out.push(("total".into(), u(*total)));
+            }
+            TraceEv::PoolStats { hits, misses, recycled, discarded, copied_bytes } => {
+                out.push(("hits".into(), Json::Uint(*hits)));
+                out.push(("misses".into(), Json::Uint(*misses)));
+                out.push(("recycled".into(), Json::Uint(*recycled)));
+                out.push(("discarded".into(), Json::Uint(*discarded)));
+                out.push(("copied_bytes".into(), Json::Uint(*copied_bytes)));
             }
             TraceEv::PeerDead { peer } => out.push(("peer".into(), u(*peer))),
             TraceEv::EpochAdvance { epoch } => out.push(("epoch".into(), Json::Uint(*epoch))),
@@ -233,6 +263,13 @@ impl TraceEv {
                 threads: us("threads")?,
                 len: us("len")?,
                 total: us("total")?,
+            },
+            "pool" => TraceEv::PoolStats {
+                hits: num("hits")?,
+                misses: num("misses")?,
+                recycled: num("recycled")?,
+                discarded: num("discarded")?,
+                copied_bytes: num("copied_bytes")?,
             },
             "peer_dead" => TraceEv::PeerDead { peer: us("peer")? },
             "epoch_advance" => TraceEv::EpochAdvance { epoch: num("epoch")? },
@@ -691,6 +728,13 @@ mod tests {
                 threads: 4,
                 len: 40,
                 total: 160,
+            },
+            TraceEv::PoolStats {
+                hits: 120,
+                misses: 16,
+                recycled: 130,
+                discarded: 2,
+                copied_bytes: 4096,
             },
             TraceEv::PeerDead { peer: 2 },
             TraceEv::EpochAdvance { epoch: 7 },

@@ -165,7 +165,9 @@ pub fn encode_algo(w: &mut WireWriter, a: &AlgoConfig) {
         .bool(a.overlap)
         .u64(a.seed)
         .f64(a.alltoall_mem_fraction)
-        .u64(a.replication as u64);
+        .u64(a.replication as u64)
+        .u64(a.pool_blocks as u64)
+        .u64(a.par_merge_min_per_thread as u64);
 }
 
 /// Decode an [`AlgoConfig`].
@@ -178,6 +180,8 @@ pub fn decode_algo(r: &mut WireReader<'_>) -> Result<AlgoConfig> {
         seed: r.u64()?,
         alltoall_mem_fraction: r.f64()?,
         replication: r.u64()? as usize,
+        pool_blocks: r.u64()? as usize,
+        par_merge_min_per_thread: r.u64()? as usize,
     })
 }
 
@@ -518,7 +522,14 @@ mod tests {
             input: "/tmp/in.dat".to_string(),
             output: "/tmp/out.dat".to_string(),
             machine: MachineConfig::tiny(4),
-            algo: AlgoConfig { seed: 42, sample_every: 7, replication: 1, ..AlgoConfig::default() },
+            algo: AlgoConfig {
+                seed: 42,
+                sample_every: 7,
+                replication: 1,
+                pool_blocks: 32,
+                par_merge_min_per_thread: 3,
+                ..AlgoConfig::default()
+            },
             algorithm: SortAlgo::Striped,
             read_timeout_ms: 12_345,
             trace_dir: "/tmp/trace".to_string(),
