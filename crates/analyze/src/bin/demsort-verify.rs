@@ -1,0 +1,100 @@
+//! `demsort-verify` — run the repo-invariant lints (L1–L5) over the
+//! workspace and emit machine-readable reports.
+//!
+//! ```text
+//! demsort-verify [--root DIR] [--json FILE] [--unsafe-inventory FILE]
+//!                [--warnings] [--list-lints]
+//! ```
+//!
+//! Exits 0 when no deny-severity finding is active, 1 when at least
+//! one is, 2 on usage or I/O errors.
+
+use demsort_analyze::{analyze_root, lints};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    unsafe_inventory: Option<PathBuf>,
+    warnings: bool,
+    list_lints: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: demsort-verify [--root DIR] [--json FILE] [--unsafe-inventory FILE] [--warnings] [--list-lints]"
+}
+
+fn parse_cli(mut args: std::env::Args) -> Result<Cli, String> {
+    let _argv0 = args.next();
+    let mut cli = Cli {
+        root: PathBuf::from("."),
+        json: None,
+        unsafe_inventory: None,
+        warnings: false,
+        list_lints: false,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => cli.root = args.next().ok_or("--root needs a value")?.into(),
+            "--json" => cli.json = Some(args.next().ok_or("--json needs a value")?.into()),
+            "--unsafe-inventory" => {
+                cli.unsafe_inventory =
+                    Some(args.next().ok_or("--unsafe-inventory needs a value")?.into());
+            }
+            "--warnings" => cli.warnings = true,
+            "--list-lints" => cli.list_lints = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(cli)
+}
+
+fn write_json(path: &PathBuf, json: &demsort_types::json::Json) -> Result<(), String> {
+    let mut text = String::new();
+    json.write_into(&mut text);
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli(std::env::args()) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if cli.list_lints {
+        for (id, name, desc) in lints::LINTS {
+            println!("{id} {name}: {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let report = match analyze_root(&cli.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("demsort-verify: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render_text(cli.warnings));
+    if let Some(path) = &cli.json {
+        if let Err(msg) = write_json(path, &report.to_json()) {
+            eprintln!("demsort-verify: {msg}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &cli.unsafe_inventory {
+        if let Err(msg) = write_json(path, &report.unsafe_inventory_json()) {
+            eprintln!("demsort-verify: {msg}");
+            return ExitCode::from(2);
+        }
+    }
+    if report.deny_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

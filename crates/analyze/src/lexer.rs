@@ -1,0 +1,357 @@
+//! A small token-level lexer for Rust source.
+//!
+//! The lints in this crate need exactly one guarantee from the lexer:
+//! **code tokens never come out of non-code bytes**. A `panic!` inside
+//! a string literal, a `.unwrap()` quoted in a doc comment, or an
+//! `unsafe` spelled inside a nested block comment must not produce the
+//! identifier tokens the lints match on. Everything else stays
+//! deliberately simple — no spans beyond line numbers, no keyword
+//! table, no expression grammar. That keeps the analyzer dependency-
+//! free (no `syn`), consistent with the workspace's offline `vendor/`
+//! policy.
+//!
+//! Handled forms:
+//!
+//! * line comments `// …` (including `///` and `//!`), kept as tokens
+//!   because escape hatches and `SAFETY:` audits read them;
+//! * block comments `/* … */` with arbitrary nesting, kept likewise;
+//! * string literals with escapes (`"…\"…"`), byte strings `b"…"`;
+//! * raw strings `r"…"`, `r#"…"#`, … with any hash count, and their
+//!   byte variants `br#"…"#`;
+//! * char literals (`'a'`, `'\n'`, `b'x'`) vs. lifetimes (`'a`);
+//! * identifiers (keywords are just identifiers here), numbers, and
+//!   single-character punctuation.
+
+/// What a [`Tok`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `unwrap`, …).
+    Ident,
+    /// A lifetime such as `'a` (quote included in the text).
+    Lifetime,
+    /// Single punctuation character (`.`, `!`, `{`, …).
+    Punct,
+    /// Any string literal (escaped, raw, or byte); text is the raw
+    /// source slice including quotes.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Numeric literal (integer or float prefix; suffixes included).
+    Num,
+    /// `// …` comment, text without the trailing newline.
+    LineComment,
+    /// `/* … */` comment (possibly nested), delimiters included.
+    BlockComment,
+}
+
+/// One lexed token: kind, verbatim text, and 1-based source line of
+/// its first character.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line number where the token starts.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True for a comment token (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lex `src` into tokens. Never fails: unterminated literals or
+/// comments simply extend to end of input (the lints run on code that
+/// `rustc` already accepted, so malformed input only has to be safe,
+/// not diagnosed).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Count newlines in b[start..end) into `line`.
+    fn bump_lines(b: &[u8], start: usize, end: usize, line: &mut u32) {
+        *line += b[start..end].iter().filter(|&&c| c == b'\n').count() as u32;
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let start = i;
+                let start_line = line;
+                i = scan_escaped_string(b, i + 1);
+                bump_lines(b, start, i, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'r' | b'b' if starts_string_prefix(b, i) => {
+                let start = i;
+                let start_line = line;
+                i = scan_prefixed_string(b, i);
+                bump_lines(b, start, i, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'b' if b.get(i + 1) == Some(&b'\'') => {
+                let start = i;
+                i = scan_char_literal(b, i + 2);
+                toks.push(Tok { kind: TokKind::Char, text: src[start..i].to_string(), line });
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'` + ident-run + `'` is a
+                // char (e.g. 'a'); `'` + ident-run without a closing
+                // quote is a lifetime (e.g. 'a, 'static); anything else
+                // after the quote (escape, punctuation, digit) is a
+                // char literal.
+                let start = i;
+                let mut j = i + 1;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                if j > i + 1 && b.get(j) != Some(&b'\'') {
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[start..j].to_string(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    i = scan_char_literal(b, i + 1);
+                    toks.push(Tok { kind: TokKind::Char, text: src[start..i].to_string(), line });
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                toks.push(Tok { kind: TokKind::Ident, text: src[start..i].to_string(), line });
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers never matter to the lints; consume the
+                // alphanumeric run (covers hex, suffixes) without dots
+                // so ranges like `0..n` lex as Num, `.`, `.`, Ident.
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                toks.push(Tok { kind: TokKind::Num, text: src[start..i].to_string(), line });
+            }
+            _ => {
+                let ch_len = src[i..].chars().next().map_or(1, |ch| ch.len_utf8());
+                toks.push(Tok { kind: TokKind::Punct, text: src[i..i + ch_len].to_string(), line });
+                i += ch_len;
+            }
+        }
+    }
+    toks
+}
+
+/// True if `b[i..]` starts a raw/byte string prefix: `r"`, `r#`, `b"`,
+/// `br"`, `br#`, `rb…` is not valid Rust and not matched.
+fn starts_string_prefix(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'r' => matches!(b.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => match b.get(i + 1) {
+            Some(b'"') => true,
+            Some(b'r') => matches!(b.get(i + 2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Scan past a `"…"` body with backslash escapes; `i` is just after
+/// the opening quote. Returns the index just after the closing quote
+/// (or end of input).
+fn scan_escaped_string(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2, // may step one past end on a trailing backslash; clamped below
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i.min(b.len())
+}
+
+/// Scan a string starting with its `r`/`b`/`br` prefix at `i`.
+fn scan_prefixed_string(b: &[u8], mut i: usize) -> usize {
+    let mut raw = false;
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'r' {
+        raw = true;
+        i += 1;
+    }
+    if !raw {
+        // b"…" — escaped body.
+        return scan_escaped_string(b, i + 1);
+    }
+    // r, r#…#, br#…#: count hashes, then scan for `"` + that many `#`.
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != b'"' {
+        // Not actually a raw string (e.g. `r#ident`); treat the prefix
+        // as consumed so lexing proceeds safely.
+        return i;
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'"'
+            && b[i + 1..].len() >= hashes
+            && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Scan past a char-literal body; `i` is just after the opening quote
+/// (and after `b` for byte chars). Returns the index after the closing
+/// quote.
+fn scan_char_literal(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            // A char literal never spans a line; bail so an actually
+            // stray quote cannot swallow the rest of the file.
+            b'\n' => return i,
+            _ => i += 1,
+        }
+    }
+    i.min(b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_do_not_leak_from_strings_or_comments() {
+        let src = r##"
+            // panic! in a line comment
+            /* .unwrap() in /* a nested */ block comment */
+            let s = "panic!(\"quoted\")";
+            let r = r#"unsafe { .unwrap() }"#;
+            let b = b"panic!";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| &t.text).collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let chars: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokKind::Char).map(|t| &t.text).collect();
+        assert_eq!(chars, ["'x'", "'\\n'"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "a\n/* one\ntwo */\nb\nr#\"raw\nlines\"#\nc";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.is_ident(name)).expect(name).line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("c"), 7);
+    }
+
+    #[test]
+    fn raw_string_hash_counts() {
+        let toks = lex(r####"let x = r###"has "# and "## inside"###; after"####);
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).expect("raw string");
+        assert!(s.text.contains("inside"));
+    }
+
+    #[test]
+    fn unterminated_forms_do_not_panic() {
+        for src in ["\"abc", "/* never closed", "r#\"open", "'x", "b\"half \\"] {
+            let _ = lex(src);
+        }
+    }
+}

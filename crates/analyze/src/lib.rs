@@ -1,0 +1,62 @@
+//! Repo-native static analysis for the demsort workspace.
+//!
+//! The paper's guarantees — I/O-optimal striped merging, exact
+//! comparison bounds, fault-tolerant collectives — survive in this
+//! codebase as conventions: collectives are fallible, `net`/`storage`
+//! never panic, counter-identity surfaces are transport-independent,
+//! the uninit-spare-capacity merge is documented safe. This crate
+//! machine-checks those conventions. It is a **token-level** analyzer
+//! — its own small lexer ([`lexer`]) handles strings, raw strings,
+//! nested block comments, and `#[cfg(test)]` scoping ([`scan`]); no
+//! `syn`, consistent with the workspace's offline `vendor/` policy.
+//!
+//! The `demsort-verify` binary drives it:
+//!
+//! ```text
+//! demsort-verify [--root DIR] [--json FILE] [--unsafe-inventory FILE]
+//!                [--warnings] [--list-lints]
+//! ```
+//!
+//! Exit code 0 means no deny-severity finding; 1 means at least one;
+//! 2 is a usage or I/O error. See [`lints`] for the lint catalog
+//! (L1–L5) and the `// verify: allow(<lint>, <reason>)` escape hatch.
+
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod scan;
+pub mod walk;
+
+use demsort_types::Result;
+use report::Report;
+use scan::SourceFile;
+use std::path::Path;
+
+/// Analyze in-memory sources: `(repo-relative path, contents)` pairs.
+/// Path-scoped lints (L1's crate list, L5's allowlist) key on the
+/// given paths, so fixtures can impersonate any location.
+pub fn analyze_sources<P: AsRef<str>, S: AsRef<str>>(files: &[(P, S)]) -> Report {
+    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    for (path, src) in files {
+        let parsed = SourceFile::parse(path.as_ref(), src.as_ref());
+        lints::run_lints(&parsed, &mut report);
+    }
+    report.findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report
+}
+
+/// Analyze the workspace rooted at `root` (the directory holding
+/// `Cargo.toml` and `crates/`).
+///
+/// # Errors
+/// [`Error::Io`](demsort_types::Error) if the tree cannot be read.
+pub fn analyze_root(root: &Path) -> Result<Report> {
+    let paths = walk::workspace_sources(root)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for p in paths {
+        let text = std::fs::read_to_string(root.join(&p))
+            .map_err(|e| demsort_types::Error::io(format!("reading {p}: {e}")))?;
+        files.push((p, text));
+    }
+    Ok(analyze_sources(&files))
+}

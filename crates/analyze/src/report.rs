@@ -1,0 +1,192 @@
+//! Findings, the analysis report, and its machine-readable forms.
+//!
+//! Emission goes through [`demsort_types::json`] — the same escape-
+//! correct emitter the trace journals and benchmark JSON use — so the
+//! CI artifact parses back exactly.
+
+use demsort_types::json::Json;
+
+/// How a finding affects the exit code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the run (exit 1).
+    Deny,
+    /// Reported and counted, never fails the run. Used for the
+    /// `.expect(` inventory (repo policy reserves `.expect` for
+    /// process-local invariants no peer can trigger) and for stale
+    /// escape hatches.
+    Warn,
+}
+
+/// One lint hit at a source location.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Lint id (`"L1"` … `"L5"`).
+    pub lint: &'static str,
+    /// Deny or warn.
+    pub severity: Severity,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+/// A finding that an escape hatch suppressed; kept in the report so
+/// every intentional exception stays visible with its reason.
+#[derive(Clone, Debug)]
+pub struct AllowedFinding {
+    /// The suppressed finding.
+    pub finding: Finding,
+    /// The hatch's justification.
+    pub reason: String,
+}
+
+/// One `unsafe` occurrence for the unsafe-inventory artifact.
+#[derive(Clone, Debug)]
+pub struct UnsafeSite {
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line of the `unsafe` token.
+    pub line: u32,
+    /// `"block"`, `"fn"`, `"impl"`, `"trait"`, or `"other"`.
+    pub kind: &'static str,
+    /// Enclosing named function, if any.
+    pub func: Option<String>,
+    /// True if a `SAFETY:` comment covers the site.
+    pub documented: bool,
+    /// True if the site is inside test-scoped code.
+    pub in_test: bool,
+}
+
+/// Everything one analysis run produced.
+#[derive(Default)]
+pub struct Report {
+    /// Active findings (deny and warn), in file/line order.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by escape hatches.
+    pub allowed: Vec<AllowedFinding>,
+    /// Every `unsafe` site seen (documented or not).
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Number of deny-severity findings (non-zero fails the run).
+    pub fn deny_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Deny).count()
+    }
+
+    /// Number of warn-severity findings.
+    pub fn warn_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Warn).count()
+    }
+
+    /// The full machine-readable report.
+    pub fn to_json(&self) -> Json {
+        let finding_fields = |f: &Finding| {
+            vec![
+                ("lint".to_string(), Json::str(f.lint)),
+                (
+                    "severity".to_string(),
+                    Json::str(match f.severity {
+                        Severity::Deny => "deny",
+                        Severity::Warn => "warn",
+                    }),
+                ),
+                ("file".to_string(), Json::str(f.file.clone())),
+                ("line".to_string(), Json::Uint(u64::from(f.line))),
+                ("message".to_string(), Json::str(f.message.clone())),
+            ]
+        };
+        Json::Obj(vec![
+            ("version".into(), Json::Uint(1)),
+            ("files_scanned".into(), Json::Uint(self.files_scanned as u64)),
+            (
+                "summary".into(),
+                Json::Obj(vec![
+                    ("deny".into(), Json::Uint(self.deny_count() as u64)),
+                    ("warn".into(), Json::Uint(self.warn_count() as u64)),
+                    ("allowed".into(), Json::Uint(self.allowed.len() as u64)),
+                    ("unsafe_sites".into(), Json::Uint(self.unsafe_sites.len() as u64)),
+                ]),
+            ),
+            (
+                "findings".into(),
+                Json::Arr(self.findings.iter().map(|f| Json::Obj(finding_fields(f))).collect()),
+            ),
+            (
+                "allowed".into(),
+                Json::Arr(
+                    self.allowed
+                        .iter()
+                        .map(|a| {
+                            let mut o = finding_fields(&a.finding);
+                            o.push(("reason".into(), Json::str(a.reason.clone())));
+                            Json::Obj(o)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The unsafe-inventory artifact: every `unsafe` site with its
+    /// documentation status.
+    pub fn unsafe_inventory_json(&self) -> Json {
+        Json::Obj(vec![
+            ("version".into(), Json::Uint(1)),
+            ("sites".into(), Json::Uint(self.unsafe_sites.len() as u64)),
+            (
+                "unsafe".into(),
+                Json::Arr(
+                    self.unsafe_sites
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("file".into(), Json::str(s.file.clone())),
+                                ("line".into(), Json::Uint(u64::from(s.line))),
+                                ("kind".into(), Json::str(s.kind)),
+                                ("fn".into(), s.func.clone().map_or(Json::Null, Json::str)),
+                                ("documented".into(), Json::Bool(s.documented)),
+                                ("in_test".into(), Json::Bool(s.in_test)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Render human-readable diagnostics: all deny findings, then warn
+    /// findings when `warnings` is set, then a one-line summary.
+    pub fn render_text(&self, warnings: bool) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            if f.severity == Severity::Deny {
+                out.push_str(&format!("{}:{}: {}: {}\n", f.file, f.line, f.lint, f.message));
+            }
+        }
+        if warnings {
+            for f in &self.findings {
+                if f.severity == Severity::Warn {
+                    out.push_str(&format!(
+                        "{}:{}: {} (warn): {}\n",
+                        f.file, f.line, f.lint, f.message
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "demsort-verify: {} files, {} deny, {} warn, {} allowed, {} unsafe sites\n",
+            self.files_scanned,
+            self.deny_count(),
+            self.warn_count(),
+            self.allowed.len(),
+            self.unsafe_sites.len(),
+        ));
+        out
+    }
+}

@@ -1,0 +1,59 @@
+//! Workspace source discovery.
+//!
+//! The analyzer scans production source only: `crates/*/src/**/*.rs`
+//! plus the root facade `src/`. Integration-test trees
+//! (`crates/*/tests/`), `examples/`, benches, and the offline
+//! `vendor/` stand-ins are out of scope — the lints guard shipping
+//! code, and in-file `#[cfg(test)]` scoping already exempts unit
+//! tests.
+
+use demsort_types::{Error, Result};
+use std::path::{Path, PathBuf};
+
+/// Collect repo-relative paths (with `/` separators) of every `.rs`
+/// file the lints cover, sorted for deterministic reports.
+pub fn workspace_sources(root: &Path) -> Result<Vec<String>> {
+    let mut found = Vec::new();
+    let crates = root.join("crates");
+    let entries = std::fs::read_dir(&crates)
+        .map_err(|e| Error::io(format!("reading {}: {e}", crates.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| Error::io(format!("reading crates/: {e}")))?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut found)?;
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut found)?;
+    }
+    let mut rel: Vec<String> = found
+        .into_iter()
+        .filter_map(|p| {
+            p.strip_prefix(root).ok().map(|r| {
+                r.components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/")
+            })
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<()> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| Error::io(format!("reading {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| Error::io(format!("reading {}: {e}", dir.display())))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Clean fixture: tricky-but-legal constructs the analyzer must pass.
+
+pub fn hatched(c: &Communicator) {
+    // verify: allow(L2, fixture demonstrates the escape hatch)
+    let _ = c.barrier();
+}
+
+pub fn strings() -> String {
+    // Not code: panic!("x") .unwrap() c.barrier();
+    let s = r##"panic!("still not code") "# keeps going"##;
+    let block = "/* unsafe { } */";
+    format!("{s}{block}")
+}
+
+/* nested /* block */ comments hide panic!("here") too */
+
+pub fn lifetimes<'a>(x: &'a [u8]) -> &'a [u8] {
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap_and_panic() {
+        Some(1u32).unwrap();
+        panic!("fine in tests");
+    }
+}

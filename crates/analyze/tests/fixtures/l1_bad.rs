@@ -1,0 +1,21 @@
+//! L1 fixture: panic paths in non-test code (impersonates crates/net).
+
+pub fn boom() {
+    panic!("kaboom");
+}
+
+pub fn grab(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn audit_me(r: Result<(), ()>) {
+    r.expect("inventoried as a warning, not a deny");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_inside_tests_are_fine() {
+        panic!("test-only");
+    }
+}

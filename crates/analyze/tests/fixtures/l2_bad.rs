@@ -1,0 +1,13 @@
+//! L2 fixture: discarded Results from the cluster APIs.
+
+pub fn discards(c: &Communicator) {
+    let _ = c.barrier();
+    c.recv(1).ok();
+    c.flush();
+}
+
+pub fn consumed(c: &Communicator) -> Result<(), Error> {
+    let n = c.allreduce_sum(1)?;
+    consume(n, c.recv(2));
+    Ok(())
+}

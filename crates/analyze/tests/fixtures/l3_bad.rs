@@ -1,0 +1,11 @@
+//! L3 fixture: undocumented `unsafe` (one site justified, one not).
+
+pub fn undocumented(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}
+
+pub fn documented(v: &[u8]) -> u8 {
+    debug_assert!(!v.is_empty());
+    // SAFETY: the debug_assert above pins the caller contract.
+    unsafe { *v.get_unchecked(0) }
+}

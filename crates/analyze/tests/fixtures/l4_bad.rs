@@ -1,0 +1,11 @@
+//! L4 fixture: a trace span opened but never closed.
+
+pub fn lopsided(t: &Tracer) {
+    let s = t.begin("merge");
+    work(s);
+}
+
+pub fn balanced(t: &Tracer) {
+    let s = t.begin("merge");
+    t.end(s);
+}

@@ -1,0 +1,9 @@
+//! L5 fixture: counter mutation outside the metering allowlist.
+
+pub fn cheat(c: &mut CpuCounters) {
+    c.elements_sorted += 10;
+}
+
+pub fn reads_are_fine(c: &CpuCounters) -> u64 {
+    c.elements_sorted
+}

@@ -1,0 +1,151 @@
+//! Property tests for the analyzer's lexer and test-scope tracking.
+//!
+//! The vendored proptest has no string strategies, so inputs are
+//! assembled from drawn indices into fragment alphabets — including
+//! the forms the lexer exists to get right: raw strings with arbitrary
+//! hash counts, nested block comments, escapes, and unterminated
+//! tails.
+
+use demsort_analyze::lexer::{lex, TokKind};
+use demsort_analyze::scan::SourceFile;
+use proptest::prelude::*;
+
+/// Self-contained source fragments, several deliberately hostile.
+/// Every fragment spelling `panic`/`unwrap`/`unsafe` hides it inside
+/// a balanced string or comment, so any whitespace-joined sequence
+/// keeps those spellings out of code.
+const FRAGMENTS: &[&str] = &[
+    "fn f() {",
+    "}",
+    "let x = 1;",
+    "\"panic! inside \\\" a string\"",
+    "r#\"unwrap() in a raw string\"#",
+    "r###\"hash \"# count \"## stress\"###",
+    "b\"byte panic!\"",
+    "// line comment .unwrap()",
+    "/* block /* nested unsafe { } */ comment */",
+    "'x'",
+    "'\\n'",
+    "&'a str",
+    "0..n",
+    "1_000u64",
+    "marker_ident",
+    "\\",
+    "\u{1F980}", // non-ASCII punct path
+];
+
+/// Unterminated forms: only appended at the very end, where they
+/// swallow nothing but the tail (an unterminated string mid-soup would
+/// legitimately re-open code at the next fragment's quote).
+const TAILS: &[&str] = &["", "\"unterminated", "/* never closed", "r##\"open", "b\"half \\"];
+
+fn assemble(picks: &[usize], sep: &str, tail: usize) -> String {
+    let mut s = picks.iter().map(|&i| FRAGMENTS[i % FRAGMENTS.len()]).collect::<Vec<_>>().join(sep);
+    s.push_str(sep);
+    s.push_str(TAILS[tail % TAILS.len()]);
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn lexing_fragment_soup_is_total_and_line_monotone(
+        picks in prop::collection::vec(0usize..FRAGMENTS.len(), 0..40),
+        sep in 0usize..3,
+        tail in 0usize..TAILS.len(),
+    ) {
+        let sep = [" ", "\n", "\n\n"][sep];
+        let src = assemble(&picks, sep, tail);
+        let toks = lex(&src);
+        // Lines are 1-based, nondecreasing, and within the file.
+        let total_lines = src.lines().count().max(1) as u32;
+        let mut prev = 1u32;
+        for t in &toks {
+            prop_assert!(t.line >= prev, "line went backwards in {src:?}");
+            prop_assert!(t.line <= total_lines);
+            prev = t.line;
+        }
+        // Hostile spellings never surface as identifier tokens.
+        for t in &toks {
+            if t.kind == TokKind::Ident {
+                prop_assert!(
+                    !["panic", "unwrap", "unsafe"].contains(&t.text.as_str()),
+                    "{:?} leaked from a non-code fragment of {src:?}",
+                    t.text
+                );
+            }
+        }
+        // Lexing is deterministic.
+        prop_assert_eq!(toks.len(), lex(&src).len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn raw_strings_with_any_hash_count_stay_opaque(
+        hashes in 1usize..6,
+        inner_hashes in 0usize..5,
+    ) {
+        // Body contains a quote followed by *fewer* hashes than the
+        // delimiter, which must not terminate the literal.
+        let inner = inner_hashes.min(hashes - 1);
+        let h = "#".repeat(hashes);
+        let src = format!("before r{h}\"unsafe \"{} unwrap\"{h} after", "#".repeat(inner));
+        let toks = lex(&src);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(idents, vec!["before", "after"], "src: {src:?}");
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        prop_assert_eq!(strs.len(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_stay_opaque(depth in 1usize..6) {
+        let open = "/*".repeat(depth);
+        let close = "*/".repeat(depth);
+        let src = format!("{open} panic! .unwrap() unsafe {{ }} {close}\nafter");
+        let toks = lex(&src);
+        prop_assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::BlockComment).count(),
+            1
+        );
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(idents, vec!["after"]);
+        prop_assert_eq!(toks.iter().find(|t| t.is_ident("after")).map(|t| t.line), Some(2));
+    }
+
+    #[test]
+    fn cfg_test_scoping_survives_surrounding_noise(
+        before in 0usize..4,
+        after in 0usize..4,
+    ) {
+        // Production items around a `#[cfg(test)]` module: the module
+        // body is test-scoped, everything else is not, regardless of
+        // how many items surround it.
+        let mut src = String::new();
+        for k in 0..before {
+            src.push_str(&format!("fn prod_before_{k}() {{ let v = {k}; }}\n"));
+        }
+        src.push_str("#[cfg(test)]\nmod tests {\n    fn only_in_tests() { test_marker(); }\n}\n");
+        for k in 0..after {
+            src.push_str(&format!("fn prod_after_{k}() {{ let w = {k}; }}\n"));
+        }
+        let file = SourceFile::parse("crates/net/src/gen.rs", &src);
+        for (j, t) in file.toks.iter().enumerate() {
+            if t.is_ident("test_marker") {
+                prop_assert!(file.is_test[j], "marker outside test scope");
+            }
+            if t.text.starts_with("prod_") {
+                prop_assert!(!file.is_test[j], "{} marked as test", t.text);
+            }
+        }
+    }
+}

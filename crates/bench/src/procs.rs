@@ -391,6 +391,7 @@ pub fn run_rank(
     // closing under the reader threads isn't journalled as a wave of
     // peer deaths, then flush what the rank actually recorded.
     tcp.set_tracer(Tracer::off());
+    // verify: allow(L2, Tracer::flush is infallible and returns unit — journal write errors are swallowed by design)
     tracer.flush();
     Ok(report)
 }
@@ -842,6 +843,7 @@ impl Drop for LaunchControl {
     fn drop(&mut self) {
         for c in &mut self.children {
             let _ = c.kill();
+            // verify: allow(L2, reaping an already-killed child in Drop — the exit status is meaningless here)
             let _ = c.wait();
         }
     }

@@ -24,7 +24,7 @@
 //! and is the same convention as [`crate::selection`].
 
 use demsort_net::Communicator;
-use demsort_types::{Record, Result};
+use demsort_types::{Error, Record, Result};
 
 /// Number of elements of `local` (this PE's sorted sequence) that fall
 /// strictly left of the global partition at rank `r`.
@@ -56,8 +56,8 @@ pub fn dist_select_rank<R: Record + Ord>(
     // Active range of candidate split positions in the local sequence.
     let (mut lo, mut hi) = (0usize, local.len());
     // Each round discards ≥ 1/4 of the global active weight, so
-    // ⌈log4/3 N⌉ rounds suffice; the bound turns a logic bug into a
-    // panic instead of a distributed hang.
+    // ⌈log4/3 N⌉ rounds suffice; the bound turns a logic bug into an
+    // error on every PE instead of a distributed hang.
     let max_rounds = 8 + 4 * (64 - total.leading_zeros() as usize);
     for _round in 0..max_rounds {
         let weight = (hi - lo) as u64;
@@ -94,7 +94,7 @@ pub fn dist_select_rank<R: Record + Ord>(
             return Ok(lt + remaining.min(eq) as usize);
         }
     }
-    unreachable!("distributed selection did not converge in {max_rounds} rounds");
+    Err(Error::validation(format!("distributed selection did not converge in {max_rounds} rounds")))
 }
 
 /// Split the distributed sequence into `parts` equal pieces: returns the
@@ -159,7 +159,12 @@ fn weighted_median<R: Record + Ord>(
             return Ok(Some((*k, *pe)));
         }
     }
-    unreachable!("cumulative weight must reach the total");
+    // The final iteration has `acc == total`, and `2 · total ≥ total`
+    // always holds, so the loop returns before reaching here. Fall
+    // back to the largest candidate rather than asserting, keeping
+    // core panic-free.
+    let (k, pe, _) = cands.last().expect("candidates checked non-empty above");
+    Ok(Some((*k, *pe)))
 }
 
 #[cfg(test)]

@@ -132,6 +132,7 @@ pub fn merge_into<R: Record + Ord>(
         drop(views);
         split_probes += pm.split_probes;
         for (buf, cut) in bufs.iter_mut().zip(pm.cuts) {
+            // verify: allow(L2, Vec::drain removing the merged prefix — not the fallible IoEngine::drain)
             buf.drain(..cut);
         }
         let emitted = emit.len();

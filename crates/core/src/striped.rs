@@ -943,6 +943,7 @@ fn merge_striped_group<R: Record + Ord>(
         };
         drop(views);
         for (s, cut) in sources.iter_mut().zip(pm.cuts) {
+            // verify: allow(L2, Vec::drain removing the merged prefix — not the fallible IoEngine::drain)
             s.drain(..cut);
         }
         if let Some(t) = &threshold {

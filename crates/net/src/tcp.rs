@@ -400,6 +400,7 @@ impl Drop for Inner {
         // (e.g. the final frames of a broadcast tree): push buffered
         // frames onto the wire before closing anything.
         for p in self.peers.iter().flatten() {
+            // verify: allow(L2, best-effort flush in Drop — a dead peer's error has nowhere to go)
             let _ = p.flush();
         }
         self.shutdown.store(true, Ordering::Release);
@@ -851,6 +852,7 @@ impl Transport for TcpTransport {
             // the epoch is cutting away; skip it and keep going so one
             // death cannot block the cut reaching the survivors.
             if link.write_frame(KIND_EPOCH, &marker).is_ok() {
+                // verify: allow(L2, a flush error marks the peer dead — exactly the rank the epoch cuts away)
                 let _ = link.flush();
             }
         }

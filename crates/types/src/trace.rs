@@ -521,6 +521,7 @@ impl Tracer {
     pub fn flush(&self) {
         if let Some(inner) = &self.inner {
             if let Sink::File(w) = &mut *inner.sink.lock().expect("trace sink lock") {
+                // verify: allow(L2, tracing is best-effort — a journal flush error must never fail the sort)
                 let _ = w.flush();
             }
         }
